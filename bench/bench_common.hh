@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses.
+ *
+ * Every bench binary reproduces one table or figure of the paper; the
+ * helpers here build systems at the standard evaluation scale, run
+ * the §5 target-relaunch methodology, and print results side by side
+ * with the paper's reference values (EXPERIMENTS.md records both).
+ */
+
+#ifndef ARIADNE_BENCH_COMMON_HH
+#define ARIADNE_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hh"
+#include "sys/session.hh"
+#include "workload/apps.hh"
+
+namespace ariadne::bench
+{
+
+/** Footprint scale all experiment harnesses run at (1/16 of the
+ * paper's volumes; latencies are rescaled, see EXPERIMENTS.md). */
+constexpr double evalScale = 0.0625;
+
+/** Deterministic seed shared by all benches. */
+constexpr std::uint64_t evalSeed = 42;
+
+/** The five applications the paper plots (Figs. 2, 10-13, 15). */
+inline std::vector<std::string>
+plottedApps()
+{
+    return {"YouTube", "Twitter", "Firefox", "GoogleEarth",
+            "BangDream"};
+}
+
+/** Build a SystemConfig at the evaluation scale. */
+inline SystemConfig
+makeConfig(SchemeKind kind, const std::string &ariadne_cfg = "")
+{
+    SystemConfig cfg;
+    cfg.scale = evalScale;
+    cfg.seed = evalSeed;
+    cfg.scheme = kind;
+    if (!ariadne_cfg.empty())
+        cfg.ariadne = AriadneConfig::parse(ariadne_cfg);
+    return cfg;
+}
+
+/**
+ * Run the §5 target-relaunch scenario on a fresh system.
+ * @return the measured relaunch.
+ */
+inline RelaunchStats
+runTargetScenario(const SystemConfig &cfg, const std::string &app_name,
+                  unsigned variant = 0)
+{
+    MobileSystem sys(cfg, standardApps());
+    SessionDriver driver(sys);
+    return driver.targetRelaunchScenario(standardApp(app_name).uid,
+                                         variant);
+}
+
+/** Full-scale milliseconds of a scaled relaunch measurement. */
+inline double
+fullScaleMs(const RelaunchStats &st, double scale = evalScale)
+{
+    return static_cast<double>(st.fullScaleNs(scale)) / 1e6;
+}
+
+} // namespace ariadne::bench
+
+#endif // ARIADNE_BENCH_COMMON_HH

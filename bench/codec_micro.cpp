@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Microbenchmarks of the from-scratch codecs (google-benchmark).
+ *
+ * These measure *host* throughput of the functional implementations
+ * (roundtrip-verified elsewhere); simulated latencies in the paper
+ * experiments come from the calibrated TimingModel instead.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "compress/chunked.hh"
+#include "compress/registry.hh"
+#include "workload/apps.hh"
+#include "workload/page_synth.hh"
+
+using namespace ariadne;
+
+namespace
+{
+
+std::vector<std::uint8_t>
+corpus(std::size_t pages)
+{
+    auto apps = standardApps();
+    PageSynthesizer synth(apps);
+    std::vector<std::uint8_t> data(pages * pageSize);
+    for (std::size_t i = 0; i < pages; ++i) {
+        PageKey key{apps[i % apps.size()].uid, static_cast<Pfn>(i)};
+        synth.materialize(key, 0,
+                          {data.data() + i * pageSize, pageSize});
+    }
+    return data;
+}
+
+void
+compressBench(benchmark::State &state, CodecKind kind)
+{
+    auto codec = makeCodec(kind);
+    auto data = corpus(256); // 1 MiB
+    auto chunk = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        auto frame = ChunkedFrame::compress(
+            *codec, {data.data(), data.size()}, chunk);
+        benchmark::DoNotOptimize(frame.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * data.size()));
+}
+
+void
+decompressBench(benchmark::State &state, CodecKind kind)
+{
+    auto codec = makeCodec(kind);
+    auto data = corpus(256);
+    auto chunk = static_cast<std::size_t>(state.range(0));
+    auto frame = ChunkedFrame::compress(*codec,
+                                        {data.data(), data.size()},
+                                        chunk);
+    std::vector<std::uint8_t> out(data.size());
+    for (auto _ : state) {
+        auto n = ChunkedFrame::decompress(
+            *codec, {frame.data(), frame.size()},
+            {out.data(), out.size()});
+        benchmark::DoNotOptimize(n);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * data.size()));
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(compressBench, lz4, CodecKind::Lz4)
+    ->Arg(128)->Arg(4096)->Arg(65536);
+BENCHMARK_CAPTURE(compressBench, lzo, CodecKind::Lzo)
+    ->Arg(128)->Arg(4096)->Arg(65536);
+BENCHMARK_CAPTURE(compressBench, bdi, CodecKind::Bdi)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(decompressBench, lz4, CodecKind::Lz4)
+    ->Arg(128)->Arg(4096)->Arg(65536);
+BENCHMARK_CAPTURE(decompressBench, lzo, CodecKind::Lzo)
+    ->Arg(128)->Arg(4096)->Arg(65536);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fig. 10: application relaunch latency — ZRAM vs Ariadne
+ * configurations vs the optimistic DRAM bound.
+ *
+ * Paper result: every Ariadne configuration cuts relaunch latency by
+ * ~50% versus ZRAM and lands within ~10% of DRAM; EHL and AL differ
+ * negligibly for the same size configuration.
+ *
+ * Table 5 parameters are encoded in the configuration strings below.
+ */
+
+#include "bench_common.hh"
+
+using namespace ariadne;
+using namespace ariadne::bench;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Fig. 10: relaunch latency (ms): ZRAM vs Ariadne "
+                "configs vs DRAM");
+
+    const std::vector<std::string> configs = {
+        "EHL-1K-2K-16K", "AL-1K-2K-16K",  "EHL-1K-4K-16K",
+        "AL-512-2K-16K", "EHL-256-2K-32K", "AL-256-2K-32K",
+    };
+
+    std::vector<std::string> columns = {"App", "ZRAM"};
+    for (const auto &c : configs)
+        columns.push_back(c);
+    columns.push_back("DRAM");
+    ReportTable table(columns);
+
+    double zram_sum = 0.0, best_sum = 0.0, dram_sum = 0.0;
+    double ariadne_sum = 0.0, ehl_sum = 0.0;
+    std::size_t ariadne_count = 0, ehl_count = 0;
+    std::size_t napps = 0;
+
+    for (const auto &name : plottedApps()) {
+        std::vector<std::string> row{name};
+        double zram = fullScaleMs(
+            runTargetScenario(makeConfig(SchemeKind::Zram), name));
+        row.push_back(ReportTable::num(zram, 1));
+
+        double best = 1e18;
+        for (const auto &c : configs) {
+            double ms = fullScaleMs(runTargetScenario(
+                makeConfig(SchemeKind::Ariadne, c), name));
+            row.push_back(ReportTable::num(ms, 1));
+            best = std::min(best, ms);
+            ariadne_sum += ms;
+            ++ariadne_count;
+            if (c.rfind("EHL", 0) == 0) {
+                ehl_sum += ms;
+                ++ehl_count;
+            }
+        }
+        double dram = fullScaleMs(
+            runTargetScenario(makeConfig(SchemeKind::Dram), name));
+        row.push_back(ReportTable::num(dram, 1));
+        table.addRow(std::move(row));
+
+        zram_sum += zram;
+        best_sum += best;
+        dram_sum += dram;
+        ++napps;
+    }
+    table.print(std::cout);
+
+    double n = static_cast<double>(napps);
+    double ehl_avg = ehl_sum / static_cast<double>(ehl_count);
+    std::cout << "\nEHL average: "
+              << ReportTable::num(
+                     100.0 * (1.0 - ehl_avg / (zram_sum / n)), 1)
+              << "% reduction vs ZRAM, "
+              << ReportTable::num(
+                     100.0 * (ehl_avg / (dram_sum / n) - 1.0), 1)
+              << "% over DRAM (paper: ~50% and <10%).\n";
+    double avg_reduction =
+        1.0 - (ariadne_sum / static_cast<double>(ariadne_count)) /
+                  (zram_sum / n);
+    std::cout << "Average Ariadne reduction vs ZRAM: "
+              << ReportTable::num(100.0 * avg_reduction, 1)
+              << "% (paper: ~50%); average gap to DRAM: "
+              << ReportTable::num(
+                     100.0 * ((ariadne_sum /
+                               static_cast<double>(ariadne_count)) /
+                                  (dram_sum / n) -
+                              1.0),
+                     1)
+              << "% (paper: <10%)\n";
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fig. 2: application relaunch latency under DRAM / ZRAM / SWAP.
+ *
+ * Paper result: ZRAM beats flash SWAP, but compression/decompression
+ * still make relaunches 2.1x slower on average than the pure-DRAM
+ * bound.
+ */
+
+#include "bench_common.hh"
+
+using namespace ariadne;
+using namespace ariadne::bench;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Fig. 2: relaunch latency (ms) under DRAM/ZRAM/SWAP");
+
+    ReportTable table(
+        {"App", "DRAM", "ZRAM", "SWAP", "ZRAM/DRAM", "SWAP/DRAM"});
+
+    double ratio_sum = 0.0;
+    std::size_t n = 0;
+    for (const auto &name : plottedApps()) {
+        double dram = fullScaleMs(
+            runTargetScenario(makeConfig(SchemeKind::Dram), name));
+        double zram = fullScaleMs(
+            runTargetScenario(makeConfig(SchemeKind::Zram), name));
+        double swap = fullScaleMs(
+            runTargetScenario(makeConfig(SchemeKind::Swap), name));
+
+        table.addRow({name, ReportTable::num(dram, 1),
+                      ReportTable::num(zram, 1),
+                      ReportTable::num(swap, 1),
+                      ReportTable::num(zram / dram, 2),
+                      ReportTable::num(swap / dram, 2)});
+        ratio_sum += zram / dram;
+        ++n;
+    }
+    table.print(std::cout);
+    std::cout << "\nAverage ZRAM/DRAM relaunch ratio: "
+              << ReportTable::num(ratio_sum / static_cast<double>(n), 2)
+              << "  (paper: 2.1x)\n";
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig. 4: proportion of hot/warm/cold data in each tenth of the
+ * compressed stream under ZRAM, ordered by compression time.
+ *
+ * Paper result: LRU-based ZRAM compresses a significant amount of
+ * hot data *early* (part 0), because launch-time data looks least
+ * recently used — the root cause of unnecessary decompressions.
+ */
+
+#include "analysis/hotness_dist.hh"
+#include "bench_common.hh"
+#include "swap/zram.hh"
+
+using namespace ariadne;
+using namespace ariadne::bench;
+
+int
+main()
+{
+    printBanner(std::cout, "Fig. 4: hot/warm/cold share per "
+                           "compression-order decile (ZRAM)");
+
+    for (const auto &name : plottedApps()) {
+        SystemConfig cfg = makeConfig(SchemeKind::Zram);
+        MobileSystem sys(cfg, standardApps());
+        SessionDriver driver(sys);
+        AppId target = standardApp(name).uid;
+        driver.targetRelaunchScenario(target, 0);
+
+        auto *zram = dynamic_cast<ZramScheme *>(&sys.scheme());
+        std::vector<Hotness> stream;
+        for (const auto &ev : zram->compressionLog()) {
+            if (ev.key.uid == target)
+                stream.push_back(ev.truthAtCompression);
+        }
+        auto deciles = hotnessByCompressionOrder(stream, 10);
+
+        std::cout << "\n" << name << " (" << stream.size()
+                  << " compressed pages; part 0 compressed first)\n";
+        ReportTable table({"Part", "Hot", "Warm", "Cold"});
+        for (std::size_t i = 0; i < deciles.size(); ++i) {
+            table.addRow({std::to_string(i),
+                          ReportTable::num(deciles[i].hot, 2),
+                          ReportTable::num(deciles[i].warm, 2),
+                          ReportTable::num(deciles[i].cold, 2)});
+        }
+        table.print(std::cout);
+    }
+    std::cout << "\nPart 0 carries a large hot share for every app: "
+                 "LRU ignores relaunch hotness (paper's Observation "
+                 "3).\n";
+    return 0;
+}

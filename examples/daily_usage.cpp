@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Daily-usage example: users switch apps >100 times a day (§1).
+ *
+ * Simulates 120 app switches across the ten standard apps under ZRAM
+ * and under Ariadne, and reports the relaunch-latency distribution,
+ * comp/decomp CPU, and PreDecomp effectiveness — the end-to-end user
+ * experience the paper optimizes.
+ *
+ * Run:  ./build/examples/daily_usage
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sys/session.hh"
+#include "workload/apps.hh"
+
+using namespace ariadne;
+
+namespace
+{
+
+struct DayResult
+{
+    std::string name;
+    std::vector<double> relaunchMs;
+    double compDecompCpuMs = 0.0;
+    std::uint64_t stagedHits = 0;
+};
+
+DayResult
+runDay(SchemeKind kind)
+{
+    SystemConfig cfg;
+    cfg.scale = 0.0625;
+    cfg.scheme = kind;
+    cfg.ariadne = AriadneConfig::parse("EHL-1K-2K-16K");
+
+    MobileSystem sys(cfg, standardApps());
+    SessionDriver driver(sys);
+    driver.warmUpAllApps();
+
+    DayResult result;
+    result.name = sys.scheme().name();
+    auto uids = sys.appIds();
+    // Round-robin revisits maximize LRU reuse distance — the worst
+    // (and common) case where every relaunch finds its data evicted.
+    for (int sw = 0; sw < 120; ++sw) {
+        AppId uid = uids[static_cast<std::size_t>(sw) % uids.size()];
+        RelaunchStats st = sys.appRelaunch(uid);
+        result.relaunchMs.push_back(
+            ticksToMs(st.fullScaleNs(cfg.scale)));
+        result.stagedHits += st.stagedHits;
+        sys.appExecute(uid, 2_s);
+        sys.appBackground(uid);
+        sys.idle(1_s);
+    }
+    result.compDecompCpuMs =
+        static_cast<double>(sys.cpu().compDecompTotal()) / 1e6 /
+        cfg.scale;
+    return result;
+}
+
+void
+report(const DayResult &r)
+{
+    auto sorted = r.relaunchMs;
+    std::sort(sorted.begin(), sorted.end());
+    double sum = 0.0;
+    for (double v : sorted)
+        sum += v;
+    std::printf("%-22s avg %6.1f ms  p50 %6.1f ms  p95 %6.1f ms  "
+                "comp+decomp CPU %8.1f ms  staged hits %llu\n",
+                r.name.c_str(), sum / static_cast<double>(sorted.size()),
+                sorted[sorted.size() / 2],
+                sorted[sorted.size() * 95 / 100], r.compDecompCpuMs,
+                static_cast<unsigned long long>(r.stagedHits));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Daily usage: 120 app switches across 10 apps "
+                "(full-scale estimates)\n\n");
+    DayResult zram = runDay(SchemeKind::Zram);
+    DayResult ariadne_day = runDay(SchemeKind::Ariadne);
+    report(zram);
+    report(ariadne_day);
+
+    double zram_sum = 0.0, ariadne_sum = 0.0;
+    for (double v : zram.relaunchMs)
+        zram_sum += v;
+    for (double v : ariadne_day.relaunchMs)
+        ariadne_sum += v;
+    std::printf("\nOver the day, Ariadne saves %.1f seconds of "
+                "relaunch waiting (%.0f%% reduction).\n",
+                (zram_sum - ariadne_sum) / 1000.0,
+                100.0 * (1.0 - ariadne_sum / zram_sum));
+    return 0;
+}

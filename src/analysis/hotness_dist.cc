@@ -1,0 +1,36 @@
+#include "analysis/hotness_dist.hh"
+
+namespace ariadne
+{
+
+std::vector<HotnessShare>
+hotnessByCompressionOrder(const std::vector<Hotness> &stream,
+                          std::size_t parts)
+{
+    std::vector<HotnessShare> result(parts);
+    if (stream.empty() || parts == 0)
+        return result;
+
+    for (std::size_t part = 0; part < parts; ++part) {
+        std::size_t begin = part * stream.size() / parts;
+        std::size_t end = (part + 1) * stream.size() / parts;
+        if (end <= begin) {
+            continue;
+        }
+        std::size_t hot = 0, warm = 0, cold = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+            switch (stream[i]) {
+              case Hotness::Hot: ++hot; break;
+              case Hotness::Warm: ++warm; break;
+              case Hotness::Cold: ++cold; break;
+            }
+        }
+        double n = static_cast<double>(end - begin);
+        result[part].hot = static_cast<double>(hot) / n;
+        result[part].warm = static_cast<double>(warm) / n;
+        result[part].cold = static_cast<double>(cold) / n;
+    }
+    return result;
+}
+
+} // namespace ariadne

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Hotness composition of the compressed stream (Fig. 4).
+ */
+
+#ifndef ARIADNE_ANALYSIS_HOTNESS_DIST_HH
+#define ARIADNE_ANALYSIS_HOTNESS_DIST_HH
+
+#include <array>
+#include <vector>
+
+#include "mem/page.hh"
+
+namespace ariadne
+{
+
+/** Hot/warm/cold share of one decile of the compression stream. */
+struct HotnessShare
+{
+    double hot = 0.0;
+    double warm = 0.0;
+    double cold = 0.0;
+};
+
+/**
+ * Sort-by-compression-time decile analysis: the input is the hotness
+ * of each compressed page in compression order; the output is the
+ * composition of each of @p parts equal slices (paper uses 10).
+ */
+std::vector<HotnessShare>
+hotnessByCompressionOrder(const std::vector<Hotness> &stream,
+                          std::size_t parts = 10);
+
+} // namespace ariadne
+
+#endif // ARIADNE_ANALYSIS_HOTNESS_DIST_HH

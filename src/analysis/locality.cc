@@ -1,0 +1,38 @@
+#include "analysis/locality.hh"
+
+namespace ariadne
+{
+
+bool
+sectorsAdjacent(Sector cur, Sector next) noexcept
+{
+    // "Contiguous or nearby memory locations in zpool" (§1): the next
+    // access counts as consecutive when it lands within a few sectors
+    // ahead — hot-set churn leaves small gaps between surviving pages
+    // that were compressed together.
+    return next >= cur && next - cur <= 3;
+}
+
+double
+consecutiveAccessProbability(const std::vector<Sector> &accesses,
+                             std::size_t run_length)
+{
+    if (run_length < 2 || accesses.size() < run_length)
+        return 0.0;
+    std::size_t windows = accesses.size() - run_length + 1;
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < windows; ++i) {
+        bool consecutive = true;
+        for (std::size_t j = 1; j < run_length; ++j) {
+            if (!sectorsAdjacent(accesses[i + j - 1], accesses[i + j])) {
+                consecutive = false;
+                break;
+            }
+        }
+        if (consecutive)
+            ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(windows);
+}
+
+} // namespace ariadne

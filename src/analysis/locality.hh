@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Sector-locality metrics (Table 3 / Insight 3).
+ */
+
+#ifndef ARIADNE_ANALYSIS_LOCALITY_HH
+#define ARIADNE_ANALYSIS_LOCALITY_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace ariadne
+{
+
+/**
+ * Probability of accessing @p run_length consecutive pages in zpool:
+ * the fraction of length-@p run_length windows of the access stream
+ * whose successive sectors are adjacent (same block or the next one,
+ * matching "contiguous or nearby memory locations in zpool").
+ *
+ * run_length = 2 and 4 reproduce the two rows of Table 3.
+ */
+double consecutiveAccessProbability(const std::vector<Sector> &accesses,
+                                    std::size_t run_length);
+
+/** True when @p next is adjacent to @p cur in sector space. */
+bool sectorsAdjacent(Sector cur, Sector next) noexcept;
+
+} // namespace ariadne
+
+#endif // ARIADNE_ANALYSIS_LOCALITY_HH

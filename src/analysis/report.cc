@@ -1,0 +1,80 @@
+#include "analysis/report.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace ariadne
+{
+
+ReportTable::ReportTable(std::vector<std::string> column_names)
+    : header(std::move(column_names))
+{
+    fatalIf(header.empty(), "report table needs at least one column");
+}
+
+void
+ReportTable::addRow(std::vector<std::string> cells)
+{
+    fatalIf(cells.size() != header.size(),
+            "report row width does not match header");
+    body.push_back(std::move(cells));
+}
+
+std::string
+ReportTable::num(double v, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+void
+ReportTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : body) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+            os << (c + 1 == row.size() ? "\n" : "  ");
+        }
+    };
+
+    print_row(header);
+    std::size_t total = header.size() * 2 - 2;
+    for (std::size_t w : widths)
+        total += w;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : body)
+        print_row(row);
+}
+
+void
+ReportTable::printCsv(std::ostream &os) const
+{
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << row[c] << (c + 1 == row.size() ? "\n" : ",");
+    };
+    print_row(header);
+    for (const auto &row : body)
+        print_row(row);
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << "\n=== " << title << " ===\n";
+}
+
+} // namespace ariadne

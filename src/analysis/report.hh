@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Text-table and CSV report helpers used by every bench binary.
+ */
+
+#ifndef ARIADNE_ANALYSIS_REPORT_HH
+#define ARIADNE_ANALYSIS_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ariadne
+{
+
+/** Right-padded text table with a header row. */
+class ReportTable
+{
+  public:
+    /** @param column_names Header labels, one per column. */
+    explicit ReportTable(std::vector<std::string> column_names);
+
+    /** Append a row; must match the column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with @p precision decimals. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header + rows). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const noexcept { return body.size(); }
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> body;
+};
+
+/** Print a "=== title ===" section banner. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace ariadne
+
+#endif // ARIADNE_ANALYSIS_REPORT_HH

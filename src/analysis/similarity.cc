@@ -1,0 +1,66 @@
+#include "analysis/similarity.hh"
+
+#include <unordered_set>
+
+namespace ariadne
+{
+
+namespace
+{
+
+std::unordered_set<Pfn>
+toSet(const std::vector<Pfn> &v)
+{
+    return {v.begin(), v.end()};
+}
+
+double
+intersectOver(const std::vector<Pfn> &needles,
+              const std::unordered_set<Pfn> &haystack,
+              std::size_t denominator)
+{
+    if (denominator == 0)
+        return 0.0;
+    std::size_t matches = 0;
+    for (Pfn pfn : needles) {
+        if (haystack.contains(pfn))
+            ++matches;
+    }
+    return static_cast<double>(matches) /
+           static_cast<double>(denominator);
+}
+
+} // namespace
+
+double
+hotDataSimilarity(const std::vector<Pfn> &prev_hot,
+                  const std::vector<Pfn> &cur_hot)
+{
+    return intersectOver(cur_hot, toSet(prev_hot), cur_hot.size());
+}
+
+double
+reusedData(const std::vector<Pfn> &prev_hot,
+           const std::vector<Pfn> &cur_hot,
+           const std::vector<Pfn> &cur_warm)
+{
+    auto set = toSet(cur_hot);
+    set.insert(cur_warm.begin(), cur_warm.end());
+    return intersectOver(prev_hot, set, prev_hot.size());
+}
+
+double
+predictionCoverage(const std::vector<Pfn> &predicted,
+                   const std::vector<Pfn> &actual)
+{
+    return intersectOver(actual, toSet(predicted), actual.size());
+}
+
+double
+predictionAccuracy(const std::vector<Pfn> &predicted,
+                   const std::vector<Pfn> &used)
+{
+    return intersectOver(predicted, toSet(used), predicted.size());
+}
+
+} // namespace ariadne

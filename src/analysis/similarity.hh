@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Hot-data similarity and reuse metrics (Fig. 5 / Insight 1).
+ */
+
+#ifndef ARIADNE_ANALYSIS_SIMILARITY_HH
+#define ARIADNE_ANALYSIS_SIMILARITY_HH
+
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace ariadne
+{
+
+/**
+ * Hot Data Similarity: identical hot data between two consecutive
+ * relaunches divided by the hot data of the *second* relaunch.
+ */
+double hotDataSimilarity(const std::vector<Pfn> &prev_hot,
+                         const std::vector<Pfn> &cur_hot);
+
+/**
+ * Reused Data: fraction of the first relaunch's hot data present in
+ * the second relaunch's hot or warm sets.
+ */
+double reusedData(const std::vector<Pfn> &prev_hot,
+                  const std::vector<Pfn> &cur_hot,
+                  const std::vector<Pfn> &cur_warm);
+
+/**
+ * Coverage of a hot-set prediction: |predicted ∩ actual| / |actual|
+ * (Fig. 14; the percentage of relaunch data correctly predicted).
+ */
+double predictionCoverage(const std::vector<Pfn> &predicted,
+                          const std::vector<Pfn> &actual);
+
+/**
+ * Accuracy of a hot-set prediction: |predicted ∩ used| / |predicted|
+ * where @p used is everything referenced during the relaunch and the
+ * following execution window (Fig. 14).
+ */
+double predictionAccuracy(const std::vector<Pfn> &predicted,
+                          const std::vector<Pfn> &used);
+
+} // namespace ariadne
+
+#endif // ARIADNE_ANALYSIS_SIMILARITY_HH

@@ -1,0 +1,288 @@
+#include "compress/bdi.hh"
+
+#include <cstring>
+
+namespace ariadne
+{
+
+namespace
+{
+
+enum Scheme : std::uint8_t
+{
+    Zeros = 0,
+    Repeat8 = 1,
+    Base8Delta1 = 2,
+    Base8Delta2 = 3,
+    Base8Delta4 = 4,
+    Base4Delta1 = 5,
+    Base4Delta2 = 6,
+    Base2Delta1 = 7,
+    Raw = 8,
+    RawShort = 9, //!< trailing line shorter than lineBytes
+};
+
+template <typename Word>
+Word
+loadWord(const std::uint8_t *p) noexcept
+{
+    Word w;
+    std::memcpy(&w, p, sizeof(Word));
+    return w;
+}
+
+template <typename Word>
+void
+storeWord(std::uint8_t *p, Word w) noexcept
+{
+    std::memcpy(p, &w, sizeof(Word));
+}
+
+/**
+ * Try to encode a 64-byte line as base<BaseT> + delta<DeltaT>.
+ * Payload layout: base word then one delta per word.
+ * @return payload size on success, 0 if a delta does not fit.
+ */
+template <typename BaseT, typename DeltaT>
+std::size_t
+tryBaseDelta(const std::uint8_t *line, std::uint8_t *out) noexcept
+{
+    constexpr std::size_t words = BdiCodec::lineBytes / sizeof(BaseT);
+    using SignedBase = std::make_signed_t<BaseT>;
+    using SignedDelta = std::make_signed_t<DeltaT>;
+
+    BaseT base = loadWord<BaseT>(line);
+    DeltaT deltas[words];
+    for (std::size_t i = 0; i < words; ++i) {
+        BaseT v = loadWord<BaseT>(line + i * sizeof(BaseT));
+        auto diff = static_cast<SignedBase>(v - base);
+        auto narrowed = static_cast<SignedDelta>(diff);
+        if (static_cast<SignedBase>(narrowed) != diff)
+            return 0;
+        deltas[i] = static_cast<DeltaT>(narrowed);
+    }
+    storeWord<BaseT>(out, base);
+    std::memcpy(out + sizeof(BaseT), deltas, words * sizeof(DeltaT));
+    return sizeof(BaseT) + words * sizeof(DeltaT);
+}
+
+template <typename BaseT, typename DeltaT>
+void
+decodeBaseDelta(const std::uint8_t *in, std::uint8_t *line) noexcept
+{
+    constexpr std::size_t words = BdiCodec::lineBytes / sizeof(BaseT);
+    using SignedDelta = std::make_signed_t<DeltaT>;
+
+    BaseT base = loadWord<BaseT>(in);
+    const std::uint8_t *dp = in + sizeof(BaseT);
+    for (std::size_t i = 0; i < words; ++i) {
+        DeltaT d = loadWord<DeltaT>(dp + i * sizeof(DeltaT));
+        auto v = static_cast<BaseT>(
+            base + static_cast<BaseT>(static_cast<SignedDelta>(d)));
+        storeWord<BaseT>(line + i * sizeof(BaseT), v);
+    }
+}
+
+template <typename BaseT, typename DeltaT>
+constexpr std::size_t
+payloadSize() noexcept
+{
+    return sizeof(BaseT) +
+           (BdiCodec::lineBytes / sizeof(BaseT)) * sizeof(DeltaT);
+}
+
+bool
+allZero(const std::uint8_t *line) noexcept
+{
+    for (std::size_t i = 0; i < BdiCodec::lineBytes; ++i) {
+        if (line[i] != 0)
+            return false;
+    }
+    return true;
+}
+
+bool
+allRepeat8(const std::uint8_t *line) noexcept
+{
+    for (std::size_t i = 8; i < BdiCodec::lineBytes; ++i) {
+        if (line[i] != line[i - 8])
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::size_t
+BdiCodec::compressBound(std::size_t n) const noexcept
+{
+    std::size_t lines = (n + lineBytes - 1) / lineBytes;
+    // Worst case: header + raw payload per line, plus a length byte
+    // for the short trailing line.
+    return n + lines + 2;
+}
+
+std::size_t
+BdiCodec::compress(ConstBytes src, MutableBytes dst) const
+{
+    if (dst.size() < compressBound(src.size()))
+        return 0;
+
+    const std::uint8_t *ip = src.data();
+    std::size_t remaining = src.size();
+    std::uint8_t *op = dst.data();
+
+    while (remaining >= lineBytes) {
+        std::uint8_t *header = op++;
+        std::size_t payload = 0;
+        if (allZero(ip)) {
+            *header = Zeros;
+        } else if (allRepeat8(ip)) {
+            *header = Repeat8;
+            std::memcpy(op, ip, 8);
+            payload = 8;
+        } else if ((payload =
+                        tryBaseDelta<std::uint64_t, std::uint8_t>(ip, op))) {
+            *header = Base8Delta1;
+        } else if ((payload = tryBaseDelta<std::uint32_t, std::uint8_t>(
+                        ip, op))) {
+            // Candidate schemes are tried smallest payload first:
+            // 16, 20, 24, 34, 36, 40 bytes per 64-byte line.
+            *header = Base4Delta1;
+        } else if ((payload = tryBaseDelta<std::uint64_t, std::uint16_t>(
+                        ip, op))) {
+            *header = Base8Delta2;
+        } else if ((payload = tryBaseDelta<std::uint16_t, std::uint8_t>(
+                        ip, op))) {
+            *header = Base2Delta1;
+        } else if ((payload = tryBaseDelta<std::uint32_t, std::uint16_t>(
+                        ip, op))) {
+            *header = Base4Delta2;
+        } else if ((payload = tryBaseDelta<std::uint64_t, std::uint32_t>(
+                        ip, op))) {
+            *header = Base8Delta4;
+        } else {
+            *header = Raw;
+            std::memcpy(op, ip, lineBytes);
+            payload = lineBytes;
+        }
+        op += payload;
+        ip += lineBytes;
+        remaining -= lineBytes;
+    }
+
+    if (remaining > 0) {
+        *op++ = RawShort;
+        *op++ = static_cast<std::uint8_t>(remaining);
+        std::memcpy(op, ip, remaining);
+        op += remaining;
+    }
+    return static_cast<std::size_t>(op - dst.data());
+}
+
+std::size_t
+BdiCodec::decompress(ConstBytes src, MutableBytes dst) const
+{
+    const std::uint8_t *ip = src.data();
+    const std::uint8_t *const iend = ip + src.size();
+    std::uint8_t *op = dst.data();
+    std::uint8_t *const oend = op + dst.size();
+
+    auto need_in = [&](std::size_t k) {
+        return static_cast<std::size_t>(iend - ip) >= k;
+    };
+
+    while (ip < iend) {
+        std::uint8_t scheme = *ip++;
+        if (scheme == RawShort) {
+            if (!need_in(1))
+                return 0;
+            std::size_t len = *ip++;
+            if (len == 0 || len >= lineBytes || !need_in(len) ||
+                static_cast<std::size_t>(oend - op) < len) {
+                return 0;
+            }
+            std::memcpy(op, ip, len);
+            ip += len;
+            op += len;
+            continue;
+        }
+        if (static_cast<std::size_t>(oend - op) < lineBytes)
+            return 0;
+        switch (scheme) {
+          case Zeros:
+            std::memset(op, 0, lineBytes);
+            break;
+          case Repeat8:
+            if (!need_in(8))
+                return 0;
+            for (std::size_t i = 0; i < lineBytes; i += 8)
+                std::memcpy(op + i, ip, 8);
+            ip += 8;
+            break;
+          case Base8Delta1: {
+            constexpr auto sz = payloadSize<std::uint64_t, std::uint8_t>();
+            if (!need_in(sz))
+                return 0;
+            decodeBaseDelta<std::uint64_t, std::uint8_t>(ip, op);
+            ip += sz;
+            break;
+          }
+          case Base8Delta2: {
+            constexpr auto sz =
+                payloadSize<std::uint64_t, std::uint16_t>();
+            if (!need_in(sz))
+                return 0;
+            decodeBaseDelta<std::uint64_t, std::uint16_t>(ip, op);
+            ip += sz;
+            break;
+          }
+          case Base8Delta4: {
+            constexpr auto sz =
+                payloadSize<std::uint64_t, std::uint32_t>();
+            if (!need_in(sz))
+                return 0;
+            decodeBaseDelta<std::uint64_t, std::uint32_t>(ip, op);
+            ip += sz;
+            break;
+          }
+          case Base4Delta1: {
+            constexpr auto sz = payloadSize<std::uint32_t, std::uint8_t>();
+            if (!need_in(sz))
+                return 0;
+            decodeBaseDelta<std::uint32_t, std::uint8_t>(ip, op);
+            ip += sz;
+            break;
+          }
+          case Base4Delta2: {
+            constexpr auto sz =
+                payloadSize<std::uint32_t, std::uint16_t>();
+            if (!need_in(sz))
+                return 0;
+            decodeBaseDelta<std::uint32_t, std::uint16_t>(ip, op);
+            ip += sz;
+            break;
+          }
+          case Base2Delta1: {
+            constexpr auto sz = payloadSize<std::uint16_t, std::uint8_t>();
+            if (!need_in(sz))
+                return 0;
+            decodeBaseDelta<std::uint16_t, std::uint8_t>(ip, op);
+            ip += sz;
+            break;
+          }
+          case Raw:
+            if (!need_in(lineBytes))
+                return 0;
+            std::memcpy(op, ip, lineBytes);
+            ip += lineBytes;
+            break;
+          default:
+            return 0;
+        }
+        op += lineBytes;
+    }
+    return static_cast<std::size_t>(op - dst.data());
+}
+
+} // namespace ariadne

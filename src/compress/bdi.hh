@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Base-delta-immediate (BDI) codec.
+ *
+ * Implements the cache-compression scheme of Pekhimenko et al. (PACT
+ * 2012), which the paper lists as compatible with Ariadne (§4.5). The
+ * input is segmented into 64-byte lines; each line is encoded with the
+ * cheapest applicable scheme: all-zero, repeated value, or one of the
+ * (base, delta) pairs {8,1} {8,2} {8,4} {4,1} {4,2} {2,1}; lines that
+ * fit nothing are stored raw. A one-byte header per line records the
+ * scheme; a short trailing line is always stored raw.
+ */
+
+#ifndef ARIADNE_COMPRESS_BDI_HH
+#define ARIADNE_COMPRESS_BDI_HH
+
+#include "compress/codec.hh"
+
+namespace ariadne
+{
+
+/** Base-delta-immediate codec over 64-byte lines. */
+class BdiCodec : public Codec
+{
+  public:
+    /** Line granularity used by the encoder. */
+    static constexpr std::size_t lineBytes = 64;
+
+    CodecKind kind() const noexcept override { return CodecKind::Bdi; }
+    std::string name() const override { return "bdi"; }
+    const CodecCost &cost() const noexcept override { return costs; }
+
+    std::size_t compressBound(std::size_t n) const noexcept override;
+    std::size_t compress(ConstBytes src, MutableBytes dst) const override;
+    std::size_t decompress(ConstBytes src,
+                           MutableBytes dst) const override;
+
+  private:
+    static constexpr CodecCost costs = bdiCost;
+};
+
+} // namespace ariadne
+
+#endif // ARIADNE_COMPRESS_BDI_HH

@@ -1,0 +1,199 @@
+#include "compress/lz4.hh"
+
+#include <cstring>
+#include <vector>
+
+namespace ariadne
+{
+
+namespace
+{
+
+constexpr std::size_t minMatch = 4;
+constexpr std::size_t maxOffset = 65535;
+constexpr unsigned hashBits = 13;
+constexpr std::size_t hashSize = std::size_t{1} << hashBits;
+constexpr std::uint32_t noPos = 0xffffffffu;
+
+std::uint32_t
+read32(const std::uint8_t *p) noexcept
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+std::uint32_t
+hash32(std::uint32_t v) noexcept
+{
+    return (v * 2654435761u) >> (32 - hashBits);
+}
+
+} // namespace
+
+std::size_t
+Lz4Codec::compressBound(std::size_t n) const noexcept
+{
+    // Worst case: one big literal run — token + n/255 continuation
+    // bytes + literals, plus slack for the final sequence.
+    return n + n / 255 + 16;
+}
+
+std::size_t
+Lz4Codec::compress(ConstBytes src, MutableBytes dst) const
+{
+    const std::size_t n = src.size();
+    if (dst.size() < compressBound(n))
+        return 0;
+
+    const std::uint8_t *ip = src.data();
+    const std::uint8_t *const iend = ip + n;
+    const std::uint8_t *anchor = ip;
+    std::uint8_t *op = dst.data();
+
+    // Matches must leave at least minMatch readable bytes; stop the
+    // search loop early enough that read32 stays in bounds.
+    const std::uint8_t *const mflimit =
+        (n >= minMatch + 1) ? iend - minMatch : ip;
+
+    std::vector<std::uint32_t> table(hashSize, noPos);
+
+    auto emit_sequence = [&](const std::uint8_t *lit_end,
+                             std::size_t match_len, std::size_t offset) {
+        std::size_t lit_len =
+            static_cast<std::size_t>(lit_end - anchor);
+        std::uint8_t *token = op++;
+        std::uint8_t t = 0;
+        if (lit_len >= 15) {
+            t = 15 << 4;
+            *token = t; // provisional; match nibble patched below
+            std::size_t rest = lit_len - 15;
+            while (rest >= 255) {
+                *op++ = 255;
+                rest -= 255;
+            }
+            *op++ = static_cast<std::uint8_t>(rest);
+        } else {
+            t = static_cast<std::uint8_t>(lit_len << 4);
+            *token = t;
+        }
+        std::memcpy(op, anchor, lit_len);
+        op += lit_len;
+
+        if (match_len == 0)
+            return; // final literal-only sequence
+
+        *op++ = static_cast<std::uint8_t>(offset & 0xff);
+        *op++ = static_cast<std::uint8_t>((offset >> 8) & 0xff);
+
+        std::size_t ml = match_len - minMatch;
+        if (ml >= 15) {
+            *token |= 15;
+            std::size_t rest = ml - 15;
+            while (rest >= 255) {
+                *op++ = 255;
+                rest -= 255;
+            }
+            *op++ = static_cast<std::uint8_t>(rest);
+        } else {
+            *token |= static_cast<std::uint8_t>(ml);
+        }
+    };
+
+    while (ip < mflimit) {
+        std::uint32_t h = hash32(read32(ip));
+        std::uint32_t ref_pos = table[h];
+        auto cur_pos = static_cast<std::uint32_t>(ip - src.data());
+        table[h] = cur_pos;
+
+        if (ref_pos != noPos && cur_pos - ref_pos <= maxOffset &&
+            read32(src.data() + ref_pos) == read32(ip)) {
+            // Extend the match forward.
+            const std::uint8_t *ref = src.data() + ref_pos;
+            const std::uint8_t *mip = ip + minMatch;
+            const std::uint8_t *mref = ref + minMatch;
+            while (mip < iend && *mip == *mref) {
+                ++mip;
+                ++mref;
+            }
+            std::size_t match_len =
+                static_cast<std::size_t>(mip - ip);
+            emit_sequence(ip, match_len,
+                          static_cast<std::size_t>(cur_pos - ref_pos));
+            ip += match_len;
+            anchor = ip;
+        } else {
+            ++ip;
+        }
+    }
+
+    // Final literals.
+    emit_sequence(iend, 0, 0);
+    return static_cast<std::size_t>(op - dst.data());
+}
+
+std::size_t
+Lz4Codec::decompress(ConstBytes src, MutableBytes dst) const
+{
+    const std::uint8_t *ip = src.data();
+    const std::uint8_t *const iend = ip + src.size();
+    std::uint8_t *op = dst.data();
+    std::uint8_t *const oend = op + dst.size();
+
+    if (src.empty())
+        return 0;
+
+    while (ip < iend) {
+        std::uint8_t token = *ip++;
+        // Literal run.
+        std::size_t lit_len = token >> 4;
+        if (lit_len == 15) {
+            std::uint8_t b;
+            do {
+                if (ip >= iend)
+                    return 0;
+                b = *ip++;
+                lit_len += b;
+            } while (b == 255);
+        }
+        if (static_cast<std::size_t>(iend - ip) < lit_len ||
+            static_cast<std::size_t>(oend - op) < lit_len) {
+            return 0;
+        }
+        std::memcpy(op, ip, lit_len);
+        ip += lit_len;
+        op += lit_len;
+
+        if (ip >= iend)
+            break; // final literal-only sequence
+
+        // Match.
+        if (iend - ip < 2)
+            return 0;
+        std::size_t offset = ip[0] | (std::size_t{ip[1]} << 8);
+        ip += 2;
+        if (offset == 0 ||
+            offset > static_cast<std::size_t>(op - dst.data())) {
+            return 0;
+        }
+        std::size_t match_len = (token & 0x0f) + minMatch;
+        if ((token & 0x0f) == 15) {
+            std::uint8_t b;
+            do {
+                if (ip >= iend)
+                    return 0;
+                b = *ip++;
+                match_len += b;
+            } while (b == 255);
+        }
+        if (static_cast<std::size_t>(oend - op) < match_len)
+            return 0;
+        // Byte-wise copy: overlapping matches (offset < len) replicate.
+        const std::uint8_t *mp = op - offset;
+        for (std::size_t i = 0; i < match_len; ++i)
+            *op++ = *mp++;
+    }
+    return static_cast<std::size_t>(op - dst.data());
+}
+
+} // namespace ariadne

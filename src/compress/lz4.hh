@@ -1,0 +1,49 @@
+/**
+ * @file
+ * From-scratch LZ4-class codec.
+ *
+ * Implements an LZ77 byte codec in the style of LZ4: greedy hash-table
+ * match search over a 64 KB window, token-encoded sequences of
+ * literals plus (offset, length) matches, byte-oriented output. The
+ * on-wire format is this repository's own (not interoperable with
+ * upstream LZ4), but the algorithmic structure — and therefore the
+ * ratio/speed trade-off versus chunk size — mirrors it.
+ *
+ * Format, per sequence:
+ *   token      1 byte: (literalLen:4 | matchLenMinus4:4)
+ *   litExt     0+ bytes of 255-continuation if literalLen == 15
+ *   literals   literalLen bytes
+ *   offset     2 bytes little endian, 1..65535   (absent in final seq)
+ *   matchExt   0+ bytes of 255-continuation if matchLen nibble == 15
+ * The final sequence carries only literals; the decoder detects it by
+ * input exhaustion after the literal run.
+ */
+
+#ifndef ARIADNE_COMPRESS_LZ4_HH
+#define ARIADNE_COMPRESS_LZ4_HH
+
+#include "compress/codec.hh"
+
+namespace ariadne
+{
+
+/** LZ4-class codec (64 KB window, 4-byte minimum match). */
+class Lz4Codec : public Codec
+{
+  public:
+    CodecKind kind() const noexcept override { return CodecKind::Lz4; }
+    std::string name() const override { return "lz4"; }
+    const CodecCost &cost() const noexcept override { return costs; }
+
+    std::size_t compressBound(std::size_t n) const noexcept override;
+    std::size_t compress(ConstBytes src, MutableBytes dst) const override;
+    std::size_t decompress(ConstBytes src,
+                           MutableBytes dst) const override;
+
+  private:
+    static constexpr CodecCost costs = lz4Cost;
+};
+
+} // namespace ariadne
+
+#endif // ARIADNE_COMPRESS_LZ4_HH

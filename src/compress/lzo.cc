@@ -1,0 +1,126 @@
+#include "compress/lzo.hh"
+
+#include <cstring>
+#include <vector>
+
+namespace ariadne
+{
+
+namespace
+{
+
+constexpr std::size_t minMatch = 3;
+constexpr std::size_t maxMatch = 18;
+constexpr std::size_t maxOffset = 4095;
+constexpr unsigned hashBits = 12;
+constexpr std::size_t hashSize = std::size_t{1} << hashBits;
+constexpr std::uint32_t noPos = 0xffffffffu;
+
+std::uint32_t
+hash3(const std::uint8_t *p) noexcept
+{
+    std::uint32_t v = p[0] | (std::uint32_t{p[1]} << 8) |
+                      (std::uint32_t{p[2]} << 16);
+    return (v * 2654435761u) >> (32 - hashBits);
+}
+
+} // namespace
+
+std::size_t
+LzoCodec::compressBound(std::size_t n) const noexcept
+{
+    // All-literal worst case: one flag byte per 8 literals.
+    return n + n / 8 + 2;
+}
+
+std::size_t
+LzoCodec::compress(ConstBytes src, MutableBytes dst) const
+{
+    const std::size_t n = src.size();
+    if (dst.size() < compressBound(n))
+        return 0;
+
+    const std::uint8_t *ip = src.data();
+    const std::uint8_t *const iend = ip + n;
+    std::uint8_t *op = dst.data();
+
+    std::vector<std::uint32_t> table(hashSize, noPos);
+
+    std::uint8_t *flags = nullptr;
+    unsigned flag_count = 8; // forces a new flag byte immediately
+
+    while (ip < iend) {
+        if (flag_count == 8) {
+            flags = op++;
+            *flags = 0;
+            flag_count = 0;
+        }
+        bool matched = false;
+        if (ip + minMatch <= iend) {
+            std::uint32_t h = hash3(ip);
+            std::uint32_t ref_pos = table[h];
+            auto cur_pos = static_cast<std::uint32_t>(ip - src.data());
+            table[h] = cur_pos;
+            if (ref_pos != noPos && cur_pos - ref_pos <= maxOffset &&
+                std::memcmp(src.data() + ref_pos, ip, minMatch) == 0) {
+                const std::uint8_t *ref = src.data() + ref_pos;
+                std::size_t len = minMatch;
+                std::size_t limit = std::min(
+                    maxMatch, static_cast<std::size_t>(iend - ip));
+                while (len < limit && ref[len] == ip[len])
+                    ++len;
+                std::size_t offset = cur_pos - ref_pos;
+                *flags |= static_cast<std::uint8_t>(1u << flag_count);
+                *op++ = static_cast<std::uint8_t>(
+                    ((len - minMatch) << 4) | ((offset >> 8) & 0x0f));
+                *op++ = static_cast<std::uint8_t>(offset & 0xff);
+                ip += len;
+                matched = true;
+            }
+        }
+        if (!matched)
+            *op++ = *ip++;
+        ++flag_count;
+    }
+    return static_cast<std::size_t>(op - dst.data());
+}
+
+std::size_t
+LzoCodec::decompress(ConstBytes src, MutableBytes dst) const
+{
+    const std::uint8_t *ip = src.data();
+    const std::uint8_t *const iend = ip + src.size();
+    std::uint8_t *op = dst.data();
+    std::uint8_t *const oend = op + dst.size();
+
+    while (ip < iend) {
+        std::uint8_t flags = *ip++;
+        for (unsigned bit = 0; bit < 8 && ip < iend; ++bit) {
+            if (flags & (1u << bit)) {
+                if (iend - ip < 2)
+                    return 0;
+                std::size_t len = (ip[0] >> 4) + minMatch;
+                std::size_t offset =
+                    (static_cast<std::size_t>(ip[0] & 0x0f) << 8) |
+                    ip[1];
+                ip += 2;
+                if (offset == 0 ||
+                    offset > static_cast<std::size_t>(op - dst.data())) {
+                    return 0;
+                }
+                if (static_cast<std::size_t>(oend - op) < len)
+                    return 0;
+                const std::uint8_t *mp = op - offset;
+                for (std::size_t i = 0; i < len; ++i)
+                    *op++ = *mp++;
+            } else {
+                if (op >= oend)
+                    return 0;
+                *op++ = *ip++;
+            }
+        }
+    }
+    return static_cast<std::size_t>(op - dst.data());
+}
+
+} // namespace ariadne

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * From-scratch LZO-class codec.
+ *
+ * Android's ZRAM default is LZO; as with the LZ4-class codec we
+ * implement our own byte codec in the same family: flag-grouped
+ * literal/match items (LZRW/LZJB lineage), 3-byte minimum match, 4 KB
+ * sliding window, two-byte match encoding. Ratio is a little worse
+ * and speed a little slower than the LZ4-class codec, matching the
+ * qualitative LZO-vs-LZ4 relationship on mobile anonymous data.
+ *
+ * Format: a control byte carries 8 flags (LSB first); flag 0 is a
+ * single literal byte, flag 1 a match item of two bytes:
+ *   b0 = (matchLen - 3) << 4 | offset[11:8]
+ *   b1 = offset[7:0]
+ * with matchLen in 3..18 and offset in 1..4095. The decoder stops when
+ * the input is exhausted.
+ */
+
+#ifndef ARIADNE_COMPRESS_LZO_HH
+#define ARIADNE_COMPRESS_LZO_HH
+
+#include "compress/codec.hh"
+
+namespace ariadne
+{
+
+/** LZO-class codec (4 KB window, 3-byte minimum match). */
+class LzoCodec : public Codec
+{
+  public:
+    CodecKind kind() const noexcept override { return CodecKind::Lzo; }
+    std::string name() const override { return "lzo"; }
+    const CodecCost &cost() const noexcept override { return costs; }
+
+    std::size_t compressBound(std::size_t n) const noexcept override;
+    std::size_t compress(ConstBytes src, MutableBytes dst) const override;
+    std::size_t decompress(ConstBytes src,
+                           MutableBytes dst) const override;
+
+  private:
+    static constexpr CodecCost costs = lzoCost;
+};
+
+} // namespace ariadne
+
+#endif // ARIADNE_COMPRESS_LZO_HH

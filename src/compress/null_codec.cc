@@ -1,0 +1,26 @@
+#include "compress/null_codec.hh"
+
+#include <cstring>
+
+namespace ariadne
+{
+
+std::size_t
+NullCodec::compress(ConstBytes src, MutableBytes dst) const
+{
+    if (dst.size() < src.size())
+        return 0;
+    std::memcpy(dst.data(), src.data(), src.size());
+    return src.size();
+}
+
+std::size_t
+NullCodec::decompress(ConstBytes src, MutableBytes dst) const
+{
+    if (dst.size() < src.size())
+        return 0;
+    std::memcpy(dst.data(), src.data(), src.size());
+    return src.size();
+}
+
+} // namespace ariadne

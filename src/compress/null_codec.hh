@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Identity codec.
+ *
+ * Stores input verbatim. Used by the uncompressed SWAP scheme and as a
+ * control in codec experiments.
+ */
+
+#ifndef ARIADNE_COMPRESS_NULL_CODEC_HH
+#define ARIADNE_COMPRESS_NULL_CODEC_HH
+
+#include "compress/codec.hh"
+
+namespace ariadne
+{
+
+/** Codec that copies input to output unchanged. */
+class NullCodec : public Codec
+{
+  public:
+    CodecKind kind() const noexcept override { return CodecKind::Null; }
+    std::string name() const override { return "null"; }
+    const CodecCost &cost() const noexcept override { return costs; }
+
+    std::size_t
+    compressBound(std::size_t n) const noexcept override
+    {
+        return n;
+    }
+
+    std::size_t compress(ConstBytes src, MutableBytes dst) const override;
+    std::size_t decompress(ConstBytes src,
+                           MutableBytes dst) const override;
+
+  private:
+    static constexpr CodecCost costs = nullCost;
+};
+
+} // namespace ariadne
+
+#endif // ARIADNE_COMPRESS_NULL_CODEC_HH

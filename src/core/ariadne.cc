@@ -1,0 +1,453 @@
+#include "core/ariadne.hh"
+
+#include "sim/log.hh"
+
+namespace ariadne
+{
+
+AriadneScheme::AriadneScheme(SwapContext context, AriadneConfig config)
+    : SwapScheme(context), cfg(config), codec(makeCodec(cfg.codec)),
+      pool(cfg.zpoolBytes), flashDev(cfg.flashBytes),
+      profiles(cfg.defaultHotInitPages), hotOrg(&lruOpCounter, profiles),
+      units(cfg), stagingBuf(cfg.preDecompEnabled
+                                 ? cfg.preDecompBufferPages
+                                 : 0)
+{
+}
+
+void
+AriadneScheme::seedProfile(AppId uid, std::size_t hot_pages)
+{
+    profiles.seed(uid, hot_pages);
+}
+
+std::vector<PageKey>
+AriadneScheme::predictedHotSet(AppId uid) const
+{
+    return hotOrg.predictedHotSet(uid);
+}
+
+void
+AriadneScheme::onAdmit(PageMeta &page)
+{
+    hotOrg.admit(page, ctx.clock.now());
+}
+
+void
+AriadneScheme::onAccess(PageMeta &page)
+{
+    hotOrg.touchResident(page, ctx.clock.now());
+    firePrediction(page);
+}
+
+void
+AriadneScheme::onRelaunchStart(AppId uid)
+{
+    hotOrg.beginRelaunch(uid, ctx.clock.now());
+}
+
+void
+AriadneScheme::onRelaunchEnd(AppId uid)
+{
+    hotOrg.endRelaunch(uid);
+}
+
+void
+AriadneScheme::onBackground(AppId uid)
+{
+    if (cfg.excludeHotList)
+        return;
+    // AL scenario (§5): all lists are compressed. Like the vendors'
+    // proactive compression (§2.3), the backgrounded app's hot list
+    // is compressed too — at SmallSize, so the relaunch decompresses
+    // it fast and PreDecomp chains hide most of the latency.
+    Tick before = ctx.cpu.grandTotal();
+    while (PageMeta *victim = hotOrg.popVictim(uid, Hotness::Hot))
+        compressUnit({victim}, Hotness::Hot, /*synchronous=*/false);
+    bgReclaimNs += ctx.cpu.grandTotal() - before;
+}
+
+bool
+AriadneScheme::writebackUnit(UnitId id, bool synchronous)
+{
+    CompUnit &u = units.unit(id);
+    panicIf(u.object == invalidObject, "writeback of non-zpool unit");
+
+    FlashSlot slot = flashDev.write(u.csize);
+    if (slot == invalidFlashSlot) {
+        // Swap space exhausted: drop the unit (data loss).
+        for (PageMeta *p : u.pages) {
+            stagingBuf.invalidate(*p);
+            p->location = PageLocation::Lost;
+            p->objectId = invalidObject;
+            ++lost;
+        }
+        pool.erase(u.object);
+        units.destroy(id);
+        return true;
+    }
+
+    Tick submit = ctx.timing.params().flashSubmitCpuNs;
+    ctx.cpu.charge(CpuRole::IoSubmit, submit);
+    if (synchronous)
+        ctx.clock.advance(submit);
+    ctx.activity.flashWriteBytes += u.csize;
+
+    for (PageMeta *p : u.pages) {
+        stagingBuf.invalidate(*p);
+        p->location = PageLocation::Flash;
+        p->flashSlot = slot;
+    }
+    pool.erase(u.object);
+    u.object = invalidObject;
+    u.flashSlot = slot;
+    return true;
+}
+
+bool
+AriadneScheme::ensureZpoolSpace(std::size_t csize, bool synchronous)
+{
+    auto pop_valid = [this](std::deque<UnitId> &fifo) -> UnitId {
+        while (!fifo.empty()) {
+            UnitId id = fifo.front();
+            fifo.pop_front();
+            if (units.live(id) &&
+                units.unit(id).object != invalidObject) {
+                return id;
+            }
+        }
+        return invalidUnit;
+    };
+
+    while (!pool.canFit(csize)) {
+        // Cold data is swapped out first (§4.2 eviction policy).
+        UnitId id = pop_valid(coldUnitFifo);
+        if (id == invalidUnit)
+            id = pop_valid(pageUnitFifo);
+        if (id == invalidUnit)
+            return false;
+        writebackUnit(id, synchronous);
+    }
+    return true;
+}
+
+void
+AriadneScheme::compressUnit(std::vector<PageMeta *> batch, Hotness level,
+                            bool synchronous)
+{
+    panicIf(batch.empty(), "empty compression batch");
+    AppId uid = batch.front()->key.uid;
+    std::size_t chunk = units.chunkFor(level);
+    std::size_t in_bytes = batch.size() * pageSize;
+
+    std::size_t csize;
+    if (batch.size() == 1) {
+        PageRef ref{batch[0]->key, batch[0]->version};
+        csize = ctx.compressor.compressedSizeOne(ref, *codec, chunk);
+    } else {
+        std::vector<PageRef> refs;
+        refs.reserve(batch.size());
+        for (PageMeta *p : batch)
+            refs.push_back(PageRef{p->key, p->version});
+        csize = ctx.compressor.compressedSizeMany(refs, *codec, chunk);
+    }
+
+    if (!ensureZpoolSpace(csize, synchronous)) {
+        for (PageMeta *p : batch) {
+            p->location = PageLocation::Lost;
+            ++lost;
+            ctx.dram.release(1);
+        }
+        return;
+    }
+
+    for (PageMeta *p : batch)
+        pendingPredictions.erase(p);
+    UnitId id = units.create(std::move(batch), chunk, csize, level,
+                             invalidObject);
+    CompUnit &u = units.unit(id);
+    ZObjectId obj = pool.insert(csize, id);
+    panicIf(obj == invalidObject,
+            "zpool insert failed after ensureZpoolSpace");
+    u.object = obj;
+
+    for (PageMeta *p : u.pages)
+        p->location = PageLocation::Zpool;
+
+    (level == Hotness::Cold ? coldUnitFifo : pageUnitFifo).push_back(id);
+
+    chargeCompression(uid, codec->cost(), chunk, in_bytes, csize,
+                      synchronous);
+    ctx.dram.release(u.pages.size());
+}
+
+std::size_t
+AriadneScheme::reclaim(std::size_t pages, bool direct)
+{
+    if (direct)
+        ++directRuns;
+    std::size_t freed = 0;
+
+    while (freed < pages) {
+        // 1. Cold victims, batched into large multi-page units.
+        if (PageMeta *victim = hotOrg.popVictim(Hotness::Cold)) {
+            std::vector<PageMeta *> batch{victim};
+            while (batch.size() < cfg.coldUnitPages()) {
+                PageMeta *next = hotOrg.peekVictim(Hotness::Cold);
+                if (!next || next->key.uid != victim->key.uid)
+                    break;
+                batch.push_back(hotOrg.popVictim(Hotness::Cold));
+            }
+            freed += batch.size();
+            compressUnit(std::move(batch), Hotness::Cold, direct);
+            continue;
+        }
+        // 2. Warm victims, one page per medium-chunk unit.
+        if (PageMeta *victim = hotOrg.popVictim(Hotness::Warm)) {
+            compressUnit({victim}, Hotness::Warm, direct);
+            ++freed;
+            continue;
+        }
+        // 3. Hot victims: normal in AL mode; emergency-only in EHL.
+        if (!cfg.excludeHotList || direct) {
+            if (PageMeta *victim = hotOrg.popVictim(Hotness::Hot)) {
+                compressUnit({victim}, Hotness::Hot, direct);
+                ++freed;
+                continue;
+            }
+        }
+        break;
+    }
+    chargeLruOps(direct);
+    return freed;
+}
+
+void
+AriadneScheme::allocateResident()
+{
+    if (ctx.dram.allocate(1))
+        return;
+    reclaim(cfg.reclaimBatch, true);
+    panicIf(!ctx.dram.allocate(1),
+            "Ariadne direct reclaim failed to free memory");
+}
+
+void
+AriadneScheme::residentizeUnit(CompUnit &unit, PageMeta *hit)
+{
+    Tick now = ctx.clock.now();
+    for (PageMeta *p : unit.pages) {
+        allocateResident();
+        p->location = PageLocation::Resident;
+        p->objectId = invalidObject;
+        p->flashSlot = invalidFlashSlot;
+        if (p == hit)
+            hotOrg.placeAfterSwapIn(*p, now);
+        else
+            hotOrg.placeColdSibling(*p, now);
+        ctx.activity.dramBytes += pageSize;
+    }
+}
+
+void
+AriadneScheme::armPrediction(PageMeta &page, ZObjectId next)
+{
+    if (next == invalidObject)
+        return;
+    pendingPredictions[&page] = next;
+}
+
+void
+AriadneScheme::firePrediction(const PageMeta &page)
+{
+    auto it = pendingPredictions.find(&page);
+    if (it == pendingPredictions.end())
+        return;
+    ZObjectId next = it->second;
+    pendingPredictions.erase(it);
+    tryStage(next);
+}
+
+void
+AriadneScheme::tryStage(ZObjectId obj)
+{
+    if (obj == invalidObject || !pool.live(obj))
+        return;
+    UnitId id = pool.cookie(obj);
+    if (!units.live(id))
+        return;
+    CompUnit &u = units.unit(id);
+    ZObjectId next = pool.nextInSectorOrder(obj);
+
+    if (u.pages.size() == 1) {
+        // Single page: decompress into the staging buffer ("we
+        // pre-decompress only one compressed page at a time", §4.4).
+        PageMeta *p = u.pages.front();
+        if (p->location != PageLocation::Zpool)
+            return;
+        if (stagingBuf.stage(*p)) {
+            // Speculative decompression runs off the critical path:
+            // CPU is charged, the faulting task's clock is not.
+            chargeDecompression(p->key.uid, codec->cost(),
+                                u.chunkBytes, pageSize, u.csize,
+                                /*synchronous=*/false);
+            armPrediction(*p, next);
+        }
+        return;
+    }
+
+    // Multi-page (cold) unit: pre-swap it — decompress and write all
+    // pages back to main memory ahead of use. Only when memory is
+    // comfortably free; speculation must not force reclaim.
+    if (ctx.dram.freePages() <
+        u.pages.size() + ctx.dram.lowWatermarkPages()) {
+        return;
+    }
+    for (PageMeta *p : u.pages) {
+        if (p->location != PageLocation::Zpool)
+            return;
+    }
+    AppId uid = u.pages.front()->key.uid;
+    pool.erase(u.object);
+    u.object = invalidObject;
+    chargeDecompression(uid, codec->cost(), u.chunkBytes,
+                        u.uncompressedBytes(), u.csize,
+                        /*synchronous=*/false);
+    residentizeUnit(u, nullptr);
+    // Chain the speculation through the first touch of any page.
+    for (PageMeta *p : u.pages)
+        armPrediction(*p, next);
+    units.destroy(id);
+    ++preSwapCount;
+}
+
+SwapInResult
+AriadneScheme::swapIn(PageMeta &page)
+{
+    SwapInResult res;
+    Stopwatch sw(ctx.clock);
+    AppId uid = page.key.uid;
+
+    if (page.location == PageLocation::Staged) {
+        // PreDecomp hit: only a page copy plus bookkeeping remains.
+        stagingBuf.consume(page);
+        UnitId id = page.objectId;
+        CompUnit &u = units.unit(id);
+        ZObjectId next = pool.nextInSectorOrder(u.object);
+        pool.erase(u.object);
+        units.destroy(id);
+
+        // The decompression already ran off the critical path and the
+        // page is mapped into the swap cache; the access itself is
+        // billed by the system's touch cost. Only the copy remains.
+        Tick t = ctx.timing.params().dramPageCopyNs;
+        ctx.cpu.charge(CpuRole::FaultPath, t);
+        ctx.clock.advance(t);
+
+        allocateResident();
+        page.location = PageLocation::Resident;
+        page.objectId = invalidObject;
+        hotOrg.placeAfterSwapIn(page, ctx.clock.now());
+        ctx.activity.dramBytes += pageSize;
+        if (cfg.preDecompEnabled)
+            tryStage(next);
+        res.stagedHit = true;
+        res.latencyNs = sw.elapsed();
+        return res;
+    }
+
+    Tick fault = ctx.timing.params().majorFaultBaseNs;
+    ctx.cpu.charge(CpuRole::FaultPath, fault);
+    ctx.clock.advance(fault);
+
+    if (page.location == PageLocation::Zpool) {
+        UnitId id = page.objectId;
+        CompUnit &u = units.unit(id);
+        faultsPerLevel[static_cast<std::size_t>(
+            u.levelAtCompression)] += 1;
+        sectorLog.push_back(pool.sectorOf(u.object));
+
+        // Find the speculation candidate before the object vanishes.
+        ZObjectId next = pool.nextInSectorOrder(u.object);
+
+        pool.erase(u.object);
+        u.object = invalidObject;
+        chargeDecompression(uid, codec->cost(), u.chunkBytes,
+                            u.uncompressedBytes(), u.csize, true);
+        residentizeUnit(u, &page);
+        units.destroy(id);
+
+        if (cfg.preDecompEnabled)
+            tryStage(next);
+    } else if (page.location == PageLocation::Flash) {
+        UnitId id = page.objectId;
+        CompUnit &u = units.unit(id);
+        flashDev.read(u.flashSlot);
+        flashDev.free(u.flashSlot);
+
+        std::size_t csize_pages = (u.csize + pageSize - 1) / pageSize;
+        Tick submit = ctx.timing.params().flashSubmitCpuNs;
+        ctx.cpu.charge(CpuRole::IoSubmit, submit);
+        ctx.clock.advance(submit + ctx.timing.flashReadNs(csize_pages));
+        ctx.activity.flashReadBytes += u.csize;
+
+        chargeDecompression(uid, codec->cost(), u.chunkBytes,
+                            u.uncompressedBytes(), u.csize, true);
+        residentizeUnit(u, &page);
+        units.destroy(id);
+        res.fromFlash = true;
+    } else {
+        panic("AriadneScheme::swapIn on resident/lost page");
+    }
+
+    chargeLruOps(true);
+    res.latencyNs = sw.elapsed();
+    return res;
+}
+
+void
+AriadneScheme::onFree(PageMeta &page)
+{
+    pendingPredictions.erase(&page);
+    switch (page.location) {
+      case PageLocation::Resident:
+        hotOrg.unlink(page);
+        ctx.dram.release(1);
+        break;
+      case PageLocation::Staged:
+        stagingBuf.invalidate(page);
+        [[fallthrough]];
+      case PageLocation::Zpool:
+      case PageLocation::Flash: {
+        UnitId id = page.objectId;
+        if (units.live(id)) {
+            CompUnit &u = units.unit(id);
+            // Freeing one page of a multi-page unit keeps the unit
+            // but forgets the page; single-page units are destroyed.
+            if (u.pages.size() == 1) {
+                if (u.object != invalidObject)
+                    pool.erase(u.object);
+                if (u.flashSlot != invalidFlashSlot)
+                    flashDev.free(u.flashSlot);
+                units.destroy(id);
+            } else {
+                std::erase(u.pages, &page);
+            }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    page.location = PageLocation::Lost;
+    page.objectId = invalidObject;
+    page.flashSlot = invalidFlashSlot;
+}
+
+std::size_t
+AriadneScheme::compressedStoredBytes() const
+{
+    return pool.storedBytes() + flashDev.liveBytes();
+}
+
+} // namespace ariadne

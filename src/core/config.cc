@@ -1,0 +1,94 @@
+#include "core/config.hh"
+
+#include <sstream>
+#include <vector>
+
+#include "sim/log.hh"
+
+namespace ariadne
+{
+
+namespace
+{
+
+std::string
+sizeToken(std::size_t bytes)
+{
+    if (bytes >= 1024 && bytes % 1024 == 0)
+        return std::to_string(bytes / 1024) + "K";
+    return std::to_string(bytes);
+}
+
+std::size_t
+parseSizeToken(const std::string &tok)
+{
+    fatalIf(tok.empty(), "empty size token in Ariadne config");
+    std::size_t mult = 1;
+    std::string digits = tok;
+    char last = tok.back();
+    if (last == 'K' || last == 'k') {
+        mult = 1024;
+        digits = tok.substr(0, tok.size() - 1);
+    }
+    fatalIf(digits.empty(), "bad size token: " + tok);
+    for (char c : digits)
+        fatalIf(c < '0' || c > '9', "bad size token: " + tok);
+    return static_cast<std::size_t>(std::stoull(digits)) * mult;
+}
+
+std::vector<std::string>
+splitDashes(const std::string &text)
+{
+    std::vector<std::string> parts;
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, '-'))
+        parts.push_back(item);
+    return parts;
+}
+
+} // namespace
+
+std::string
+AriadneConfig::toString() const
+{
+    std::string s = "Ariadne-";
+    s += excludeHotList ? "EHL" : "AL";
+    s += "-" + sizeToken(smallSize);
+    s += "-" + sizeToken(mediumSize);
+    s += "-" + sizeToken(largeSize);
+    return s;
+}
+
+AriadneConfig
+AriadneConfig::parse(const std::string &text)
+{
+    auto parts = splitDashes(text);
+    // Accept an optional leading "Ariadne" token.
+    if (!parts.empty() && (parts[0] == "Ariadne" || parts[0] == "ariadne"))
+        parts.erase(parts.begin());
+    fatalIf(parts.size() != 4,
+            "Ariadne config must be MODE-SMALL-MEDIUM-LARGE: " + text);
+
+    AriadneConfig cfg;
+    if (parts[0] == "EHL")
+        cfg.excludeHotList = true;
+    else if (parts[0] == "AL")
+        cfg.excludeHotList = false;
+    else
+        fatal("Ariadne config mode must be EHL or AL: " + text);
+
+    cfg.smallSize = parseSizeToken(parts[1]);
+    cfg.mediumSize = parseSizeToken(parts[2]);
+    cfg.largeSize = parseSizeToken(parts[3]);
+
+    fatalIf(cfg.smallSize == 0 || cfg.mediumSize == 0 ||
+                cfg.largeSize == 0,
+            "Ariadne chunk sizes must be > 0");
+    fatalIf(cfg.smallSize > cfg.mediumSize ||
+                cfg.mediumSize > cfg.largeSize,
+            "Ariadne chunk sizes must be ordered small<=medium<=large");
+    return cfg;
+}
+
+} // namespace ariadne

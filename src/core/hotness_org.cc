@@ -1,0 +1,242 @@
+#include "core/hotness_org.hh"
+
+#include "sim/log.hh"
+
+namespace ariadne
+{
+
+HotnessOrg::AppLists &
+HotnessOrg::listsFor(AppId uid)
+{
+    auto it = apps.find(uid);
+    if (it == apps.end()) {
+        it = apps.emplace(std::piecewise_construct,
+                          std::forward_as_tuple(uid),
+                          std::forward_as_tuple(ops))
+                 .first;
+        it->second.hotInitTarget = profileStore.hotInitPages(uid);
+    }
+    return it->second;
+}
+
+const HotnessOrg::AppLists *
+HotnessOrg::findLists(AppId uid) const
+{
+    auto it = apps.find(uid);
+    return it == apps.end() ? nullptr : &it->second;
+}
+
+LruList &
+HotnessOrg::listOf(AppLists &app, Hotness level)
+{
+    switch (level) {
+      case Hotness::Hot: return app.hot;
+      case Hotness::Warm: return app.warm;
+      default: return app.cold;
+    }
+}
+
+void
+HotnessOrg::noteRelaunchTouch(AppLists &app, const PageMeta &page)
+{
+    if (!app.relaunchActive)
+        return;
+    if (app.relaunchSeen.insert(page.key.pfn).second)
+        app.relaunchTouched.push_back(page.key);
+}
+
+void
+HotnessOrg::admit(PageMeta &page, Tick now)
+{
+    AppLists &app = listsFor(page.key.uid);
+    app.lastAccess = now;
+    page.lastAccess = now;
+
+    // Hotness initialization: the first hotInitTarget pages admitted
+    // for this app (its launch data) seed the hot list; everything
+    // afterwards starts cold (§4.2).
+    if (!app.initialized && app.hotAdmitted < app.hotInitTarget) {
+        page.level = Hotness::Hot;
+        app.hot.pushFront(page);
+        ++app.hotAdmitted;
+        if (app.hotAdmitted >= app.hotInitTarget)
+            app.initialized = true;
+        // Launch-window data counts as relaunch prediction seed.
+        if (app.relaunchSeen.insert(page.key.pfn).second)
+            app.relaunchTouched.push_back(page.key);
+    } else if (app.relaunchActive) {
+        // Fresh allocations during a relaunch are relaunch data.
+        page.level = Hotness::Hot;
+        app.hot.pushFront(page);
+        noteRelaunchTouch(app, page);
+    } else {
+        page.level = Hotness::Cold;
+        app.cold.pushFront(page);
+    }
+}
+
+void
+HotnessOrg::touchResident(PageMeta &page, Tick now)
+{
+    AppLists &app = listsFor(page.key.uid);
+    app.lastAccess = now;
+    page.lastAccess = now;
+    noteRelaunchTouch(app, page);
+
+    if (app.relaunchActive && page.level != Hotness::Hot) {
+        // Data used during relaunch belongs on the hot list.
+        listOf(app, page.level).remove(page);
+        page.level = Hotness::Hot;
+        app.hot.pushFront(page);
+        return;
+    }
+
+    switch (page.level) {
+      case Hotness::Hot:
+        app.hot.touch(page);
+        break;
+      case Hotness::Warm:
+        app.warm.touch(page);
+        break;
+      case Hotness::Cold:
+        // Cold data accessed during execution moves to warm, like the
+        // kernel's inactive -> active promotion (§4.2).
+        app.cold.remove(page);
+        page.level = Hotness::Warm;
+        app.warm.pushFront(page);
+        break;
+    }
+}
+
+void
+HotnessOrg::placeAfterSwapIn(PageMeta &page, Tick now)
+{
+    AppLists &app = listsFor(page.key.uid);
+    app.lastAccess = now;
+    page.lastAccess = now;
+    noteRelaunchTouch(app, page);
+
+    page.level = app.relaunchActive ? Hotness::Hot : Hotness::Warm;
+    listOf(app, page.level).pushFront(page);
+}
+
+void
+HotnessOrg::placeColdSibling(PageMeta &page, Tick now)
+{
+    AppLists &app = listsFor(page.key.uid);
+    page.lastAccess = now;
+    page.level = Hotness::Cold;
+    app.cold.pushFront(page);
+}
+
+void
+HotnessOrg::unlink(PageMeta &page)
+{
+    if (page.lruOwner == nullptr)
+        return;
+    page.lruOwner->remove(page);
+}
+
+void
+HotnessOrg::beginRelaunch(AppId uid, Tick now)
+{
+    AppLists &app = listsFor(uid);
+    app.lastAccess = now;
+    app.relaunchActive = true;
+    app.relaunchTouched.clear();
+    app.relaunchSeen.clear();
+    app.initialized = true; // a relaunch supersedes launch seeding
+
+    // "The system moves all old data in the hot list to the warm
+    // list and adds the data from this relaunch to the hot list."
+    app.hot.drainTo(app.warm);
+    for (PageMeta *p = app.warm.front(); p; p = p->lruNext)
+        p->level = Hotness::Warm;
+}
+
+void
+HotnessOrg::endRelaunch(AppId uid)
+{
+    AppLists &app = listsFor(uid);
+    if (!app.relaunchActive)
+        return;
+    app.relaunchActive = false;
+    profileStore.recordRelaunch(uid, app.relaunchTouched.size());
+}
+
+bool
+HotnessOrg::inRelaunch(AppId uid) const
+{
+    const AppLists *app = findLists(uid);
+    return app && app->relaunchActive;
+}
+
+PageMeta *
+HotnessOrg::popVictim(Hotness level)
+{
+    AppLists *oldest = nullptr;
+    for (auto &[uid, app] : apps) {
+        LruList &list = listOf(app, level);
+        if (list.empty())
+            continue;
+        if (!oldest || app.lastAccess < oldest->lastAccess)
+            oldest = &app;
+    }
+    if (!oldest)
+        return nullptr;
+    return listOf(*oldest, level).popBack();
+}
+
+PageMeta *
+HotnessOrg::peekVictim(Hotness level)
+{
+    AppLists *oldest = nullptr;
+    for (auto &[uid, app] : apps) {
+        LruList &list = listOf(app, level);
+        if (list.empty())
+            continue;
+        if (!oldest || app.lastAccess < oldest->lastAccess)
+            oldest = &app;
+    }
+    return oldest ? listOf(*oldest, level).back() : nullptr;
+}
+
+PageMeta *
+HotnessOrg::popVictim(AppId uid, Hotness level)
+{
+    auto it = apps.find(uid);
+    if (it == apps.end())
+        return nullptr;
+    return listOf(it->second, level).popBack();
+}
+
+std::size_t
+HotnessOrg::listSize(AppId uid, Hotness level) const
+{
+    const AppLists *app = findLists(uid);
+    if (!app)
+        return 0;
+    switch (level) {
+      case Hotness::Hot: return app->hot.size();
+      case Hotness::Warm: return app->warm.size();
+      default: return app->cold.size();
+    }
+}
+
+std::vector<PageKey>
+HotnessOrg::predictedHotSet(AppId uid) const
+{
+    const AppLists *app = findLists(uid);
+    if (!app)
+        return {};
+    return app->relaunchTouched;
+}
+
+std::size_t
+HotnessOrg::lastRelaunchTouched(AppId uid) const
+{
+    const AppLists *app = findLists(uid);
+    return app ? app->relaunchTouched.size() : 0;
+}
+
+} // namespace ariadne

@@ -1,0 +1,3 @@
+#include "core/profile_store.hh"
+
+// ProfileStore is header-only; this file anchors the library.

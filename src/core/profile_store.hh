@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Per-application relaunch profiles.
+ *
+ * §4.2: "we profile data usage for each application during its
+ * relaunch to determine the initial size of the hot list. [...] the
+ * amount of hot data remains similar for each relaunch". The store
+ * keeps one number per app — the expected hot-set size in pages —
+ * seeded from an offline profile and refined after every relaunch
+ * with an exponential moving average.
+ */
+
+#ifndef ARIADNE_CORE_PROFILE_STORE_HH
+#define ARIADNE_CORE_PROFILE_STORE_HH
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace ariadne
+{
+
+/** Stores and refines hot-set size estimates per application. */
+class ProfileStore
+{
+  public:
+    /** @param default_pages Estimate for apps never seen before. */
+    explicit ProfileStore(std::size_t default_pages = 4096)
+        : fallback(default_pages)
+    {}
+
+    /** Seed an app's hot-set size from offline profiling. */
+    void
+    seed(AppId uid, std::size_t hot_pages)
+    {
+        estimates[uid] = hot_pages;
+    }
+
+    /** Current hot-set size estimate. */
+    std::size_t
+    hotInitPages(AppId uid) const
+    {
+        auto it = estimates.find(uid);
+        return it == estimates.end() ? fallback : it->second;
+    }
+
+    /** Fold in an observed relaunch hot-set size (EMA, alpha=0.5). */
+    void
+    recordRelaunch(AppId uid, std::size_t observed_pages)
+    {
+        auto it = estimates.find(uid);
+        if (it == estimates.end()) {
+            estimates[uid] = observed_pages;
+        } else {
+            it->second = (it->second + observed_pages + 1) / 2;
+        }
+    }
+
+    /** Number of apps with explicit profiles. */
+    std::size_t size() const noexcept { return estimates.size(); }
+
+  private:
+    std::size_t fallback;
+    std::unordered_map<AppId, std::size_t> estimates;
+};
+
+} // namespace ariadne
+
+#endif // ARIADNE_CORE_PROFILE_STORE_HH

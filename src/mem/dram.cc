@@ -1,0 +1,24 @@
+#include "mem/dram.hh"
+
+namespace ariadne
+{
+
+Dram::Dram(std::size_t capacity_bytes, double low_watermark,
+           double high_watermark)
+    : capacity(capacity_bytes / pageSize)
+{
+    fatalIf(capacity == 0, "DRAM budget smaller than one page");
+    fatalIf(low_watermark < 0.0 || high_watermark > 1.0 ||
+                low_watermark > high_watermark,
+            "invalid DRAM watermarks");
+    lowPages = static_cast<std::size_t>(
+        static_cast<double>(capacity) * low_watermark);
+    highPages = static_cast<std::size_t>(
+        static_cast<double>(capacity) * high_watermark);
+    if (highPages == 0)
+        highPages = 1;
+    if (lowPages == 0)
+        lowPages = 1;
+}
+
+} // namespace ariadne

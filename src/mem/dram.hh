@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Main-memory capacity model.
+ *
+ * Tracks how many anonymous pages are resident against a configured
+ * budget. Watermarks in the style of the kernel's zone watermarks
+ * drive background (kswapd) and direct reclaim.
+ */
+
+#ifndef ARIADNE_MEM_DRAM_HH
+#define ARIADNE_MEM_DRAM_HH
+
+#include <cstddef>
+
+#include "sim/log.hh"
+#include "sim/types.hh"
+
+namespace ariadne
+{
+
+/** Budget accounting for resident anonymous pages. */
+class Dram
+{
+  public:
+    /**
+     * @param capacity_bytes Budget available to anonymous pages (the
+     * rest of physical DRAM is the OS, file cache, zpool, ...).
+     * @param low_watermark Fraction of capacity free below which
+     * kswapd starts reclaiming.
+     * @param high_watermark Fraction of capacity free at which kswapd
+     * stops.
+     */
+    explicit Dram(std::size_t capacity_bytes,
+                  double low_watermark = 0.04,
+                  double high_watermark = 0.08);
+
+    std::size_t capacityPages() const noexcept { return capacity; }
+    std::size_t usedPages() const noexcept { return used; }
+
+    std::size_t
+    freePages() const noexcept
+    {
+        return capacity - used;
+    }
+
+    /** Claim @p n pages; returns false when they do not fit. */
+    bool
+    allocate(std::size_t n = 1) noexcept
+    {
+        if (used + n > capacity)
+            return false;
+        used += n;
+        return true;
+    }
+
+    /** Release @p n pages. */
+    void
+    release(std::size_t n = 1)
+    {
+        panicIf(n > used, "Dram::release underflow");
+        used -= n;
+    }
+
+    /** True when free pages dropped below the low watermark. */
+    bool
+    belowLowWatermark() const noexcept
+    {
+        return freePages() < lowPages;
+    }
+
+    /** True when free pages are at or above the high watermark. */
+    bool
+    atHighWatermark() const noexcept
+    {
+        return freePages() >= highPages;
+    }
+
+    /** Pages kswapd must free to get back to the high watermark. */
+    std::size_t
+    reclaimTarget() const noexcept
+    {
+        std::size_t free = freePages();
+        return free >= highPages ? 0 : highPages - free;
+    }
+
+    std::size_t lowWatermarkPages() const noexcept { return lowPages; }
+    std::size_t highWatermarkPages() const noexcept { return highPages; }
+
+  private:
+    std::size_t capacity;
+    std::size_t used = 0;
+    std::size_t lowPages;
+    std::size_t highPages;
+};
+
+} // namespace ariadne
+
+#endif // ARIADNE_MEM_DRAM_HH

@@ -1,0 +1,62 @@
+#include "mem/flash.hh"
+
+#include "sim/log.hh"
+
+namespace ariadne
+{
+
+FlashDevice::FlashDevice(std::size_t capacity_bytes,
+                         double write_amplification)
+    : capacity(capacity_bytes), writeAmp(write_amplification)
+{
+    fatalIf(capacity == 0, "flash swap space has zero capacity");
+    fatalIf(writeAmp < 1.0, "write amplification must be >= 1");
+}
+
+FlashSlot
+FlashDevice::write(std::size_t bytes)
+{
+    if (bytes == 0 || used + bytes > capacity)
+        return invalidFlashSlot;
+    FlashSlot slot = nextSlot++;
+    slots.emplace(slot, bytes);
+    used += bytes;
+    hostWrites += bytes;
+    ++writeOpCount;
+    return slot;
+}
+
+std::size_t
+FlashDevice::read(FlashSlot slot)
+{
+    auto it = slots.find(slot);
+    panicIf(it == slots.end(), "flash read of dead slot");
+    reads += it->second;
+    ++readOpCount;
+    return it->second;
+}
+
+std::size_t
+FlashDevice::slotSize(FlashSlot slot) const
+{
+    auto it = slots.find(slot);
+    panicIf(it == slots.end(), "slotSize of dead slot");
+    return it->second;
+}
+
+void
+FlashDevice::free(FlashSlot slot)
+{
+    auto it = slots.find(slot);
+    panicIf(it == slots.end(), "flash free of dead slot");
+    used -= it->second;
+    slots.erase(it);
+}
+
+bool
+FlashDevice::live(FlashSlot slot) const noexcept
+{
+    return slots.contains(slot);
+}
+
+} // namespace ariadne

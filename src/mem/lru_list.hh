@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Intrusive O(1) LRU list over PageMeta records.
+ *
+ * HotnessOrg's cost argument rests on LRU list operations being ~100x
+ * cheaper than swaps (§6.4); every operation here is O(1) and is
+ * counted so experiments can report list-operation overhead exactly.
+ */
+
+#ifndef ARIADNE_MEM_LRU_LIST_HH
+#define ARIADNE_MEM_LRU_LIST_HH
+
+#include <cstddef>
+
+#include "mem/page.hh"
+#include "sim/stats.hh"
+
+namespace ariadne
+{
+
+/**
+ * Doubly-linked intrusive LRU list. Front = most recently used,
+ * back = least recently used. A page may be on at most one list; the
+ * owner pointer catches violations.
+ */
+class LruList
+{
+  public:
+    /**
+     * @param op_counter Optional shared counter incremented once per
+     * list mutation (used to account list-op CPU cost).
+     */
+    explicit LruList(Counter *op_counter = nullptr) noexcept
+        : ops(op_counter)
+    {}
+
+    LruList(const LruList &) = delete;
+    LruList &operator=(const LruList &) = delete;
+
+    /** Insert @p page at the MRU end; page must not be on any list. */
+    void pushFront(PageMeta &page);
+
+    /** Insert @p page at the LRU end; page must not be on any list. */
+    void pushBack(PageMeta &page);
+
+    /** Unlink @p page; it must be on this list. */
+    void remove(PageMeta &page);
+
+    /** Move @p page (already on this list) to the MRU end. */
+    void touch(PageMeta &page);
+
+    /** Remove and return the LRU victim; nullptr when empty. */
+    PageMeta *popBack();
+
+    /** Remove and return the MRU page; nullptr when empty. */
+    PageMeta *popFront();
+
+    /** MRU page without removal; nullptr when empty. */
+    PageMeta *front() const noexcept { return head; }
+
+    /** LRU page without removal; nullptr when empty. */
+    PageMeta *back() const noexcept { return tail; }
+
+    std::size_t size() const noexcept { return count; }
+    bool empty() const noexcept { return count == 0; }
+
+    /** True when @p page is linked on this particular list. */
+    bool
+    contains(const PageMeta &page) const noexcept
+    {
+        return page.lruOwner == this;
+    }
+
+    /**
+     * Move every page to the back of @p dst in LRU order, preserving
+     * relative recency (this list becomes empty). Used by HotnessOrg's
+     * relaunch update, which demotes the whole old hot list to warm.
+     */
+    void drainTo(LruList &dst);
+
+  private:
+    void countOp() noexcept
+    {
+        if (ops)
+            ops->inc();
+    }
+
+    PageMeta *head = nullptr;
+    PageMeta *tail = nullptr;
+    std::size_t count = 0;
+    Counter *ops;
+};
+
+} // namespace ariadne
+
+#endif // ARIADNE_MEM_LRU_LIST_HH

@@ -1,0 +1,17 @@
+#include "mem/page.hh"
+
+namespace ariadne
+{
+
+const char *
+hotnessName(Hotness h) noexcept
+{
+    switch (h) {
+      case Hotness::Hot: return "hot";
+      case Hotness::Warm: return "warm";
+      case Hotness::Cold: return "cold";
+      default: return "unknown";
+    }
+}
+
+} // namespace ariadne

@@ -1,0 +1,4 @@
+#include "sim/clock.hh"
+
+// Clock is header-only today; this translation unit anchors the
+// library target and reserves a home for future event-queue logic.

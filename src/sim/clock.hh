@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Virtual simulation clock.
+ *
+ * The clock advances only when a component charges time to it, so
+ * identical inputs always produce identical timelines. Latency
+ * measurements (e.g., an application relaunch) are taken as intervals
+ * on this clock.
+ */
+
+#ifndef ARIADNE_SIM_CLOCK_HH
+#define ARIADNE_SIM_CLOCK_HH
+
+#include "sim/types.hh"
+
+namespace ariadne
+{
+
+/** Monotonic virtual clock in nanoseconds. */
+class Clock
+{
+  public:
+    Clock() = default;
+
+    /** Current simulated time. */
+    Tick now() const noexcept { return currentTick; }
+
+    /** Advance the clock by @p delta nanoseconds. */
+    void
+    advance(Tick delta) noexcept
+    {
+        currentTick += delta;
+    }
+
+    /** Move the clock forward to @p t; no-op if already past it. */
+    void
+    advanceTo(Tick t) noexcept
+    {
+        if (t > currentTick)
+            currentTick = t;
+    }
+
+    /** Reset to time zero (used between independent experiments). */
+    void reset() noexcept { currentTick = 0; }
+
+  private:
+    Tick currentTick = 0;
+};
+
+/**
+ * RAII interval measurement on a Clock. Captures the start tick at
+ * construction; elapsed() reports time charged since then.
+ */
+class Stopwatch
+{
+  public:
+    explicit Stopwatch(const Clock &c) noexcept
+        : clock(c), start(c.now())
+    {}
+
+    /** Ticks elapsed since construction (or the last restart()). */
+    Tick elapsed() const noexcept { return clock.now() - start; }
+
+    /** Re-arm the stopwatch at the current time. */
+    void restart() noexcept { start = clock.now(); }
+
+  private:
+    const Clock &clock;
+    Tick start;
+};
+
+} // namespace ariadne
+
+#endif // ARIADNE_SIM_CLOCK_HH

@@ -1,0 +1,21 @@
+#include "sim/cpu_account.hh"
+
+namespace ariadne
+{
+
+const char *
+cpuRoleName(CpuRole role) noexcept
+{
+    switch (role) {
+      case CpuRole::Kswapd: return "kswapd";
+      case CpuRole::Compression: return "compression";
+      case CpuRole::Decompression: return "decompression";
+      case CpuRole::FaultPath: return "faultPath";
+      case CpuRole::AppExecution: return "appExecution";
+      case CpuRole::FileWriteback: return "fileWriteback";
+      case CpuRole::IoSubmit: return "ioSubmit";
+      default: return "unknown";
+    }
+}
+
+} // namespace ariadne

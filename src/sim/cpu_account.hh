@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Per-role CPU time accounting.
+ *
+ * The paper measures CPU usage with Perfetto, attributing reclaim work
+ * to the kswapd thread and (implicitly) decompression to the faulting
+ * task. The simulator instead charges every nanosecond of modeled CPU
+ * work to an explicit role, which is strictly more precise and lets
+ * benches reproduce both Fig. 3 (kswapd CPU) and Fig. 11 (compression
+ * plus decompression CPU).
+ */
+
+#ifndef ARIADNE_SIM_CPU_ACCOUNT_HH
+#define ARIADNE_SIM_CPU_ACCOUNT_HH
+
+#include <array>
+#include <cstddef>
+
+#include "sim/types.hh"
+
+namespace ariadne
+{
+
+/** Roles CPU time can be charged to. */
+enum class CpuRole : std::size_t
+{
+    Kswapd,        //!< background reclaim daemon
+    Compression,   //!< any compression work (reclaim or fault path)
+    Decompression, //!< any decompression work
+    FaultPath,     //!< page-fault service excluding (de)compression
+    AppExecution,  //!< application foreground execution
+    FileWriteback, //!< writing file-backed pages to storage
+    IoSubmit,      //!< block-I/O submission for swap in/out
+    NumRoles
+};
+
+/** Human-readable name for a role (stable, used in reports). */
+const char *cpuRoleName(CpuRole role) noexcept;
+
+/** Accumulates modeled CPU nanoseconds per role. */
+class CpuAccount
+{
+  public:
+    CpuAccount() { reset(); }
+
+    /** Charge @p ns of CPU time to @p role. */
+    void
+    charge(CpuRole role, Tick ns) noexcept
+    {
+        buckets[static_cast<std::size_t>(role)] += ns;
+    }
+
+    /** Total time charged to @p role. */
+    Tick
+    total(CpuRole role) const noexcept
+    {
+        return buckets[static_cast<std::size_t>(role)];
+    }
+
+    /** Sum across all roles. */
+    Tick
+    grandTotal() const noexcept
+    {
+        Tick sum = 0;
+        for (Tick t : buckets)
+            sum += t;
+        return sum;
+    }
+
+    /**
+     * CPU time the paper's Fig. 11 metric covers: compression plus
+     * decompression, regardless of which thread ran it.
+     */
+    Tick
+    compDecompTotal() const noexcept
+    {
+        return total(CpuRole::Compression) + total(CpuRole::Decompression);
+    }
+
+    /**
+     * CPU time the paper's Fig. 3 metric covers: the reclaim thread,
+     * i.e., kswapd bookkeeping plus compression performed during
+     * reclaim is charged by callers to Kswapd as well (see
+     * Kswapd::reclaim); here we expose the raw bucket.
+     */
+    Tick kswapdTotal() const noexcept { return total(CpuRole::Kswapd); }
+
+    /** Zero all buckets. */
+    void
+    reset() noexcept
+    {
+        buckets.fill(0);
+    }
+
+  private:
+    std::array<Tick, static_cast<std::size_t>(CpuRole::NumRoles)> buckets;
+};
+
+} // namespace ariadne
+
+#endif // ARIADNE_SIM_CPU_ACCOUNT_HH

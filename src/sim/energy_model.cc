@@ -1,0 +1,28 @@
+#include "sim/energy_model.hh"
+
+namespace ariadne
+{
+
+double
+EnergyModel::dynamicJoules(const ActivityTotals &a) const noexcept
+{
+    double cpu_j = prm.cpuActivePowerWatts *
+                   (static_cast<double>(a.cpuBusyNs) / 1e9);
+    double dram_j = prm.dramNjPerByte *
+                    static_cast<double>(a.dramBytes) / 1e9;
+    double fr_j = prm.flashReadNjPerByte *
+                  static_cast<double>(a.flashReadBytes) / 1e9;
+    double fw_j = prm.flashWriteNjPerByte *
+                  static_cast<double>(a.flashWriteBytes) / 1e9;
+    return cpu_j + dram_j + fr_j + fw_j;
+}
+
+double
+EnergyModel::joules(const ActivityTotals &a) const noexcept
+{
+    double base_j = prm.basePowerWatts *
+                    (static_cast<double>(a.wallTimeNs) / 1e9);
+    return base_j + dynamicJoules(a);
+}
+
+} // namespace ariadne

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Status-message helpers in the spirit of gem5's logging.hh.
+ *
+ * panic() is for internal invariant violations (aborts); fatal() is for
+ * user errors such as bad configuration (exits); warn()/inform() print
+ * diagnostics without stopping the simulation.
+ */
+
+#ifndef ARIADNE_SIM_LOG_HH
+#define ARIADNE_SIM_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace ariadne
+{
+
+/** Verbosity levels for non-fatal messages. */
+enum class LogLevel { Silent, Warn, Inform, Debug };
+
+/** Global log verbosity; defaults to Warn. */
+LogLevel logLevel();
+
+/** Set the global log verbosity. */
+void setLogLevel(LogLevel level);
+
+/**
+ * Abort with a message; call for conditions that indicate a simulator
+ * bug, never a user mistake.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Exit with an error message; call for conditions caused by invalid
+ * user input or configuration.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Print a warning if verbosity allows. */
+void warn(const std::string &msg);
+
+/** Print an informational message if verbosity allows. */
+void inform(const std::string &msg);
+
+/** Print a debug message if verbosity allows. */
+void debug(const std::string &msg);
+
+/**
+ * Abort via panic() if @p cond is false. Unlike assert(), stays active
+ * in release builds; use for cheap invariants on hot paths sparingly.
+ */
+inline void
+panicIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        panic(msg);
+}
+
+/** Exit via fatal() if @p cond is true. */
+inline void
+fatalIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        fatal(msg);
+}
+
+} // namespace ariadne
+
+#endif // ARIADNE_SIM_LOG_HH

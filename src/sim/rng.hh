@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * All stochastic decisions in the simulator (page contents, workload
+ * churn, access-order noise) draw from explicitly seeded Rng instances
+ * so that every experiment is bit-reproducible across runs and
+ * platforms. The core is a PCG-XSH-RR 64/32 generator.
+ */
+
+#ifndef ARIADNE_SIM_RNG_HH
+#define ARIADNE_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace ariadne
+{
+
+/** Seedable deterministic random number generator (PCG-XSH-RR). */
+class Rng
+{
+  public:
+    /** Construct with a 64-bit seed; equal seeds give equal streams. */
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept
+    {
+        reseed(seed);
+    }
+
+    /** Reset the stream as if freshly constructed with @p seed. */
+    void
+    reseed(std::uint64_t seed) noexcept
+    {
+        state = 0;
+        next32();
+        state += seed;
+        next32();
+    }
+
+    /** Next 32 uniformly distributed bits. */
+    std::uint32_t
+    next32() noexcept
+    {
+        std::uint64_t old = state;
+        state = old * 6364136223846793005ULL + 1442695040888963407ULL;
+        auto xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        auto rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+    }
+
+    /** Next 64 uniformly distributed bits. */
+    std::uint64_t
+    next64() noexcept
+    {
+        return (static_cast<std::uint64_t>(next32()) << 32) | next32();
+    }
+
+    /** Uniform integer in [0, bound); bound == 0 returns 0. */
+    std::uint64_t
+    below(std::uint64_t bound) noexcept
+    {
+        if (bound == 0)
+            return 0;
+        // Rejection sampling to avoid modulo bias.
+        std::uint64_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint64_t r = next64();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in the closed range [lo, hi]. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi) noexcept
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform() noexcept
+    {
+        return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial: true with probability @p p. */
+    bool
+    chance(double p) noexcept
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Derive an independent child stream. Used to give each (app, page)
+     * pair its own content stream without correlating sequences.
+     */
+    Rng
+    fork(std::uint64_t salt) noexcept
+    {
+        return Rng(next64() ^ (salt * 0x9e3779b97f4a7c15ULL));
+    }
+
+  private:
+    std::uint64_t state = 0;
+};
+
+/**
+ * Stateless 64-bit mix hash (SplitMix64 finalizer). Used to derive
+ * deterministic per-object seeds from identifiers.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x) noexcept
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace ariadne
+
+#endif // ARIADNE_SIM_RNG_HH

@@ -1,0 +1,115 @@
+#include "sim/timing_model.hh"
+
+#include <cmath>
+
+namespace ariadne
+{
+
+namespace
+{
+
+std::size_t
+chunkCount(std::size_t chunk_bytes, std::size_t total_bytes) noexcept
+{
+    if (chunk_bytes == 0)
+        return 0;
+    return (total_bytes + chunk_bytes - 1) / chunk_bytes;
+}
+
+/**
+ * Piecewise-exponential per-byte multiplier relative to the 4 KB
+ * anchor; regime knees at 1 KB (search-state floor) and 32 KB (cache
+ * spill). See CodecCost.
+ */
+double
+chunkMultiplier(std::size_t chunk_bytes, double growth_small,
+                double growth_mid, double growth_large) noexcept
+{
+    constexpr double knee_low = 1024.0;
+    constexpr double knee_high = 32768.0;
+    constexpr double anchor = 4096.0;
+    double c = static_cast<double>(chunk_bytes);
+    double m = 1.0;
+    if (c >= knee_low) {
+        double mid_span = std::log2(std::min(c, knee_high) / anchor);
+        m *= std::pow(growth_mid, mid_span);
+        if (c > knee_high)
+            m *= std::pow(growth_large, std::log2(c / knee_high));
+    } else {
+        m *= std::pow(growth_mid, std::log2(knee_low / anchor));
+        m *= std::pow(growth_small, std::log2(c / knee_low));
+    }
+    return m;
+}
+
+} // namespace
+
+double
+TimingModel::compNsPerByte(const CodecCost &cost,
+                           std::size_t chunk_bytes) const noexcept
+{
+    return cost.compNsPerByte4k *
+           chunkMultiplier(chunk_bytes, cost.compGrowthSmall,
+                           cost.compGrowthMid, cost.compGrowthLarge);
+}
+
+double
+TimingModel::decompNsPerByte(const CodecCost &cost,
+                             std::size_t chunk_bytes) const noexcept
+{
+    return cost.decompNsPerByte4k *
+           chunkMultiplier(chunk_bytes, cost.decompGrowthSmall,
+                           cost.decompGrowthMid,
+                           cost.decompGrowthLarge);
+}
+
+Tick
+TimingModel::compressNs(const CodecCost &cost, std::size_t chunk_bytes,
+                        std::size_t total_bytes) const noexcept
+{
+    if (total_bytes == 0 || chunk_bytes == 0)
+        return 0;
+    double per_byte = compNsPerByte(cost, chunk_bytes);
+    double t = static_cast<double>(total_bytes) * per_byte +
+               static_cast<double>(chunkCount(chunk_bytes, total_bytes)) *
+                   static_cast<double>(prm.compChunkOverheadNs);
+    return static_cast<Tick>(t);
+}
+
+Tick
+TimingModel::decompressNs(const CodecCost &cost, std::size_t chunk_bytes,
+                          std::size_t total_bytes) const noexcept
+{
+    if (total_bytes == 0 || chunk_bytes == 0)
+        return 0;
+    double per_byte = decompNsPerByte(cost, chunk_bytes);
+    double t = static_cast<double>(total_bytes) * per_byte +
+               static_cast<double>(chunkCount(chunk_bytes, total_bytes)) *
+                   static_cast<double>(prm.decompChunkOverheadNs);
+    return static_cast<Tick>(t);
+}
+
+Tick
+TimingModel::flashReadNs(std::size_t pages) const noexcept
+{
+    if (pages == 0)
+        return 0;
+    unsigned cluster = prm.flashReadaheadPages ? prm.flashReadaheadPages : 1;
+    std::size_t accesses = (pages + cluster - 1) / cluster;
+    return static_cast<Tick>(accesses) * prm.flashReadPageNs;
+}
+
+Tick
+TimingModel::flashWriteNs(std::size_t pages) const noexcept
+{
+    return static_cast<Tick>(pages) * prm.flashWritePageNs;
+}
+
+Tick
+TimingModel::flashWriteBytesNs(std::size_t bytes) const noexcept
+{
+    std::size_t pages = (bytes + pageSize - 1) / pageSize;
+    return flashWriteNs(pages);
+}
+
+} // namespace ariadne

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fundamental types and constants shared by every Ariadne module.
+ */
+
+#ifndef ARIADNE_SIM_TYPES_HH
+#define ARIADNE_SIM_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace ariadne
+{
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** Application identifier (the paper's trace UID). */
+using AppId = std::uint32_t;
+
+/** Page frame number of an anonymous page. */
+using Pfn = std::uint64_t;
+
+/** Index of a 4 KB block inside the zpool (the paper's ZRAM sector). */
+using Sector = std::uint64_t;
+
+/** Size of one memory page in bytes (Android uses 4 KB pages). */
+constexpr std::size_t pageSize = 4096;
+
+/** Sentinel for "no application". */
+constexpr AppId invalidApp = std::numeric_limits<AppId>::max();
+
+/** Sentinel for "no sector". */
+constexpr Sector invalidSector = std::numeric_limits<Sector>::max();
+
+/** Sentinel for "no page". */
+constexpr Pfn invalidPfn = std::numeric_limits<Pfn>::max();
+
+/** Convenience byte-size literals. */
+constexpr std::size_t operator""_KiB(unsigned long long v)
+{
+    return static_cast<std::size_t>(v) * 1024;
+}
+
+constexpr std::size_t operator""_MiB(unsigned long long v)
+{
+    return static_cast<std::size_t>(v) * 1024 * 1024;
+}
+
+constexpr std::size_t operator""_GiB(unsigned long long v)
+{
+    return static_cast<std::size_t>(v) * 1024 * 1024 * 1024;
+}
+
+/** Convenience time literals in simulated Ticks (ns). */
+constexpr Tick operator""_ns(unsigned long long v) { return v; }
+constexpr Tick operator""_us(unsigned long long v) { return v * 1000; }
+constexpr Tick operator""_ms(unsigned long long v) { return v * 1000000; }
+constexpr Tick operator""_s(unsigned long long v)
+{
+    return v * 1000000000ULL;
+}
+
+/** Convert Ticks to floating-point milliseconds (for reports). */
+constexpr double
+ticksToMs(Tick t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+/** Convert Ticks to floating-point microseconds (for reports). */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / 1e3;
+}
+
+/** Convert Ticks to floating-point seconds (for reports). */
+constexpr double
+ticksToSec(Tick t)
+{
+    return static_cast<double>(t) / 1e9;
+}
+
+} // namespace ariadne
+
+#endif // ARIADNE_SIM_TYPES_HH

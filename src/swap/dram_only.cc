@@ -1,0 +1,3 @@
+#include "swap/dram_only.hh"
+
+// DramOnlyScheme is header-only; this file anchors the library.

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ideal DRAM scheme (the paper's "DRAM" upper bound).
+ *
+ * Assumes main memory is large enough to keep every anonymous page
+ * resident: no compression, no swapping, no reclaim. Used as the
+ * optimal baseline in Fig. 2/3/10 and Table 2.
+ */
+
+#ifndef ARIADNE_SWAP_DRAM_ONLY_HH
+#define ARIADNE_SWAP_DRAM_ONLY_HH
+
+#include "swap/scheme.hh"
+
+namespace ariadne
+{
+
+/** No-swap ideal baseline. */
+class DramOnlyScheme : public SwapScheme
+{
+  public:
+    explicit DramOnlyScheme(SwapContext context) : SwapScheme(context)
+    {}
+
+    std::string name() const override { return "dram"; }
+
+    void
+    onAdmit(PageMeta &page) override
+    {
+        page.lastAccess = ctx.clock.now();
+    }
+
+    void
+    onAccess(PageMeta &page) override
+    {
+        page.lastAccess = ctx.clock.now();
+    }
+
+    SwapInResult
+    swapIn(PageMeta &) override
+    {
+        panic("DramOnlyScheme never swaps pages out");
+    }
+
+    void
+    onFree(PageMeta &page) override
+    {
+        if (page.location == PageLocation::Resident)
+            ctx.dram.release(1);
+        page.location = PageLocation::Lost;
+    }
+
+    std::size_t
+    reclaim(std::size_t, bool) override
+    {
+        // Nothing to reclaim: anonymous pages are never evicted.
+        return 0;
+    }
+};
+
+} // namespace ariadne
+
+#endif // ARIADNE_SWAP_DRAM_ONLY_HH

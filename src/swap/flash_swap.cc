@@ -1,0 +1,160 @@
+#include "swap/flash_swap.hh"
+
+#include "sim/log.hh"
+
+namespace ariadne
+{
+
+FlashSwapScheme::FlashSwapScheme(SwapContext context,
+                                 FlashSwapConfig config)
+    : SwapScheme(context), cfg(config), flashDev(cfg.flashBytes)
+{
+}
+
+FlashSwapScheme::AppState &
+FlashSwapScheme::stateFor(AppId uid)
+{
+    auto it = appStates.find(uid);
+    if (it == appStates.end()) {
+        it = appStates
+                 .emplace(std::piecewise_construct,
+                          std::forward_as_tuple(uid),
+                          std::forward_as_tuple(&lruOpCounter))
+                 .first;
+    }
+    return it->second;
+}
+
+FlashSwapScheme::AppState *
+FlashSwapScheme::oldestAppWithPages()
+{
+    AppState *oldest = nullptr;
+    for (auto &[uid, state] : appStates) {
+        if (state.resident.empty())
+            continue;
+        if (!oldest || state.lastAccess < oldest->lastAccess)
+            oldest = &state;
+    }
+    return oldest;
+}
+
+void
+FlashSwapScheme::onAdmit(PageMeta &page)
+{
+    AppState &app = stateFor(page.key.uid);
+    app.resident.pushFront(page);
+    app.lastAccess = ctx.clock.now();
+}
+
+void
+FlashSwapScheme::onAccess(PageMeta &page)
+{
+    AppState &app = stateFor(page.key.uid);
+    app.resident.touch(page);
+    app.lastAccess = ctx.clock.now();
+}
+
+std::size_t
+FlashSwapScheme::reclaim(std::size_t pages, bool direct)
+{
+    if (direct)
+        ++directRuns;
+    std::size_t freed = 0;
+    while (freed < pages) {
+        AppState *app = oldestAppWithPages();
+        if (!app)
+            break;
+        std::size_t batch = std::min(cfg.reclaimBatch, pages - freed);
+        for (std::size_t i = 0; i < batch; ++i) {
+            PageMeta *victim = app->resident.popBack();
+            if (!victim)
+                break;
+            FlashSlot slot = flashDev.write(pageSize);
+            if (slot == invalidFlashSlot) {
+                // Swap space exhausted: data dropped.
+                victim->location = PageLocation::Lost;
+                ++lost;
+            } else {
+                // Submission is cheap CPU; the program happens in the
+                // device while the CPU runs other work.
+                Tick submit = ctx.timing.params().flashSubmitCpuNs;
+                ctx.cpu.charge(CpuRole::IoSubmit, submit);
+                if (direct)
+                    ctx.clock.advance(submit);
+                ctx.activity.flashWriteBytes += pageSize;
+                victim->location = PageLocation::Flash;
+                victim->flashSlot = slot;
+            }
+            ctx.dram.release(1);
+            ++freed;
+        }
+    }
+    chargeLruOps(direct);
+    return freed;
+}
+
+SwapInResult
+FlashSwapScheme::swapIn(PageMeta &page)
+{
+    panicIf(page.location != PageLocation::Flash,
+            "FlashSwapScheme::swapIn on non-flash page");
+    SwapInResult res;
+    res.fromFlash = true;
+    Stopwatch sw(ctx.clock);
+
+    Tick fault = ctx.timing.params().majorFaultBaseNs;
+    ctx.cpu.charge(CpuRole::FaultPath, fault);
+    ctx.clock.advance(fault);
+
+    flashDev.read(page.flashSlot);
+    flashDev.free(page.flashSlot);
+    page.flashSlot = invalidFlashSlot;
+
+    // Effective per-fault read latency: one device access amortized
+    // over the readahead cluster it brings in.
+    unsigned cluster =
+        std::max(1u, ctx.timing.params().flashReadaheadPages);
+    Tick read = ctx.timing.params().flashReadPageNs / cluster;
+    Tick submit = ctx.timing.params().flashSubmitCpuNs;
+    ctx.cpu.charge(CpuRole::IoSubmit, submit);
+    ctx.clock.advance(read + submit);
+    ctx.activity.flashReadBytes += pageSize;
+    ctx.activity.dramBytes += pageSize;
+
+    if (!ctx.dram.allocate(1)) {
+        reclaim(cfg.reclaimBatch, true);
+        panicIf(!ctx.dram.allocate(1),
+                "direct reclaim failed to free memory");
+    }
+    page.location = PageLocation::Resident;
+    AppState &app = stateFor(page.key.uid);
+    app.resident.pushFront(page);
+    app.lastAccess = ctx.clock.now();
+    chargeLruOps(true);
+
+    res.latencyNs = sw.elapsed();
+    return res;
+}
+
+void
+FlashSwapScheme::onFree(PageMeta &page)
+{
+    switch (page.location) {
+      case PageLocation::Resident: {
+        AppState &app = stateFor(page.key.uid);
+        if (app.resident.contains(page))
+            app.resident.remove(page);
+        ctx.dram.release(1);
+        break;
+      }
+      case PageLocation::Flash:
+        flashDev.free(page.flashSlot);
+        page.flashSlot = invalidFlashSlot;
+        break;
+      default:
+        break;
+    }
+    page.location = PageLocation::Lost;
+}
+
+} // namespace ariadne

@@ -1,0 +1,28 @@
+#include "swap/kswapd.hh"
+
+namespace ariadne
+{
+
+std::size_t
+Kswapd::maybeRun()
+{
+    if (!ctx.dram.belowLowWatermark())
+        return 0;
+
+    ++runs;
+    ctx.cpu.charge(CpuRole::Kswapd, wakeupCpuNs);
+    totalCpuNs += wakeupCpuNs;
+
+    // Attribute every cycle the scheme burns during this call to the
+    // kswapd thread (compression, io submission, fault bookkeeping
+    // for list maintenance).
+    Tick before = ctx.cpu.grandTotal();
+    std::size_t want = ctx.dram.reclaimTarget();
+    std::size_t freed = target.reclaim(want, /*direct=*/false);
+    Tick after = ctx.cpu.grandTotal();
+    totalCpuNs += after - before;
+    reclaimed += freed;
+    return freed;
+}
+
+} // namespace ariadne

@@ -1,0 +1,51 @@
+#include "swap/page_compressor.hh"
+
+namespace ariadne
+{
+
+std::size_t
+PageCompressor::compressedSizeOne(const PageRef &page,
+                                  const Codec &codec,
+                                  std::size_t chunk_bytes)
+{
+    CacheKey key{page.key.uid, page.key.pfn, page.version,
+                 static_cast<std::uint8_t>(codec.kind()),
+                 static_cast<std::uint32_t>(chunk_bytes)};
+    auto it = cache.find(key);
+    if (it != cache.end()) {
+        ++hits;
+        return it->second;
+    }
+    ++misses;
+
+    std::vector<std::uint8_t> buf(pageSize);
+    content.materialize(page.key, page.version,
+                        {buf.data(), buf.size()});
+    auto frame = ChunkedFrame::compress(
+        codec, {buf.data(), buf.size()}, chunk_bytes);
+    compressedVolume += pageSize;
+    auto csize = static_cast<std::uint32_t>(frame.size());
+    cache.emplace(key, csize);
+    return csize;
+}
+
+std::size_t
+PageCompressor::compressedSizeMany(const std::vector<PageRef> &pages,
+                                   const Codec &codec,
+                                   std::size_t chunk_bytes)
+{
+    if (pages.empty())
+        return 0;
+    std::vector<std::uint8_t> buf(pages.size() * pageSize);
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+        content.materialize(pages[i].key, pages[i].version,
+                            {buf.data() + i * pageSize, pageSize});
+    }
+    auto frame = ChunkedFrame::compress(codec,
+                                        {buf.data(), buf.size()},
+                                        chunk_bytes);
+    compressedVolume += buf.size();
+    return frame.size();
+}
+
+} // namespace ariadne

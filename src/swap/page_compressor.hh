@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Page compression service with size memoization.
+ *
+ * Every compression in the simulator runs a real codec over real
+ * synthesized bytes; this helper materializes page contents, invokes
+ * the chunked framing layer, and returns the true compressed size.
+ * Because contents are pure functions of (uid, pfn, version), single-
+ * page results are memoized — schemes recompress the same hot pages
+ * on every app switch, and the cache turns that into a lookup while
+ * keeping the sizes exact.
+ */
+
+#ifndef ARIADNE_SWAP_PAGE_COMPRESSOR_HH
+#define ARIADNE_SWAP_PAGE_COMPRESSOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "compress/chunked.hh"
+#include "compress/codec.hh"
+#include "mem/page.hh"
+#include "sim/stats.hh"
+
+namespace ariadne
+{
+
+/** Reference to one page's content. */
+struct PageRef
+{
+    PageKey key;
+    std::uint32_t version = 0;
+};
+
+/** Materializes and compresses page contents, caching sizes. */
+class PageCompressor
+{
+  public:
+    explicit PageCompressor(const PageContentSource &source)
+        : content(source)
+    {}
+
+    /**
+     * Compressed size of one page framed with @p chunk_bytes chunks.
+     * Memoized on (page, codec, chunk size).
+     */
+    std::size_t compressedSizeOne(const PageRef &page,
+                                  const Codec &codec,
+                                  std::size_t chunk_bytes);
+
+    /**
+     * Compressed size of a multi-page unit: pages are concatenated in
+     * order and framed with @p chunk_bytes chunks (Ariadne's large-
+     * size cold units). Not memoized — units form once per eviction.
+     */
+    std::size_t compressedSizeMany(const std::vector<PageRef> &pages,
+                                   const Codec &codec,
+                                   std::size_t chunk_bytes);
+
+    /** Cache hits observed (for tests and reports). */
+    std::uint64_t cacheHits() const noexcept { return hits; }
+
+    /** Cache misses (real compressions of single pages). */
+    std::uint64_t cacheMisses() const noexcept { return misses; }
+
+    /** Total uncompressed bytes actually run through a codec. */
+    std::uint64_t
+    bytesCompressed() const noexcept
+    {
+        return compressedVolume;
+    }
+
+  private:
+    struct CacheKey
+    {
+        AppId uid;
+        Pfn pfn;
+        std::uint32_t version;
+        std::uint8_t codec;
+        std::uint32_t chunk;
+
+        bool operator==(const CacheKey &o) const noexcept = default;
+    };
+
+    struct CacheKeyHash
+    {
+        std::size_t
+        operator()(const CacheKey &k) const noexcept
+        {
+            std::uint64_t h = k.pfn * 0x9e3779b97f4a7c15ULL;
+            h ^= (std::uint64_t{k.uid} << 32) ^ k.version;
+            h = (h ^ (h >> 29)) * 0xbf58476d1ce4e5b9ULL;
+            h ^= (std::uint64_t{k.codec} << 56) ^
+                 (std::uint64_t{k.chunk} << 8);
+            return static_cast<std::size_t>(h ^ (h >> 31));
+        }
+    };
+
+    const PageContentSource &content;
+    std::unordered_map<CacheKey, std::uint32_t, CacheKeyHash> cache;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t compressedVolume = 0;
+};
+
+} // namespace ariadne
+
+#endif // ARIADNE_SWAP_PAGE_COMPRESSOR_HH

@@ -1,0 +1,87 @@
+#include "swap/scheme.hh"
+
+namespace ariadne
+{
+
+void
+CompStats::add(const CompStats &o) noexcept
+{
+    compNs += o.compNs;
+    decompNs += o.decompNs;
+    inBytes += o.inBytes;
+    outBytes += o.outBytes;
+    decompBytes += o.decompBytes;
+    compOps += o.compOps;
+    decompOps += o.decompOps;
+}
+
+const CompStats &
+SwapScheme::appStats(AppId uid) const
+{
+    static const CompStats empty;
+    auto it = perApp.find(uid);
+    return it == perApp.end() ? empty : it->second;
+}
+
+CompStats
+SwapScheme::totalStats() const
+{
+    CompStats total;
+    for (const auto &[uid, stats] : perApp)
+        total.add(stats);
+    return total;
+}
+
+Tick
+SwapScheme::chargeCompression(AppId uid, const CodecCost &cost,
+                              std::size_t chunk_bytes,
+                              std::size_t in_bytes,
+                              std::size_t out_bytes, bool synchronous)
+{
+    Tick t = ctx.timing.compressNs(cost, chunk_bytes, in_bytes);
+    ctx.cpu.charge(CpuRole::Compression, t);
+    if (synchronous)
+        ctx.clock.advance(t);
+    ctx.activity.dramBytes += in_bytes + out_bytes;
+
+    CompStats &stats = perApp[uid];
+    stats.compNs += t;
+    stats.inBytes += in_bytes;
+    stats.outBytes += out_bytes;
+    ++stats.compOps;
+    return t;
+}
+
+Tick
+SwapScheme::chargeDecompression(AppId uid, const CodecCost &cost,
+                                std::size_t chunk_bytes,
+                                std::size_t out_bytes,
+                                std::size_t stored_bytes,
+                                bool synchronous)
+{
+    Tick t = ctx.timing.decompressNs(cost, chunk_bytes, out_bytes);
+    ctx.cpu.charge(CpuRole::Decompression, t);
+    if (synchronous)
+        ctx.clock.advance(t);
+    ctx.activity.dramBytes += out_bytes + stored_bytes;
+
+    CompStats &stats = perApp[uid];
+    stats.decompNs += t;
+    stats.decompBytes += out_bytes;
+    ++stats.decompOps;
+    return t;
+}
+
+void
+SwapScheme::chargeLruOps(bool synchronous)
+{
+    (void)synchronous;
+    std::uint64_t now = lruOpCounter.value();
+    if (now <= chargedLruOps)
+        return;
+    Tick t = (now - chargedLruOps) * ctx.timing.params().lruOpNs;
+    chargedLruOps = now;
+    ctx.cpu.charge(CpuRole::FaultPath, t);
+}
+
+} // namespace ariadne

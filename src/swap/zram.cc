@@ -1,0 +1,269 @@
+#include "swap/zram.hh"
+
+#include "sim/log.hh"
+
+namespace ariadne
+{
+
+ZramScheme::ZramScheme(SwapContext context, ZramConfig config)
+    : SwapScheme(context), cfg(config), codec(makeCodec(cfg.codec)),
+      pool(cfg.zpoolBytes)
+{
+    if (cfg.writeback)
+        flashDev = std::make_unique<FlashDevice>(cfg.flashBytes);
+}
+
+std::string
+ZramScheme::name() const
+{
+    return cfg.writeback ? "zswap" : "zram";
+}
+
+ZramScheme::AppState &
+ZramScheme::stateFor(AppId uid)
+{
+    auto it = appStates.find(uid);
+    if (it == appStates.end()) {
+        it = appStates
+                 .emplace(std::piecewise_construct,
+                          std::forward_as_tuple(uid),
+                          std::forward_as_tuple(&lruOpCounter))
+                 .first;
+    }
+    return it->second;
+}
+
+ZramScheme::AppState *
+ZramScheme::oldestAppWithPages()
+{
+    AppState *oldest = nullptr;
+    for (auto &[uid, state] : appStates) {
+        if (state.resident.empty())
+            continue;
+        if (!oldest || state.lastAccess < oldest->lastAccess)
+            oldest = &state;
+    }
+    return oldest;
+}
+
+void
+ZramScheme::onAdmit(PageMeta &page)
+{
+    AppState &app = stateFor(page.key.uid);
+    app.resident.pushFront(page);
+    app.lastAccess = ctx.clock.now();
+}
+
+void
+ZramScheme::onAccess(PageMeta &page)
+{
+    AppState &app = stateFor(page.key.uid);
+    app.resident.touch(page);
+    app.lastAccess = ctx.clock.now();
+}
+
+bool
+ZramScheme::ensureZpoolSpace(std::size_t csize, bool synchronous)
+{
+    while (!pool.canFit(csize)) {
+        // Oldest live compressed object; skip stale FIFO entries.
+        PageMeta *victim = nullptr;
+        ZObjectId obj = invalidObject;
+        while (!compressedFifo.empty()) {
+            auto [candidate, owner] = compressedFifo.front();
+            compressedFifo.pop_front();
+            if (pool.live(candidate) &&
+                pool.cookie(candidate) ==
+                    reinterpret_cast<std::uint64_t>(owner)) {
+                obj = candidate;
+                victim = const_cast<PageMeta *>(owner);
+                break;
+            }
+        }
+        if (!victim)
+            return false;
+
+        std::size_t obj_size = pool.objectSize(obj);
+        if (cfg.writeback && flashDev) {
+            FlashSlot slot = flashDev->write(obj_size);
+            if (slot != invalidFlashSlot) {
+                Tick submit = ctx.timing.params().flashSubmitCpuNs;
+                ctx.cpu.charge(CpuRole::IoSubmit, submit);
+                if (synchronous)
+                    ctx.clock.advance(submit);
+                victim->location = PageLocation::Flash;
+                victim->flashSlot = slot;
+                victim->objectId = invalidObject;
+                pool.erase(obj);
+                continue;
+            }
+        }
+        // No writeback possible: data is dropped (§2.2 — the system
+        // deletes inactive compressed data, risking app termination).
+        victim->location = PageLocation::Lost;
+        victim->objectId = invalidObject;
+        ++lost;
+        pool.erase(obj);
+    }
+    return true;
+}
+
+void
+ZramScheme::compressOut(PageMeta &victim, bool synchronous)
+{
+    PageRef ref{victim.key, victim.version};
+    std::size_t csize = ctx.compressor.compressedSizeOne(
+        ref, *codec, cfg.chunkBytes);
+
+    if (!ensureZpoolSpace(csize, synchronous)) {
+        victim.location = PageLocation::Lost;
+        ++lost;
+        ctx.dram.release(1);
+        return;
+    }
+    ZObjectId obj =
+        pool.insert(csize, reinterpret_cast<std::uint64_t>(&victim));
+    panicIf(obj == invalidObject,
+            "zpool insert failed after ensureZpoolSpace");
+
+    victim.location = PageLocation::Zpool;
+    victim.objectId = obj;
+    compressedFifo.emplace_back(obj, &victim);
+    compLog.push_back(CompressionEvent{victim.key, victim.truth});
+
+    chargeCompression(victim.key.uid, codec->cost(), cfg.chunkBytes,
+                      pageSize, csize, synchronous);
+    ctx.dram.release(1);
+}
+
+std::size_t
+ZramScheme::reclaim(std::size_t pages, bool direct)
+{
+    if (direct)
+        ++directRuns;
+    std::size_t freed = 0;
+    while (freed < pages) {
+        AppState *app = oldestAppWithPages();
+        if (!app)
+            break;
+        std::size_t batch = std::min(cfg.reclaimBatch, pages - freed);
+        for (std::size_t i = 0; i < batch; ++i) {
+            PageMeta *victim = app->resident.popBack();
+            if (!victim)
+                break;
+            compressOut(*victim, direct);
+            ++freed;
+        }
+    }
+    chargeLruOps(direct);
+    return freed;
+}
+
+void
+ZramScheme::onBackground(AppId uid)
+{
+    if (cfg.proactiveFraction <= 0.0)
+        return;
+    // Proactive periodic compression of the backgrounded app's LRU
+    // tail (the vendor behaviour §2.3 describes): frees memory early
+    // at the price of extra compression CPU on every switch.
+    AppState &app = stateFor(uid);
+    auto target = static_cast<std::size_t>(
+        cfg.proactiveFraction *
+        static_cast<double>(app.resident.size()));
+    Tick before = ctx.cpu.grandTotal();
+    for (std::size_t i = 0; i < target; ++i) {
+        PageMeta *victim = app.resident.popBack();
+        if (!victim)
+            break;
+        compressOut(*victim, /*synchronous=*/false);
+    }
+    chargeLruOps(false);
+    bgReclaimNs += ctx.cpu.grandTotal() - before;
+}
+
+SwapInResult
+ZramScheme::swapIn(PageMeta &page)
+{
+    SwapInResult res;
+    Stopwatch sw(ctx.clock);
+
+    Tick fault = ctx.timing.params().majorFaultBaseNs;
+    ctx.cpu.charge(CpuRole::FaultPath, fault);
+    ctx.clock.advance(fault);
+
+    if (page.location == PageLocation::Zpool) {
+        sectorLog.push_back(pool.sectorOf(page.objectId));
+        std::size_t csize = pool.objectSize(page.objectId);
+        pool.erase(page.objectId);
+        page.objectId = invalidObject;
+        chargeDecompression(page.key.uid, codec->cost(), cfg.chunkBytes,
+                            pageSize, csize, true);
+    } else if (page.location == PageLocation::Flash) {
+        panicIf(!flashDev, "flash swap-in without writeback device");
+        std::size_t csize = flashDev->read(page.flashSlot);
+        flashDev->free(page.flashSlot);
+        page.flashSlot = invalidFlashSlot;
+        Tick submit = ctx.timing.params().flashSubmitCpuNs;
+        ctx.cpu.charge(CpuRole::IoSubmit, submit);
+        ctx.clock.advance(submit + ctx.timing.flashReadNs(1));
+        ctx.activity.flashReadBytes += csize;
+        chargeDecompression(page.key.uid, codec->cost(), cfg.chunkBytes,
+                            pageSize, csize, true);
+        res.fromFlash = true;
+    } else {
+        panic("ZramScheme::swapIn on page not in zpool/flash");
+    }
+
+    if (!ctx.dram.allocate(1)) {
+        // On-demand compression to make room (§2.3, Fig. 2): this is
+        // the direct-reclaim cost ZRAM adds to relaunches.
+        reclaim(cfg.reclaimBatch, true);
+        panicIf(!ctx.dram.allocate(1),
+                "direct reclaim failed to free memory");
+    }
+    page.location = PageLocation::Resident;
+    AppState &app = stateFor(page.key.uid);
+    app.resident.pushFront(page);
+    app.lastAccess = ctx.clock.now();
+    chargeLruOps(true);
+
+    res.latencyNs = sw.elapsed();
+    return res;
+}
+
+void
+ZramScheme::onFree(PageMeta &page)
+{
+    switch (page.location) {
+      case PageLocation::Resident: {
+        AppState &app = stateFor(page.key.uid);
+        if (app.resident.contains(page))
+            app.resident.remove(page);
+        ctx.dram.release(1);
+        break;
+      }
+      case PageLocation::Zpool:
+        pool.erase(page.objectId);
+        page.objectId = invalidObject;
+        break;
+      case PageLocation::Flash:
+        flashDev->free(page.flashSlot);
+        page.flashSlot = invalidFlashSlot;
+        break;
+      default:
+        break;
+    }
+    page.location = PageLocation::Lost;
+}
+
+std::size_t
+ZramScheme::compressedStoredBytes() const
+{
+    std::size_t total = pool.storedBytes();
+    if (flashDev)
+        total += flashDev->liveBytes();
+    return total;
+}
+
+} // namespace ariadne

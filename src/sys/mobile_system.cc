@@ -1,0 +1,395 @@
+#include "sys/mobile_system.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "sim/log.hh"
+
+namespace ariadne
+{
+
+const char *
+schemeKindName(SchemeKind kind) noexcept
+{
+    switch (kind) {
+      case SchemeKind::Dram: return "DRAM";
+      case SchemeKind::Swap: return "SWAP";
+      case SchemeKind::Zram: return "ZRAM";
+      case SchemeKind::Zswap: return "ZSWAP";
+      case SchemeKind::Ariadne: return "Ariadne";
+      default: return "unknown";
+    }
+}
+
+MobileSystem::MobileSystem(const SystemConfig &config,
+                           const std::vector<AppProfile> &profiles)
+    : cfg(config), timing(cfg.timing), appProfiles(profiles)
+{
+    fatalIf(appProfiles.empty(), "MobileSystem needs at least one app");
+
+    // Size the anonymous-page budget. The ideal DRAM baseline gets
+    // enough memory to never reclaim (the paper's optimistic bound).
+    std::size_t dram_bytes = static_cast<std::size_t>(
+        static_cast<double>(cfg.dramBytes) * cfg.scale);
+    if (cfg.scheme == SchemeKind::Dram) {
+        std::size_t need = 0;
+        for (const auto &p : appProfiles)
+            need += p.anonBytes5min;
+        dram_bytes = static_cast<std::size_t>(
+                         static_cast<double>(need) * cfg.scale) *
+                         2 +
+                     (std::size_t{64} << 20);
+    }
+    dramModel = std::make_unique<Dram>(dram_bytes, cfg.lowWatermark,
+                                       cfg.highWatermark);
+
+    synth = std::make_unique<PageSynthesizer>(appProfiles);
+    pageCompressor = std::make_unique<PageCompressor>(*synth);
+    makeScheme();
+    reclaimDaemon = std::make_unique<Kswapd>(
+        SwapContext{simClock, timing, cpuAccount, activity, *dramModel,
+                    *pageCompressor},
+        *swapScheme);
+
+    for (const auto &p : appProfiles) {
+        instances.emplace(
+            std::piecewise_construct, std::forward_as_tuple(p.uid),
+            std::forward_as_tuple(p, cfg.scale,
+                                  mix64(cfg.seed ^ p.uid)));
+    }
+}
+
+void
+MobileSystem::makeScheme()
+{
+    SwapContext ctx{simClock, timing,     cpuAccount,
+                    activity, *dramModel, *pageCompressor};
+
+    auto scaled = [&](std::size_t bytes) {
+        return static_cast<std::size_t>(static_cast<double>(bytes) *
+                                        cfg.scale);
+    };
+
+    switch (cfg.scheme) {
+      case SchemeKind::Dram:
+        swapScheme = std::make_unique<DramOnlyScheme>(ctx);
+        break;
+      case SchemeKind::Swap: {
+        FlashSwapConfig fc = cfg.flashSwap;
+        fc.flashBytes = scaled(fc.flashBytes);
+        swapScheme = std::make_unique<FlashSwapScheme>(ctx, fc);
+        break;
+      }
+      case SchemeKind::Zram:
+      case SchemeKind::Zswap: {
+        ZramConfig zc = cfg.zram;
+        zc.writeback = (cfg.scheme == SchemeKind::Zswap);
+        zc.zpoolBytes = scaled(zc.zpoolBytes);
+        zc.flashBytes = scaled(zc.flashBytes);
+        swapScheme = std::make_unique<ZramScheme>(ctx, zc);
+        break;
+      }
+      case SchemeKind::Ariadne: {
+        AriadneConfig ac = cfg.ariadne;
+        ac.zpoolBytes = scaled(ac.zpoolBytes);
+        ac.flashBytes = scaled(ac.flashBytes);
+        auto scheme = std::make_unique<AriadneScheme>(ctx, ac);
+        // Offline profiling seed: expected hot pages per app (§4.2).
+        for (const auto &p : cfg.seedAriadneProfiles
+                 ? appProfiles
+                 : std::vector<AppProfile>{}) {
+            auto hot_pages = static_cast<std::size_t>(
+                p.hotFraction *
+                static_cast<double>(p.anonBytes10s) * cfg.scale /
+                static_cast<double>(pageSize));
+            scheme->seedProfile(p.uid,
+                                std::max<std::size_t>(1, hot_pages));
+        }
+        swapScheme = std::move(scheme);
+        break;
+      }
+    }
+}
+
+AriadneScheme *
+MobileSystem::ariadne() noexcept
+{
+    return dynamic_cast<AriadneScheme *>(swapScheme.get());
+}
+
+AppInstance &
+MobileSystem::app(AppId uid)
+{
+    auto it = instances.find(uid);
+    panicIf(it == instances.end(), "unknown app uid");
+    return it->second;
+}
+
+std::vector<AppId>
+MobileSystem::appIds() const
+{
+    std::vector<AppId> uids;
+    uids.reserve(appProfiles.size());
+    for (const auto &p : appProfiles)
+        uids.push_back(p.uid);
+    return uids;
+}
+
+PageMeta &
+MobileSystem::metaFor(const PageKey &key)
+{
+    auto it = pageTable.find(key);
+    panicIf(it == pageTable.end(), "metaFor on unknown page");
+    return *it->second;
+}
+
+void
+MobileSystem::chargeFileWriteback(std::size_t new_pages)
+{
+    filePageDebt += cfg.fileWritebackPerAnonAlloc *
+                    static_cast<double>(new_pages);
+    if (filePageDebt >= 1.0) {
+        auto pages = static_cast<std::uint64_t>(filePageDebt);
+        filePageDebt -= static_cast<double>(pages);
+        // File writeback runs on the kswapd thread; CPU only.
+        cpuAccount.charge(CpuRole::FileWriteback,
+                          pages * timing.params().fileWritebackCpuNs);
+        activity.flashWriteBytes += pages * pageSize;
+    }
+}
+
+void
+MobileSystem::maybeKswapd()
+{
+    if (!inRelaunch)
+        reclaimDaemon->maybeRun();
+}
+
+void
+MobileSystem::processTouch(AppId uid, const TouchEvent &ev,
+                           RelaunchStats *stats)
+{
+    PageKey key{uid, ev.pfn};
+    auto it = pageTable.find(key);
+
+    if (stats)
+        ++stats->pagesTouched;
+    auto capture = touchCaptures.find(uid);
+    if (capture != touchCaptures.end())
+        capture->second.insert(ev.pfn);
+
+    if (it == pageTable.end()) {
+        // First allocation of this page.
+        auto meta = std::make_unique<PageMeta>();
+        meta->key = key;
+        meta->version = ev.version;
+        meta->truth = ev.truth;
+        meta->location = PageLocation::Resident;
+        PageMeta &ref = *meta;
+        pageTable.emplace(key, std::move(meta));
+
+        if (!dramModel->allocate(1)) {
+            swapScheme->reclaim(cfg.zram.reclaimBatch, true);
+            panicIf(!dramModel->allocate(1),
+                    "allocation failed after direct reclaim");
+        }
+        swapScheme->onAdmit(ref);
+        cpuAccount.charge(CpuRole::AppExecution, cfg.pageTouchNs);
+        simClock.advance(cfg.pageTouchNs);
+        activity.dramBytes += pageSize;
+        chargeFileWriteback(1);
+        if (!inRelaunch)
+            maybeKswapd();
+        return;
+    }
+
+    PageMeta &meta = *it->second;
+    meta.truth = ev.truth;
+
+    switch (meta.location) {
+      case PageLocation::Resident:
+        cpuAccount.charge(CpuRole::AppExecution, cfg.pageTouchNs);
+        simClock.advance(cfg.pageTouchNs);
+        activity.dramBytes += pageSize;
+        swapScheme->onAccess(meta);
+        break;
+
+      case PageLocation::Lost: {
+        // Data was dropped under pressure; the app must rebuild it.
+        ++lostPages;
+        if (stats)
+            ++stats->lostRecreated;
+        if (!dramModel->allocate(1)) {
+            swapScheme->reclaim(cfg.zram.reclaimBatch, true);
+            panicIf(!dramModel->allocate(1),
+                    "allocation failed after direct reclaim");
+        }
+        meta.location = PageLocation::Resident;
+        swapScheme->onAdmit(meta);
+        Tick rebuild = cfg.pageTouchNs + timing.params().dramPageCopyNs;
+        cpuAccount.charge(CpuRole::AppExecution, rebuild);
+        simClock.advance(rebuild);
+        activity.dramBytes += pageSize;
+        break;
+      }
+
+      default: {
+        SwapInResult res = swapScheme->swapIn(meta);
+        if (stats) {
+            ++stats->majorFaults;
+            if (res.stagedHit)
+                ++stats->stagedHits;
+            if (res.fromFlash)
+                ++stats->flashFaults;
+        }
+        cpuAccount.charge(CpuRole::AppExecution, cfg.pageTouchNs);
+        simClock.advance(cfg.pageTouchNs);
+        break;
+      }
+    }
+    meta.version = ev.version;
+    meta.lastAccess = simClock.now();
+    if (!inRelaunch)
+        maybeKswapd();
+}
+
+void
+MobileSystem::runTouches(AppId uid,
+                         const std::vector<TouchEvent> &events,
+                         RelaunchStats *stats)
+{
+    for (const auto &ev : events)
+        processTouch(uid, ev, stats);
+}
+
+void
+MobileSystem::appColdLaunch(AppId uid)
+{
+    AppInstance &inst = app(uid);
+    swapScheme->onLaunch(uid);
+    Tick create = timing.params().processCreateNs;
+    cpuAccount.charge(CpuRole::AppExecution, create);
+    simClock.advance(create);
+    runTouches(uid, inst.coldLaunch(), nullptr);
+    maybeKswapd();
+}
+
+void
+MobileSystem::appExecute(AppId uid, Tick dt)
+{
+    AppInstance &inst = app(uid);
+    Tick start = simClock.now();
+    runTouches(uid, inst.execute(dt), nullptr);
+    simClock.advanceTo(start + dt);
+    maybeKswapd();
+}
+
+void
+MobileSystem::appBackground(AppId uid)
+{
+    swapScheme->onBackground(uid);
+    maybeKswapd();
+}
+
+RelaunchStats
+MobileSystem::appRelaunch(AppId uid)
+{
+    AppInstance &inst = app(uid);
+    RelaunchStats stats;
+    stats.uid = uid;
+
+    // Capture the scheme's prediction before the relaunch clears it.
+    std::vector<PageKey> predicted;
+    if (AriadneScheme *ari = ariadne())
+        predicted = ari->predictedHotSet(uid);
+
+    swapScheme->onRelaunchStart(uid);
+    inRelaunch = true;
+    Stopwatch sw(simClock);
+
+    Tick base = timing.params().relaunchBaseNs;
+    cpuAccount.charge(CpuRole::AppExecution, base);
+    simClock.advance(base);
+
+    auto events = inst.relaunch();
+    runTouches(uid, events, &stats);
+
+    stats.totalNs = sw.elapsed();
+    stats.baseNs = base;
+    stats.pagingNs = stats.totalNs - base;
+
+    inRelaunch = false;
+    swapScheme->onRelaunchEnd(uid);
+    maybeKswapd();
+
+    // Coverage of the prediction against what the relaunch touched.
+    if (!predicted.empty()) {
+        std::unordered_set<Pfn> predicted_set;
+        predicted_set.reserve(predicted.size());
+        for (const auto &key : predicted)
+            predicted_set.insert(key.pfn);
+        std::size_t covered = 0;
+        std::unordered_set<Pfn> seen;
+        for (const auto &ev : events) {
+            if (seen.insert(ev.pfn).second &&
+                predicted_set.contains(ev.pfn)) {
+                ++covered;
+            }
+        }
+        stats.predictedPages = predicted.size();
+        stats.coverage = seen.empty()
+                             ? 0.0
+                             : static_cast<double>(covered) /
+                                   static_cast<double>(seen.size());
+    }
+    return stats;
+}
+
+void
+MobileSystem::idle(Tick dt)
+{
+    simClock.advance(dt);
+    maybeKswapd();
+}
+
+void
+MobileSystem::startTouchCapture(AppId uid)
+{
+    touchCaptures[uid].clear();
+}
+
+std::vector<Pfn>
+MobileSystem::stopTouchCapture(AppId uid)
+{
+    auto it = touchCaptures.find(uid);
+    if (it == touchCaptures.end())
+        return {};
+    std::vector<Pfn> result(it->second.begin(), it->second.end());
+    touchCaptures.erase(it);
+    return result;
+}
+
+Tick
+MobileSystem::kswapdCpuNs() const noexcept
+{
+    return reclaimDaemon->cpuNs() +
+           swapScheme->backgroundReclaimCpuNs() +
+           cpuAccount.total(CpuRole::FileWriteback);
+}
+
+ActivityTotals
+MobileSystem::activityTotals() const
+{
+    ActivityTotals totals = activity;
+    totals.wallTimeNs = simClock.now();
+    totals.cpuBusyNs = cpuAccount.grandTotal();
+    return totals;
+}
+
+double
+MobileSystem::energyJoules() const
+{
+    return EnergyModel(cfg.energy).joules(activityTotals());
+}
+
+} // namespace ariadne

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * MobileSystem — the top-level integration of the simulator.
+ *
+ * Composes the virtual device (clock, timing, energy, DRAM budget,
+ * kswapd) with one swap scheme and the workload's AppInstances, and
+ * exposes the driver API the session layer and the benches use:
+ * cold-launch, execute, background, relaunch (measured), idle.
+ *
+ * Footprints are scaled by `SystemConfig::scale`; per-page costs are
+ * scale-invariant, so RelaunchStats::fullScaleNs() reconstructs the
+ * paper-scale latency exactly (base + paging / scale).
+ */
+
+#ifndef ARIADNE_SYS_MOBILE_SYSTEM_HH
+#define ARIADNE_SYS_MOBILE_SYSTEM_HH
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/ariadne.hh"
+#include "mem/dram.hh"
+#include "swap/dram_only.hh"
+#include "swap/flash_swap.hh"
+#include "swap/kswapd.hh"
+#include "swap/zram.hh"
+#include "sys/system_config.hh"
+#include "workload/generator.hh"
+#include "workload/page_synth.hh"
+
+namespace ariadne
+{
+
+/** Measured relaunch outcome (one bar of Fig. 2 / Fig. 10). */
+struct RelaunchStats
+{
+    AppId uid = invalidApp;
+    Tick totalNs = 0;  //!< measured at the simulation scale
+    Tick baseNs = 0;   //!< scale-independent base (UI/runtime work)
+    Tick pagingNs = 0; //!< page-count-proportional part
+    std::size_t pagesTouched = 0;
+    std::size_t majorFaults = 0;
+    std::size_t stagedHits = 0;  //!< PreDecomp buffer hits
+    std::size_t flashFaults = 0;
+    std::size_t lostRecreated = 0;
+    /** Coverage of the scheme's hot prediction (Ariadne only). */
+    double coverage = 0.0;
+    std::size_t predictedPages = 0;
+
+    /** Reconstruct the paper-scale latency from a scaled run. */
+    Tick
+    fullScaleNs(double scale) const noexcept
+    {
+        return baseNs + static_cast<Tick>(
+                            static_cast<double>(pagingNs) / scale);
+    }
+};
+
+/** Top-level simulated device plus workload. */
+class MobileSystem
+{
+  public:
+    /**
+     * @param config Device and scheme configuration.
+     * @param profiles Applications available to this system.
+     */
+    MobileSystem(const SystemConfig &config,
+                 const std::vector<AppProfile> &profiles);
+
+    /** Cold-launch an app (process creation plus first working set). */
+    void appColdLaunch(AppId uid);
+
+    /** Run an app in the foreground for @p dt. */
+    void appExecute(AppId uid, Tick dt);
+
+    /** Move an app to the background. */
+    void appBackground(AppId uid);
+
+    /** Hot-relaunch an app and measure it. */
+    RelaunchStats appRelaunch(AppId uid);
+
+    /** Idle wall time (kswapd catches up). */
+    void idle(Tick dt);
+
+    /** Start recording every pfn @p uid touches. */
+    void startTouchCapture(AppId uid);
+
+    /** Stop recording and return the captured set. */
+    std::vector<Pfn> stopTouchCapture(AppId uid);
+
+    // --- Introspection -------------------------------------------------
+    const Clock &clock() const noexcept { return simClock; }
+    const CpuAccount &cpu() const noexcept { return cpuAccount; }
+    SwapScheme &scheme() noexcept { return *swapScheme; }
+    const SwapScheme &scheme() const noexcept { return *swapScheme; }
+    AppInstance &app(AppId uid);
+    /** Uids of every application, in profile order. */
+    std::vector<AppId> appIds() const;
+    const SystemConfig &config() const noexcept { return cfg; }
+    Dram &dram() noexcept { return *dramModel; }
+    PageCompressor &compressor() noexcept { return *pageCompressor; }
+
+    /** The AriadneScheme, or nullptr for other schemes. */
+    AriadneScheme *ariadne() noexcept;
+
+    /** kswapd-thread CPU (reclaim daemon + file writeback), Fig. 3. */
+    Tick kswapdCpuNs() const noexcept;
+
+    /** Consolidated activity for the energy model. */
+    ActivityTotals activityTotals() const;
+
+    /** Scenario energy in Joules (Table 2). */
+    double energyJoules() const;
+
+    /** Pages recreated after being dropped under pressure. */
+    std::uint64_t lostRecreations() const noexcept { return lostPages; }
+
+  private:
+    void makeScheme();
+    PageMeta &metaFor(const PageKey &key);
+    void processTouch(AppId uid, const TouchEvent &ev,
+                      RelaunchStats *stats);
+    void runTouches(AppId uid, const std::vector<TouchEvent> &events,
+                    RelaunchStats *stats);
+    void maybeKswapd();
+    void chargeFileWriteback(std::size_t new_pages);
+
+    SystemConfig cfg;
+    Clock simClock;
+    TimingModel timing;
+    CpuAccount cpuAccount;
+    ActivityTotals activity;
+    std::unique_ptr<Dram> dramModel;
+    std::vector<AppProfile> appProfiles;
+    std::unique_ptr<PageSynthesizer> synth;
+    std::unique_ptr<PageCompressor> pageCompressor;
+    std::unique_ptr<SwapScheme> swapScheme;
+    std::unique_ptr<Kswapd> reclaimDaemon;
+
+    std::unordered_map<PageKey, std::unique_ptr<PageMeta>, PageKeyHash>
+        pageTable;
+    std::map<AppId, AppInstance> instances;
+    std::unordered_map<AppId, std::unordered_set<Pfn>> touchCaptures;
+
+    bool inRelaunch = false;
+    double filePageDebt = 0.0;
+    std::uint64_t lostPages = 0;
+};
+
+} // namespace ariadne
+
+#endif // ARIADNE_SYS_MOBILE_SYSTEM_HH

@@ -1,0 +1,98 @@
+#include "sys/session.hh"
+
+#include <algorithm>
+
+namespace ariadne
+{
+
+RelaunchStats
+SessionDriver::targetRelaunchScenario(AppId target, unsigned variant,
+                                      Tick use_time, Tick bg_use_time)
+{
+    prepareTargetScenario(target, variant, use_time, bg_use_time);
+    return sys.appRelaunch(target);
+}
+
+void
+SessionDriver::prepareTargetScenario(AppId target, unsigned variant,
+                                     Tick use_time, Tick bg_use_time)
+{
+    // Launch and use the target app.
+    if (!launched.contains(target)) {
+        sys.appColdLaunch(target);
+        launched.insert(target);
+    } else {
+        sys.appRelaunch(target);
+    }
+    sys.appExecute(target, use_time);
+    sys.appBackground(target);
+
+    // Launch the other apps in a variant-rotated order (the paper
+    // creates several distinct usage scenarios per target).
+    std::vector<AppId> others;
+    for (AppId uid : sys.appIds())
+        if (uid != target)
+            others.push_back(uid);
+    if (!others.empty()) {
+        std::rotate(others.begin(),
+                    others.begin() +
+                        static_cast<long>(variant % others.size()),
+                    others.end());
+    }
+    for (AppId uid : others) {
+        if (!launched.contains(uid)) {
+            sys.appColdLaunch(uid);
+            launched.insert(uid);
+        } else {
+            sys.appRelaunch(uid);
+        }
+        sys.appExecute(uid, bg_use_time);
+        sys.appBackground(uid);
+    }
+}
+
+void
+SessionDriver::warmUpAllApps(Tick bg_use_time)
+{
+    for (AppId uid : sys.appIds()) {
+        if (!launched.contains(uid)) {
+            sys.appColdLaunch(uid);
+            launched.insert(uid);
+        }
+        sys.appExecute(uid, bg_use_time);
+        sys.appBackground(uid);
+    }
+}
+
+void
+SessionDriver::lightUsageScenario(Tick duration, Tick gap)
+{
+    warmUpAllApps();
+    Tick start = sys.clock().now();
+    std::size_t i = 0;
+    auto uids = sys.appIds();
+    while (sys.clock().now() - start < duration) {
+        AppId uid = uids[i++ % uids.size()];
+        sys.appRelaunch(uid);
+        sys.appExecute(uid, Tick{500} * 1000000ULL);
+        sys.appBackground(uid);
+        sys.idle(gap);
+    }
+}
+
+void
+SessionDriver::heavyUsageScenario(Tick duration)
+{
+    warmUpAllApps();
+    Tick start = sys.clock().now();
+    std::size_t i = 0;
+    auto uids = sys.appIds();
+    while (sys.clock().now() - start < duration) {
+        AppId uid = uids[i++ % uids.size()];
+        sys.appRelaunch(uid);
+        sys.appExecute(uid, Tick{250} * 1000000ULL);
+        sys.appBackground(uid);
+    }
+}
+
+} // namespace ariadne

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Session driver — the MonkeyRunner replacement (§5 methodology).
+ *
+ * Builds the paper's scenarios on top of a MobileSystem:
+ *
+ *  - targetRelaunchScenario: launch the target app, use it,
+ *    background it, launch the other nine apps in a variant-specific
+ *    order (three usage scenarios per target), then relaunch the
+ *    target and measure;
+ *  - lightUsageScenario: switch between the ten apps with an
+ *    intermission gap (Table 2 "light");
+ *  - heavyUsageScenario: sequential launches without gaps
+ *    (Table 2 "heavy").
+ */
+
+#ifndef ARIADNE_SYS_SESSION_HH
+#define ARIADNE_SYS_SESSION_HH
+
+#include "sys/mobile_system.hh"
+
+namespace ariadne
+{
+
+/** Scripted multi-app usage scenarios. */
+class SessionDriver
+{
+  public:
+    /** @param system The device to drive. */
+    explicit SessionDriver(MobileSystem &system) : sys(system) {}
+
+    /**
+     * The paper's per-target trace methodology.
+     * @param target App to measure.
+     * @param variant Background-launch order variant (0, 1, 2, ...).
+     * @param use_time Foreground time of the target before switching.
+     * @param bg_use_time Foreground time of each background app.
+     * @return measured relaunch statistics.
+     */
+    RelaunchStats targetRelaunchScenario(
+        AppId target, unsigned variant,
+        Tick use_time = Tick{30} * 1000000000ULL,
+        Tick bg_use_time = Tick{8} * 1000000000ULL);
+
+    /**
+     * Everything targetRelaunchScenario does *before* the measured
+     * relaunch: launch/use/background the target, then the other
+     * apps. Lets benches reset analysis logs right before measuring
+     * with sys.appRelaunch(target).
+     */
+    void prepareTargetScenario(
+        AppId target, unsigned variant,
+        Tick use_time = Tick{30} * 1000000000ULL,
+        Tick bg_use_time = Tick{8} * 1000000000ULL);
+
+    /**
+     * Prepare pressure: launch every app once (target last-but-one)
+     * without measuring. Used by benches that then measure multiple
+     * relaunches (Fig. 5, Fig. 14).
+     */
+    void warmUpAllApps(Tick bg_use_time = Tick{8} * 1000000000ULL);
+
+    /**
+     * Light usage: round-robin relaunches with an intermission gap
+     * until @p duration simulated time passes.
+     */
+    void lightUsageScenario(Tick duration = Tick{60} * 1000000000ULL,
+                            Tick gap = Tick{1} * 1000000000ULL);
+
+    /** Heavy usage: continuous relaunches without intermission. */
+    void heavyUsageScenario(Tick duration = Tick{60} * 1000000000ULL);
+
+  private:
+    /** All uids of the system's profiles. */
+    std::vector<AppId> allApps() const;
+
+    MobileSystem &sys;
+    std::unordered_set<AppId> launched;
+};
+
+} // namespace ariadne
+
+#endif // ARIADNE_SYS_SESSION_HH

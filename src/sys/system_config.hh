@@ -1,0 +1,73 @@
+/**
+ * @file
+ * System-level configuration (the paper's Table 4 platform plus
+ * scheme selection).
+ *
+ * All capacities are given at paper scale and multiplied by `scale`
+ * internally, so a bench can run at 1/8 footprint and reconstruct
+ * full-scale latencies (see RelaunchStats::fullScaleNs).
+ */
+
+#ifndef ARIADNE_SYS_SYSTEM_CONFIG_HH
+#define ARIADNE_SYS_SYSTEM_CONFIG_HH
+
+#include "core/config.hh"
+#include "sim/energy_model.hh"
+#include "sim/timing_model.hh"
+#include "swap/flash_swap.hh"
+#include "swap/zram.hh"
+
+namespace ariadne
+{
+
+/** Which swap scheme the system runs. */
+enum class SchemeKind { Dram, Swap, Zram, Zswap, Ariadne };
+
+/** Stable display name of a scheme kind. */
+const char *schemeKindName(SchemeKind kind) noexcept;
+
+/** Full system configuration. */
+struct SystemConfig
+{
+    /** Footprint scale; 1.0 = the paper's volumes. */
+    double scale = 0.125;
+
+    /** DRAM budget for anonymous pages (paper scale). A Pixel 7 has
+     * 12 GB total; apps' anonymous data competes for roughly this
+     * much after the OS, file cache, GPU and zpool take theirs. */
+    std::size_t dramBytes = std::size_t{2560} * 1024 * 1024;
+
+    /** Watermarks (fractions of the anon budget). */
+    double lowWatermark = 0.02;
+    double highWatermark = 0.05;
+
+    SchemeKind scheme = SchemeKind::Zram;
+
+    /** Scheme-specific knobs (zpool/flash sizes at paper scale). */
+    AriadneConfig ariadne;
+    ZramConfig zram;
+    FlashSwapConfig flashSwap;
+
+    /** File pages written back per anonymous page allocated; models
+     * the file-cache share of kswapd work that exists under every
+     * scheme (the DRAM bars of Fig. 3). */
+    double fileWritebackPerAnonAlloc = 0.25;
+
+    TimingParams timing;
+    EnergyParams energy;
+
+    /** Deterministic seed for the workload instances. */
+    std::uint64_t seed = 42;
+
+    /** Seed Ariadne's per-app hot-set profiles from offline data
+     * (§4.2). Disable for the D1 ablation: without seeding the hot
+     * list starts empty and must be learned from the first relaunch. */
+    bool seedAriadneProfiles = true;
+
+    /** Per-page application-side touch cost (read/first-use work). */
+    Tick pageTouchNs = 1500;
+};
+
+} // namespace ariadne
+
+#endif // ARIADNE_SYS_SYSTEM_CONFIG_HH

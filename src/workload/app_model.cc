@@ -1,0 +1,34 @@
+#include "workload/app_model.hh"
+
+#include <algorithm>
+
+namespace ariadne
+{
+
+double
+ContentMix::totalWeight() const noexcept
+{
+    double sum = 0.0;
+    for (double w : weight)
+        sum += w;
+    return sum;
+}
+
+std::size_t
+AppProfile::anonBytesAtAge(Tick age) const noexcept
+{
+    constexpr Tick t0 = 10ULL * 1000000000ULL;  // 10 s
+    constexpr Tick t1 = 300ULL * 1000000000ULL; // 5 min
+    if (age <= t0)
+        return anonBytes10s;
+    if (age >= t1)
+        return anonBytes5min;
+    double f = static_cast<double>(age - t0) /
+               static_cast<double>(t1 - t0);
+    double bytes = static_cast<double>(anonBytes10s) +
+                   f * (static_cast<double>(anonBytes5min) -
+                        static_cast<double>(anonBytes10s));
+    return static_cast<std::size_t>(bytes);
+}
+
+} // namespace ariadne

@@ -1,0 +1,289 @@
+#include "workload/generator.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace ariadne
+{
+
+AppInstance::AppInstance(AppProfile profile, double scale_factor,
+                         std::uint64_t seed)
+    : prof(std::move(profile)), scale(scale_factor),
+      rng(mix64(seed ^ (std::uint64_t{prof.uid} << 32)))
+{
+    fatalIf(scale <= 0.0 || scale > 1.0,
+            "workload scale must be in (0, 1]");
+}
+
+TouchEvent
+AppInstance::allocatePage(Hotness truth)
+{
+    Pfn pfn = nextPfn++;
+    pages.emplace(pfn, PageState{truth, 0});
+    switch (truth) {
+      case Hotness::Hot:
+        hotList.push_back(pfn);
+        break;
+      case Hotness::Warm:
+        warmList.push_back(pfn);
+        break;
+      case Hotness::Cold:
+        coldList.push_back(pfn);
+        break;
+    }
+    return TouchEvent{pfn, 0, truth, true, true};
+}
+
+std::vector<TouchEvent>
+AppInstance::coldLaunch()
+{
+    panicIf(launched, "coldLaunch on an already-launched app");
+    launched = true;
+    ageNs = 10ULL * 1000000000ULL; // launch completes the 10 s point
+
+    std::size_t total_pages = static_cast<std::size_t>(
+        scale * static_cast<double>(prof.anonBytes10s)) /
+        pageSize;
+    if (total_pages < 8)
+        total_pages = 8;
+    hotTargetPages = std::max<std::size_t>(
+        1, static_cast<std::size_t>(prof.hotFraction *
+                                    static_cast<double>(total_pages)));
+
+    std::vector<TouchEvent> events;
+    events.reserve(total_pages);
+    // Launch data first: this access order is the canonical hot order
+    // and — because reclaim follows LRU — also the compression order.
+    for (std::size_t i = 0; i < hotTargetPages; ++i)
+        events.push_back(allocatePage(Hotness::Hot));
+
+    appendGrowth(events, total_pages);
+    return events;
+}
+
+void
+AppInstance::appendGrowth(std::vector<TouchEvent> &events,
+                          std::size_t target_pages)
+{
+    // Allocations happen in contiguous typed segments (a decoded
+    // image, a parsed document, ...): the pages of one buffer share a
+    // ground-truth hotness and sit adjacently in allocation order,
+    // which is what gives relaunch swap-ins their sector locality.
+    while (pages.size() < target_pages) {
+        Hotness truth = rng.chance(prof.warmFraction) ? Hotness::Warm
+                                                      : Hotness::Cold;
+        std::size_t segment = std::min<std::size_t>(
+            8 + rng.below(24), target_pages - pages.size());
+        for (std::size_t i = 0; i < segment; ++i)
+            events.push_back(allocatePage(truth));
+    }
+}
+
+std::vector<TouchEvent>
+AppInstance::execute(Tick dt)
+{
+    panicIf(!launched, "execute before coldLaunch");
+    ageNs += dt;
+
+    std::vector<TouchEvent> events;
+    std::size_t target_pages = static_cast<std::size_t>(
+        scale * static_cast<double>(prof.anonBytesAtAge(ageNs))) /
+        pageSize;
+    appendGrowth(events, target_pages);
+
+    // Re-touch a slice of the warm working set in sequential runs —
+    // apps walk related buffers together, which is what later gives
+    // swap-ins their zpool sector locality (Insight 3). Touch volume
+    // is proportional to execution time (~2.5% of warm pages per
+    // second).
+    if (!warmList.empty()) {
+        double seconds = static_cast<double>(dt) / 1e9;
+        auto touches = static_cast<std::size_t>(
+            0.025 * seconds * static_cast<double>(warmList.size()));
+        touches = std::min(touches, warmList.size());
+        std::size_t emitted = 0;
+        while (emitted < touches) {
+            std::size_t start = rng.below(warmList.size());
+            std::size_t run = std::min<std::size_t>(
+                8 + rng.below(24), touches - emitted);
+            run = std::min(run, warmList.size() - start);
+            for (std::size_t j = 0; j < run; ++j) {
+                Pfn pfn = warmList[start + j];
+                PageState &st = pages.at(pfn);
+                bool write = rng.chance(prof.writeProb);
+                if (write)
+                    ++st.version;
+                events.push_back(TouchEvent{pfn, st.version, st.truth,
+                                            false, write});
+                ++emitted;
+            }
+        }
+    }
+    return events;
+}
+
+std::vector<std::uint32_t>
+AppInstance::localityOrder(std::size_t n)
+{
+    std::vector<std::uint32_t> result;
+    result.reserve(n);
+    if (n == 0)
+        return result;
+
+    // Unvisited index pool with O(1) removal via position map.
+    std::vector<std::uint32_t> unvisited(n);
+    std::vector<std::uint32_t> position(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        unvisited[i] = i;
+        position[i] = i;
+    }
+    auto visit = [&](std::uint32_t idx) {
+        std::uint32_t pos = position[idx];
+        std::uint32_t last = unvisited.back();
+        unvisited[pos] = last;
+        position[last] = pos;
+        unvisited.pop_back();
+        position[idx] = UINT32_MAX;
+        result.push_back(idx);
+    };
+
+    std::uint32_t current = 0;
+    visit(current);
+    unsigned run_len = 0;
+    while (!unvisited.empty()) {
+        double p = std::min(prof.seqAccessProb +
+                                prof.seqMomentum *
+                                    std::min<unsigned>(run_len, 3),
+                            0.97);
+        std::uint32_t next = current + 1;
+        if (next < n && position[next] != UINT32_MAX &&
+            rng.chance(p)) {
+            current = next;
+            ++run_len;
+        } else {
+            current = unvisited[rng.below(unvisited.size())];
+            run_len = 0;
+        }
+        visit(current);
+    }
+    return result;
+}
+
+std::vector<TouchEvent>
+AppInstance::relaunch()
+{
+    panicIf(!launched, "relaunch before coldLaunch");
+    ++relaunches;
+
+    // --- Churn the hot set (Insight 1 statistics). ---
+    std::vector<Pfn> new_hot;
+    std::vector<Pfn> demoted_warm;
+    std::vector<Pfn> demoted_cold;
+    new_hot.reserve(hotTargetPages);
+
+    double keep_p = prof.hotSimilarity;
+    double reuse_q =
+        keep_p < 1.0
+            ? std::clamp((prof.reuseFraction - keep_p) / (1.0 - keep_p),
+                         0.0, 1.0)
+            : 1.0;
+
+    for (Pfn pfn : hotList) {
+        if (rng.chance(keep_p)) {
+            new_hot.push_back(pfn);
+        } else if (rng.chance(reuse_q)) {
+            demoted_warm.push_back(pfn);
+        } else {
+            demoted_cold.push_back(pfn);
+        }
+    }
+
+    // Refill to the (stable) hot-set size: promote warm pages in
+    // sequential runs (new relaunch activity loads related data
+    // together, preserving zpool sector locality) or allocate fresh
+    // activity data.
+    std::vector<TouchEvent> alloc_events;
+    while (new_hot.size() < hotTargetPages) {
+        if (!warmList.empty() && rng.chance(0.7)) {
+            std::size_t want = hotTargetPages - new_hot.size();
+            std::size_t start = rng.below(warmList.size());
+            std::size_t run = std::min<std::size_t>(
+                {8 + rng.below(28), want, warmList.size() - start});
+            for (std::size_t j = 0; j < run; ++j) {
+                Pfn pfn = warmList[start + j];
+                pages.at(pfn).truth = Hotness::Hot;
+                new_hot.push_back(pfn);
+            }
+            warmList.erase(
+                warmList.begin() + static_cast<long>(start),
+                warmList.begin() + static_cast<long>(start + run));
+        } else {
+            TouchEvent ev = allocatePage(Hotness::Hot);
+            // allocatePage appended to hotList; undo — membership is
+            // rebuilt below from new_hot.
+            hotList.pop_back();
+            new_hot.push_back(ev.pfn);
+            alloc_events.push_back(ev);
+        }
+    }
+
+    // Apply demotions.
+    for (Pfn pfn : demoted_warm) {
+        pages.at(pfn).truth = Hotness::Warm;
+        warmList.push_back(pfn);
+    }
+    for (Pfn pfn : demoted_cold) {
+        pages.at(pfn).truth = Hotness::Cold;
+        coldList.push_back(pfn);
+    }
+    for (Pfn pfn : new_hot)
+        pages.at(pfn).truth = Hotness::Hot;
+
+    prevHotList = std::move(hotList);
+    hotList = std::move(new_hot);
+
+    // --- Emit the access sequence with run-based locality. ---
+    std::vector<TouchEvent> events;
+    events.reserve(hotList.size());
+    auto order = localityOrder(hotList.size());
+    // Newly allocated pages must fault as allocations on first touch.
+    std::unordered_map<Pfn, bool> fresh;
+    for (const auto &ev : alloc_events)
+        fresh.emplace(ev.pfn, true);
+
+    for (std::uint32_t idx : order) {
+        Pfn pfn = hotList[idx];
+        PageState &st = pages.at(pfn);
+        bool is_new = false;
+        auto it = fresh.find(pfn);
+        if (it != fresh.end() && it->second) {
+            is_new = true;
+            it->second = false;
+        }
+        bool write = !is_new && rng.chance(prof.writeProb / 3.0);
+        if (write)
+            ++st.version;
+        events.push_back(
+            TouchEvent{pfn, st.version, Hotness::Hot, is_new, write});
+    }
+    return events;
+}
+
+Hotness
+AppInstance::truthOf(Pfn pfn) const
+{
+    auto it = pages.find(pfn);
+    panicIf(it == pages.end(), "truthOf unknown page");
+    return it->second.truth;
+}
+
+std::uint32_t
+AppInstance::versionOf(Pfn pfn) const
+{
+    auto it = pages.find(pfn);
+    panicIf(it == pages.end(), "versionOf unknown page");
+    return it->second.version;
+}
+
+} // namespace ariadne

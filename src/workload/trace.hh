@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Workload trace format.
+ *
+ * The paper's methodology replays traces of (PFN, ZRAM sector, UID,
+ * page data) collected via MonkeyRunner (§5). Our trace records the
+ * same identifying tuple plus the event kind and ground-truth hotness;
+ * page data is reproduced from (uid, pfn, version) by the synthesizer,
+ * so traces stay small. Binary format with a magic/version header and
+ * fixed-size little-endian records; a CSV exporter aids inspection.
+ */
+
+#ifndef ARIADNE_WORKLOAD_TRACE_HH
+#define ARIADNE_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mem/page.hh"
+#include "sim/types.hh"
+
+namespace ariadne
+{
+
+/** Kind of a trace event. */
+enum class TraceOp : std::uint8_t
+{
+    Launch = 0,     //!< cold launch of an app
+    Relaunch = 1,   //!< hot relaunch begins
+    RelaunchEnd = 2,//!< relaunch access sequence finished
+    Background = 3, //!< app moved to background
+    Touch = 4,      //!< page access (allocation or reuse)
+    Free = 5,       //!< page freed
+};
+
+/** Stable display name of a trace op. */
+const char *traceOpName(TraceOp op) noexcept;
+
+/** One trace event. */
+struct TraceRecord
+{
+    Tick time = 0;
+    TraceOp op = TraceOp::Touch;
+    AppId uid = invalidApp;
+    Pfn pfn = invalidPfn;
+    std::uint32_t version = 0;
+    Hotness truth = Hotness::Cold;
+    /** Whether this Touch allocates the page for the first time. */
+    bool newAllocation = false;
+
+    bool operator==(const TraceRecord &o) const noexcept = default;
+};
+
+/** Streaming writer for binary trace files. */
+class TraceWriter
+{
+  public:
+    /** Open @p path for writing; fatal() on failure. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one record. */
+    void append(const TraceRecord &rec);
+
+    /** Records written so far. */
+    std::uint64_t count() const noexcept { return written; }
+
+    /** Flush and close; called by the destructor as well. */
+    void close();
+
+  private:
+    std::ofstream out;
+    std::uint64_t written = 0;
+    bool closed = false;
+};
+
+/** Streaming reader for binary trace files. */
+class TraceReader
+{
+  public:
+    /** Open @p path; fatal() on missing file or bad header. */
+    explicit TraceReader(const std::string &path);
+
+    /** Read the next record. @return false at end of file. */
+    bool next(TraceRecord &rec);
+
+    /** Records promised by the file header. */
+    std::uint64_t count() const noexcept { return total; }
+
+  private:
+    std::ifstream in;
+    std::uint64_t total = 0;
+    std::uint64_t consumed = 0;
+};
+
+/** Read an entire trace into memory. */
+std::vector<TraceRecord> readTrace(const std::string &path);
+
+/** Write an entire trace; convenience over TraceWriter. */
+void writeTrace(const std::string &path,
+                const std::vector<TraceRecord> &records);
+
+/** Export a trace as CSV with a header row. */
+void exportTraceCsv(const std::string &path,
+                    const std::vector<TraceRecord> &records);
+
+} // namespace ariadne
+
+#endif // ARIADNE_WORKLOAD_TRACE_HH

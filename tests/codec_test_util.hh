@@ -1,0 +1,90 @@
+/** @file Shared helpers for codec tests. */
+
+#ifndef ARIADNE_TESTS_CODEC_TEST_UTIL_HH
+#define ARIADNE_TESTS_CODEC_TEST_UTIL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compress/codec.hh"
+#include "sim/rng.hh"
+
+namespace ariadne::testutil
+{
+
+/** Roundtrip src through codec; returns decompressed output. */
+inline std::vector<std::uint8_t>
+roundtrip(const Codec &codec, const std::vector<std::uint8_t> &src,
+          std::size_t *compressed_size = nullptr)
+{
+    std::vector<std::uint8_t> comp(codec.compressBound(src.size()));
+    std::size_t csize =
+        codec.compress({src.data(), src.size()},
+                       {comp.data(), comp.size()});
+    if (compressed_size)
+        *compressed_size = csize;
+    std::vector<std::uint8_t> out(src.size());
+    std::size_t dsize = codec.decompress({comp.data(), csize},
+                                         {out.data(), out.size()});
+    out.resize(dsize);
+    return out;
+}
+
+/** Fully random (incompressible) buffer. */
+inline std::vector<std::uint8_t>
+randomBuffer(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint8_t> v(n);
+    for (auto &b : v)
+        b = static_cast<std::uint8_t>(rng.next32());
+    return v;
+}
+
+/** Highly repetitive buffer (text-like). */
+inline std::vector<std::uint8_t>
+repetitiveBuffer(std::size_t n)
+{
+    const std::string phrase = "the quick brown fox jumps over ";
+    std::vector<std::uint8_t> v;
+    v.reserve(n);
+    while (v.size() < n)
+        v.insert(v.end(), phrase.begin(),
+                 phrase.begin() +
+                     static_cast<long>(
+                         std::min(phrase.size(), n - v.size())));
+    return v;
+}
+
+/** Mixed buffer: runs of zeros, text, and random bytes. */
+inline std::vector<std::uint8_t>
+mixedBuffer(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint8_t> v;
+    v.reserve(n);
+    while (v.size() < n) {
+        std::size_t run = std::min<std::size_t>(
+            64 + rng.below(192), n - v.size());
+        switch (rng.below(3)) {
+          case 0:
+            v.insert(v.end(), run, 0);
+            break;
+          case 1: {
+            auto text = repetitiveBuffer(run);
+            v.insert(v.end(), text.begin(), text.end());
+            break;
+          }
+          default:
+            for (std::size_t i = 0; i < run; ++i)
+                v.push_back(static_cast<std::uint8_t>(rng.next32()));
+            break;
+        }
+    }
+    return v;
+}
+
+} // namespace ariadne::testutil
+
+#endif // ARIADNE_TESTS_CODEC_TEST_UTIL_HH

@@ -1,0 +1,84 @@
+/** @file Shared harness for swap-scheme unit tests. */
+
+#ifndef ARIADNE_TESTS_SCHEME_TEST_UTIL_HH
+#define ARIADNE_TESTS_SCHEME_TEST_UTIL_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/dram.hh"
+#include "swap/page_compressor.hh"
+#include "swap/scheme.hh"
+#include "workload/apps.hh"
+#include "workload/page_synth.hh"
+
+namespace ariadne::testutil
+{
+
+/**
+ * Owns everything a SwapScheme needs: clock, accounts, DRAM budget,
+ * synthesizer-backed compressor, and a page table.
+ */
+struct SchemeHarness
+{
+    explicit SchemeHarness(std::size_t dram_pages = 1024)
+        : dram(dram_pages * pageSize, 0.02, 0.05),
+          synth(standardApps()), compressor(synth)
+    {}
+
+    SwapContext
+    context()
+    {
+        return SwapContext{clock,    timing, cpu,
+                           activity, dram,   compressor};
+    }
+
+    /** Create (or fetch) a page owned by @p uid. */
+    PageMeta &
+    page(AppId uid, Pfn pfn, Hotness truth = Hotness::Cold)
+    {
+        PageKey key{uid, pfn};
+        auto it = pages.find(key);
+        if (it == pages.end()) {
+            auto meta = std::make_unique<PageMeta>();
+            meta->key = key;
+            meta->truth = truth;
+            it = pages.emplace(key, std::move(meta)).first;
+        }
+        return *it->second;
+    }
+
+    /** Admit @p n fresh resident pages for @p uid into @p scheme. */
+    std::vector<PageMeta *>
+    admitPages(SwapScheme &scheme, AppId uid, std::size_t n,
+               Hotness truth = Hotness::Cold, Pfn first_pfn = 0)
+    {
+        std::vector<PageMeta *> result;
+        for (std::size_t i = 0; i < n; ++i) {
+            PageMeta &p = page(uid, first_pfn + i, truth);
+            if (!dram.allocate(1)) {
+                scheme.reclaim(32, true);
+                EXPECT_TRUE(dram.allocate(1));
+            }
+            p.location = PageLocation::Resident;
+            scheme.onAdmit(p);
+            result.push_back(&p);
+        }
+        return result;
+    }
+
+    Clock clock;
+    TimingModel timing;
+    CpuAccount cpu;
+    ActivityTotals activity;
+    Dram dram;
+    PageSynthesizer synth;
+    PageCompressor compressor;
+    std::unordered_map<PageKey, std::unique_ptr<PageMeta>, PageKeyHash>
+        pages;
+};
+
+} // namespace ariadne::testutil
+
+#endif // ARIADNE_TESTS_SCHEME_TEST_UTIL_HH

@@ -1,0 +1,170 @@
+/** @file Unit tests for similarity, locality, deciles and reports. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/hotness_dist.hh"
+#include "analysis/locality.hh"
+#include "analysis/report.hh"
+#include "analysis/similarity.hh"
+
+using namespace ariadne;
+
+TEST(Similarity, IdenticalSetsAreOne)
+{
+    std::vector<Pfn> a{1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(hotDataSimilarity(a, a), 1.0);
+}
+
+TEST(Similarity, DisjointSetsAreZero)
+{
+    std::vector<Pfn> a{1, 2}, b{3, 4};
+    EXPECT_DOUBLE_EQ(hotDataSimilarity(a, b), 0.0);
+}
+
+TEST(Similarity, NormalizedBySecondRelaunch)
+{
+    std::vector<Pfn> prev{1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<Pfn> cur{1, 2, 9, 10};
+    // 2 of cur's 4 pages recur.
+    EXPECT_DOUBLE_EQ(hotDataSimilarity(prev, cur), 0.5);
+}
+
+TEST(Similarity, EmptySetsAreZero)
+{
+    EXPECT_DOUBLE_EQ(hotDataSimilarity({}, {}), 0.0);
+    EXPECT_DOUBLE_EQ(reusedData({}, {1}, {2}), 0.0);
+}
+
+TEST(Similarity, ReusedDataCountsHotAndWarm)
+{
+    std::vector<Pfn> prev_hot{1, 2, 3, 4};
+    std::vector<Pfn> cur_hot{1, 2};
+    std::vector<Pfn> cur_warm{3};
+    // 3 of 4 prior hot pages survive as hot-or-warm.
+    EXPECT_DOUBLE_EQ(reusedData(prev_hot, cur_hot, cur_warm), 0.75);
+}
+
+TEST(Similarity, CoverageAndAccuracy)
+{
+    std::vector<Pfn> predicted{1, 2, 3, 4};
+    std::vector<Pfn> actual{1, 2, 5, 6};
+    EXPECT_DOUBLE_EQ(predictionCoverage(predicted, actual), 0.5);
+    std::vector<Pfn> used{1, 2, 3, 9};
+    EXPECT_DOUBLE_EQ(predictionAccuracy(predicted, used), 0.75);
+}
+
+TEST(Locality, AdjacencyWindow)
+{
+    EXPECT_TRUE(sectorsAdjacent(10, 10));
+    EXPECT_TRUE(sectorsAdjacent(10, 11));
+    EXPECT_TRUE(sectorsAdjacent(10, 13));
+    EXPECT_FALSE(sectorsAdjacent(10, 14));
+    EXPECT_FALSE(sectorsAdjacent(10, 9)); // backwards never counts
+}
+
+TEST(Locality, PerfectSequenceIsOne)
+{
+    std::vector<Sector> seq{1, 2, 3, 4, 5, 6};
+    EXPECT_DOUBLE_EQ(consecutiveAccessProbability(seq, 2), 1.0);
+    EXPECT_DOUBLE_EQ(consecutiveAccessProbability(seq, 4), 1.0);
+}
+
+TEST(Locality, RandomJumpsAreZero)
+{
+    std::vector<Sector> seq{1, 100, 5, 900, 50};
+    EXPECT_DOUBLE_EQ(consecutiveAccessProbability(seq, 2), 0.0);
+}
+
+TEST(Locality, FourConsecutiveIsHarderThanTwo)
+{
+    // Runs of 3 then a jump: P2 high, P4 zero.
+    std::vector<Sector> seq;
+    Sector s = 0;
+    for (int run = 0; run < 20; ++run) {
+        seq.push_back(s);
+        seq.push_back(s + 1);
+        seq.push_back(s + 2);
+        s += 100;
+    }
+    double p2 = consecutiveAccessProbability(seq, 2);
+    double p4 = consecutiveAccessProbability(seq, 4);
+    EXPECT_GT(p2, 0.5);
+    EXPECT_LT(p4, 0.1);
+}
+
+TEST(Locality, ShortStreamsReturnZero)
+{
+    EXPECT_DOUBLE_EQ(consecutiveAccessProbability({}, 2), 0.0);
+    EXPECT_DOUBLE_EQ(consecutiveAccessProbability({5}, 2), 0.0);
+}
+
+TEST(HotnessDist, DecilesPartitionStream)
+{
+    std::vector<Hotness> stream;
+    for (int i = 0; i < 50; ++i)
+        stream.push_back(Hotness::Hot);
+    for (int i = 0; i < 50; ++i)
+        stream.push_back(Hotness::Cold);
+    auto parts = hotnessByCompressionOrder(stream, 10);
+    ASSERT_EQ(parts.size(), 10u);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_DOUBLE_EQ(parts[i].hot, 1.0);
+        EXPECT_DOUBLE_EQ(parts[i].cold, 0.0);
+    }
+    for (int i = 5; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(parts[i].cold, 1.0);
+}
+
+TEST(HotnessDist, SharesSumToOne)
+{
+    std::vector<Hotness> stream{Hotness::Hot, Hotness::Warm,
+                                Hotness::Cold, Hotness::Hot,
+                                Hotness::Warm};
+    auto parts = hotnessByCompressionOrder(stream, 2);
+    for (const auto &p : parts)
+        EXPECT_NEAR(p.hot + p.warm + p.cold, 1.0, 1e-9);
+}
+
+TEST(HotnessDist, EmptyStreamIsAllZero)
+{
+    auto parts = hotnessByCompressionOrder({}, 10);
+    ASSERT_EQ(parts.size(), 10u);
+    EXPECT_DOUBLE_EQ(parts[0].hot + parts[0].warm + parts[0].cold, 0.0);
+}
+
+TEST(Report, AlignedOutput)
+{
+    ReportTable t({"Name", "Value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "2.50"});
+    std::ostringstream os;
+    t.print(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("Name"), std::string::npos);
+    EXPECT_NE(text.find("longer"), std::string::npos);
+    EXPECT_NE(text.find("----"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Report, CsvOutput)
+{
+    ReportTable t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Report, NumFormatsPrecision)
+{
+    EXPECT_EQ(ReportTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(ReportTable::num(2.0, 0), "2");
+}
+
+TEST(ReportDeath, MismatchedRowWidthIsFatal)
+{
+    ReportTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "width");
+}

@@ -1,0 +1,93 @@
+/** @file Unit tests for app profiles and the standard app set. */
+
+#include <gtest/gtest.h>
+
+#include "workload/apps.hh"
+
+using namespace ariadne;
+
+TEST(AppModel, VolumeCurveInterpolates)
+{
+    AppProfile p;
+    p.anonBytes10s = 100 << 20;
+    p.anonBytes5min = 400 << 20;
+    EXPECT_EQ(p.anonBytesAtAge(0), p.anonBytes10s);
+    EXPECT_EQ(p.anonBytesAtAge(10ULL * 1000000000ULL), p.anonBytes10s);
+    EXPECT_EQ(p.anonBytesAtAge(300ULL * 1000000000ULL),
+              p.anonBytes5min);
+    EXPECT_EQ(p.anonBytesAtAge(600ULL * 1000000000ULL),
+              p.anonBytes5min);
+    std::size_t mid = p.anonBytesAtAge(155ULL * 1000000000ULL);
+    EXPECT_GT(mid, p.anonBytes10s);
+    EXPECT_LT(mid, p.anonBytes5min);
+}
+
+TEST(AppModel, ContentMixTotal)
+{
+    ContentMix m;
+    m[RegionType::Zero] = 0.25;
+    m[RegionType::Text] = 0.75;
+    EXPECT_DOUBLE_EQ(m.totalWeight(), 1.0);
+}
+
+TEST(Apps, TenStandardApps)
+{
+    auto apps = standardApps();
+    ASSERT_EQ(apps.size(), 10u);
+    for (std::size_t i = 0; i < apps.size(); ++i)
+        EXPECT_EQ(apps[i].uid, static_cast<AppId>(i));
+}
+
+TEST(Apps, TableOneVolumesMatchPaper)
+{
+    // Table 1 of the paper, in MB.
+    struct Row
+    {
+        const char *name;
+        std::size_t mb10s, mb5min;
+    };
+    const Row rows[] = {{"YouTube", 177, 358},
+                        {"Twitter", 182, 273},
+                        {"Firefox", 560, 716},
+                        {"GoogleEarth", 273, 429},
+                        {"BangDream", 326, 821}};
+    for (const auto &row : rows) {
+        AppProfile p = standardApp(row.name);
+        EXPECT_EQ(p.anonBytes10s, row.mb10s << 20) << row.name;
+        EXPECT_EQ(p.anonBytes5min, row.mb5min << 20) << row.name;
+    }
+}
+
+TEST(Apps, ParametersWithinPaperRanges)
+{
+    double sim_sum = 0.0, reuse_sum = 0.0;
+    for (const auto &app : standardApps()) {
+        EXPECT_GT(app.hotFraction, 0.0);
+        EXPECT_LT(app.hotFraction, 0.5);
+        EXPECT_GT(app.hotSimilarity, 0.5);
+        EXPECT_LT(app.hotSimilarity, 0.9);
+        EXPECT_GT(app.reuseFraction, app.hotSimilarity);
+        EXPECT_GT(app.seqAccessProb, 0.4);
+        EXPECT_LE(app.seqAccessProb, 0.97);
+        EXPECT_GT(app.mix.totalWeight(), 0.9);
+        sim_sum += app.hotSimilarity;
+        reuse_sum += app.reuseFraction;
+    }
+    // Fig. 5 averages: similarity ~0.70, reuse ~0.98.
+    EXPECT_NEAR(sim_sum / 10.0, 0.70, 0.03);
+    EXPECT_NEAR(reuse_sum / 10.0, 0.98, 0.01);
+}
+
+TEST(Apps, BangDreamHasLeastHotData)
+{
+    // §6.1 singles out BangDream as producing less hot data.
+    auto apps = standardApps();
+    double bang = standardApp("BangDream").hotFraction;
+    for (const auto &app : apps)
+        EXPECT_LE(bang, app.hotFraction) << app.name;
+}
+
+TEST(AppsDeath, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(standardApp("NotAnApp"), "unknown standard app");
+}

@@ -1,0 +1,134 @@
+/** @file Unit tests for the base-delta-immediate codec. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "codec_test_util.hh"
+#include "compress/bdi.hh"
+
+using namespace ariadne;
+using namespace ariadne::testutil;
+
+namespace
+{
+
+/** Build a line-aligned buffer of 64-bit words base + small deltas. */
+std::vector<std::uint8_t>
+baseDeltaBuffer(std::size_t lines, std::uint64_t base,
+                std::uint64_t max_delta, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint8_t> v(lines * BdiCodec::lineBytes);
+    for (std::size_t i = 0; i + 8 <= v.size(); i += 8) {
+        std::uint64_t w = base + rng.below(max_delta);
+        std::memcpy(v.data() + i, &w, 8);
+    }
+    return v;
+}
+
+} // namespace
+
+TEST(Bdi, ZeroLinesCollapse)
+{
+    BdiCodec codec;
+    std::vector<std::uint8_t> src(4096, 0);
+    std::size_t csize = 0;
+    EXPECT_EQ(roundtrip(codec, src, &csize), src);
+    // One header byte per 64-byte line.
+    EXPECT_EQ(csize, src.size() / BdiCodec::lineBytes);
+}
+
+TEST(Bdi, Base8Delta1Compresses)
+{
+    BdiCodec codec;
+    auto src = baseDeltaBuffer(64, 0x7f0000001000ULL, 100, 3);
+    std::size_t csize = 0;
+    EXPECT_EQ(roundtrip(codec, src, &csize), src);
+    // 17 bytes per 64-byte line (header + base8 + 8 deltas).
+    EXPECT_LE(csize, src.size() / 3);
+}
+
+TEST(Bdi, PointerLikeDataCompresses)
+{
+    BdiCodec codec;
+    auto src = baseDeltaBuffer(32, 0x7123456789ABULL, 60000, 4);
+    std::size_t csize = 0;
+    EXPECT_EQ(roundtrip(codec, src, &csize), src);
+    EXPECT_LT(csize, src.size());
+}
+
+TEST(Bdi, RandomFallsBackToRaw)
+{
+    BdiCodec codec;
+    auto src = randomBuffer(4096, 17);
+    std::size_t csize = 0;
+    EXPECT_EQ(roundtrip(codec, src, &csize), src);
+    // Raw fallback costs one header byte per line.
+    EXPECT_LE(csize, src.size() + src.size() / BdiCodec::lineBytes + 2);
+}
+
+TEST(Bdi, Repeat8Pattern)
+{
+    BdiCodec codec;
+    std::vector<std::uint8_t> src(1024);
+    for (std::size_t i = 0; i < src.size(); ++i)
+        src[i] = static_cast<std::uint8_t>(i % 8);
+    std::size_t csize = 0;
+    EXPECT_EQ(roundtrip(codec, src, &csize), src);
+    // 9 bytes per 64-byte line.
+    EXPECT_LE(csize, src.size() / 4);
+}
+
+TEST(Bdi, ShortTrailingLine)
+{
+    BdiCodec codec;
+    auto src = randomBuffer(100, 5); // 1 full line + 36-byte tail
+    EXPECT_EQ(roundtrip(codec, src), src);
+}
+
+TEST(Bdi, TinyInputs)
+{
+    BdiCodec codec;
+    for (std::size_t n : {1u, 2u, 7u, 63u}) {
+        auto src = randomBuffer(n, n);
+        EXPECT_EQ(roundtrip(codec, src), src) << "n=" << n;
+    }
+}
+
+TEST(Bdi, DecompressRejectsTruncation)
+{
+    BdiCodec codec;
+    auto src = baseDeltaBuffer(16, 1000, 50, 6);
+    std::vector<std::uint8_t> comp(codec.compressBound(src.size()));
+    std::size_t csize = codec.compress({src.data(), src.size()},
+                                       {comp.data(), comp.size()});
+    std::vector<std::uint8_t> out(src.size());
+    std::size_t got = codec.decompress({comp.data(), csize / 2},
+                                       {out.data(), out.size()});
+    EXPECT_LT(got, src.size());
+}
+
+TEST(Bdi, DecompressRejectsBadScheme)
+{
+    BdiCodec codec;
+    std::vector<std::uint8_t> bogus{0xFF, 0x00, 0x01};
+    std::vector<std::uint8_t> out(256);
+    EXPECT_EQ(codec.decompress({bogus.data(), bogus.size()},
+                               {out.data(), out.size()}),
+              0u);
+}
+
+TEST(Bdi, MixedContentRoundtrips)
+{
+    BdiCodec codec;
+    auto src = mixedBuffer(8192, 8);
+    EXPECT_EQ(roundtrip(codec, src), src);
+}
+
+TEST(Bdi, MetadataCorrect)
+{
+    BdiCodec codec;
+    EXPECT_EQ(codec.kind(), CodecKind::Bdi);
+    EXPECT_EQ(codec.name(), "bdi");
+}

@@ -1,0 +1,90 @@
+/** @file Unit tests for the virtual clock and Stopwatch. */
+
+#include <gtest/gtest.h>
+
+#include "sim/clock.hh"
+
+using namespace ariadne;
+
+TEST(Clock, StartsAtZero)
+{
+    Clock c;
+    EXPECT_EQ(c.now(), 0u);
+}
+
+TEST(Clock, AdvanceAccumulates)
+{
+    Clock c;
+    c.advance(5);
+    c.advance(10);
+    EXPECT_EQ(c.now(), 15u);
+}
+
+TEST(Clock, AdvanceToMovesForwardOnly)
+{
+    Clock c;
+    c.advanceTo(100);
+    EXPECT_EQ(c.now(), 100u);
+    c.advanceTo(50); // no-op: target in the past
+    EXPECT_EQ(c.now(), 100u);
+    c.advanceTo(150);
+    EXPECT_EQ(c.now(), 150u);
+}
+
+TEST(Clock, ResetReturnsToZero)
+{
+    Clock c;
+    c.advance(42);
+    c.reset();
+    EXPECT_EQ(c.now(), 0u);
+}
+
+TEST(Clock, ZeroAdvanceIsNoop)
+{
+    Clock c;
+    c.advance(0);
+    EXPECT_EQ(c.now(), 0u);
+}
+
+TEST(Stopwatch, MeasuresInterval)
+{
+    Clock c;
+    c.advance(10);
+    Stopwatch sw(c);
+    c.advance(25);
+    EXPECT_EQ(sw.elapsed(), 25u);
+}
+
+TEST(Stopwatch, RestartRearms)
+{
+    Clock c;
+    Stopwatch sw(c);
+    c.advance(10);
+    sw.restart();
+    c.advance(7);
+    EXPECT_EQ(sw.elapsed(), 7u);
+}
+
+TEST(Stopwatch, ZeroElapsedInitially)
+{
+    Clock c;
+    Stopwatch sw(c);
+    EXPECT_EQ(sw.elapsed(), 0u);
+}
+
+TEST(TimeLiterals, ConvertCorrectly)
+{
+    EXPECT_EQ(1_us, 1000u);
+    EXPECT_EQ(1_ms, 1000000u);
+    EXPECT_EQ(1_s, 1000000000u);
+    EXPECT_DOUBLE_EQ(ticksToMs(2500000), 2.5);
+    EXPECT_DOUBLE_EQ(ticksToUs(1500), 1.5);
+    EXPECT_DOUBLE_EQ(ticksToSec(500000000), 0.5);
+}
+
+TEST(SizeLiterals, ConvertCorrectly)
+{
+    EXPECT_EQ(4_KiB, 4096u);
+    EXPECT_EQ(1_MiB, 1048576u);
+    EXPECT_EQ(2_GiB, 2147483648ull);
+}

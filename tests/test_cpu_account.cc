@@ -1,0 +1,53 @@
+/** @file Unit tests for per-role CPU accounting. */
+
+#include <gtest/gtest.h>
+
+#include "sim/cpu_account.hh"
+
+using namespace ariadne;
+
+TEST(CpuAccount, StartsEmpty)
+{
+    CpuAccount acc;
+    EXPECT_EQ(acc.grandTotal(), 0u);
+    EXPECT_EQ(acc.total(CpuRole::Kswapd), 0u);
+}
+
+TEST(CpuAccount, ChargesPerRole)
+{
+    CpuAccount acc;
+    acc.charge(CpuRole::Compression, 100);
+    acc.charge(CpuRole::Decompression, 50);
+    acc.charge(CpuRole::Compression, 25);
+    EXPECT_EQ(acc.total(CpuRole::Compression), 125u);
+    EXPECT_EQ(acc.total(CpuRole::Decompression), 50u);
+    EXPECT_EQ(acc.grandTotal(), 175u);
+}
+
+TEST(CpuAccount, CompDecompTotal)
+{
+    CpuAccount acc;
+    acc.charge(CpuRole::Compression, 10);
+    acc.charge(CpuRole::Decompression, 20);
+    acc.charge(CpuRole::Kswapd, 999);
+    EXPECT_EQ(acc.compDecompTotal(), 30u);
+}
+
+TEST(CpuAccount, ResetClearsAll)
+{
+    CpuAccount acc;
+    acc.charge(CpuRole::FaultPath, 42);
+    acc.reset();
+    EXPECT_EQ(acc.grandTotal(), 0u);
+}
+
+TEST(CpuAccount, RoleNamesAreStable)
+{
+    EXPECT_STREQ(cpuRoleName(CpuRole::Kswapd), "kswapd");
+    EXPECT_STREQ(cpuRoleName(CpuRole::Compression), "compression");
+    EXPECT_STREQ(cpuRoleName(CpuRole::Decompression), "decompression");
+    EXPECT_STREQ(cpuRoleName(CpuRole::FaultPath), "faultPath");
+    EXPECT_STREQ(cpuRoleName(CpuRole::AppExecution), "appExecution");
+    EXPECT_STREQ(cpuRoleName(CpuRole::FileWriteback), "fileWriteback");
+    EXPECT_STREQ(cpuRoleName(CpuRole::IoSubmit), "ioSubmit");
+}

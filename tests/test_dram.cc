@@ -1,0 +1,72 @@
+/** @file Unit tests for the DRAM capacity model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+
+using namespace ariadne;
+
+TEST(Dram, CapacityInPages)
+{
+    Dram d(1024 * 4096);
+    EXPECT_EQ(d.capacityPages(), 1024u);
+    EXPECT_EQ(d.usedPages(), 0u);
+    EXPECT_EQ(d.freePages(), 1024u);
+}
+
+TEST(Dram, AllocateAndRelease)
+{
+    Dram d(16 * 4096);
+    EXPECT_TRUE(d.allocate(10));
+    EXPECT_EQ(d.usedPages(), 10u);
+    d.release(4);
+    EXPECT_EQ(d.usedPages(), 6u);
+    EXPECT_EQ(d.freePages(), 10u);
+}
+
+TEST(Dram, AllocateFailsWhenFull)
+{
+    Dram d(4 * 4096);
+    EXPECT_TRUE(d.allocate(4));
+    EXPECT_FALSE(d.allocate(1));
+    EXPECT_EQ(d.usedPages(), 4u); // failed allocation changes nothing
+}
+
+TEST(Dram, WatermarksScaleWithCapacity)
+{
+    Dram d(1000 * 4096, 0.10, 0.20);
+    EXPECT_EQ(d.lowWatermarkPages(), 100u);
+    EXPECT_EQ(d.highWatermarkPages(), 200u);
+}
+
+TEST(Dram, WatermarkStateTransitions)
+{
+    Dram d(100 * 4096, 0.10, 0.20);
+    EXPECT_FALSE(d.belowLowWatermark());
+    EXPECT_TRUE(d.atHighWatermark());
+    EXPECT_EQ(d.reclaimTarget(), 0u);
+
+    ASSERT_TRUE(d.allocate(95)); // 5 free < 10 low watermark
+    EXPECT_TRUE(d.belowLowWatermark());
+    EXPECT_FALSE(d.atHighWatermark());
+    EXPECT_EQ(d.reclaimTarget(), 15u); // back to 20 free
+
+    d.release(20); // 25 free >= 20 high watermark
+    EXPECT_FALSE(d.belowLowWatermark());
+    EXPECT_TRUE(d.atHighWatermark());
+}
+
+TEST(Dram, BoundaryExactlyAtWatermark)
+{
+    Dram d(100 * 4096, 0.10, 0.20);
+    ASSERT_TRUE(d.allocate(90)); // exactly 10 free == low watermark
+    EXPECT_FALSE(d.belowLowWatermark());
+    ASSERT_TRUE(d.allocate(1)); // 9 free
+    EXPECT_TRUE(d.belowLowWatermark());
+}
+
+TEST(DramDeath, ReleaseUnderflowPanics)
+{
+    Dram d(4 * 4096);
+    EXPECT_DEATH(d.release(1), "underflow");
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * End-to-end property tests: the paper's headline claims must hold on
+ * small scenario instances, and the system must stay consistent under
+ * long mixed workloads for every scheme.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sys/session.hh"
+#include "workload/apps.hh"
+
+using namespace ariadne;
+
+namespace
+{
+
+SystemConfig
+config(SchemeKind kind, const std::string &ariadne_cfg = "")
+{
+    SystemConfig cfg;
+    cfg.scale = 0.03125;
+    cfg.scheme = kind;
+    cfg.seed = 11;
+    if (!ariadne_cfg.empty())
+        cfg.ariadne = AriadneConfig::parse(ariadne_cfg);
+    return cfg;
+}
+
+} // namespace
+
+TEST(EndToEnd, HeadlineRelaunchOrdering)
+{
+    // Ariadne-EHL ~halves the ZRAM relaunch and approaches DRAM.
+    auto run = [](SchemeKind kind) {
+        MobileSystem sys(config(kind), standardApps());
+        SessionDriver driver(sys);
+        return driver
+            .targetRelaunchScenario(standardApp("YouTube").uid, 0)
+            .fullScaleNs(0.03125);
+    };
+    double dram = static_cast<double>(run(SchemeKind::Dram));
+    double zram = static_cast<double>(run(SchemeKind::Zram));
+    double ariadne_ms = static_cast<double>(run(SchemeKind::Ariadne));
+    EXPECT_GT(zram / dram, 1.6);  // paper: 2.1x
+    EXPECT_LT(zram / dram, 3.0);
+    EXPECT_LT(ariadne_ms / dram, 1.3); // paper: within 10%
+    EXPECT_LT(ariadne_ms, 0.75 * zram); // paper: ~50% reduction
+}
+
+TEST(EndToEnd, AriadneCutsCompDecompCpuForHotRichApps)
+{
+    auto cpu = [](SchemeKind kind) {
+        MobileSystem sys(config(kind), standardApps());
+        SessionDriver driver(sys);
+        AppId uid = standardApp("YouTube").uid;
+        for (unsigned v = 0; v < 3; ++v)
+            driver.targetRelaunchScenario(uid, v);
+        return sys.cpu().compDecompTotal();
+    };
+    EXPECT_LT(cpu(SchemeKind::Ariadne), cpu(SchemeKind::Zram));
+}
+
+TEST(EndToEnd, AriadneFlashWearBelowSwap)
+{
+    // Compressed (and cold-only) writeback writes less flash than raw
+    // swap for the same workload.
+    auto wear = [](SchemeKind kind) {
+        SystemConfig cfg = config(kind);
+        MobileSystem sys(cfg, standardApps());
+        SessionDriver driver(sys);
+        driver.lightUsageScenario(Tick{20} * 1000000000ULL);
+        const FlashDevice *flash = sys.scheme().flash();
+        return flash ? flash->hostWriteBytes() : 0;
+    };
+    std::uint64_t swap_wear = wear(SchemeKind::Swap);
+    std::uint64_t ariadne_wear = wear(SchemeKind::Ariadne);
+    EXPECT_GT(swap_wear, 0u);
+    EXPECT_LT(ariadne_wear, swap_wear);
+}
+
+class SchemeStress : public ::testing::TestWithParam<SchemeKind>
+{
+};
+
+TEST_P(SchemeStress, LongMixedWorkloadStaysConsistent)
+{
+    SystemConfig cfg = config(GetParam());
+    MobileSystem sys(cfg, standardApps());
+    SessionDriver driver(sys);
+    driver.warmUpAllApps();
+    driver.lightUsageScenario(Tick{30} * 1000000000ULL);
+
+    // Global invariants after heavy churn.
+    EXPECT_LE(sys.dram().usedPages(), sys.dram().capacityPages());
+    if (const Zpool *pool = sys.scheme().zpool()) {
+        EXPECT_LE(pool->storedBytes(), pool->usedBytes());
+        EXPECT_LE(pool->usedBytes(), pool->capacityBytes());
+    }
+    ActivityTotals totals = sys.activityTotals();
+    EXPECT_EQ(totals.wallTimeNs, sys.clock().now());
+    EXPECT_GT(totals.cpuBusyNs, 0u);
+
+    // Relaunches still succeed for every app afterwards.
+    for (AppId uid : sys.appIds()) {
+        RelaunchStats st = sys.appRelaunch(uid);
+        EXPECT_GT(st.pagesTouched, 0u);
+        sys.appBackground(uid);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeStress,
+                         ::testing::Values(SchemeKind::Dram,
+                                           SchemeKind::Swap,
+                                           SchemeKind::Zram,
+                                           SchemeKind::Zswap,
+                                           SchemeKind::Ariadne));
+
+class AriadneConfigSweep
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(AriadneConfigSweep, EveryTableFiveConfigWorks)
+{
+    SystemConfig cfg = config(SchemeKind::Ariadne, GetParam());
+    MobileSystem sys(cfg, standardApps());
+    SessionDriver driver(sys);
+    RelaunchStats st =
+        driver.targetRelaunchScenario(standardApp("Twitter").uid, 0);
+    EXPECT_GT(st.pagesTouched, 0u);
+    EXPECT_GT(st.totalNs, 0u);
+    EXPECT_EQ(sys.scheme().name(),
+              std::string("Ariadne-") + GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableFive, AriadneConfigSweep,
+    ::testing::Values("EHL-256-2K-16K", "EHL-512-2K-16K",
+                      "EHL-1K-2K-16K", "EHL-1K-4K-16K",
+                      "EHL-1K-2K-32K", "EHL-1K-4K-32K",
+                      "AL-256-2K-16K", "AL-512-2K-16K",
+                      "AL-1K-2K-16K", "AL-1K-4K-32K"));
+
+TEST(EndToEnd, ZswapKeepsMoreDataThanZram)
+{
+    // ZSWAP extends capacity via flash writeback: under identical
+    // pressure it loses no (or fewer) pages than plain ZRAM with a
+    // tiny pool.
+    auto lost = [](SchemeKind kind) {
+        SystemConfig cfg = config(kind);
+        cfg.zram.zpoolBytes = std::size_t{192} * 1024 * 1024;
+        MobileSystem sys(cfg, standardApps());
+        SessionDriver driver(sys);
+        driver.warmUpAllApps();
+        return sys.scheme().lostPages();
+    };
+    EXPECT_LE(lost(SchemeKind::Zswap), lost(SchemeKind::Zram));
+}
+
+TEST(EndToEnd, PreDecompAblation)
+{
+    // D3 ablation: disabling PreDecomp cannot make relaunches faster.
+    SystemConfig with = config(SchemeKind::Ariadne, "AL-1K-2K-16K");
+    SystemConfig without = with;
+    without.ariadne.preDecompEnabled = false;
+    auto run = [](const SystemConfig &cfg) {
+        MobileSystem sys(cfg, standardApps());
+        SessionDriver driver(sys);
+        return driver
+            .targetRelaunchScenario(standardApp("YouTube").uid, 0)
+            .totalNs;
+    };
+    EXPECT_LE(run(with), run(without));
+}
+
+TEST(EndToEnd, Fig5StatisticsEmergeFromGenerator)
+{
+    // System-level check of Insight 1 on a running instance.
+    MobileSystem sys(config(SchemeKind::Zram), standardApps());
+    SessionDriver driver(sys);
+    AppId yt = standardApp("YouTube").uid;
+    driver.targetRelaunchScenario(yt, 0);
+    sys.appRelaunch(yt);
+    AppInstance &inst = sys.app(yt);
+    EXPECT_GT(inst.previousHotSet().size(), 0u);
+    EXPECT_EQ(inst.hotSet().size(), inst.previousHotSet().size());
+}

@@ -1,0 +1,76 @@
+/** @file Unit tests for the activity-based energy model. */
+
+#include <gtest/gtest.h>
+
+#include "sim/energy_model.hh"
+
+using namespace ariadne;
+
+TEST(EnergyModel, BasePowerDominatesIdle)
+{
+    EnergyModel m;
+    ActivityTotals idle;
+    idle.wallTimeNs = 60ULL * 1000000000ULL; // 60 s
+    double joules = m.joules(idle);
+    EXPECT_NEAR(joules, m.params().basePowerWatts * 60.0, 1e-9);
+    EXPECT_DOUBLE_EQ(m.dynamicJoules(idle), 0.0);
+}
+
+TEST(EnergyModel, CpuEnergyScalesWithBusyTime)
+{
+    EnergyModel m;
+    ActivityTotals a;
+    a.cpuBusyNs = 1000000000ULL; // 1 s busy
+    EXPECT_NEAR(m.dynamicJoules(a), m.params().cpuActivePowerWatts,
+                1e-9);
+}
+
+TEST(EnergyModel, FlashWritesCostMoreThanReads)
+{
+    EnergyModel m;
+    ActivityTotals reads, writes;
+    reads.flashReadBytes = 1 << 30;
+    writes.flashWriteBytes = 1 << 30;
+    EXPECT_GT(m.dynamicJoules(writes), m.dynamicJoules(reads));
+}
+
+TEST(EnergyModel, DramTrafficCounts)
+{
+    EnergyModel m;
+    ActivityTotals a;
+    a.dramBytes = 1 << 30;
+    EXPECT_GT(m.dynamicJoules(a), 0.0);
+}
+
+TEST(EnergyModel, AdditiveComposition)
+{
+    EnergyModel m;
+    ActivityTotals a;
+    a.wallTimeNs = 1000000000ULL;
+    a.cpuBusyNs = 500000000ULL;
+    a.dramBytes = 1 << 20;
+    a.flashReadBytes = 1 << 20;
+    a.flashWriteBytes = 1 << 20;
+
+    ActivityTotals cpu_only, dram_only, fr_only, fw_only;
+    cpu_only.cpuBusyNs = a.cpuBusyNs;
+    dram_only.dramBytes = a.dramBytes;
+    fr_only.flashReadBytes = a.flashReadBytes;
+    fw_only.flashWriteBytes = a.flashWriteBytes;
+
+    double sum = m.dynamicJoules(cpu_only) + m.dynamicJoules(dram_only) +
+                 m.dynamicJoules(fr_only) + m.dynamicJoules(fw_only);
+    EXPECT_NEAR(m.dynamicJoules(a), sum, 1e-9);
+}
+
+TEST(EnergyModel, CustomParams)
+{
+    EnergyParams p;
+    p.basePowerWatts = 1.0;
+    p.cpuActivePowerWatts = 2.0;
+    EnergyModel m(p);
+    ActivityTotals a;
+    a.wallTimeNs = 2000000000ULL;
+    a.cpuBusyNs = 1000000000ULL;
+    EXPECT_NEAR(m.joules(a), 2.0 + 2.0, 1e-9);
+}

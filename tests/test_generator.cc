@@ -1,0 +1,200 @@
+/** @file Unit tests for the app behaviour generator. */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "analysis/similarity.hh"
+#include "workload/apps.hh"
+#include "workload/generator.hh"
+
+using namespace ariadne;
+
+namespace
+{
+
+AppInstance
+makeInstance(const std::string &name = "YouTube", double scale = 0.0625,
+             std::uint64_t seed = 1)
+{
+    return AppInstance(standardApp(name), scale, seed);
+}
+
+} // namespace
+
+TEST(Generator, ColdLaunchAllocatesTenSecondVolume)
+{
+    auto inst = makeInstance();
+    auto events = inst.coldLaunch();
+    EXPECT_EQ(events.size(), inst.pageCount());
+    std::size_t expected =
+        static_cast<std::size_t>(0.0625 * (177 << 20)) / pageSize;
+    EXPECT_NEAR(static_cast<double>(inst.pageCount()),
+                static_cast<double>(expected),
+                static_cast<double>(expected) * 0.02);
+}
+
+TEST(Generator, HotPagesComeFirstInColdLaunch)
+{
+    auto inst = makeInstance();
+    auto events = inst.coldLaunch();
+    std::size_t hot = inst.hotSet().size();
+    for (std::size_t i = 0; i < hot; ++i)
+        EXPECT_EQ(events[i].truth, Hotness::Hot) << i;
+    EXPECT_NEAR(static_cast<double>(hot) /
+                    static_cast<double>(inst.pageCount()),
+                standardApp("YouTube").hotFraction, 0.02);
+}
+
+TEST(Generator, AllEventsAreNewAllocationsAtLaunch)
+{
+    auto inst = makeInstance();
+    for (const auto &ev : inst.coldLaunch())
+        EXPECT_TRUE(ev.newAllocation);
+}
+
+TEST(Generator, ExecuteGrowsFootprintAlongCurve)
+{
+    auto inst = makeInstance();
+    inst.coldLaunch();
+    std::size_t before = inst.pageCount();
+    inst.execute(Tick{290} * 1000000000ULL); // reach the 5 min point
+    std::size_t after = inst.pageCount();
+    EXPECT_GT(after, before);
+    std::size_t expected =
+        static_cast<std::size_t>(0.0625 * (358ULL << 20)) / pageSize;
+    EXPECT_NEAR(static_cast<double>(after),
+                static_cast<double>(expected),
+                static_cast<double>(expected) * 0.02);
+}
+
+TEST(Generator, ExecuteTouchesWarmPages)
+{
+    auto inst = makeInstance();
+    inst.coldLaunch();
+    auto events = inst.execute(Tick{30} * 1000000000ULL);
+    bool touched_existing = false;
+    for (const auto &ev : events) {
+        if (!ev.newAllocation) {
+            touched_existing = true;
+            EXPECT_EQ(ev.truth, Hotness::Warm);
+        }
+    }
+    EXPECT_TRUE(touched_existing);
+}
+
+TEST(Generator, RelaunchKeepsHotSetSizeStable)
+{
+    auto inst = makeInstance();
+    inst.coldLaunch();
+    inst.execute(Tick{30} * 1000000000ULL);
+    std::size_t hot_before = inst.hotSet().size();
+    inst.relaunch();
+    std::size_t hot_after = inst.hotSet().size();
+    EXPECT_EQ(hot_before, hot_after);
+}
+
+TEST(Generator, RelaunchSimilarityMatchesProfile)
+{
+    auto inst = makeInstance();
+    inst.coldLaunch();
+    inst.execute(Tick{30} * 1000000000ULL);
+    double sim_sum = 0.0, reuse_sum = 0.0;
+    constexpr int rounds = 5;
+    for (int i = 0; i < rounds; ++i) {
+        inst.relaunch();
+        sim_sum += hotDataSimilarity(inst.previousHotSet(),
+                                     inst.hotSet());
+        reuse_sum += reusedData(inst.previousHotSet(), inst.hotSet(),
+                                inst.warmSet());
+        inst.execute(Tick{10} * 1000000000ULL);
+    }
+    const AppProfile &p = standardApp("YouTube");
+    EXPECT_NEAR(sim_sum / rounds, p.hotSimilarity, 0.06);
+    EXPECT_NEAR(reuse_sum / rounds, p.reuseFraction, 0.02);
+}
+
+TEST(Generator, RelaunchEventsAreHot)
+{
+    auto inst = makeInstance();
+    inst.coldLaunch();
+    inst.execute(Tick{30} * 1000000000ULL);
+    auto events = inst.relaunch();
+    EXPECT_EQ(events.size(), inst.hotSet().size());
+    for (const auto &ev : events)
+        EXPECT_EQ(ev.truth, Hotness::Hot);
+}
+
+TEST(Generator, RelaunchAccessHasRunLocality)
+{
+    // Consecutive accesses mostly follow the canonical hot order.
+    auto inst = makeInstance();
+    inst.coldLaunch();
+    inst.execute(Tick{30} * 1000000000ULL);
+    auto events = inst.relaunch();
+    // Build position of each pfn in the *previous* canonical order:
+    // for the first relaunch, allocation order equals pfn order.
+    std::size_t seq = 0, total = 0;
+    for (std::size_t i = 1; i < events.size(); ++i) {
+        ++total;
+        auto delta = static_cast<std::int64_t>(events[i].pfn) -
+                     static_cast<std::int64_t>(events[i - 1].pfn);
+        if (delta >= 0 && delta <= 4)
+            ++seq;
+    }
+    double p = static_cast<double>(seq) / static_cast<double>(total);
+    EXPECT_GT(p, 0.5);
+}
+
+TEST(Generator, TruthQueriesConsistent)
+{
+    auto inst = makeInstance();
+    inst.coldLaunch();
+    for (Pfn pfn : inst.hotSet())
+        EXPECT_EQ(inst.truthOf(pfn), Hotness::Hot);
+    for (Pfn pfn : inst.warmSet())
+        EXPECT_EQ(inst.truthOf(pfn), Hotness::Warm);
+    for (Pfn pfn : inst.coldSet())
+        EXPECT_EQ(inst.truthOf(pfn), Hotness::Cold);
+}
+
+TEST(Generator, DeterministicAcrossInstances)
+{
+    auto a = makeInstance("Twitter", 0.0625, 9);
+    auto b = makeInstance("Twitter", 0.0625, 9);
+    auto ea = a.coldLaunch();
+    auto eb = b.coldLaunch();
+    ASSERT_EQ(ea.size(), eb.size());
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+        EXPECT_EQ(ea[i].pfn, eb[i].pfn);
+        EXPECT_EQ(ea[i].truth, eb[i].truth);
+    }
+}
+
+TEST(Generator, WritesBumpVersions)
+{
+    auto inst = makeInstance("BangDream");
+    inst.coldLaunch();
+    auto events = inst.execute(Tick{60} * 1000000000ULL);
+    bool any_write = false;
+    for (const auto &ev : events) {
+        if (ev.write && !ev.newAllocation) {
+            any_write = true;
+            EXPECT_GT(ev.version, 0u);
+        }
+    }
+    EXPECT_TRUE(any_write);
+}
+
+TEST(GeneratorDeath, RelaunchBeforeLaunchPanics)
+{
+    auto inst = makeInstance();
+    EXPECT_DEATH(inst.relaunch(), "before coldLaunch");
+}
+
+TEST(GeneratorDeath, DoubleColdLaunchPanics)
+{
+    auto inst = makeInstance();
+    inst.coldLaunch();
+    EXPECT_DEATH(inst.coldLaunch(), "already-launched");
+}

@@ -1,0 +1,89 @@
+/** @file Unit tests for the background reclaim daemon. */
+
+#include <gtest/gtest.h>
+
+#include "scheme_test_util.hh"
+#include "swap/kswapd.hh"
+#include "swap/zram.hh"
+
+using namespace ariadne;
+using namespace ariadne::testutil;
+
+namespace
+{
+
+ZramConfig
+testConfig()
+{
+    ZramConfig cfg;
+    cfg.zpoolBytes = 2048 * pageSize;
+    cfg.proactiveFraction = 0.0;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Kswapd, IdleAboveWatermark)
+{
+    SchemeHarness h(1000);
+    ZramScheme zram(h.context(), testConfig());
+    Kswapd daemon(h.context(), zram);
+    h.admitPages(zram, 1, 100); // plenty of free memory left
+    EXPECT_EQ(daemon.maybeRun(), 0u);
+    EXPECT_EQ(daemon.wakeups(), 0u);
+    EXPECT_EQ(daemon.cpuNs(), 0u);
+}
+
+TEST(Kswapd, ReclaimsToHighWatermark)
+{
+    SchemeHarness h(1000); // low watermark 20, high 50
+    ZramScheme zram(h.context(), testConfig());
+    Kswapd daemon(h.context(), zram);
+    h.admitPages(zram, 1, 985); // 15 free < 20 low
+    ASSERT_TRUE(h.dram.belowLowWatermark());
+    std::size_t freed = daemon.maybeRun();
+    EXPECT_GE(freed, 35u);
+    EXPECT_TRUE(h.dram.atHighWatermark());
+    EXPECT_EQ(daemon.wakeups(), 1u);
+    EXPECT_EQ(daemon.reclaimedPages(), freed);
+}
+
+TEST(Kswapd, AttributesSchemeCpuToItself)
+{
+    SchemeHarness h(1000);
+    ZramScheme zram(h.context(), testConfig());
+    Kswapd daemon(h.context(), zram);
+    h.admitPages(zram, 1, 985);
+    daemon.maybeRun();
+    // The daemon's CPU covers wakeup bookkeeping plus the
+    // compression work the scheme performed on its behalf.
+    EXPECT_GT(daemon.cpuNs(), h.cpu.total(CpuRole::Compression) / 2);
+    EXPECT_GE(daemon.cpuNs(), 20000u); // at least the wakeup cost
+}
+
+TEST(Kswapd, AsyncReclaimDoesNotAdvanceClock)
+{
+    SchemeHarness h(1000);
+    ZramScheme zram(h.context(), testConfig());
+    Kswapd daemon(h.context(), zram);
+    h.admitPages(zram, 1, 985);
+    Tick before = h.clock.now();
+    daemon.maybeRun();
+    EXPECT_EQ(h.clock.now(), before);
+}
+
+TEST(Kswapd, RepeatedWakeups)
+{
+    SchemeHarness h(1000);
+    ZramScheme zram(h.context(), testConfig());
+    Kswapd daemon(h.context(), zram);
+    auto pages = h.admitPages(zram, 1, 985);
+    daemon.maybeRun();
+    EXPECT_EQ(daemon.maybeRun(), 0u); // satisfied now
+    // New pressure wakes it again.
+    h.admitPages(zram, 2, static_cast<std::size_t>(h.dram.freePages()) -
+                              10,
+                 Hotness::Cold, 5000);
+    EXPECT_GT(daemon.maybeRun(), 0u);
+    EXPECT_EQ(daemon.wakeups(), 2u);
+}

@@ -1,0 +1,157 @@
+/** @file Unit tests for the from-scratch LZ4-class codec. */
+
+#include <gtest/gtest.h>
+
+#include "codec_test_util.hh"
+#include "compress/lz4.hh"
+
+using namespace ariadne;
+using namespace ariadne::testutil;
+
+TEST(Lz4, EmptyInput)
+{
+    Lz4Codec codec;
+    std::vector<std::uint8_t> empty;
+    std::vector<std::uint8_t> comp(codec.compressBound(0));
+    std::size_t csize =
+        codec.compress({empty.data(), 0}, {comp.data(), comp.size()});
+    std::vector<std::uint8_t> out;
+    EXPECT_EQ(codec.decompress({comp.data(), csize},
+                               {out.data(), 0}),
+              0u);
+}
+
+TEST(Lz4, SingleByte)
+{
+    Lz4Codec codec;
+    std::vector<std::uint8_t> src{0x42};
+    EXPECT_EQ(roundtrip(codec, src), src);
+}
+
+TEST(Lz4, RepetitiveCompressesWell)
+{
+    Lz4Codec codec;
+    auto src = repetitiveBuffer(4096);
+    std::size_t csize = 0;
+    EXPECT_EQ(roundtrip(codec, src, &csize), src);
+    EXPECT_LT(csize, src.size() / 4);
+}
+
+TEST(Lz4, ZerosCompressExtremelyWell)
+{
+    Lz4Codec codec;
+    std::vector<std::uint8_t> src(4096, 0);
+    std::size_t csize = 0;
+    EXPECT_EQ(roundtrip(codec, src, &csize), src);
+    EXPECT_LT(csize, 64u);
+}
+
+TEST(Lz4, RandomStaysWithinBound)
+{
+    Lz4Codec codec;
+    auto src = randomBuffer(4096, 7);
+    std::size_t csize = 0;
+    EXPECT_EQ(roundtrip(codec, src, &csize), src);
+    EXPECT_LE(csize, codec.compressBound(src.size()));
+}
+
+TEST(Lz4, OverlappingMatchReplication)
+{
+    // "abcabcabc..." forces matches with offset < length.
+    Lz4Codec codec;
+    std::vector<std::uint8_t> src;
+    for (int i = 0; i < 1000; ++i)
+        src.push_back(static_cast<std::uint8_t>('a' + i % 3));
+    EXPECT_EQ(roundtrip(codec, src), src);
+}
+
+TEST(Lz4, CompressFailsOnTinyDestination)
+{
+    Lz4Codec codec;
+    auto src = randomBuffer(1024, 1);
+    std::vector<std::uint8_t> tiny(8);
+    EXPECT_EQ(codec.compress({src.data(), src.size()},
+                             {tiny.data(), tiny.size()}),
+              0u);
+}
+
+TEST(Lz4, DecompressRejectsCorruptOffset)
+{
+    Lz4Codec codec;
+    auto src = repetitiveBuffer(512);
+    std::vector<std::uint8_t> comp(codec.compressBound(src.size()));
+    std::size_t csize = codec.compress({src.data(), src.size()},
+                                       {comp.data(), comp.size()});
+    // A zero offset is always invalid; find the first match token and
+    // clobber its offset bytes.
+    bool rejected_any = false;
+    for (std::size_t i = 0; i + 1 < csize; ++i) {
+        auto mutated = comp;
+        mutated[i] = 0;
+        mutated[i + 1] = 0;
+        std::vector<std::uint8_t> out(src.size());
+        std::size_t got = codec.decompress({mutated.data(), csize},
+                                           {out.data(), out.size()});
+        if (got != src.size())
+            rejected_any = true;
+    }
+    EXPECT_TRUE(rejected_any);
+}
+
+TEST(Lz4, DecompressRejectsTruncatedInput)
+{
+    Lz4Codec codec;
+    auto src = mixedBuffer(2048, 3);
+    std::vector<std::uint8_t> comp(codec.compressBound(src.size()));
+    std::size_t csize = codec.compress({src.data(), src.size()},
+                                       {comp.data(), comp.size()});
+    std::vector<std::uint8_t> out(src.size());
+    // Truncation must never crash or overrun; cutting into payload
+    // (beyond the final token) must lose data.
+    bool lost_data = false;
+    for (std::size_t cut = 1; cut < 16; ++cut) {
+        std::size_t got = codec.decompress(
+            {comp.data(), csize - cut}, {out.data(), out.size()});
+        EXPECT_LE(got, src.size());
+        lost_data = lost_data || got < src.size();
+    }
+    EXPECT_TRUE(lost_data);
+}
+
+TEST(Lz4, DecompressRejectsShortOutputBuffer)
+{
+    Lz4Codec codec;
+    auto src = repetitiveBuffer(4096);
+    std::vector<std::uint8_t> comp(codec.compressBound(src.size()));
+    std::size_t csize = codec.compress({src.data(), src.size()},
+                                       {comp.data(), comp.size()});
+    std::vector<std::uint8_t> out(src.size() / 2);
+    EXPECT_EQ(codec.decompress({comp.data(), csize},
+                               {out.data(), out.size()}),
+              0u);
+}
+
+TEST(Lz4, LongLiteralRuns)
+{
+    // > 15 literals exercises the length-extension encoding.
+    Lz4Codec codec;
+    auto src = randomBuffer(300, 9);
+    EXPECT_EQ(roundtrip(codec, src), src);
+}
+
+TEST(Lz4, LongMatches)
+{
+    // > 19-byte matches exercise match-length extension bytes.
+    Lz4Codec codec;
+    std::vector<std::uint8_t> src(8192, 0xAB);
+    EXPECT_EQ(roundtrip(codec, src), src);
+}
+
+TEST(Lz4, MetadataCorrect)
+{
+    Lz4Codec codec;
+    EXPECT_EQ(codec.kind(), CodecKind::Lz4);
+    EXPECT_EQ(codec.name(), "lz4");
+    EXPECT_GT(codec.cost().compNsPerByte4k, 0.0);
+    EXPECT_GE(codec.compressBound(100), 100u);
+}

@@ -1,0 +1,122 @@
+/** @file Unit tests for the from-scratch LZO-class codec. */
+
+#include <gtest/gtest.h>
+
+#include "codec_test_util.hh"
+#include "compress/lzo.hh"
+
+using namespace ariadne;
+using namespace ariadne::testutil;
+
+TEST(Lzo, EmptyInput)
+{
+    LzoCodec codec;
+    std::vector<std::uint8_t> src;
+    std::vector<std::uint8_t> comp(codec.compressBound(0));
+    std::size_t csize =
+        codec.compress({src.data(), 0}, {comp.data(), comp.size()});
+    std::vector<std::uint8_t> out;
+    EXPECT_EQ(codec.decompress({comp.data(), csize}, {out.data(), 0}),
+              0u);
+}
+
+TEST(Lzo, SingleByteAndTwoBytes)
+{
+    LzoCodec codec;
+    std::vector<std::uint8_t> one{0x11};
+    std::vector<std::uint8_t> two{0x11, 0x22};
+    EXPECT_EQ(roundtrip(codec, one), one);
+    EXPECT_EQ(roundtrip(codec, two), two);
+}
+
+TEST(Lzo, RepetitiveCompresses)
+{
+    LzoCodec codec;
+    auto src = repetitiveBuffer(4096);
+    std::size_t csize = 0;
+    EXPECT_EQ(roundtrip(codec, src, &csize), src);
+    EXPECT_LT(csize, src.size() / 2);
+}
+
+TEST(Lzo, ZerosCompress)
+{
+    LzoCodec codec;
+    std::vector<std::uint8_t> src(4096, 0);
+    std::size_t csize = 0;
+    EXPECT_EQ(roundtrip(codec, src, &csize), src);
+    EXPECT_LT(csize, src.size() / 4);
+}
+
+TEST(Lzo, RandomRoundtrips)
+{
+    LzoCodec codec;
+    auto src = randomBuffer(8192, 21);
+    std::size_t csize = 0;
+    EXPECT_EQ(roundtrip(codec, src, &csize), src);
+    EXPECT_LE(csize, codec.compressBound(src.size()));
+}
+
+TEST(Lzo, MaxLengthMatches)
+{
+    // Runs much longer than maxMatch (18) are split across items.
+    LzoCodec codec;
+    std::vector<std::uint8_t> src(1000, 0x5A);
+    EXPECT_EQ(roundtrip(codec, src), src);
+}
+
+TEST(Lzo, WindowLimitRespected)
+{
+    // Matches farther than the 4 KB window must not be referenced;
+    // pattern repeats every 5000 bytes to land outside the window.
+    LzoCodec codec;
+    auto unique = randomBuffer(5000, 33);
+    std::vector<std::uint8_t> src(unique);
+    src.insert(src.end(), unique.begin(), unique.end());
+    EXPECT_EQ(roundtrip(codec, src), src);
+}
+
+TEST(Lzo, DecompressRejectsTruncation)
+{
+    LzoCodec codec;
+    auto src = mixedBuffer(2048, 5);
+    std::vector<std::uint8_t> comp(codec.compressBound(src.size()));
+    std::size_t csize = codec.compress({src.data(), src.size()},
+                                       {comp.data(), comp.size()});
+    std::vector<std::uint8_t> out(src.size());
+    for (std::size_t cut = 1; cut < 8; ++cut) {
+        std::size_t got = codec.decompress(
+            {comp.data(), csize - cut}, {out.data(), out.size()});
+        EXPECT_LT(got, src.size());
+    }
+}
+
+TEST(Lzo, DecompressRejectsShortOutput)
+{
+    LzoCodec codec;
+    auto src = repetitiveBuffer(2048);
+    std::vector<std::uint8_t> comp(codec.compressBound(src.size()));
+    std::size_t csize = codec.compress({src.data(), src.size()},
+                                       {comp.data(), comp.size()});
+    std::vector<std::uint8_t> out(100);
+    EXPECT_EQ(codec.decompress({comp.data(), csize},
+                               {out.data(), out.size()}),
+              0u);
+}
+
+TEST(Lzo, CompressFailsOnTinyDestination)
+{
+    LzoCodec codec;
+    auto src = randomBuffer(512, 2);
+    std::vector<std::uint8_t> tiny(4);
+    EXPECT_EQ(codec.compress({src.data(), src.size()},
+                             {tiny.data(), tiny.size()}),
+              0u);
+}
+
+TEST(Lzo, MetadataCorrect)
+{
+    LzoCodec codec;
+    EXPECT_EQ(codec.kind(), CodecKind::Lzo);
+    EXPECT_EQ(codec.name(), "lzo");
+    EXPECT_GT(codec.compressBound(800), 800u);
+}

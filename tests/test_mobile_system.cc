@@ -1,0 +1,164 @@
+/** @file Integration tests for MobileSystem. */
+
+#include <gtest/gtest.h>
+
+#include "sys/session.hh"
+#include "workload/apps.hh"
+
+using namespace ariadne;
+
+namespace
+{
+
+SystemConfig
+testConfig(SchemeKind kind)
+{
+    SystemConfig cfg;
+    cfg.scale = 0.03125; // 1/32 for fast tests
+    cfg.scheme = kind;
+    cfg.seed = 7;
+    return cfg;
+}
+
+} // namespace
+
+TEST(MobileSystem, ColdLaunchAllocatesWorkingSet)
+{
+    MobileSystem sys(testConfig(SchemeKind::Zram), standardApps());
+    AppId yt = standardApp("YouTube").uid;
+    std::size_t used_before = sys.dram().usedPages();
+    sys.appColdLaunch(yt);
+    EXPECT_GT(sys.dram().usedPages(), used_before + 100);
+    EXPECT_GT(sys.clock().now(),
+              sys.config().timing.processCreateNs);
+}
+
+TEST(MobileSystem, RelaunchStatsAreConsistent)
+{
+    MobileSystem sys(testConfig(SchemeKind::Zram), standardApps());
+    SessionDriver driver(sys);
+    AppId yt = standardApp("YouTube").uid;
+    RelaunchStats st = driver.targetRelaunchScenario(yt, 0);
+    EXPECT_EQ(st.uid, yt);
+    EXPECT_GT(st.pagesTouched, 0u);
+    EXPECT_EQ(st.totalNs, st.baseNs + st.pagingNs);
+    EXPECT_GE(st.fullScaleNs(sys.config().scale), st.totalNs);
+}
+
+TEST(MobileSystem, DramSchemeNeverFaults)
+{
+    MobileSystem sys(testConfig(SchemeKind::Dram), standardApps());
+    SessionDriver driver(sys);
+    RelaunchStats st =
+        driver.targetRelaunchScenario(standardApp("Twitter").uid, 0);
+    EXPECT_EQ(st.majorFaults, 0u);
+    EXPECT_EQ(sys.scheme().totalStats().compOps, 0u);
+}
+
+TEST(MobileSystem, SchemeOrderingMatchesFig2)
+{
+    // DRAM < ZRAM < SWAP relaunch latency (paper Fig. 2).
+    auto run = [](SchemeKind kind) {
+        MobileSystem sys(testConfig(kind), standardApps());
+        SessionDriver driver(sys);
+        return driver
+            .targetRelaunchScenario(standardApp("YouTube").uid, 0)
+            .totalNs;
+    };
+    Tick dram = run(SchemeKind::Dram);
+    Tick zram = run(SchemeKind::Zram);
+    Tick swap = run(SchemeKind::Swap);
+    EXPECT_LT(dram, zram);
+    EXPECT_LT(zram, swap);
+}
+
+TEST(MobileSystem, AriadneBeatsZram)
+{
+    auto run = [](SchemeKind kind) {
+        MobileSystem sys(testConfig(kind), standardApps());
+        SessionDriver driver(sys);
+        return driver
+            .targetRelaunchScenario(standardApp("YouTube").uid, 0)
+            .totalNs;
+    };
+    EXPECT_LT(run(SchemeKind::Ariadne), run(SchemeKind::Zram));
+}
+
+TEST(MobileSystem, AriadneAccessorOnlyForAriadne)
+{
+    MobileSystem zram(testConfig(SchemeKind::Zram), standardApps());
+    EXPECT_EQ(zram.ariadne(), nullptr);
+    MobileSystem ari(testConfig(SchemeKind::Ariadne), standardApps());
+    EXPECT_NE(ari.ariadne(), nullptr);
+}
+
+TEST(MobileSystem, KswapdCpuGrowsUnderPressure)
+{
+    MobileSystem sys(testConfig(SchemeKind::Zram), standardApps());
+    SessionDriver driver(sys);
+    driver.warmUpAllApps();
+    EXPECT_GT(sys.kswapdCpuNs(), 0u);
+}
+
+TEST(MobileSystem, EnergyIsPositiveAndActivitySane)
+{
+    MobileSystem sys(testConfig(SchemeKind::Zram), standardApps());
+    SessionDriver driver(sys);
+    driver.targetRelaunchScenario(standardApp("Firefox").uid, 0);
+    ActivityTotals totals = sys.activityTotals();
+    EXPECT_EQ(totals.wallTimeNs, sys.clock().now());
+    EXPECT_GT(totals.cpuBusyNs, 0u);
+    EXPECT_GT(totals.dramBytes, 0u);
+    EXPECT_GT(sys.energyJoules(), 0.0);
+}
+
+TEST(MobileSystem, TouchCaptureRecordsAccesses)
+{
+    MobileSystem sys(testConfig(SchemeKind::Zram), standardApps());
+    AppId yt = standardApp("YouTube").uid;
+    sys.startTouchCapture(yt);
+    sys.appColdLaunch(yt);
+    auto touched = sys.stopTouchCapture(yt);
+    EXPECT_EQ(touched.size(), sys.app(yt).pageCount());
+    EXPECT_TRUE(sys.stopTouchCapture(yt).empty()); // consumed
+}
+
+TEST(MobileSystem, IdleRunsKswapd)
+{
+    MobileSystem sys(testConfig(SchemeKind::Zram), standardApps());
+    Tick t0 = sys.clock().now();
+    sys.idle(Tick{5} * 1000000000ULL);
+    EXPECT_EQ(sys.clock().now() - t0, Tick{5} * 1000000000ULL);
+}
+
+TEST(MobileSystem, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        MobileSystem sys(testConfig(SchemeKind::Ariadne),
+                         standardApps());
+        SessionDriver driver(sys);
+        return driver
+            .targetRelaunchScenario(standardApp("GoogleEarth").uid, 1)
+            .totalNs;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(MobileSystem, CoverageReportedForAriadne)
+{
+    MobileSystem sys(testConfig(SchemeKind::Ariadne), standardApps());
+    SessionDriver driver(sys);
+    AppId yt = standardApp("YouTube").uid;
+    driver.targetRelaunchScenario(yt, 0);
+    // Second relaunch: prediction from the first one exists.
+    RelaunchStats st = sys.appRelaunch(yt);
+    EXPECT_GT(st.predictedPages, 0u);
+    EXPECT_GT(st.coverage, 0.4);
+    EXPECT_LE(st.coverage, 1.0);
+}
+
+TEST(MobileSystemDeath, UnknownAppPanics)
+{
+    MobileSystem sys(testConfig(SchemeKind::Zram), standardApps());
+    EXPECT_DEATH(sys.appColdLaunch(999), "unknown app");
+}

@@ -1,0 +1,52 @@
+/** @file Unit tests for the identity codec. */
+
+#include <gtest/gtest.h>
+
+#include "codec_test_util.hh"
+#include "compress/null_codec.hh"
+
+using namespace ariadne;
+using namespace ariadne::testutil;
+
+TEST(NullCodec, CopiesVerbatim)
+{
+    NullCodec codec;
+    auto src = randomBuffer(4096, 1);
+    std::size_t csize = 0;
+    EXPECT_EQ(roundtrip(codec, src, &csize), src);
+    EXPECT_EQ(csize, src.size());
+}
+
+TEST(NullCodec, BoundEqualsSize)
+{
+    NullCodec codec;
+    EXPECT_EQ(codec.compressBound(12345), 12345u);
+}
+
+TEST(NullCodec, RejectsShortDestination)
+{
+    NullCodec codec;
+    auto src = randomBuffer(100, 2);
+    std::vector<std::uint8_t> small(50);
+    EXPECT_EQ(codec.compress({src.data(), src.size()},
+                             {small.data(), small.size()}),
+              0u);
+    EXPECT_EQ(codec.decompress({src.data(), src.size()},
+                               {small.data(), small.size()}),
+              0u);
+}
+
+TEST(NullCodec, EmptyInput)
+{
+    NullCodec codec;
+    std::vector<std::uint8_t> src;
+    std::vector<std::uint8_t> dst;
+    EXPECT_EQ(codec.compress({src.data(), 0}, {dst.data(), 0}), 0u);
+}
+
+TEST(NullCodec, MetadataCorrect)
+{
+    NullCodec codec;
+    EXPECT_EQ(codec.kind(), CodecKind::Null);
+    EXPECT_EQ(codec.name(), "null");
+}

@@ -1,0 +1,48 @@
+/** @file Unit tests for the per-app relaunch profile store. */
+
+#include <gtest/gtest.h>
+
+#include "core/profile_store.hh"
+
+using namespace ariadne;
+
+TEST(ProfileStore, FallbackForUnknownApps)
+{
+    ProfileStore store(1234);
+    EXPECT_EQ(store.hotInitPages(42), 1234u);
+    EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(ProfileStore, SeedOverridesFallback)
+{
+    ProfileStore store(1000);
+    store.seed(1, 5000);
+    EXPECT_EQ(store.hotInitPages(1), 5000u);
+    EXPECT_EQ(store.hotInitPages(2), 1000u);
+    EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(ProfileStore, EmaConvergesTowardObservations)
+{
+    ProfileStore store(0);
+    store.seed(1, 1000);
+    for (int i = 0; i < 10; ++i)
+        store.recordRelaunch(1, 2000);
+    EXPECT_NEAR(static_cast<double>(store.hotInitPages(1)), 2000.0,
+                4.0);
+}
+
+TEST(ProfileStore, FirstObservationCreatesEntry)
+{
+    ProfileStore store(100);
+    store.recordRelaunch(7, 640);
+    EXPECT_EQ(store.hotInitPages(7), 640u);
+}
+
+TEST(ProfileStore, EmaIsAverageOfOldAndNew)
+{
+    ProfileStore store(0);
+    store.seed(3, 100);
+    store.recordRelaunch(3, 200);
+    EXPECT_EQ(store.hotInitPages(3), 150u);
+}

@@ -1,0 +1,118 @@
+/** @file Unit tests for counters, scalars, histograms, registry. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace ariadne;
+
+TEST(Counter, StartsAtZeroAndIncrements)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(5);
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Scalar, TracksSumMinMaxMean)
+{
+    Scalar s;
+    EXPECT_EQ(s.samples(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    s.sample(2.0);
+    s.sample(4.0);
+    s.sample(-1.0);
+    EXPECT_EQ(s.samples(), 3u);
+    EXPECT_DOUBLE_EQ(s.sum(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), -1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_NEAR(s.mean(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Scalar, ResetClears)
+{
+    Scalar s;
+    s.sample(10.0);
+    s.reset();
+    EXPECT_EQ(s.samples(), 0u);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+}
+
+TEST(Histogram, BucketsSamples)
+{
+    Histogram h(1.0, 4);
+    h.sample(0.5);
+    h.sample(1.5);
+    h.sample(1.7);
+    h.sample(3.9);
+    h.sample(10.0); // overflow
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 2u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.overflowCount(), 1u);
+    EXPECT_EQ(h.samples(), 5u);
+}
+
+TEST(Histogram, NegativeSamplesClampToFirstBucket)
+{
+    Histogram h(1.0, 2);
+    h.sample(-5.0);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+}
+
+TEST(Histogram, CdfMonotonic)
+{
+    Histogram h(1.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.sample(static_cast<double>(i) + 0.5);
+    double prev = 0.0;
+    for (int i = 1; i <= 10; ++i) {
+        double cdf = h.cdfAt(static_cast<double>(i));
+        EXPECT_GE(cdf, prev);
+        prev = cdf;
+    }
+    EXPECT_DOUBLE_EQ(h.cdfAt(10.0), 1.0);
+}
+
+TEST(Histogram, ResetClearsAll)
+{
+    Histogram h(2.0, 2);
+    h.sample(1.0);
+    h.sample(100.0);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.overflowCount(), 0u);
+}
+
+TEST(StatRegistry, DumpContainsEntries)
+{
+    StatRegistry reg;
+    Counter c;
+    c.inc(3);
+    Scalar s;
+    s.sample(1.0);
+    reg.addCounter("a.counter", c);
+    reg.addScalar("b.scalar", s);
+
+    std::ostringstream os;
+    reg.dump(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("a.counter 3"), std::string::npos);
+    EXPECT_NE(text.find("b.scalar.mean 1"), std::string::npos);
+}
+
+TEST(StatRegistry, FindWorks)
+{
+    StatRegistry reg;
+    Counter c;
+    reg.addCounter("x", c);
+    EXPECT_EQ(reg.findCounter("x"), &c);
+    EXPECT_EQ(reg.findCounter("missing"), nullptr);
+    EXPECT_EQ(reg.findScalar("x"), nullptr);
+}

@@ -1,0 +1,144 @@
+/** @file Unit tests for trace serialization. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "workload/trace.hh"
+
+using namespace ariadne;
+
+namespace
+{
+
+std::string
+tempPath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<TraceRecord>
+sampleRecords()
+{
+    std::vector<TraceRecord> recs;
+    recs.push_back({0, TraceOp::Launch, 1, invalidPfn, 0,
+                    Hotness::Cold, false});
+    recs.push_back({100, TraceOp::Touch, 1, 42, 0, Hotness::Hot, true});
+    recs.push_back(
+        {200, TraceOp::Touch, 1, 43, 2, Hotness::Warm, false});
+    recs.push_back({300, TraceOp::Background, 1, invalidPfn, 0,
+                    Hotness::Cold, false});
+    recs.push_back(
+        {400, TraceOp::Relaunch, 1, invalidPfn, 0, Hotness::Cold,
+         false});
+    recs.push_back({500, TraceOp::RelaunchEnd, 1, invalidPfn, 0,
+                    Hotness::Cold, false});
+    recs.push_back({600, TraceOp::Free, 1, 42, 0, Hotness::Cold,
+                    false});
+    return recs;
+}
+
+} // namespace
+
+TEST(Trace, WriteReadRoundtrip)
+{
+    std::string path = tempPath("ariadne_trace_rt.bin");
+    auto recs = sampleRecords();
+    writeTrace(path, recs);
+    auto back = readTrace(path);
+    EXPECT_EQ(back, recs);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, EmptyTrace)
+{
+    std::string path = tempPath("ariadne_trace_empty.bin");
+    writeTrace(path, {});
+    auto back = readTrace(path);
+    EXPECT_TRUE(back.empty());
+    std::remove(path.c_str());
+}
+
+TEST(Trace, StreamingReaderCountsMatch)
+{
+    std::string path = tempPath("ariadne_trace_stream.bin");
+    auto recs = sampleRecords();
+    {
+        TraceWriter w(path);
+        for (const auto &r : recs)
+            w.append(r);
+        EXPECT_EQ(w.count(), recs.size());
+    }
+    TraceReader r(path);
+    EXPECT_EQ(r.count(), recs.size());
+    TraceRecord rec;
+    std::size_t n = 0;
+    while (r.next(rec))
+        ++n;
+    EXPECT_EQ(n, recs.size());
+    std::remove(path.c_str());
+}
+
+TEST(Trace, LargeTraceRoundtrip)
+{
+    std::string path = tempPath("ariadne_trace_large.bin");
+    std::vector<TraceRecord> recs;
+    for (std::uint64_t i = 0; i < 10000; ++i) {
+        recs.push_back({i * 10, TraceOp::Touch,
+                        static_cast<AppId>(i % 10), i,
+                        static_cast<std::uint32_t>(i % 3),
+                        static_cast<Hotness>(i % 3), i % 7 == 0});
+    }
+    writeTrace(path, recs);
+    EXPECT_EQ(readTrace(path), recs);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, CsvExportHasHeaderAndRows)
+{
+    std::string bin = tempPath("ariadne_trace_csv.bin");
+    std::string csv = tempPath("ariadne_trace.csv");
+    auto recs = sampleRecords();
+    exportTraceCsv(csv, recs);
+
+    std::ifstream in(csv);
+    std::string line;
+    std::size_t lines = 0;
+    bool header_ok = false;
+    while (std::getline(in, line)) {
+        if (lines == 0)
+            header_ok = line.rfind("time_ns,op,uid", 0) == 0;
+        ++lines;
+    }
+    EXPECT_TRUE(header_ok);
+    EXPECT_EQ(lines, recs.size() + 1);
+    std::remove(bin.c_str());
+    std::remove(csv.c_str());
+}
+
+TEST(Trace, OpNamesStable)
+{
+    EXPECT_STREQ(traceOpName(TraceOp::Launch), "launch");
+    EXPECT_STREQ(traceOpName(TraceOp::Relaunch), "relaunch");
+    EXPECT_STREQ(traceOpName(TraceOp::Touch), "touch");
+    EXPECT_STREQ(traceOpName(TraceOp::Free), "free");
+}
+
+TEST(TraceDeath, MissingFileIsFatal)
+{
+    EXPECT_DEATH(TraceReader("/nonexistent/path/trace.bin"),
+                 "cannot open");
+}
+
+TEST(TraceDeath, CorruptHeaderIsFatal)
+{
+    std::string path = tempPath("ariadne_trace_bad.bin");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "garbage that is not a trace header";
+    }
+    EXPECT_DEATH(TraceReader reader(path), "bad trace header");
+    std::remove(path.c_str());
+}

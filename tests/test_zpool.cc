@@ -1,0 +1,180 @@
+/** @file Unit tests for the zsmalloc-like compressed-object pool. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/zpool.hh"
+#include "sim/rng.hh"
+
+using namespace ariadne;
+
+TEST(Zpool, InsertAndQuery)
+{
+    Zpool pool(1 << 20);
+    ZObjectId id = pool.insert(1000, 42);
+    ASSERT_NE(id, invalidObject);
+    EXPECT_TRUE(pool.live(id));
+    EXPECT_EQ(pool.objectSize(id), 1000u);
+    EXPECT_EQ(pool.cookie(id), 42u);
+    EXPECT_EQ(pool.objectCount(), 1u);
+    EXPECT_EQ(pool.storedBytes(), 1000u);
+}
+
+TEST(Zpool, SectorsAreSequentialPerInsertion)
+{
+    // The paper's "ZRAM sector" semantics: batched insertions get
+    // consecutive sector numbers regardless of payload placement.
+    Zpool pool(1 << 20);
+    std::vector<ZObjectId> ids;
+    for (int i = 0; i < 10; ++i)
+        ids.push_back(pool.insert(500 + 137 * i, 0));
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        EXPECT_EQ(pool.sectorOf(ids[i]), static_cast<Sector>(i));
+}
+
+TEST(Zpool, NextInSectorOrderFollowsInsertion)
+{
+    Zpool pool(1 << 20);
+    ZObjectId a = pool.insert(100, 1);
+    ZObjectId b = pool.insert(200, 2);
+    ZObjectId c = pool.insert(300, 3);
+    EXPECT_EQ(pool.nextInSectorOrder(a), b);
+    EXPECT_EQ(pool.nextInSectorOrder(b), c);
+    EXPECT_EQ(pool.nextInSectorOrder(c), invalidObject);
+}
+
+TEST(Zpool, NextInSectorOrderSkipsErased)
+{
+    Zpool pool(1 << 20);
+    ZObjectId a = pool.insert(100, 1);
+    ZObjectId b = pool.insert(100, 2);
+    ZObjectId c = pool.insert(100, 3);
+    pool.erase(b);
+    EXPECT_EQ(pool.nextInSectorOrder(a), c);
+}
+
+TEST(Zpool, NextInSectorOrderRespectsMaxGap)
+{
+    Zpool pool(1 << 20);
+    ZObjectId a = pool.insert(100, 1);
+    std::vector<ZObjectId> fillers;
+    for (int i = 0; i < 20; ++i)
+        fillers.push_back(pool.insert(100, 0));
+    ZObjectId far = pool.insert(100, 2);
+    for (ZObjectId f : fillers)
+        pool.erase(f);
+    // `far` is 21 sectors away; the default max gap refuses it.
+    EXPECT_EQ(pool.nextInSectorOrder(a), invalidObject);
+    EXPECT_EQ(pool.nextInSectorOrder(a, 100), far);
+}
+
+TEST(Zpool, EraseFreesSpace)
+{
+    Zpool pool(64 * 4096);
+    std::vector<ZObjectId> ids;
+    // Fill the pool with 2 KB objects (2 per block).
+    for (;;) {
+        ZObjectId id = pool.insert(2048, 0);
+        if (id == invalidObject)
+            break;
+        ids.push_back(id);
+    }
+    EXPECT_EQ(ids.size(), 128u);
+    EXPECT_FALSE(pool.canFit(2048));
+    pool.erase(ids.back());
+    EXPECT_TRUE(pool.canFit(2048));
+}
+
+TEST(Zpool, SizeClassSharing)
+{
+    // Two 1.9 KB objects share one 4 KB block (class 2048).
+    Zpool pool(1 << 20);
+    std::size_t used_before = pool.usedBytes();
+    pool.insert(1900, 0);
+    pool.insert(1900, 0);
+    EXPECT_EQ(pool.usedBytes() - used_before, Zpool::blockBytes);
+}
+
+TEST(Zpool, HugeObjectsSpanBlocks)
+{
+    Zpool pool(1 << 20);
+    ZObjectId id = pool.insert(10000, 7); // needs 3 blocks
+    ASSERT_NE(id, invalidObject);
+    EXPECT_EQ(pool.objectSize(id), 10000u);
+    EXPECT_EQ(pool.usedBytes(), 3 * Zpool::blockBytes);
+    pool.erase(id);
+    EXPECT_EQ(pool.usedBytes(), 0u);
+    EXPECT_EQ(pool.objectCount(), 0u);
+}
+
+TEST(Zpool, HugeAllocationFailsWhenFragmented)
+{
+    Zpool pool(8 * 4096); // 8 blocks
+    std::vector<ZObjectId> ids;
+    for (int i = 0; i < 8; ++i)
+        ids.push_back(pool.insert(4096, 0)); // fill every block
+    // Free alternating blocks: max contiguous run is 1.
+    for (std::size_t i = 0; i < ids.size(); i += 2)
+        pool.erase(ids[i]);
+    EXPECT_FALSE(pool.canFit(8192));
+    EXPECT_EQ(pool.insert(8192, 0), invalidObject);
+    // Freeing a neighbour creates a run of 2.
+    pool.erase(ids[1]);
+    EXPECT_TRUE(pool.canFit(8192));
+    EXPECT_NE(pool.insert(8192, 0), invalidObject);
+}
+
+TEST(Zpool, FragmentationMetric)
+{
+    Zpool pool(1 << 20);
+    EXPECT_DOUBLE_EQ(pool.fragmentation(), 0.0);
+    pool.insert(100, 0); // 100 bytes in a 4096-byte block
+    EXPECT_GT(pool.fragmentation(), 0.9);
+}
+
+TEST(Zpool, ReusesSlotsAfterErase)
+{
+    Zpool pool(4 * 4096);
+    ZObjectId a = pool.insert(4096, 0);
+    pool.erase(a);
+    std::size_t used = pool.usedBytes();
+    ZObjectId b = pool.insert(4096, 0);
+    EXPECT_NE(b, invalidObject);
+    EXPECT_EQ(pool.usedBytes(), used + Zpool::blockBytes);
+}
+
+TEST(Zpool, StressChurnKeepsInvariants)
+{
+    Zpool pool(256 * 4096);
+    Rng rng(42);
+    std::vector<ZObjectId> live;
+    for (int step = 0; step < 5000; ++step) {
+        if (!live.empty() && rng.chance(0.45)) {
+            std::size_t idx = rng.below(live.size());
+            pool.erase(live[idx]);
+            live[idx] = live.back();
+            live.pop_back();
+        } else {
+            std::size_t csize = 64 + rng.below(6000);
+            ZObjectId id = pool.insert(csize, step);
+            if (id != invalidObject)
+                live.push_back(id);
+        }
+        EXPECT_LE(pool.storedBytes(), pool.usedBytes());
+        EXPECT_LE(pool.usedBytes(), pool.capacityBytes());
+        EXPECT_EQ(pool.objectCount(), live.size());
+    }
+    for (ZObjectId id : live)
+        pool.erase(id);
+    EXPECT_EQ(pool.usedBytes(), 0u);
+    EXPECT_EQ(pool.storedBytes(), 0u);
+}
+
+TEST(ZpoolDeath, EraseDeadObjectPanics)
+{
+    Zpool pool(1 << 20);
+    ZObjectId id = pool.insert(100, 0);
+    pool.erase(id);
+    EXPECT_DEATH(pool.erase(id), "dead");
+}
