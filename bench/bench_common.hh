@@ -3,9 +3,12 @@
  * Shared helpers for the experiment harnesses.
  *
  * Every bench binary reproduces one table or figure of the paper; the
- * helpers here build systems at the standard evaluation scale, run
- * the §5 target-relaunch methodology, and print results side by side
- * with the paper's reference values (EXPERIMENTS.md records both).
+ * helpers here describe runs as driver::ScenarioSpecs at the standard
+ * evaluation scale, execute them through the FleetRunner, and print
+ * results side by side with the paper's reference values
+ * (EXPERIMENTS.md records both). A single-session fleet with the
+ * shared eval seed reproduces the legacy hand-rolled bench loops
+ * bit-for-bit.
  */
 
 #ifndef ARIADNE_BENCH_COMMON_HH
@@ -16,6 +19,7 @@
 #include <vector>
 
 #include "analysis/report.hh"
+#include "driver/fleet_runner.hh"
 #include "sys/session.hh"
 #include "workload/apps.hh"
 
@@ -50,18 +54,40 @@ makeConfig(SchemeKind kind, const std::string &ariadne_cfg = "")
     return cfg;
 }
 
+/** Empty ScenarioSpec at the evaluation scale; add events to taste. */
+inline driver::ScenarioSpec
+makeSpec(SchemeKind kind, const std::string &ariadne_cfg = "")
+{
+    driver::ScenarioSpec spec;
+    spec.scheme = kind;
+    spec.ariadneConfig = ariadne_cfg;
+    spec.scale = evalScale;
+    spec.seed = evalSeed;
+    return spec;
+}
+
+/** Run @p spec as a single session (the legacy bench methodology). */
+inline driver::SessionResult
+runSingleSession(driver::ScenarioSpec spec)
+{
+    return driver::FleetRunner(std::move(spec)).runSession(0);
+}
+
 /**
- * Run the §5 target-relaunch scenario on a fresh system.
+ * Run the §5 target-relaunch scenario on a fresh single-session fleet
+ * at the evaluation scale.
  * @return the measured relaunch.
  */
 inline RelaunchStats
-runTargetScenario(const SystemConfig &cfg, const std::string &app_name,
-                  unsigned variant = 0)
+runTargetScenario(SchemeKind kind, const std::string &app_name,
+                  unsigned variant = 0,
+                  const std::string &ariadne_cfg = "")
 {
-    MobileSystem sys(cfg, standardApps());
-    SessionDriver driver(sys);
-    return driver.targetRelaunchScenario(standardApp(app_name).uid,
-                                         variant);
+    driver::ScenarioSpec spec = makeSpec(kind, ariadne_cfg);
+    spec.name = "target";
+    spec.program.push_back(
+        driver::Event::targetScenario(app_name, variant));
+    return runSingleSession(std::move(spec)).relaunches.back().stats;
 }
 
 /** Full-scale milliseconds of a scaled relaunch measurement. */

@@ -40,14 +40,14 @@ main()
 
     for (const auto &name : plottedApps()) {
         std::vector<std::string> row{name};
-        double zram = fullScaleMs(
-            runTargetScenario(makeConfig(SchemeKind::Zram), name));
+        double zram =
+            fullScaleMs(runTargetScenario(SchemeKind::Zram, name));
         row.push_back(ReportTable::num(zram, 1));
 
         double best = 1e18;
         for (const auto &c : configs) {
-            double ms = fullScaleMs(runTargetScenario(
-                makeConfig(SchemeKind::Ariadne, c), name));
+            double ms = fullScaleMs(
+                runTargetScenario(SchemeKind::Ariadne, name, 0, c));
             row.push_back(ReportTable::num(ms, 1));
             best = std::min(best, ms);
             ariadne_sum += ms;
@@ -57,8 +57,8 @@ main()
                 ++ehl_count;
             }
         }
-        double dram = fullScaleMs(
-            runTargetScenario(makeConfig(SchemeKind::Dram), name));
+        double dram =
+            fullScaleMs(runTargetScenario(SchemeKind::Dram, name));
         row.push_back(ReportTable::num(dram, 1));
         table.addRow(std::move(row));
 

@@ -23,14 +23,16 @@ namespace
  * data over and over while Ariadne's cold units stay compressed.
  */
 double
-compDecompCpu(const SystemConfig &cfg, const std::string &app_name)
+compDecompCpu(SchemeKind kind, const std::string &acfg,
+              const std::string &app_name)
 {
-    MobileSystem sys(cfg, standardApps());
-    SessionDriver driver(sys);
-    AppId uid = standardApp(app_name).uid;
+    driver::ScenarioSpec spec = makeSpec(kind, acfg);
+    spec.name = "fig11";
     for (unsigned variant = 0; variant < 3; ++variant)
-        driver.targetRelaunchScenario(uid, variant);
-    return static_cast<double>(sys.cpu().compDecompTotal());
+        spec.program.push_back(
+            driver::Event::targetScenario(app_name, variant));
+    driver::SessionResult session = runSingleSession(std::move(spec));
+    return static_cast<double>(session.compCpuNs + session.decompCpuNs);
 }
 
 } // namespace
@@ -54,11 +56,10 @@ main()
     double sum = 0.0;
     std::size_t count = 0;
     for (const auto &name : plottedApps()) {
-        double zram = compDecompCpu(makeConfig(SchemeKind::Zram), name);
+        double zram = compDecompCpu(SchemeKind::Zram, "", name);
         std::vector<std::string> row{name};
         for (const auto &c : configs) {
-            double a =
-                compDecompCpu(makeConfig(SchemeKind::Ariadne, c), name);
+            double a = compDecompCpu(SchemeKind::Ariadne, c, name);
             double normalized = a / zram;
             row.push_back(ReportTable::num(normalized, 2));
             sum += normalized;

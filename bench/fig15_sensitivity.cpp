@@ -26,13 +26,15 @@ struct Row
 };
 
 Row
-measure(const SystemConfig &cfg, const std::string &app_name)
+measure(SchemeKind kind, const std::string &acfg,
+        const std::string &app_name)
 {
-    MobileSystem sys(cfg, standardApps());
-    SessionDriver driver(sys);
-    AppId uid = standardApp(app_name).uid;
-    driver.targetRelaunchScenario(uid, 0);
-    const CompStats &st = sys.scheme().appStats(uid);
+    driver::ScenarioSpec spec = bench::makeSpec(kind, acfg);
+    spec.name = "fig15";
+    spec.program.push_back(driver::Event::targetScenario(app_name, 0));
+    driver::SessionResult session =
+        bench::runSingleSession(std::move(spec));
+    const CompStats &st = session.appComp.at(standardApp(app_name).uid);
     return {static_cast<double>(st.compNs) / 1e6,
             static_cast<double>(st.decompNs) / 1e6, st.ratio()};
 }
@@ -45,12 +47,16 @@ main()
     printBanner(std::cout,
                 "Fig. 15: sensitivity to chunk-size configuration");
 
-    const std::vector<std::pair<std::string, SystemConfig>> schemes = {
-        {"ZRAM", makeConfig(SchemeKind::Zram)},
-        {"AL-1K-4K-64K", makeConfig(SchemeKind::Ariadne,
-                                    "AL-1K-4K-64K")},
-        {"AL-256-1K-4K", makeConfig(SchemeKind::Ariadne,
-                                    "AL-256-1K-4K")},
+    struct SchemeUnderTest
+    {
+        std::string label;
+        SchemeKind kind;
+        std::string acfg;
+    };
+    const std::vector<SchemeUnderTest> schemes = {
+        {"ZRAM", SchemeKind::Zram, ""},
+        {"AL-1K-4K-64K", SchemeKind::Ariadne, "AL-1K-4K-64K"},
+        {"AL-256-1K-4K", SchemeKind::Ariadne, "AL-256-1K-4K"},
     };
 
     ReportTable comp({"App", "ZRAM", "AL-1K-4K-64K", "AL-256-1K-4K"});
@@ -61,8 +67,8 @@ main()
     for (const auto &name : plottedApps()) {
         std::vector<std::string> comp_row{name}, decomp_row{name},
             ratio_row{name};
-        for (const auto &[label, cfg] : schemes) {
-            Row r = measure(cfg, name);
+        for (const auto &scheme : schemes) {
+            Row r = measure(scheme.kind, scheme.acfg, name);
             comp_row.push_back(ReportTable::num(r.compMs, 2));
             decomp_row.push_back(ReportTable::num(r.decompMs, 3));
             ratio_row.push_back(ReportTable::num(r.ratio, 2));

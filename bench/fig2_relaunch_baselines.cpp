@@ -24,12 +24,12 @@ main()
     double ratio_sum = 0.0;
     std::size_t n = 0;
     for (const auto &name : plottedApps()) {
-        double dram = fullScaleMs(
-            runTargetScenario(makeConfig(SchemeKind::Dram), name));
-        double zram = fullScaleMs(
-            runTargetScenario(makeConfig(SchemeKind::Zram), name));
-        double swap = fullScaleMs(
-            runTargetScenario(makeConfig(SchemeKind::Swap), name));
+        double dram =
+            fullScaleMs(runTargetScenario(SchemeKind::Dram, name));
+        double zram =
+            fullScaleMs(runTargetScenario(SchemeKind::Zram, name));
+        double swap =
+            fullScaleMs(runTargetScenario(SchemeKind::Swap, name));
 
         table.addRow({name, ReportTable::num(dram, 1),
                       ReportTable::num(zram, 1),

@@ -2,82 +2,68 @@
  * @file
  * Daily-usage example: users switch apps >100 times a day (§1).
  *
- * Simulates 120 app switches across the ten standard apps under ZRAM
- * and under Ariadne, and reports the relaunch-latency distribution,
- * comp/decomp CPU, and PreDecomp effectiveness — the end-to-end user
- * experience the paper optimizes.
+ * Describes the day declaratively as a driver::ScenarioSpec — the
+ * same config format scenarios/daily.cfg feeds to ariadne_sim — and
+ * runs it under ZRAM and under Ariadne through the FleetRunner,
+ * comparing the relaunch-latency distribution, comp/decomp CPU, and
+ * PreDecomp effectiveness: the end-to-end user experience the paper
+ * optimizes.
  *
  * Run:  ./build/examples/daily_usage
  */
 
-#include <algorithm>
 #include <cstdio>
-#include <vector>
 
-#include "sim/rng.hh"
-#include "sys/session.hh"
-#include "workload/apps.hh"
+#include "driver/fleet_runner.hh"
 
 using namespace ariadne;
+using namespace ariadne::driver;
 
 namespace
 {
 
-struct DayResult
-{
-    std::string name;
-    std::vector<double> relaunchMs;
-    double compDecompCpuMs = 0.0;
-    std::uint64_t stagedHits = 0;
-};
+// 120 round-robin app switches across the ten standard apps; the
+// worst (and common) case where every relaunch finds its data
+// evicted. Mirrors scenarios/daily.cfg.
+constexpr const char *dayConfig = R"(
+name = daily
+ariadne = EHL-1K-2K-16K
+scale = 0.0625
+seed = 42
+fleet = 1
+event = warmup
+event = repeat 120
+event =   switch_next 2s 1s
+event = end
+)";
 
-DayResult
+FleetResult
 runDay(SchemeKind kind)
 {
-    SystemConfig cfg;
-    cfg.scale = 0.0625;
-    cfg.scheme = kind;
-    cfg.ariadne = AriadneConfig::parse("EHL-1K-2K-16K");
-
-    MobileSystem sys(cfg, standardApps());
-    SessionDriver driver(sys);
-    driver.warmUpAllApps();
-
-    DayResult result;
-    result.name = sys.scheme().name();
-    auto uids = sys.appIds();
-    // Round-robin revisits maximize LRU reuse distance — the worst
-    // (and common) case where every relaunch finds its data evicted.
-    for (int sw = 0; sw < 120; ++sw) {
-        AppId uid = uids[static_cast<std::size_t>(sw) % uids.size()];
-        RelaunchStats st = sys.appRelaunch(uid);
-        result.relaunchMs.push_back(
-            ticksToMs(st.fullScaleNs(cfg.scale)));
-        result.stagedHits += st.stagedHits;
-        sys.appExecute(uid, 2_s);
-        sys.appBackground(uid);
-        sys.idle(1_s);
-    }
-    result.compDecompCpuMs =
-        static_cast<double>(sys.cpu().compDecompTotal()) / 1e6 /
-        cfg.scale;
-    return result;
+    ScenarioSpec spec = ScenarioSpec::parseString(dayConfig);
+    spec.scheme = kind;
+    return FleetRunner(std::move(spec)).run(1, 1);
 }
 
 void
-report(const DayResult &r)
+report(const FleetResult &r)
 {
-    auto sorted = r.relaunchMs;
-    std::sort(sorted.begin(), sorted.end());
-    double sum = 0.0;
-    for (double v : sorted)
-        sum += v;
-    std::printf("%-22s avg %6.1f ms  p50 %6.1f ms  p95 %6.1f ms  "
+    std::string label = r.scheme;
+    if (r.scheme == "Ariadne" && !r.ariadneConfig.empty())
+        label += "-" + r.ariadneConfig;
+    std::printf("%-22s avg %6.1f ms  p50 %6.1f ms  p99 %6.1f ms  "
                 "comp+decomp CPU %8.1f ms  staged hits %llu\n",
-                r.name.c_str(), sum / static_cast<double>(sorted.size()),
-                sorted[sorted.size() / 2],
-                sorted[sorted.size() * 95 / 100], r.compDecompCpuMs,
-                static_cast<unsigned long long>(r.stagedHits));
+                label.c_str(), r.relaunchMs.mean, r.relaunchMs.p50,
+                r.relaunchMs.p99, r.compDecompCpuMs.mean,
+                static_cast<unsigned long long>(r.totalStagedHits));
+}
+
+/** Total time spent waiting on relaunches over the day, in ms. */
+double
+daySumMs(const FleetResult &r)
+{
+    return r.relaunchMs.mean *
+           static_cast<double>(r.relaunchMs.samples);
 }
 
 } // namespace
@@ -87,16 +73,13 @@ main()
 {
     std::printf("Daily usage: 120 app switches across 10 apps "
                 "(full-scale estimates)\n\n");
-    DayResult zram = runDay(SchemeKind::Zram);
-    DayResult ariadne_day = runDay(SchemeKind::Ariadne);
+    FleetResult zram = runDay(SchemeKind::Zram);
+    FleetResult ariadne_day = runDay(SchemeKind::Ariadne);
     report(zram);
     report(ariadne_day);
 
-    double zram_sum = 0.0, ariadne_sum = 0.0;
-    for (double v : zram.relaunchMs)
-        zram_sum += v;
-    for (double v : ariadne_day.relaunchMs)
-        ariadne_sum += v;
+    double zram_sum = daySumMs(zram);
+    double ariadne_sum = daySumMs(ariadne_day);
     std::printf("\nOver the day, Ariadne saves %.1f seconds of "
                 "relaunch waiting (%.0f%% reduction).\n",
                 (zram_sum - ariadne_sum) / 1000.0,

@@ -23,6 +23,13 @@ ReportTable::addRow(std::vector<std::string> cells)
     body.push_back(std::move(cells));
 }
 
+const std::vector<std::string> &
+ReportTable::row(std::size_t i) const
+{
+    panicIf(i >= body.size(), "report row index out of range");
+    return body[i];
+}
+
 std::string
 ReportTable::num(double v, int precision)
 {

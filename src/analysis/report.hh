@@ -34,6 +34,16 @@ class ReportTable
 
     std::size_t rows() const noexcept { return body.size(); }
 
+    /** Header labels, one per column. */
+    const std::vector<std::string> &
+    columnNames() const noexcept
+    {
+        return header;
+    }
+
+    /** Cells of row @p i (bounds-checked). */
+    const std::vector<std::string> &row(std::size_t i) const;
+
   private:
     std::vector<std::string> header;
     std::vector<std::vector<std::string>> body;

@@ -1,5 +1,6 @@
 #include "core/config.hh"
 
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -19,10 +20,15 @@ sizeToken(std::size_t bytes)
     return std::to_string(bytes);
 }
 
-std::size_t
-parseSizeToken(const std::string &tok)
+/** Parse one size token into @p out; false + @p error on bad input. */
+bool
+parseSizeToken(const std::string &tok, std::size_t &out,
+               std::string &error)
 {
-    fatalIf(tok.empty(), "empty size token in Ariadne config");
+    if (tok.empty()) {
+        error = "empty size token in Ariadne config";
+        return false;
+    }
     std::size_t mult = 1;
     std::string digits = tok;
     char last = tok.back();
@@ -30,10 +36,28 @@ parseSizeToken(const std::string &tok)
         mult = 1024;
         digits = tok.substr(0, tok.size() - 1);
     }
-    fatalIf(digits.empty(), "bad size token: " + tok);
-    for (char c : digits)
-        fatalIf(c < '0' || c > '9', "bad size token: " + tok);
-    return static_cast<std::size_t>(std::stoull(digits)) * mult;
+    if (digits.empty()) {
+        error = "bad size token: " + tok;
+        return false;
+    }
+    for (char c : digits) {
+        if (c < '0' || c > '9') {
+            error = "bad size token: " + tok;
+            return false;
+        }
+    }
+    try {
+        auto v = static_cast<std::size_t>(std::stoull(digits));
+        if (v > std::numeric_limits<std::size_t>::max() / mult) {
+            error = "size token out of range: " + tok;
+            return false;
+        }
+        out = v * mult;
+    } catch (const std::out_of_range &) {
+        error = "size token out of range: " + tok;
+        return false;
+    }
+    return true;
 }
 
 std::vector<std::string>
@@ -60,15 +84,23 @@ AriadneConfig::toString() const
     return s;
 }
 
-AriadneConfig
-AriadneConfig::parse(const std::string &text)
+std::optional<AriadneConfig>
+AriadneConfig::tryParse(const std::string &text, std::string *error)
 {
+    auto fail =
+        [error](std::string msg) -> std::optional<AriadneConfig> {
+        if (error)
+            *error = std::move(msg);
+        return std::nullopt;
+    };
+
     auto parts = splitDashes(text);
     // Accept an optional leading "Ariadne" token.
     if (!parts.empty() && (parts[0] == "Ariadne" || parts[0] == "ariadne"))
         parts.erase(parts.begin());
-    fatalIf(parts.size() != 4,
-            "Ariadne config must be MODE-SMALL-MEDIUM-LARGE: " + text);
+    if (parts.size() != 4)
+        return fail("Ariadne config must be MODE-SMALL-MEDIUM-LARGE: " +
+                    text);
 
     AriadneConfig cfg;
     if (parts[0] == "EHL")
@@ -76,19 +108,30 @@ AriadneConfig::parse(const std::string &text)
     else if (parts[0] == "AL")
         cfg.excludeHotList = false;
     else
-        fatal("Ariadne config mode must be EHL or AL: " + text);
+        return fail("Ariadne config mode must be EHL or AL: " + text);
 
-    cfg.smallSize = parseSizeToken(parts[1]);
-    cfg.mediumSize = parseSizeToken(parts[2]);
-    cfg.largeSize = parseSizeToken(parts[3]);
+    std::string token_error;
+    if (!parseSizeToken(parts[1], cfg.smallSize, token_error) ||
+        !parseSizeToken(parts[2], cfg.mediumSize, token_error) ||
+        !parseSizeToken(parts[3], cfg.largeSize, token_error))
+        return fail(token_error);
 
-    fatalIf(cfg.smallSize == 0 || cfg.mediumSize == 0 ||
-                cfg.largeSize == 0,
-            "Ariadne chunk sizes must be > 0");
-    fatalIf(cfg.smallSize > cfg.mediumSize ||
-                cfg.mediumSize > cfg.largeSize,
-            "Ariadne chunk sizes must be ordered small<=medium<=large");
+    if (cfg.smallSize == 0 || cfg.mediumSize == 0 || cfg.largeSize == 0)
+        return fail("Ariadne chunk sizes must be > 0: " + text);
+    if (cfg.smallSize > cfg.mediumSize || cfg.mediumSize > cfg.largeSize)
+        return fail("Ariadne chunk sizes must be ordered "
+                    "small<=medium<=large: " +
+                    text);
     return cfg;
+}
+
+AriadneConfig
+AriadneConfig::parse(const std::string &text)
+{
+    std::string error;
+    auto cfg = tryParse(text, &error);
+    fatalIf(!cfg.has_value(), error);
+    return *cfg;
 }
 
 } // namespace ariadne

@@ -12,6 +12,7 @@
 #define ARIADNE_CORE_CONFIG_HH
 
 #include <cstddef>
+#include <optional>
 #include <string>
 
 #include "compress/codec.hh"
@@ -76,6 +77,15 @@ struct AriadneConfig
      * suffix). Calls fatal() on malformed input.
      */
     static AriadneConfig parse(const std::string &text);
+
+    /**
+     * Non-exiting variant of parse() for layers that must surface
+     * malformed user input themselves (the scenario-config parser):
+     * returns nullopt on malformed input and, when @p error is
+     * non-null, stores the reason there.
+     */
+    static std::optional<AriadneConfig>
+    tryParse(const std::string &text, std::string *error = nullptr);
 };
 
 } // namespace ariadne

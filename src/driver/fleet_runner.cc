@@ -1,0 +1,332 @@
+#include "driver/fleet_runner.hh"
+
+#include <atomic>
+#include <thread>
+
+#include "driver/json_writer.hh"
+#include "sim/log.hh"
+#include "workload/apps.hh"
+
+namespace ariadne::driver
+{
+
+namespace
+{
+
+/** Per-session execution state for the event interpreter. */
+struct SessionContext
+{
+    MobileSystem &sys;
+    SessionDriver &driver;
+    const std::vector<AppId> &uids;
+    SessionResult &result;
+    double scale;
+    /** Round-robin cursor for switch_next. */
+    std::size_t cursor = 0;
+
+    AppId
+    lookup(const std::string &name) const
+    {
+        // Spec validation guarantees the name exists in this mix.
+        for (AppId uid : uids)
+            if (sys.app(uid).profile().name == name)
+                return uid;
+        panic("event references app absent from the mix: " + name);
+    }
+
+    void
+    record(AppId uid, const RelaunchStats &st)
+    {
+        RelaunchSample sample;
+        sample.uid = uid;
+        sample.stats = st;
+        sample.fullScaleMs = ticksToMs(st.fullScaleNs(scale));
+        result.relaunches.push_back(sample);
+    }
+};
+
+void
+runEvents(SessionContext &ctx, const std::vector<Event> &events)
+{
+    for (const Event &ev : events) {
+        switch (ev.kind) {
+          case Event::Kind::Launch:
+            ctx.driver.visit(ctx.lookup(ev.app));
+            break;
+          case Event::Kind::Execute:
+            ctx.sys.appExecute(ctx.lookup(ev.app), ev.duration);
+            break;
+          case Event::Kind::Background:
+            ctx.sys.appBackground(ctx.lookup(ev.app));
+            break;
+          case Event::Kind::Relaunch: {
+            AppId uid = ctx.lookup(ev.app);
+            // A first visit can only cold-launch; visit() reports
+            // that with uid == invalidApp and there is nothing to
+            // measure.
+            RelaunchStats st = ctx.driver.visit(uid);
+            if (st.uid != invalidApp)
+                ctx.record(uid, st);
+            break;
+          }
+          case Event::Kind::Idle:
+            ctx.sys.idle(ev.duration);
+            break;
+          case Event::Kind::Warmup:
+            ctx.driver.warmUpAllApps();
+            break;
+          case Event::Kind::SwitchNext: {
+            AppId uid = ctx.uids[ctx.cursor++ % ctx.uids.size()];
+            RelaunchStats st = ctx.driver.visit(uid);
+            if (st.uid != invalidApp)
+                ctx.record(uid, st);
+            ctx.sys.appExecute(uid, ev.duration);
+            ctx.sys.appBackground(uid);
+            if (ev.gap > 0)
+                ctx.sys.idle(ev.gap);
+            break;
+          }
+          case Event::Kind::TargetScenario: {
+            AppId uid = ctx.lookup(ev.app);
+            ctx.record(uid, ctx.driver.targetRelaunchScenario(
+                                uid, ev.variant));
+            break;
+          }
+          case Event::Kind::Repeat:
+            for (std::size_t i = 0; i < ev.count; ++i)
+                runEvents(ctx, ev.body);
+            break;
+        }
+    }
+}
+
+void
+writeSummary(JsonWriter &w, const std::string &name,
+             const MetricSummary &m)
+{
+    w.key(name);
+    w.beginObject();
+    w.field("samples", m.samples);
+    w.field("mean", m.mean);
+    w.field("min", m.min);
+    w.field("max", m.max);
+    w.field("p50", m.p50);
+    w.field("p90", m.p90);
+    w.field("p99", m.p99);
+    w.endObject();
+}
+
+void
+writeCompStats(JsonWriter &w, const CompStats &c)
+{
+    w.beginObject();
+    w.field("compNs", c.compNs);
+    w.field("decompNs", c.decompNs);
+    w.field("inBytes", c.inBytes);
+    w.field("outBytes", c.outBytes);
+    w.field("decompBytes", c.decompBytes);
+    w.field("compOps", c.compOps);
+    w.field("decompOps", c.decompOps);
+    w.field("ratio", c.ratio());
+    w.endObject();
+}
+
+} // namespace
+
+double
+SessionResult::compDecompCpuMs(double scale) const noexcept
+{
+    return ticksToMs(compCpuNs + decompCpuNs) / scale;
+}
+
+MetricSummary
+MetricSummary::of(const Distribution &d)
+{
+    MetricSummary m;
+    m.samples = d.samples();
+    m.mean = d.mean();
+    m.min = d.min();
+    m.max = d.max();
+    m.p50 = d.percentile(0.50);
+    m.p90 = d.percentile(0.90);
+    m.p99 = d.percentile(0.99);
+    return m;
+}
+
+FleetRunner::FleetRunner(ScenarioSpec spec) : scenario(std::move(spec))
+{
+}
+
+SessionResult
+FleetRunner::runSession(std::size_t index) const
+{
+    SessionResult result;
+    result.index = index;
+    result.seed = scenario.sessionSeed(index);
+
+    MobileSystem sys(scenario.systemConfig(index),
+                     scenario.appProfiles());
+    SessionDriver driver(sys);
+    auto uids = sys.appIds();
+
+    SessionContext ctx{sys, driver, uids, result, scenario.scale};
+    runEvents(ctx, scenario.program);
+
+    result.compCpuNs = sys.cpu().total(CpuRole::Compression);
+    result.decompCpuNs = sys.cpu().total(CpuRole::Decompression);
+    result.kswapdCpuNs = sys.kswapdCpuNs();
+    result.grandCpuNs = sys.cpu().grandTotal();
+    result.energyJ = sys.energyJoules();
+    result.simulatedNs = sys.clock().now();
+    result.comp = sys.scheme().totalStats();
+    for (AppId uid : uids)
+        result.appComp[uid] = sys.scheme().appStats(uid);
+    result.lostPages = sys.lostRecreations();
+    result.directReclaims = sys.scheme().directReclaims();
+    for (const auto &sample : result.relaunches) {
+        result.stagedHits += sample.stats.stagedHits;
+        result.majorFaults += sample.stats.majorFaults;
+        result.flashFaults += sample.stats.flashFaults;
+    }
+    return result;
+}
+
+FleetResult
+FleetRunner::run(std::size_t fleet, unsigned threads) const
+{
+    if (fleet == 0)
+        fleet = scenario.fleet;
+    fatalIf(fleet == 0, "fleet size must be >= 1");
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    if (threads > fleet)
+        threads = static_cast<unsigned>(fleet);
+
+    FleetResult result;
+    result.scenario = scenario.name;
+    result.scheme = schemeKindName(scenario.scheme);
+    result.ariadneConfig = scenario.ariadneConfig;
+    result.scale = scenario.scale;
+    result.seed = scenario.seed;
+    result.fleet = fleet;
+    result.sessions.resize(fleet);
+
+    // Work-stealing over session indices. Every slot is written
+    // exactly once by whichever worker claims it; aggregation below
+    // walks the slots in index order, so nothing downstream can
+    // observe scheduling.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= fleet)
+                return;
+            result.sessions[i] = runSession(i);
+        }
+    };
+    if (threads == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (auto &th : pool)
+            th.join();
+    }
+
+    Distribution relaunch_ms, comp_decomp_ms, kswapd_ms, energy,
+        ratio;
+    for (const SessionResult &s : result.sessions) {
+        for (const auto &sample : s.relaunches)
+            relaunch_ms.sample(sample.fullScaleMs);
+        comp_decomp_ms.sample(s.compDecompCpuMs(scenario.scale));
+        kswapd_ms.sample(ticksToMs(s.kswapdCpuNs) / scenario.scale);
+        energy.sample(s.energyJ);
+        if (s.comp.outBytes > 0)
+            ratio.sample(s.comp.ratio());
+        result.totalRelaunches += s.relaunches.size();
+        result.totalStagedHits += s.stagedHits;
+        result.totalMajorFaults += s.majorFaults;
+        result.totalFlashFaults += s.flashFaults;
+        result.totalLostPages += s.lostPages;
+        result.totalDirectReclaims += s.directReclaims;
+    }
+    result.relaunchMs = MetricSummary::of(relaunch_ms);
+    result.compDecompCpuMs = MetricSummary::of(comp_decomp_ms);
+    result.kswapdCpuMs = MetricSummary::of(kswapd_ms);
+    result.energyJ = MetricSummary::of(energy);
+    result.compRatio = MetricSummary::of(ratio);
+    return result;
+}
+
+void
+FleetResult::writeJson(std::ostream &os, bool per_session) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("scenario", scenario);
+    w.field("scheme", scheme);
+    if (!ariadneConfig.empty())
+        w.field("ariadneConfig", ariadneConfig);
+    w.field("scale", scale);
+    w.field("seed", seed);
+    w.field("fleet", fleet);
+    w.field("totalRelaunches", totalRelaunches);
+    w.field("totalStagedHits", totalStagedHits);
+    w.field("totalMajorFaults", totalMajorFaults);
+    w.field("totalFlashFaults", totalFlashFaults);
+    w.field("totalLostPages", totalLostPages);
+    w.field("totalDirectReclaims", totalDirectReclaims);
+
+    w.key("metrics");
+    w.beginObject();
+    writeSummary(w, "relaunchMs", relaunchMs);
+    writeSummary(w, "compDecompCpuMs", compDecompCpuMs);
+    writeSummary(w, "kswapdCpuMs", kswapdCpuMs);
+    writeSummary(w, "energyJoules", energyJ);
+    writeSummary(w, "compressionRatio", compRatio);
+    w.endObject();
+
+    if (per_session) {
+        w.key("sessions");
+        w.beginArray();
+        for (const SessionResult &s : sessions) {
+            w.beginObject();
+            w.field("index", s.index);
+            w.field("seed", s.seed);
+            w.field("compCpuNs", s.compCpuNs);
+            w.field("decompCpuNs", s.decompCpuNs);
+            w.field("kswapdCpuNs", s.kswapdCpuNs);
+            w.field("grandCpuNs", s.grandCpuNs);
+            w.field("energyJoules", s.energyJ);
+            w.field("simulatedNs", s.simulatedNs);
+            w.field("directReclaims", s.directReclaims);
+            w.field("lostPages", s.lostPages);
+            w.key("comp");
+            writeCompStats(w, s.comp);
+            w.key("relaunches");
+            w.beginArray();
+            for (const auto &sample : s.relaunches) {
+                w.beginObject();
+                w.field("uid", static_cast<std::uint64_t>(sample.uid));
+                w.field("fullScaleMs", sample.fullScaleMs);
+                w.field("pagesTouched", sample.stats.pagesTouched);
+                w.field("majorFaults", sample.stats.majorFaults);
+                w.field("stagedHits", sample.stats.stagedHits);
+                w.field("flashFaults", sample.stats.flashFaults);
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+    }
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace ariadne::driver

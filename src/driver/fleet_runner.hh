@@ -1,0 +1,142 @@
+/**
+ * @file
+ * FleetRunner — executes a ScenarioSpec as a fleet of independent
+ * simulated devices and aggregates the results.
+ *
+ * Each fleet session owns a full MobileSystem seeded from
+ * ScenarioSpec::sessionSeed(index), so a session's behaviour depends
+ * only on (spec, index). Sessions are distributed over a thread pool;
+ * results are stored by session index and aggregated sequentially
+ * after the pool drains, which makes the aggregate (including every
+ * percentile and its JSON rendering) bit-identical whether the fleet
+ * ran on one thread or sixteen.
+ */
+
+#ifndef ARIADNE_DRIVER_FLEET_RUNNER_HH
+#define ARIADNE_DRIVER_FLEET_RUNNER_HH
+
+#include <map>
+#include <ostream>
+
+#include "driver/scenario_spec.hh"
+#include "sys/session.hh"
+
+namespace ariadne::driver
+{
+
+/** One measured relaunch inside a session. */
+struct RelaunchSample
+{
+    AppId uid = invalidApp;
+    /** Paper-scale latency in milliseconds. */
+    double fullScaleMs = 0.0;
+    RelaunchStats stats;
+};
+
+/** Everything one fleet session produced. */
+struct SessionResult
+{
+    std::size_t index = 0;
+    std::uint64_t seed = 0;
+
+    /** Measured relaunches, in program order. */
+    std::vector<RelaunchSample> relaunches;
+
+    Tick compCpuNs = 0;
+    Tick decompCpuNs = 0;
+    Tick kswapdCpuNs = 0;
+    Tick grandCpuNs = 0;
+    double energyJ = 0.0;
+    Tick simulatedNs = 0;
+
+    /** Scheme-wide compression accounting. */
+    CompStats comp;
+    /** Per-app compression accounting (Fig. 15 reads the target's). */
+    std::map<AppId, CompStats> appComp;
+
+    std::uint64_t stagedHits = 0;
+    std::uint64_t majorFaults = 0;
+    std::uint64_t flashFaults = 0;
+    std::uint64_t lostPages = 0;
+    std::uint64_t directReclaims = 0;
+
+    /** Comp+decomp CPU in paper-scale milliseconds. */
+    double compDecompCpuMs(double scale) const noexcept;
+};
+
+/** p50/p90/p99 plus the usual moments of one aggregated metric. */
+struct MetricSummary
+{
+    std::uint64_t samples = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+
+    /** Summarize a Distribution. */
+    static MetricSummary of(const Distribution &d);
+};
+
+/** Aggregate outcome of a fleet run. */
+struct FleetResult
+{
+    std::string scenario;
+    std::string scheme;
+    std::string ariadneConfig;
+    double scale = 0.0625;
+    std::uint64_t seed = 0;
+    std::size_t fleet = 0;
+
+    std::vector<SessionResult> sessions;
+
+    /** Across every measured relaunch of every session (paper-scale
+     * milliseconds). */
+    MetricSummary relaunchMs;
+    /** Per-session distributions (paper-scale ms / Joules). */
+    MetricSummary compDecompCpuMs;
+    MetricSummary kswapdCpuMs;
+    MetricSummary energyJ;
+    MetricSummary compRatio;
+
+    std::uint64_t totalRelaunches = 0;
+    std::uint64_t totalStagedHits = 0;
+    std::uint64_t totalMajorFaults = 0;
+    std::uint64_t totalFlashFaults = 0;
+    std::uint64_t totalLostPages = 0;
+    std::uint64_t totalDirectReclaims = 0;
+
+    /**
+     * Machine-readable report. @p per_session additionally emits one
+     * record per session (seeds, CPU, relaunch samples).
+     */
+    void writeJson(std::ostream &os, bool per_session = false) const;
+};
+
+/** Runs ScenarioSpecs as session fleets. */
+class FleetRunner
+{
+  public:
+    explicit FleetRunner(ScenarioSpec spec);
+
+    /**
+     * Run @p fleet sessions on @p threads worker threads.
+     * @param fleet Session count; 0 uses the spec's fleet size.
+     * @param threads Worker threads; 0 picks the hardware count.
+     * Aggregates are independent of @p threads.
+     */
+    FleetResult run(std::size_t fleet = 0, unsigned threads = 1) const;
+
+    /** Run the single session @p index (deterministic in isolation). */
+    SessionResult runSession(std::size_t index) const;
+
+    const ScenarioSpec &spec() const noexcept { return scenario; }
+
+  private:
+    ScenarioSpec scenario;
+};
+
+} // namespace ariadne::driver
+
+#endif // ARIADNE_DRIVER_FLEET_RUNNER_HH

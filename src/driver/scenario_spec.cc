@@ -1,0 +1,558 @@
+#include "driver/scenario_spec.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "driver/json_writer.hh"
+#include "sim/rng.hh"
+#include "workload/apps.hh"
+
+namespace ariadne::driver
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+std::vector<std::string>
+splitWs(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::istringstream in(s);
+    std::string tok;
+    while (in >> tok)
+        out.push_back(tok);
+    return out;
+}
+
+[[noreturn]] void
+bad(std::size_t line, const std::string &msg)
+{
+    throw SpecError("scenario config line " + std::to_string(line) +
+                    ": " + msg);
+}
+
+std::uint64_t
+parseU64(const std::string &text, std::size_t line,
+         const std::string &what)
+{
+    if (text.empty() ||
+        !std::all_of(text.begin(), text.end(), [](unsigned char c) {
+            return std::isdigit(c);
+        }))
+        bad(line, "invalid " + what + " '" + text + "'");
+    try {
+        return std::stoull(text);
+    } catch (const std::out_of_range &) {
+        bad(line, what + " out of range: '" + text + "'");
+    }
+}
+
+/**
+ * Validate an Ariadne config string before storing it in the spec,
+ * using the same grammar AriadneConfig::parse enforces (but raising
+ * SpecError instead of exiting — parse's fatal() is acceptable for
+ * internal misuse, not for user config files).
+ */
+void
+validateAriadneConfig(const std::string &text, std::size_t line)
+{
+    std::string error;
+    if (!AriadneConfig::tryParse(text, &error).has_value())
+        bad(line, error);
+}
+
+/** Names of the standard app profiles, for validation. */
+std::vector<std::string>
+standardAppNames()
+{
+    std::vector<std::string> names;
+    for (const auto &p : standardApps())
+        names.push_back(p.name);
+    return names;
+}
+
+void
+requireKnownApp(const std::string &name,
+                const std::vector<std::string> &known, std::size_t line)
+{
+    if (std::find(known.begin(), known.end(), name) == known.end())
+        bad(line, "unknown app '" + name + "'");
+}
+
+void
+eventToString(std::ostream &os, const Event &ev, unsigned depth)
+{
+    os << "event = " << std::string(depth * 2, ' ');
+    switch (ev.kind) {
+      case Event::Kind::Launch:
+        os << "launch " << ev.app;
+        break;
+      case Event::Kind::Execute:
+        os << "execute " << ev.app << " " << formatDuration(ev.duration);
+        break;
+      case Event::Kind::Background:
+        os << "background " << ev.app;
+        break;
+      case Event::Kind::Relaunch:
+        os << "relaunch " << ev.app;
+        break;
+      case Event::Kind::Idle:
+        os << "idle " << formatDuration(ev.duration);
+        break;
+      case Event::Kind::Warmup:
+        os << "warmup";
+        break;
+      case Event::Kind::SwitchNext:
+        os << "switch_next " << formatDuration(ev.duration) << " "
+           << formatDuration(ev.gap);
+        break;
+      case Event::Kind::TargetScenario:
+        os << "target_scenario " << ev.app << " " << ev.variant;
+        break;
+      case Event::Kind::Repeat:
+        os << "repeat " << ev.count << "\n";
+        for (const auto &sub : ev.body)
+            eventToString(os, sub, depth + 1);
+        os << "event = " << std::string(depth * 2, ' ') << "end";
+        break;
+    }
+    os << "\n";
+}
+
+} // namespace
+
+Event
+Event::launch(std::string app)
+{
+    Event ev;
+    ev.kind = Kind::Launch;
+    ev.app = std::move(app);
+    return ev;
+}
+
+Event
+Event::execute(std::string app, Tick duration)
+{
+    Event ev;
+    ev.kind = Kind::Execute;
+    ev.app = std::move(app);
+    ev.duration = duration;
+    return ev;
+}
+
+Event
+Event::background(std::string app)
+{
+    Event ev;
+    ev.kind = Kind::Background;
+    ev.app = std::move(app);
+    return ev;
+}
+
+Event
+Event::relaunch(std::string app)
+{
+    Event ev;
+    ev.kind = Kind::Relaunch;
+    ev.app = std::move(app);
+    return ev;
+}
+
+Event
+Event::idle(Tick duration)
+{
+    Event ev;
+    ev.kind = Kind::Idle;
+    ev.duration = duration;
+    return ev;
+}
+
+Event
+Event::warmup()
+{
+    Event ev;
+    ev.kind = Kind::Warmup;
+    return ev;
+}
+
+Event
+Event::switchNext(Tick use, Tick gap)
+{
+    Event ev;
+    ev.kind = Kind::SwitchNext;
+    ev.duration = use;
+    ev.gap = gap;
+    return ev;
+}
+
+Event
+Event::targetScenario(std::string app, unsigned variant)
+{
+    Event ev;
+    ev.kind = Kind::TargetScenario;
+    ev.app = std::move(app);
+    ev.variant = variant;
+    return ev;
+}
+
+Event
+Event::repeat(std::size_t count, std::vector<Event> body)
+{
+    Event ev;
+    ev.kind = Kind::Repeat;
+    ev.count = count;
+    ev.body = std::move(body);
+    return ev;
+}
+
+bool
+Event::operator==(const Event &o) const
+{
+    return kind == o.kind && app == o.app && duration == o.duration &&
+           gap == o.gap && variant == o.variant && count == o.count &&
+           body == o.body;
+}
+
+SchemeKind
+parseSchemeKind(const std::string &text)
+{
+    std::string t = lower(text);
+    if (t == "dram")
+        return SchemeKind::Dram;
+    if (t == "swap")
+        return SchemeKind::Swap;
+    if (t == "zram")
+        return SchemeKind::Zram;
+    if (t == "zswap")
+        return SchemeKind::Zswap;
+    if (t == "ariadne")
+        return SchemeKind::Ariadne;
+    throw SpecError("unknown scheme '" + text +
+                    "' (dram|swap|zram|zswap|ariadne)");
+}
+
+Tick
+parseDuration(const std::string &text)
+{
+    std::size_t digits = 0;
+    while (digits < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[digits])))
+        ++digits;
+    if (digits == 0)
+        throw SpecError("invalid duration '" + text + "'");
+    std::uint64_t n;
+    try {
+        n = std::stoull(text.substr(0, digits));
+    } catch (const std::out_of_range &) {
+        throw SpecError("duration out of range: '" + text + "'");
+    }
+    std::string suffix = text.substr(digits);
+    std::uint64_t mult;
+    if (suffix.empty() || suffix == "ns")
+        mult = 1;
+    else if (suffix == "us")
+        mult = 1000ULL;
+    else if (suffix == "ms")
+        mult = 1000000ULL;
+    else if (suffix == "s")
+        mult = 1000000000ULL;
+    else
+        throw SpecError("invalid duration suffix '" + suffix +
+                        "' in '" + text + "' (ns|us|ms|s)");
+    if (n > std::numeric_limits<Tick>::max() / mult)
+        throw SpecError("duration out of range: '" + text + "'");
+    return n * mult;
+}
+
+std::string
+formatDuration(Tick t)
+{
+    if (t % 1000000000ULL == 0)
+        return std::to_string(t / 1000000000ULL) + "s";
+    if (t % 1000000ULL == 0)
+        return std::to_string(t / 1000000ULL) + "ms";
+    if (t % 1000ULL == 0)
+        return std::to_string(t / 1000ULL) + "us";
+    return std::to_string(t) + "ns";
+}
+
+std::uint64_t
+ScenarioSpec::sessionSeed(std::size_t session_index) const noexcept
+{
+    // Session 0 runs the base seed itself, so a fleet of one exactly
+    // reproduces a plain SystemConfig run with that seed (the legacy
+    // single-device benches). Later sessions use a SplitMix-style
+    // derivation that decorrelates neighbours; every seed depends only
+    // on (base seed, index), never on scheduling, which is what makes
+    // fleet aggregates thread-invariant.
+    if (session_index == 0)
+        return seed;
+    return mix64(seed ^ mix64(0x5e551011ULL + session_index));
+}
+
+SystemConfig
+ScenarioSpec::systemConfig(std::size_t session_index) const
+{
+    SystemConfig cfg;
+    cfg.scale = scale;
+    cfg.scheme = scheme;
+    cfg.seed = sessionSeed(session_index);
+    if (!ariadneConfig.empty())
+        cfg.ariadne = AriadneConfig::parse(ariadneConfig);
+    return cfg;
+}
+
+std::vector<AppProfile>
+ScenarioSpec::appProfiles() const
+{
+    if (apps.empty())
+        return standardApps();
+    std::vector<AppProfile> profiles;
+    for (const auto &name : apps)
+        profiles.push_back(standardApp(name));
+    return profiles;
+}
+
+std::string
+ScenarioSpec::toString() const
+{
+    std::ostringstream os;
+    os << "name = " << name << "\n";
+    os << "scheme = " << lower(schemeKindName(scheme)) << "\n";
+    if (!ariadneConfig.empty())
+        os << "ariadne = " << ariadneConfig << "\n";
+    os << "scale = " << JsonWriter::formatDouble(scale) << "\n";
+    os << "seed = " << seed << "\n";
+    os << "fleet = " << fleet << "\n";
+    if (!apps.empty()) {
+        os << "apps = ";
+        for (std::size_t i = 0; i < apps.size(); ++i)
+            os << (i ? ", " : "") << apps[i];
+        os << "\n";
+    }
+    for (const auto &ev : program)
+        eventToString(os, ev, 0);
+    return os.str();
+}
+
+ScenarioSpec
+ScenarioSpec::parseString(const std::string &text)
+{
+    std::istringstream in(text);
+    return parse(in);
+}
+
+ScenarioSpec
+ScenarioSpec::loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw SpecError("cannot open scenario config: " + path);
+    return parse(in);
+}
+
+ScenarioSpec
+ScenarioSpec::parse(std::istream &in)
+{
+    ScenarioSpec spec;
+
+    const std::vector<std::string> known_apps = standardAppNames();
+    // Innermost target for parsed events; grows on `repeat`.
+    std::vector<std::vector<Event> *> stack{&spec.program};
+    // Line numbers of open repeat blocks, for the error message.
+    std::vector<std::size_t> repeat_lines;
+    // App names referenced by events, validated after the whole file
+    // is read so an `apps = ...` line may follow the events that use
+    // it.
+    std::vector<std::pair<std::string, std::size_t>> referenced_apps;
+
+    std::string raw;
+    std::size_t lineno = 0;
+    while (std::getline(in, raw)) {
+        ++lineno;
+        std::string line = raw;
+        if (auto hash = line.find('#'); hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+
+        auto eq = line.find('=');
+        if (eq == std::string::npos)
+            bad(lineno, "expected 'key = value', got '" + line + "'");
+        std::string key = trim(line.substr(0, eq));
+        std::string value = trim(line.substr(eq + 1));
+        if (key.empty())
+            bad(lineno, "empty key");
+        if (value.empty())
+            bad(lineno, "empty value for key '" + key + "'");
+
+        if (key == "name") {
+            spec.name = value;
+        } else if (key == "scheme") {
+            try {
+                spec.scheme = parseSchemeKind(value);
+            } catch (const SpecError &e) {
+                bad(lineno, e.what());
+            }
+        } else if (key == "ariadne") {
+            validateAriadneConfig(value, lineno);
+            spec.ariadneConfig = value;
+        } else if (key == "scale") {
+            char *end = nullptr;
+            double v = std::strtod(value.c_str(), &end);
+            if (end != value.c_str() + value.size() || !(v > 0.0) ||
+                v > 1.0)
+                bad(lineno,
+                    "scale must be a number in (0, 1], got '" + value +
+                        "'");
+            spec.scale = v;
+        } else if (key == "seed") {
+            spec.seed = parseU64(value, lineno, "seed");
+        } else if (key == "fleet") {
+            spec.fleet = parseU64(value, lineno, "fleet size");
+            if (spec.fleet == 0)
+                bad(lineno, "fleet size must be >= 1");
+        } else if (key == "apps") {
+            if (lower(value) == "standard") {
+                spec.apps.clear();
+            } else {
+                std::string rest = value;
+                while (!rest.empty()) {
+                    std::string tok;
+                    auto comma = rest.find(',');
+                    if (comma == std::string::npos) {
+                        tok = trim(rest);
+                        rest.clear();
+                    } else {
+                        tok = trim(rest.substr(0, comma));
+                        rest = rest.substr(comma + 1);
+                    }
+                    if (tok.empty())
+                        bad(lineno, "empty app name in list");
+                    requireKnownApp(tok, known_apps, lineno);
+                    spec.apps.push_back(tok);
+                }
+                if (spec.apps.empty())
+                    bad(lineno, "empty app list");
+            }
+        } else if (key == "event") {
+            std::vector<std::string> tok = splitWs(value);
+            const std::string &op = tok[0];
+            auto expect_args = [&](std::size_t n) {
+                if (tok.size() != n + 1)
+                    bad(lineno, "op '" + op + "' takes " +
+                                    std::to_string(n) +
+                                    " argument(s), got " +
+                                    std::to_string(tok.size() - 1));
+            };
+            auto parse_dur = [&](const std::string &text) -> Tick {
+                try {
+                    return parseDuration(text);
+                } catch (const SpecError &e) {
+                    bad(lineno, e.what());
+                }
+            };
+            auto app_arg = [&](const std::string &name) {
+                referenced_apps.emplace_back(name, lineno);
+                return name;
+            };
+
+            if (op == "launch") {
+                expect_args(1);
+                stack.back()->push_back(Event::launch(app_arg(tok[1])));
+            } else if (op == "execute") {
+                expect_args(2);
+                stack.back()->push_back(
+                    Event::execute(app_arg(tok[1]), parse_dur(tok[2])));
+            } else if (op == "background") {
+                expect_args(1);
+                stack.back()->push_back(
+                    Event::background(app_arg(tok[1])));
+            } else if (op == "relaunch") {
+                expect_args(1);
+                stack.back()->push_back(
+                    Event::relaunch(app_arg(tok[1])));
+            } else if (op == "idle") {
+                expect_args(1);
+                stack.back()->push_back(Event::idle(parse_dur(tok[1])));
+            } else if (op == "warmup") {
+                expect_args(0);
+                stack.back()->push_back(Event::warmup());
+            } else if (op == "switch_next") {
+                expect_args(2);
+                stack.back()->push_back(Event::switchNext(
+                    parse_dur(tok[1]), parse_dur(tok[2])));
+            } else if (op == "target_scenario") {
+                expect_args(2);
+                auto variant =
+                    parseU64(tok[2], lineno, "scenario variant");
+                if (variant >
+                    std::numeric_limits<unsigned>::max())
+                    bad(lineno, "scenario variant out of range: '" +
+                                    tok[2] + "'");
+                stack.back()->push_back(Event::targetScenario(
+                    app_arg(tok[1]), static_cast<unsigned>(variant)));
+            } else if (op == "repeat") {
+                expect_args(1);
+                auto count = parseU64(tok[1], lineno, "repeat count");
+                if (count == 0)
+                    bad(lineno, "repeat count must be >= 1");
+                stack.back()->push_back(Event::repeat(count, {}));
+                stack.push_back(&stack.back()->back().body);
+                repeat_lines.push_back(lineno);
+            } else if (op == "end") {
+                expect_args(0);
+                if (stack.size() == 1)
+                    bad(lineno, "'end' without a matching 'repeat'");
+                stack.pop_back();
+                repeat_lines.pop_back();
+            } else {
+                bad(lineno, "unknown event op '" + op + "'");
+            }
+        } else {
+            bad(lineno, "unknown key '" + key + "'");
+        }
+    }
+
+    if (stack.size() > 1)
+        bad(repeat_lines.back(), "'repeat' block never closed");
+    for (const auto &[name, line] : referenced_apps)
+        requireKnownApp(name, spec.apps.empty() ? known_apps : spec.apps,
+                        line);
+    return spec;
+}
+
+bool
+ScenarioSpec::operator==(const ScenarioSpec &o) const
+{
+    return name == o.name && scheme == o.scheme &&
+           ariadneConfig == o.ariadneConfig && scale == o.scale &&
+           seed == o.seed && fleet == o.fleet && apps == o.apps &&
+           program == o.program;
+}
+
+} // namespace ariadne::driver

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Declarative description of one experiment scenario.
+ *
+ * A ScenarioSpec captures everything a run needs — scheme, Ariadne
+ * configuration, footprint scale, base seed, app mix, fleet size and
+ * an event program — in a value type that is constructible
+ * programmatically (the bench harnesses do this) or parsed from a
+ * simple `key = value` config format (ariadne_sim does this):
+ *
+ *     # Daily usage, §1: users switch apps >100 times a day.
+ *     name = daily
+ *     scheme = ariadne
+ *     ariadne = EHL-1K-2K-16K
+ *     scale = 0.0625
+ *     seed = 42
+ *     fleet = 32
+ *     event = warmup
+ *     event = repeat 120
+ *     event =   switch_next 2s 1s
+ *     event = end
+ *
+ * The event program speaks the MobileSystem driver vocabulary
+ * (cold-launch / execute / background / relaunch / idle) plus three
+ * compound ops that encode the paper's methodology: `warmup`
+ * (launch-use-background every app), `switch_next use idle`
+ * (round-robin app switching, the daily-usage trace) and
+ * `target_scenario app variant` (the §5 measured-relaunch trace).
+ *
+ * Parse errors throw SpecError rather than calling fatal(): the
+ * driver is a library and its callers (CLI, tests) decide how to
+ * surface bad user input.
+ */
+
+#ifndef ARIADNE_DRIVER_SCENARIO_SPEC_HH
+#define ARIADNE_DRIVER_SCENARIO_SPEC_HH
+
+#include <istream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sys/system_config.hh"
+#include "workload/app_model.hh"
+
+namespace ariadne::driver
+{
+
+/** Invalid scenario config text (message names the offending line). */
+class SpecError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** One step of an event program. */
+struct Event
+{
+    enum class Kind
+    {
+        Launch,         //!< cold-launch `app`
+        Execute,        //!< run `app` in foreground for `duration`
+        Background,     //!< background `app`
+        Relaunch,       //!< measured hot relaunch of `app`
+        Idle,           //!< idle wall time `duration`
+        Warmup,         //!< launch-use-background every app
+        SwitchNext,     //!< round-robin: relaunch next app, use
+                        //!< `duration`, background, idle `gap`
+        TargetScenario, //!< §5 methodology for `app`, `variant`
+        Repeat,         //!< run `body` `count` times
+    };
+
+    Kind kind = Kind::Idle;
+    std::string app;          //!< Launch/Execute/Background/Relaunch/
+                              //!< TargetScenario
+    Tick duration = 0;        //!< Execute/Idle; SwitchNext use time
+    Tick gap = 0;             //!< SwitchNext intermission
+    unsigned variant = 0;     //!< TargetScenario usage-order variant
+    std::size_t count = 0;    //!< Repeat iterations
+    std::vector<Event> body;  //!< Repeat sub-program
+
+    // Convenience constructors for programmatic specs.
+    static Event launch(std::string app);
+    static Event execute(std::string app, Tick duration);
+    static Event background(std::string app);
+    static Event relaunch(std::string app);
+    static Event idle(Tick duration);
+    static Event warmup();
+    static Event switchNext(Tick use, Tick gap);
+    static Event targetScenario(std::string app, unsigned variant);
+    static Event repeat(std::size_t count, std::vector<Event> body);
+
+    bool operator==(const Event &o) const;
+};
+
+/** Full declarative description of one scenario. */
+struct ScenarioSpec
+{
+    std::string name = "unnamed";
+    SchemeKind scheme = SchemeKind::Zram;
+    /** Ariadne Table-5 config string; empty = AriadneConfig defaults. */
+    std::string ariadneConfig;
+    double scale = 0.0625;
+    /** Base seed; each fleet session derives its own from it. */
+    std::uint64_t seed = 42;
+    /** Default fleet size (the CLI --fleet flag overrides it). */
+    std::size_t fleet = 1;
+    /** App names; empty = all ten standard apps. */
+    std::vector<std::string> apps;
+    std::vector<Event> program;
+
+    /**
+     * SystemConfig for fleet session @p session_index: the spec's
+     * scheme/scale plus a per-session seed derived from the base seed,
+     * so sessions are independent and reproducible in isolation.
+     */
+    SystemConfig systemConfig(std::size_t session_index) const;
+
+    /**
+     * Seed of fleet session @p session_index. Session 0 uses the base
+     * seed unchanged (a fleet of one reproduces a plain run with that
+     * seed); later sessions derive decorrelated seeds from it.
+     */
+    std::uint64_t sessionSeed(std::size_t session_index) const noexcept;
+
+    /** Profiles for this spec's app mix (validated names). */
+    std::vector<AppProfile> appProfiles() const;
+
+    /** Serialize to the config format; parse(toString()) == *this. */
+    std::string toString() const;
+
+    /** Parse the config format; throws SpecError on invalid input. */
+    static ScenarioSpec parse(std::istream &in);
+
+    /** Parse from a string (convenience over the stream overload). */
+    static ScenarioSpec parseString(const std::string &text);
+
+    /** Load and parse a config file; throws SpecError when
+     * unreadable. */
+    static ScenarioSpec loadFile(const std::string &path);
+
+    bool operator==(const ScenarioSpec &o) const;
+};
+
+/** Parse "dram|swap|zram|zswap|ariadne" (case-insensitive). */
+SchemeKind parseSchemeKind(const std::string &text);
+
+/**
+ * Parse a duration like "250ms", "2s", "1500us", "30" (plain = ns).
+ * Throws SpecError on malformed input.
+ */
+Tick parseDuration(const std::string &text);
+
+/** Render a Tick as the shortest exact suffix form ("2s", "250ms"). */
+std::string formatDuration(Tick t);
+
+} // namespace ariadne::driver
+
+#endif // ARIADNE_DRIVER_SCENARIO_SPEC_HH

@@ -1,9 +1,61 @@
 #include "sim/stats.hh"
 
+#include <cmath>
+
 #include "sim/log.hh"
 
 namespace ariadne
 {
+
+double
+Distribution::min() const noexcept
+{
+    return values.empty()
+               ? 0.0
+               : *std::min_element(values.begin(), values.end());
+}
+
+double
+Distribution::max() const noexcept
+{
+    return values.empty()
+               ? 0.0
+               : *std::max_element(values.begin(), values.end());
+}
+
+double
+Distribution::mean() const noexcept
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+Distribution::percentile(double p) const
+{
+    if (values.empty())
+        return 0.0;
+    if (!sorted) {
+        std::sort(values.begin(), values.end());
+        sorted = true;
+    }
+    // Negated comparison so NaN clamps to 0 instead of reaching the
+    // size_t cast below (double-to-integer conversion out of range is
+    // undefined behavior).
+    if (!(p > 0.0))
+        p = 0.0;
+    else if (p > 1.0)
+        p = 1.0;
+    auto rank = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(values.size())));
+    if (rank == 0)
+        rank = 1;
+    return values[rank - 1];
+}
 
 Histogram::Histogram(double bucket_width, std::size_t bucket_count)
     : width(bucket_width), bins(bucket_count, 0)
@@ -18,11 +70,44 @@ Histogram::sample(double v) noexcept
     total += 1;
     if (v < 0.0)
         v = 0.0;
-    auto idx = static_cast<std::size_t>(v / width);
-    if (idx >= bins.size())
+    // Compare in floating point *before* the size_t cast: converting a
+    // double beyond the target range (v / width can be anything up to
+    // inf, or NaN) is undefined behavior. The negated comparison routes
+    // both huge samples and NaN to the overflow bucket; only values
+    // strictly inside [0, bins.size()) reach the cast.
+    double scaled = v / width;
+    if (!(scaled < static_cast<double>(bins.size())))
         overflow += 1;
     else
-        bins[idx] += 1;
+        bins[static_cast<std::size_t>(scaled)] += 1;
+}
+
+double
+Histogram::percentile(double p) const noexcept
+{
+    if (total == 0)
+        return 0.0;
+    // Negated comparison: NaN p clamps to 0 rather than hitting the
+    // integer cast below (that conversion would be UB).
+    if (!(p > 0.0))
+        p = 0.0;
+    else if (p > 1.0)
+        p = 1.0;
+    // Nearest-rank over the bucketed CDF: the upper edge of the first
+    // bucket whose cumulative count reaches p * total. Samples in the
+    // overflow bucket only report the histogram's top edge — callers
+    // needing exact tails should use Distribution instead.
+    auto target = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(total)));
+    if (target == 0)
+        target = 1;
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+        acc += bins[i];
+        if (acc >= target)
+            return width * static_cast<double>(i + 1);
+    }
+    return width * static_cast<double>(bins.size());
 }
 
 std::uint64_t

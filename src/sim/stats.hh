@@ -89,6 +89,55 @@ class Scalar
 };
 
 /**
+ * Exact sample distribution: stores every sample and answers
+ * percentile queries by rank. Costs memory proportional to the sample
+ * count, so it is meant for per-run aggregates (relaunch latencies,
+ * per-session CPU), not per-page events — use Histogram for those.
+ */
+class Distribution
+{
+  public:
+    Distribution() = default;
+
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        values.push_back(v);
+        sorted = false;
+    }
+
+    std::uint64_t samples() const noexcept { return values.size(); }
+
+    double min() const noexcept;
+    double max() const noexcept;
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const noexcept;
+
+    /**
+     * Nearest-rank percentile: the smallest sample v such that at
+     * least ceil(p * samples) samples are <= v. @p p is clamped to
+     * [0, 1]; an empty distribution reports 0.
+     */
+    double percentile(double p) const;
+
+    /** Reset to the empty state. */
+    void
+    reset() noexcept
+    {
+        values.clear();
+        sorted = false;
+    }
+
+  private:
+    // percentile() sorts lazily; recording order is irrelevant to
+    // every accessor, so logical constness is preserved.
+    mutable std::vector<double> values;
+    mutable bool sorted = false;
+};
+
+/**
  * Fixed-bucket histogram over [0, bucketWidth * buckets); samples past
  * the top land in an overflow bucket.
  */
@@ -118,6 +167,13 @@ class Histogram
 
     /** Fraction of samples at or below @p v (inclusive CDF estimate). */
     double cdfAt(double v) const noexcept;
+
+    /**
+     * Bucket-resolution nearest-rank percentile: the upper edge of the
+     * first bucket whose cumulative count reaches p * samples. Overflow
+     * samples saturate at the histogram's top edge.
+     */
+    double percentile(double p) const noexcept;
 
     /** Reset all buckets. */
     void reset() noexcept;
@@ -150,6 +206,20 @@ class StatRegistry
 
     /** Look up a registered scalar; nullptr when absent. */
     const Scalar *findScalar(const std::string &name) const;
+
+    /** All registered counters, sorted by name. */
+    const std::map<std::string, const Counter *> &
+    allCounters() const noexcept
+    {
+        return counters;
+    }
+
+    /** All registered scalars, sorted by name. */
+    const std::map<std::string, const Scalar *> &
+    allScalars() const noexcept
+    {
+        return scalars;
+    }
 
   private:
     std::map<std::string, const Counter *> counters;

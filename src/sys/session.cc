@@ -18,12 +18,7 @@ SessionDriver::prepareTargetScenario(AppId target, unsigned variant,
                                      Tick use_time, Tick bg_use_time)
 {
     // Launch and use the target app.
-    if (!launched.contains(target)) {
-        sys.appColdLaunch(target);
-        launched.insert(target);
-    } else {
-        sys.appRelaunch(target);
-    }
+    visit(target);
     sys.appExecute(target, use_time);
     sys.appBackground(target);
 
@@ -40,15 +35,21 @@ SessionDriver::prepareTargetScenario(AppId target, unsigned variant,
                     others.end());
     }
     for (AppId uid : others) {
-        if (!launched.contains(uid)) {
-            sys.appColdLaunch(uid);
-            launched.insert(uid);
-        } else {
-            sys.appRelaunch(uid);
-        }
+        visit(uid);
         sys.appExecute(uid, bg_use_time);
         sys.appBackground(uid);
     }
+}
+
+RelaunchStats
+SessionDriver::visit(AppId uid)
+{
+    if (!launched.contains(uid)) {
+        sys.appColdLaunch(uid);
+        launched.insert(uid);
+        return RelaunchStats{};
+    }
+    return sys.appRelaunch(uid);
 }
 
 void

@@ -70,6 +70,21 @@ class SessionDriver
     /** Heavy usage: continuous relaunches without intermission. */
     void heavyUsageScenario(Tick duration = Tick{60} * 1000000000ULL);
 
+    /**
+     * Cold-launch @p uid on its first visit, hot-relaunch it
+     * otherwise. The measured RelaunchStats are only meaningful for
+     * the relaunch case; a cold launch reports zeroed stats with
+     * uid == invalidApp so callers can tell the two apart.
+     */
+    RelaunchStats visit(AppId uid);
+
+    /** Whether @p uid has been launched by this driver. */
+    bool
+    isLaunched(AppId uid) const
+    {
+        return launched.contains(uid);
+    }
+
   private:
     /** All uids of the system's profiles. */
     std::vector<AppId> allApps() const;

@@ -1,0 +1,183 @@
+/** @file Unit tests for the fleet experiment runner. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "driver/fleet_runner.hh"
+#include "workload/apps.hh"
+
+using namespace ariadne;
+using namespace ariadne::driver;
+
+namespace
+{
+
+/**
+ * A fast scenario: warm up all ten apps (which overflows the scaled
+ * DRAM budget, so reclaim and compression run), then a dozen
+ * round-robin switches. Small enough to run a fleet of six in about a
+ * second, busy enough to exercise the fault and relaunch paths.
+ */
+ScenarioSpec
+smallSpec()
+{
+    return ScenarioSpec::parseString(R"(
+name = test-fleet
+scheme = ariadne
+ariadne = EHL-1K-2K-16K
+scale = 0.0625
+seed = 7
+fleet = 6
+event = warmup
+event = repeat 12
+event =   switch_next 200ms 100ms
+event = end
+)");
+}
+
+std::string
+jsonOf(const FleetResult &r, bool per_session)
+{
+    std::ostringstream os;
+    r.writeJson(os, per_session);
+    return os.str();
+}
+
+} // namespace
+
+TEST(FleetRunner, SessionCountAndRecordedRelaunches)
+{
+    FleetRunner runner(smallSpec());
+    FleetResult r = runner.run(2, 1);
+    ASSERT_EQ(r.sessions.size(), 2u);
+    // Warmup launches all three apps, so every switch_next relaunches.
+    EXPECT_EQ(r.sessions[0].relaunches.size(), 12u);
+    EXPECT_EQ(r.totalRelaunches, 24u);
+    EXPECT_EQ(r.relaunchMs.samples, 24u);
+    for (const auto &sample : r.sessions[0].relaunches)
+        EXPECT_GT(sample.fullScaleMs, 0.0);
+}
+
+TEST(FleetRunner, UsesSpecFleetSizeByDefault)
+{
+    FleetRunner runner(smallSpec());
+    EXPECT_EQ(runner.run(0, 1).sessions.size(), 6u);
+}
+
+TEST(FleetRunner, SessionIsDeterministicInIsolation)
+{
+    FleetRunner runner(smallSpec());
+    SessionResult a = runner.runSession(3);
+    SessionResult b = runner.runSession(3);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.compCpuNs, b.compCpuNs);
+    EXPECT_EQ(a.kswapdCpuNs, b.kswapdCpuNs);
+    EXPECT_EQ(a.simulatedNs, b.simulatedNs);
+    ASSERT_EQ(a.relaunches.size(), b.relaunches.size());
+    for (std::size_t i = 0; i < a.relaunches.size(); ++i) {
+        EXPECT_EQ(a.relaunches[i].uid, b.relaunches[i].uid);
+        EXPECT_EQ(a.relaunches[i].stats.totalNs,
+                  b.relaunches[i].stats.totalNs);
+    }
+}
+
+TEST(FleetRunner, SessionsDiffer)
+{
+    FleetRunner runner(smallSpec());
+    // Distinct seeds should give (at least slightly) distinct
+    // behaviour; identical sessions would mean the seed is ignored.
+    SessionResult s0 = runner.runSession(0);
+    SessionResult s1 = runner.runSession(1);
+    EXPECT_NE(s0.seed, s1.seed);
+    EXPECT_NE(s0.simulatedNs, s1.simulatedNs);
+}
+
+TEST(FleetRunner, AggregateJsonIsThreadInvariant)
+{
+    FleetRunner runner(smallSpec());
+    FleetResult one = runner.run(6, 1);
+    FleetResult eight = runner.run(6, 8);
+    EXPECT_EQ(jsonOf(one, true), jsonOf(eight, true));
+}
+
+TEST(FleetRunner, PercentilesAreOrdered)
+{
+    FleetRunner runner(smallSpec());
+    FleetResult r = runner.run(4, 2);
+    EXPECT_GT(r.relaunchMs.samples, 0u);
+    EXPECT_LE(r.relaunchMs.min, r.relaunchMs.p50);
+    EXPECT_LE(r.relaunchMs.p50, r.relaunchMs.p90);
+    EXPECT_LE(r.relaunchMs.p90, r.relaunchMs.p99);
+    EXPECT_LE(r.relaunchMs.p99, r.relaunchMs.max);
+    EXPECT_GT(r.compDecompCpuMs.mean, 0.0);
+    EXPECT_GT(r.compRatio.mean, 1.0);
+}
+
+TEST(FleetRunner, JsonReportCarriesScenarioIdentity)
+{
+    FleetRunner runner(smallSpec());
+    std::string text = jsonOf(runner.run(2, 1), false);
+    EXPECT_NE(text.find("\"scenario\": \"test-fleet\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"scheme\": \"Ariadne\""), std::string::npos);
+    EXPECT_NE(text.find("\"ariadneConfig\": \"EHL-1K-2K-16K\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"relaunchMs\""), std::string::npos);
+    EXPECT_NE(text.find("\"p99\""), std::string::npos);
+    // No per-session records unless asked for.
+    EXPECT_EQ(text.find("\"sessions\""), std::string::npos);
+    std::string per = jsonOf(runner.run(2, 1), true);
+    EXPECT_NE(per.find("\"sessions\""), std::string::npos);
+}
+
+TEST(FleetRunner, ProgrammaticSpecMatchesParsedSpec)
+{
+    ScenarioSpec parsed = smallSpec();
+
+    ScenarioSpec built;
+    built.name = "test-fleet";
+    built.scheme = SchemeKind::Ariadne;
+    built.ariadneConfig = "EHL-1K-2K-16K";
+    built.scale = 0.0625;
+    built.seed = 7;
+    built.fleet = 6;
+    built.program.push_back(Event::warmup());
+    built.program.push_back(Event::repeat(
+        12, {Event::switchNext(200 * 1000000ULL, 100 * 1000000ULL)}));
+    EXPECT_TRUE(parsed == built);
+
+    FleetResult a = FleetRunner(parsed).run(2, 1);
+    FleetResult b = FleetRunner(built).run(2, 1);
+    EXPECT_EQ(jsonOf(a, true), jsonOf(b, true));
+}
+
+TEST(FleetRunner, TargetScenarioRecordsMeasuredRelaunch)
+{
+    ScenarioSpec spec;
+    spec.name = "target";
+    spec.scheme = SchemeKind::Zram;
+    spec.scale = 0.0625;
+    spec.apps = {"YouTube", "Twitter", "Firefox"};
+    spec.program.push_back(Event::targetScenario("YouTube", 0));
+    SessionResult s = FleetRunner(std::move(spec)).runSession(0);
+    ASSERT_EQ(s.relaunches.size(), 1u);
+    EXPECT_GT(s.relaunches[0].stats.pagesTouched, 0u);
+}
+
+TEST(FleetRunner, ColdLaunchIsNotARelaunchSample)
+{
+    ScenarioSpec spec;
+    spec.name = "cold";
+    spec.scheme = SchemeKind::Zram;
+    spec.scale = 0.0625;
+    spec.apps = {"YouTube"};
+    // First relaunch op can only cold-launch: nothing measured.
+    spec.program.push_back(Event::relaunch("YouTube"));
+    spec.program.push_back(Event::execute("YouTube", 1000000000ULL));
+    spec.program.push_back(Event::background("YouTube"));
+    spec.program.push_back(Event::relaunch("YouTube"));
+    SessionResult s = FleetRunner(std::move(spec)).runSession(0);
+    ASSERT_EQ(s.relaunches.size(), 1u);
+    EXPECT_EQ(s.relaunches[0].uid, standardApp("YouTube").uid);
+}

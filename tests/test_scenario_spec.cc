@@ -1,0 +1,244 @@
+/** @file Unit tests for the scenario-config parser. */
+
+#include <gtest/gtest.h>
+
+#include "driver/scenario_spec.hh"
+
+using namespace ariadne;
+using namespace ariadne::driver;
+
+namespace
+{
+
+const char *fullConfig = R"(
+# A kitchen-sink scenario exercising every key and op.
+name = kitchen-sink
+scheme = ariadne
+ariadne = AL-512-2K-16K
+scale = 0.125
+seed = 1234
+fleet = 16
+apps = YouTube, Twitter, Firefox
+
+event = warmup
+event = launch YouTube
+event = execute YouTube 30s
+event = background YouTube
+event = repeat 3
+event =   switch_next 500ms 1s
+event =   repeat 2
+event =     relaunch Twitter
+event =     idle 250ms
+event =   end
+event = end
+event = target_scenario Firefox 2
+)";
+
+} // namespace
+
+TEST(ScenarioSpec, ParsesEveryKeyAndOp)
+{
+    ScenarioSpec spec = ScenarioSpec::parseString(fullConfig);
+    EXPECT_EQ(spec.name, "kitchen-sink");
+    EXPECT_EQ(spec.scheme, SchemeKind::Ariadne);
+    EXPECT_EQ(spec.ariadneConfig, "AL-512-2K-16K");
+    EXPECT_DOUBLE_EQ(spec.scale, 0.125);
+    EXPECT_EQ(spec.seed, 1234u);
+    EXPECT_EQ(spec.fleet, 16u);
+    ASSERT_EQ(spec.apps.size(), 3u);
+    EXPECT_EQ(spec.apps[1], "Twitter");
+
+    ASSERT_EQ(spec.program.size(), 6u);
+    EXPECT_EQ(spec.program[0].kind, Event::Kind::Warmup);
+    EXPECT_EQ(spec.program[1].kind, Event::Kind::Launch);
+    EXPECT_EQ(spec.program[1].app, "YouTube");
+    EXPECT_EQ(spec.program[2].kind, Event::Kind::Execute);
+    EXPECT_EQ(spec.program[2].duration, 30ull * 1000000000ull);
+    EXPECT_EQ(spec.program[3].kind, Event::Kind::Background);
+
+    const Event &outer = spec.program[4];
+    EXPECT_EQ(outer.kind, Event::Kind::Repeat);
+    EXPECT_EQ(outer.count, 3u);
+    ASSERT_EQ(outer.body.size(), 2u);
+    EXPECT_EQ(outer.body[0].kind, Event::Kind::SwitchNext);
+    EXPECT_EQ(outer.body[0].duration, 500ull * 1000000ull);
+    EXPECT_EQ(outer.body[0].gap, 1ull * 1000000000ull);
+    const Event &inner = outer.body[1];
+    EXPECT_EQ(inner.kind, Event::Kind::Repeat);
+    EXPECT_EQ(inner.count, 2u);
+    ASSERT_EQ(inner.body.size(), 2u);
+    EXPECT_EQ(inner.body[0].kind, Event::Kind::Relaunch);
+    EXPECT_EQ(inner.body[0].app, "Twitter");
+    EXPECT_EQ(inner.body[1].kind, Event::Kind::Idle);
+
+    EXPECT_EQ(spec.program[5].kind, Event::Kind::TargetScenario);
+    EXPECT_EQ(spec.program[5].app, "Firefox");
+    EXPECT_EQ(spec.program[5].variant, 2u);
+}
+
+TEST(ScenarioSpec, RoundTripsThroughToString)
+{
+    ScenarioSpec spec = ScenarioSpec::parseString(fullConfig);
+    ScenarioSpec reparsed = ScenarioSpec::parseString(spec.toString());
+    EXPECT_TRUE(spec == reparsed);
+    // Serialization is canonical: a second round changes nothing.
+    EXPECT_EQ(spec.toString(), reparsed.toString());
+}
+
+TEST(ScenarioSpec, DefaultsWhenKeysOmitted)
+{
+    ScenarioSpec spec = ScenarioSpec::parseString("event = warmup\n");
+    EXPECT_EQ(spec.name, "unnamed");
+    EXPECT_EQ(spec.scheme, SchemeKind::Zram);
+    EXPECT_TRUE(spec.ariadneConfig.empty());
+    EXPECT_DOUBLE_EQ(spec.scale, 0.0625);
+    EXPECT_EQ(spec.seed, 42u);
+    EXPECT_EQ(spec.fleet, 1u);
+    EXPECT_TRUE(spec.apps.empty());
+    EXPECT_EQ(spec.appProfiles().size(), 10u);
+}
+
+TEST(ScenarioSpec, SessionSeedsAreStableAndDecorrelated)
+{
+    ScenarioSpec spec;
+    spec.seed = 42;
+    // Session 0 runs the base seed (legacy single-run compatibility).
+    EXPECT_EQ(spec.sessionSeed(0), 42u);
+    EXPECT_NE(spec.sessionSeed(1), spec.sessionSeed(2));
+    EXPECT_EQ(spec.sessionSeed(7), spec.sessionSeed(7));
+    // The derived SystemConfig carries the per-session seed.
+    EXPECT_EQ(spec.systemConfig(3).seed, spec.sessionSeed(3));
+}
+
+TEST(ScenarioSpec, RejectsMalformedLines)
+{
+    EXPECT_THROW(ScenarioSpec::parseString("name daily\n"), SpecError);
+    EXPECT_THROW(ScenarioSpec::parseString("= value\n"), SpecError);
+    EXPECT_THROW(ScenarioSpec::parseString("name =\n"), SpecError);
+    EXPECT_THROW(ScenarioSpec::parseString("bogus = 1\n"), SpecError);
+}
+
+TEST(ScenarioSpec, RejectsBadValues)
+{
+    EXPECT_THROW(ScenarioSpec::parseString("scheme = windows\n"),
+                 SpecError);
+    EXPECT_THROW(ScenarioSpec::parseString("scale = 0\n"), SpecError);
+    EXPECT_THROW(ScenarioSpec::parseString("scale = 2.0\n"), SpecError);
+    EXPECT_THROW(ScenarioSpec::parseString("scale = abc\n"), SpecError);
+    EXPECT_THROW(ScenarioSpec::parseString("seed = -1\n"), SpecError);
+    EXPECT_THROW(ScenarioSpec::parseString("fleet = 0\n"), SpecError);
+    EXPECT_THROW(ScenarioSpec::parseString("apps = NoSuchApp\n"),
+                 SpecError);
+    EXPECT_THROW(ScenarioSpec::parseString("ariadne = EHL-1K-2K\n"),
+                 SpecError);
+    EXPECT_THROW(ScenarioSpec::parseString("ariadne = XXL-1K-2K-16K\n"),
+                 SpecError);
+    // Shape is fine but the size constraints AriadneConfig::parse
+    // enforces with fatal() must already fail here with SpecError.
+    EXPECT_THROW(ScenarioSpec::parseString("ariadne = EHL-16K-2K-1K\n"),
+                 SpecError);
+    EXPECT_THROW(ScenarioSpec::parseString("ariadne = EHL-0-1K-2K\n"),
+                 SpecError);
+    // Oversized chunk-size tokens must become SpecError, not escape
+    // as std::out_of_range.
+    EXPECT_THROW(ScenarioSpec::parseString(
+                     "ariadne = EHL-99999999999999999999K-1K-2K\n"),
+                 SpecError);
+    EXPECT_THROW(ScenarioSpec::parseString(
+                     "ariadne = EHL-1K-2K-99999999999999999999\n"),
+                 SpecError);
+}
+
+TEST(ScenarioSpec, AppListMayFollowTheEventsUsingIt)
+{
+    // Validation is order-independent: events may reference apps the
+    // mix only declares later in the file...
+    ScenarioSpec spec =
+        ScenarioSpec::parseString("event = launch Twitter\n"
+                                  "apps = Twitter\n");
+    EXPECT_EQ(spec.program[0].app, "Twitter");
+    // ...and an app outside the final mix is rejected no matter where
+    // the apps line sits.
+    EXPECT_THROW(
+        ScenarioSpec::parseString("event = launch YouTube\n"
+                                  "apps = Twitter\n"),
+        SpecError);
+}
+
+TEST(ScenarioSpec, RejectsBadEvents)
+{
+    EXPECT_THROW(ScenarioSpec::parseString("event = fly YouTube\n"),
+                 SpecError);
+    EXPECT_THROW(ScenarioSpec::parseString("event = launch\n"),
+                 SpecError);
+    EXPECT_THROW(ScenarioSpec::parseString("event = launch NoSuchApp\n"),
+                 SpecError);
+    EXPECT_THROW(
+        ScenarioSpec::parseString("event = execute YouTube 5parsecs\n"),
+        SpecError);
+    EXPECT_THROW(ScenarioSpec::parseString("event = idle abc\n"),
+                 SpecError);
+    EXPECT_THROW(ScenarioSpec::parseString("event = repeat 0\n"),
+                 SpecError);
+    EXPECT_THROW(ScenarioSpec::parseString("event = repeat 2\n"
+                                           "event = warmup\n"),
+                 SpecError);
+    EXPECT_THROW(ScenarioSpec::parseString("event = end\n"), SpecError);
+    // Events may only reference apps in the scenario's mix.
+    EXPECT_THROW(
+        ScenarioSpec::parseString("apps = YouTube\n"
+                                  "event = launch Twitter\n"),
+        SpecError);
+}
+
+TEST(ScenarioSpec, ErrorsNameTheLine)
+{
+    try {
+        ScenarioSpec::parseString("name = ok\nbogus = 1\n");
+        FAIL() << "expected SpecError";
+    } catch (const SpecError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos);
+    }
+}
+
+TEST(ScenarioSpec, LoadFileThrowsOnMissingFile)
+{
+    EXPECT_THROW(ScenarioSpec::loadFile("/nonexistent/path.cfg"),
+                 SpecError);
+}
+
+TEST(ParseDuration, AcceptsAllSuffixes)
+{
+    EXPECT_EQ(parseDuration("42"), 42u);
+    EXPECT_EQ(parseDuration("42ns"), 42u);
+    EXPECT_EQ(parseDuration("7us"), 7000u);
+    EXPECT_EQ(parseDuration("250ms"), 250ull * 1000000ull);
+    EXPECT_EQ(parseDuration("2s"), 2ull * 1000000000ull);
+    EXPECT_THROW(parseDuration(""), SpecError);
+    EXPECT_THROW(parseDuration("ms"), SpecError);
+    EXPECT_THROW(parseDuration("5h"), SpecError);
+    EXPECT_THROW(parseDuration("-5s"), SpecError);
+}
+
+TEST(ParseDuration, RejectsOverflowInsteadOfWrapping)
+{
+    // 1e11 seconds * 1e9 would wrap uint64; must throw, not truncate.
+    EXPECT_THROW(parseDuration("99999999999s"), SpecError);
+    // Digits alone already beyond uint64.
+    EXPECT_THROW(parseDuration("99999999999999999999"), SpecError);
+    // Near the limit but representable stays accepted.
+    EXPECT_EQ(parseDuration("18000000000s"),
+              18000000000ull * 1000000000ull);
+}
+
+TEST(FormatDuration, PicksShortestExactSuffix)
+{
+    EXPECT_EQ(formatDuration(2000000000ull), "2s");
+    EXPECT_EQ(formatDuration(250000000ull), "250ms");
+    EXPECT_EQ(formatDuration(7000ull), "7us");
+    EXPECT_EQ(formatDuration(42ull), "42ns");
+    EXPECT_EQ(formatDuration(0), "0s");
+    // Round-trip property.
+    EXPECT_EQ(parseDuration(formatDuration(123456789ull)), 123456789ull);
+}

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "sim/stats.hh"
@@ -64,6 +65,96 @@ TEST(Histogram, NegativeSamplesClampToFirstBucket)
     Histogram h(1.0, 2);
     h.sample(-5.0);
     EXPECT_EQ(h.bucketCount(0), 1u);
+}
+
+TEST(Histogram, HugeSamplesLandInOverflowWithoutUb)
+{
+    // v / width used to be cast straight to size_t; doubles beyond the
+    // target range made that undefined behavior. Huge and non-finite-
+    // adjacent values must all land in the overflow bucket.
+    Histogram h(1.0, 4);
+    h.sample(1e300);
+    h.sample(std::numeric_limits<double>::max());
+    h.sample(std::numeric_limits<double>::infinity());
+    h.sample(std::numeric_limits<double>::quiet_NaN());
+    h.sample(4.0); // first value past the top edge
+    EXPECT_EQ(h.overflowCount(), 5u);
+    EXPECT_EQ(h.samples(), 5u);
+    EXPECT_EQ(h.bucketCount(3), 0u);
+}
+
+TEST(Histogram, PercentileOnKnownDistribution)
+{
+    // 100 samples uniform over [0, 10): percentiles at bucket
+    // resolution (width 1).
+    Histogram h(1.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.sample(static_cast<double>(i) / 10.0 + 0.05);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);  // first non-empty bucket
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.9), 9.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+    // Out-of-range and NaN p clamp instead of reaching the integer
+    // cast (which would be UB).
+    EXPECT_DOUBLE_EQ(h.percentile(-1.0), h.percentile(0.0));
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), h.percentile(1.0));
+    EXPECT_DOUBLE_EQ(
+        h.percentile(std::numeric_limits<double>::quiet_NaN()),
+        h.percentile(0.0));
+}
+
+TEST(Histogram, PercentileSaturatesAtTopEdgeForOverflow)
+{
+    Histogram h(1.0, 2);
+    h.sample(0.5);
+    h.sample(100.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 2.0);
+    EXPECT_DOUBLE_EQ(Histogram(1.0, 2).percentile(0.5), 0.0); // empty
+}
+
+TEST(Distribution, PercentilesOnKnownDistribution)
+{
+    Distribution d;
+    for (int i = 100; i >= 1; --i) // reverse order: sorting is lazy
+        d.sample(static_cast<double>(i));
+    EXPECT_EQ(d.samples(), 100u);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 100.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 50.5);
+    // Nearest rank: ceil(p * n)-th smallest.
+    EXPECT_DOUBLE_EQ(d.percentile(0.50), 50.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.90), 90.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.99), 99.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 100.0);
+    EXPECT_DOUBLE_EQ(d.percentile(-3.0), 1.0);
+    EXPECT_DOUBLE_EQ(d.percentile(7.0), 100.0);
+    EXPECT_DOUBLE_EQ(
+        d.percentile(std::numeric_limits<double>::quiet_NaN()), 1.0);
+}
+
+TEST(Distribution, SingleSampleAndEmpty)
+{
+    Distribution d;
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    d.sample(7.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 7.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 7.0);
+}
+
+TEST(Distribution, SamplingAfterPercentileQueryStillWorks)
+{
+    Distribution d;
+    d.sample(3.0);
+    d.sample(1.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 3.0);
+    d.sample(2.0); // invalidates the lazily sorted order
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 2.0);
+    d.reset();
+    EXPECT_EQ(d.samples(), 0u);
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 0.0);
 }
 
 TEST(Histogram, CdfMonotonic)

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * ariadne_sim — config-driven fleet experiment runner.
+ *
+ * Runs a fleet of independent simulated devices through one scenario
+ * config and reports aggregate percentiles, optionally as JSON:
+ *
+ *     ariadne_sim --config scenarios/daily.cfg --fleet 64 \
+ *                 --threads 8 --json out.json
+ *
+ * Fleet aggregates are bit-identical regardless of --threads; every
+ * session derives its seed from the scenario's base seed and its own
+ * index.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "analysis/report.hh"
+#include "driver/fleet_runner.hh"
+
+using namespace ariadne;
+using namespace ariadne::driver;
+
+namespace
+{
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: ariadne_sim --config FILE [options]\n"
+          "\n"
+          "options:\n"
+          "  --config FILE    scenario config (required)\n"
+          "  --fleet N        session count (default: the config's "
+          "fleet size)\n"
+          "  --threads T      worker threads (default 1; 0 = hardware "
+          "count)\n"
+          "  --json FILE      write the aggregate report as JSON "
+          "('-' = stdout)\n"
+          "  --per-session    include per-session records in the JSON\n"
+          "  --print-config   echo the parsed scenario and exit\n"
+          "  --quiet          suppress the human-readable summary\n"
+          "  --help           this message\n";
+}
+
+struct Options
+{
+    std::string configPath;
+    std::size_t fleet = 0;   // 0 = use the spec's
+    unsigned threads = 1;
+    std::string jsonPath;
+    bool perSession = false;
+    bool printConfig = false;
+    bool quiet = false;
+};
+
+/** Parse argv; returns false (after printing a message) on error. */
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    auto need_value = [&](int i, const char *flag) {
+        if (i + 1 >= argc) {
+            std::cerr << "ariadne_sim: " << flag
+                      << " needs a value\n";
+            return false;
+        }
+        return true;
+    };
+    auto parse_count = [](const char *flag, const char *text,
+                          unsigned long &out) {
+        // Digits only: stoul would happily wrap "-1" to a huge value.
+        std::string s(text);
+        if (!s.empty() &&
+            std::all_of(s.begin(), s.end(), [](unsigned char c) {
+                return std::isdigit(c);
+            })) {
+            try {
+                out = std::stoul(s);
+                return true;
+            } catch (const std::out_of_range &) {
+            }
+        }
+        std::cerr << "ariadne_sim: " << flag
+                  << " needs a non-negative integer, got '" << text
+                  << "'\n";
+        return false;
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
+            usage(std::cout);
+            std::exit(0);
+        } else if (!std::strcmp(arg, "--config")) {
+            if (!need_value(i, arg))
+                return false;
+            opt.configPath = argv[++i];
+        } else if (!std::strcmp(arg, "--fleet")) {
+            if (!need_value(i, arg))
+                return false;
+            unsigned long v = 0;
+            if (!parse_count(arg, argv[++i], v))
+                return false;
+            opt.fleet = v;
+        } else if (!std::strcmp(arg, "--threads")) {
+            if (!need_value(i, arg))
+                return false;
+            unsigned long v = 0;
+            if (!parse_count(arg, argv[++i], v))
+                return false;
+            opt.threads = static_cast<unsigned>(v);
+        } else if (!std::strcmp(arg, "--json")) {
+            if (!need_value(i, arg))
+                return false;
+            opt.jsonPath = argv[++i];
+        } else if (!std::strcmp(arg, "--per-session")) {
+            opt.perSession = true;
+        } else if (!std::strcmp(arg, "--print-config")) {
+            opt.printConfig = true;
+        } else if (!std::strcmp(arg, "--quiet")) {
+            opt.quiet = true;
+        } else {
+            std::cerr << "ariadne_sim: unknown option '" << arg
+                      << "'\n";
+            usage(std::cerr);
+            return false;
+        }
+    }
+    if (opt.configPath.empty()) {
+        std::cerr << "ariadne_sim: --config is required\n";
+        usage(std::cerr);
+        return false;
+    }
+    return true;
+}
+
+std::vector<std::string>
+summaryRow(const std::string &name, const MetricSummary &m, int prec)
+{
+    return {name,
+            std::to_string(m.samples),
+            ReportTable::num(m.mean, prec),
+            ReportTable::num(m.p50, prec),
+            ReportTable::num(m.p90, prec),
+            ReportTable::num(m.p99, prec),
+            ReportTable::num(m.min, prec),
+            ReportTable::num(m.max, prec)};
+}
+
+void
+printSummary(std::ostream &os, const FleetResult &r)
+{
+    printBanner(os, "ariadne_sim: scenario '" + r.scenario + "' — " +
+                        r.scheme +
+                        (r.ariadneConfig.empty()
+                             ? ""
+                             : " (" + r.ariadneConfig + ")"));
+    os << "fleet " << r.fleet << ", base seed " << r.seed << ", scale "
+       << r.scale << "\n\n";
+
+    ReportTable table({"metric", "n", "mean", "p50", "p90", "p99",
+                       "min", "max"});
+    table.addRow(summaryRow("relaunch latency (ms)", r.relaunchMs, 1));
+    table.addRow(
+        summaryRow("comp+decomp CPU (ms)", r.compDecompCpuMs, 1));
+    table.addRow(summaryRow("kswapd CPU (ms)", r.kswapdCpuMs, 1));
+    table.addRow(summaryRow("energy (J)", r.energyJ, 2));
+    table.addRow(summaryRow("compression ratio", r.compRatio, 2));
+    table.print(os);
+
+    os << "\nrelaunches " << r.totalRelaunches << ", staged hits "
+       << r.totalStagedHits << ", major faults " << r.totalMajorFaults
+       << ", flash faults " << r.totalFlashFaults << ", lost pages "
+       << r.totalLostPages << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt))
+        return 2;
+
+    ScenarioSpec spec;
+    try {
+        spec = ScenarioSpec::loadFile(opt.configPath);
+    } catch (const SpecError &e) {
+        std::cerr << "ariadne_sim: " << e.what() << "\n";
+        return 2;
+    }
+
+    if (opt.printConfig) {
+        std::cout << spec.toString();
+        return 0;
+    }
+
+    FleetRunner runner(std::move(spec));
+    FleetResult result = runner.run(opt.fleet, opt.threads);
+
+    if (!opt.quiet)
+        printSummary(std::cout, result);
+
+    if (!opt.jsonPath.empty()) {
+        if (opt.jsonPath == "-") {
+            result.writeJson(std::cout, opt.perSession);
+        } else {
+            std::ofstream out(opt.jsonPath);
+            if (!out) {
+                std::cerr << "ariadne_sim: cannot write "
+                          << opt.jsonPath << "\n";
+                return 1;
+            }
+            result.writeJson(out, opt.perSession);
+            if (!opt.quiet)
+                std::cout << "\nJSON report written to "
+                          << opt.jsonPath << "\n";
+        }
+    }
+    return 0;
+}
