@@ -17,6 +17,10 @@
  *    single-page units (no multi-page decompression risk, but no
  *    large-window ratio either);
  *  - EHL vs AL: hot-list exemption versus all-lists compression.
+ *
+ * The mechanism toggles are the ScenarioSpec ablation axes
+ * (`seed_profiles`, `predecomp`, `hot_init_pages`), so every variant
+ * here is expressible in a sweep config too.
  */
 
 #include "bench_common.hh"
@@ -27,12 +31,6 @@ using namespace ariadne::bench;
 namespace
 {
 
-struct Variant
-{
-    std::string label;
-    SystemConfig cfg;
-};
-
 struct Outcome
 {
     double relaunchMs;
@@ -40,70 +38,68 @@ struct Outcome
     double ratio;
 };
 
-Outcome
-run(const SystemConfig &cfg)
-{
-    MobileSystem sys(cfg, standardApps());
-    SessionDriver driver(sys);
-    AppId uid = standardApp("YouTube").uid;
-    RelaunchStats st;
-    for (unsigned v = 0; v < 3; ++v)
-        st = driver.targetRelaunchScenario(uid, v);
-    return {fullScaleMs(st),
-            static_cast<double>(sys.cpu().compDecompTotal()) / 1e6,
-            sys.scheme().totalStats().ratio()};
-}
-
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("ablation", argc, argv);
     printBanner(std::cout,
                 "Ablation: contribution of each Ariadne mechanism "
                 "(YouTube target, 3 cycles)");
 
-    std::vector<Variant> variants;
-    variants.push_back({"ZRAM baseline", makeConfig(SchemeKind::Zram)});
-    variants.push_back(
-        {"Ariadne full (EHL-1K-2K-16K)",
-         makeConfig(SchemeKind::Ariadne, "EHL-1K-2K-16K")});
+    auto ablation_spec = [](std::string name, SchemeKind kind,
+                            const std::string &acfg) {
+        driver::ScenarioSpec spec = makeSpec(kind, acfg);
+        spec.name = std::move(name);
+        for (unsigned v = 0; v < 3; ++v)
+            spec.program.push_back(
+                driver::Event::targetScenario("YouTube", v));
+        return spec;
+    };
 
+    std::vector<driver::ScenarioSpec> variants;
+    variants.push_back(
+        ablation_spec("ZRAM baseline", SchemeKind::Zram, ""));
+    variants.push_back(ablation_spec("Ariadne full (EHL-1K-2K-16K)",
+                                     SchemeKind::Ariadne,
+                                     "EHL-1K-2K-16K"));
     {
-        Variant v{"D1 no hotness seeding",
-                  makeConfig(SchemeKind::Ariadne, "EHL-1K-2K-16K")};
-        v.cfg.seedAriadneProfiles = false;
-        v.cfg.ariadne.defaultHotInitPages = 0;
-        variants.push_back(v);
+        driver::ScenarioSpec spec =
+            ablation_spec("D1 no hotness seeding", SchemeKind::Ariadne,
+                          "EHL-1K-2K-16K");
+        spec.seedProfiles = false;
+        spec.hotInitPages = 0;
+        variants.push_back(std::move(spec));
     }
+    variants.push_back(ablation_spec(
+        "D2 single 4K size", SchemeKind::Ariadne, "EHL-4K-4K-4K"));
     {
-        Variant v{"D2 single 4K size",
-                  makeConfig(SchemeKind::Ariadne, "EHL-4K-4K-4K")};
-        variants.push_back(v);
+        driver::ScenarioSpec spec =
+            ablation_spec("D3 no predecomp", SchemeKind::Ariadne,
+                          "AL-1K-2K-16K");
+        spec.preDecomp = false;
+        variants.push_back(std::move(spec));
     }
-    {
-        Variant v{"D3 no predecomp",
-                  makeConfig(SchemeKind::Ariadne, "AL-1K-2K-16K")};
-        v.cfg.ariadne.preDecompEnabled = false;
-        variants.push_back(v);
-    }
-    {
-        Variant v{"D3 control (AL, predecomp on)",
-                  makeConfig(SchemeKind::Ariadne, "AL-1K-2K-16K")};
-        variants.push_back(v);
-    }
-    {
-        Variant v{"D4 no cold batching",
-                  makeConfig(SchemeKind::Ariadne, "EHL-1K-2K-4K")};
-        variants.push_back(v);
-    }
+    variants.push_back(ablation_spec("D3 control (AL, predecomp on)",
+                                     SchemeKind::Ariadne,
+                                     "AL-1K-2K-16K"));
+    variants.push_back(ablation_spec(
+        "D4 no cold batching", SchemeKind::Ariadne, "EHL-1K-2K-4K"));
 
     ReportTable table({"Variant", "Relaunch (ms)", "Comp+decomp CPU "
                                                    "(ms)",
                        "Ratio"});
-    for (const auto &v : variants) {
-        Outcome o = run(v.cfg);
-        table.addRow({v.label, ReportTable::num(o.relaunchMs, 1),
+    for (auto &spec : variants) {
+        std::string label = spec.name;
+        driver::FleetResult r = runVariant(std::move(spec));
+        report.add(r);
+        const driver::SessionResult &s = session(r);
+        Outcome o{lastRelaunchMs(r),
+                  static_cast<double>(s.compCpuNs + s.decompCpuNs) /
+                      1e6,
+                  s.comp.ratio()};
+        table.addRow({label, ReportTable::num(o.relaunchMs, 1),
                       ReportTable::num(o.cpuMs, 1),
                       ReportTable::num(o.ratio, 2)});
     }
@@ -112,5 +108,6 @@ main()
                  "first relaunch, size adaptation buys ratio and CPU, "
                  "predecomp hides AL decompression, cold batching "
                  "trades ratio against misprediction cost.\n";
-    return 0;
+    report.addTable("ablation", table);
+    return report.finish();
 }

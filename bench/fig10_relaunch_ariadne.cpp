@@ -8,6 +8,7 @@
  * negligibly for the same size configuration.
  *
  * Table 5 parameters are encoded in the configuration strings below.
+ * Each (app, column) pair is one ScenarioSpec variant.
  */
 
 #include "bench_common.hh"
@@ -16,8 +17,9 @@ using namespace ariadne;
 using namespace ariadne::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig10", argc, argv);
     printBanner(std::cout,
                 "Fig. 10: relaunch latency (ms): ZRAM vs Ariadne "
                 "configs vs DRAM");
@@ -33,6 +35,16 @@ main()
     columns.push_back("DRAM");
     ReportTable table(columns);
 
+    auto measure = [&](const std::string &app, SchemeKind kind,
+                       const std::string &label,
+                       const std::string &acfg = "") {
+        driver::FleetResult r =
+            runVariant(targetSpec(app + "/" + label, kind, app, 0,
+                                  acfg));
+        report.add(r);
+        return lastRelaunchMs(r);
+    };
+
     double zram_sum = 0.0, best_sum = 0.0, dram_sum = 0.0;
     double ariadne_sum = 0.0, ehl_sum = 0.0;
     std::size_t ariadne_count = 0, ehl_count = 0;
@@ -40,14 +52,12 @@ main()
 
     for (const auto &name : plottedApps()) {
         std::vector<std::string> row{name};
-        double zram =
-            fullScaleMs(runTargetScenario(SchemeKind::Zram, name));
+        double zram = measure(name, SchemeKind::Zram, "zram");
         row.push_back(ReportTable::num(zram, 1));
 
         double best = 1e18;
         for (const auto &c : configs) {
-            double ms = fullScaleMs(
-                runTargetScenario(SchemeKind::Ariadne, name, 0, c));
+            double ms = measure(name, SchemeKind::Ariadne, c, c);
             row.push_back(ReportTable::num(ms, 1));
             best = std::min(best, ms);
             ariadne_sum += ms;
@@ -57,8 +67,7 @@ main()
                 ++ehl_count;
             }
         }
-        double dram =
-            fullScaleMs(runTargetScenario(SchemeKind::Dram, name));
+        double dram = measure(name, SchemeKind::Dram, "dram");
         row.push_back(ReportTable::num(dram, 1));
         table.addRow(std::move(row));
 
@@ -91,5 +100,6 @@ main()
                               1.0),
                      1)
               << "% (paper: <10%)\n";
-    return 0;
+    report.addTable("relaunch_ms", table);
+    return report.finish();
 }

@@ -14,34 +14,30 @@
 using namespace ariadne;
 using namespace ariadne::bench;
 
-namespace
-{
-
-/**
- * Comp+decomp CPU over the paper's three usage scenarios per target
- * (§5): repeated switching is where ZRAM recompresses the same hot
- * data over and over while Ariadne's cold units stay compressed.
- */
-double
-compDecompCpu(SchemeKind kind, const std::string &acfg,
-              const std::string &app_name)
-{
-    driver::ScenarioSpec spec = makeSpec(kind, acfg);
-    spec.name = "fig11";
-    for (unsigned variant = 0; variant < 3; ++variant)
-        spec.program.push_back(
-            driver::Event::targetScenario(app_name, variant));
-    driver::SessionResult session = runSingleSession(std::move(spec));
-    return static_cast<double>(session.compCpuNs + session.decompCpuNs);
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig11", argc, argv);
     printBanner(std::cout, "Fig. 11: comp+decomp CPU normalized to "
                            "ZRAM (lower is better)");
+
+    // Comp+decomp CPU over the paper's three usage scenarios per
+    // target (§5): repeated switching is where ZRAM recompresses the
+    // same hot data over and over while Ariadne's cold units stay
+    // compressed.
+    auto comp_decomp_cpu = [&](SchemeKind kind, const std::string &acfg,
+                               const std::string &app_name,
+                               const std::string &label) {
+        driver::ScenarioSpec spec = makeSpec(kind, acfg);
+        spec.name = app_name + "/" + label;
+        for (unsigned variant = 0; variant < 3; ++variant)
+            spec.program.push_back(
+                driver::Event::targetScenario(app_name, variant));
+        driver::FleetResult r = runVariant(std::move(spec));
+        report.add(r);
+        const driver::SessionResult &s = session(r);
+        return static_cast<double>(s.compCpuNs + s.decompCpuNs);
+    };
 
     const std::vector<std::string> configs = {
         "EHL-1K-2K-16K", "EHL-256-2K-32K", "AL-256-2K-32K",
@@ -56,10 +52,11 @@ main()
     double sum = 0.0;
     std::size_t count = 0;
     for (const auto &name : plottedApps()) {
-        double zram = compDecompCpu(SchemeKind::Zram, "", name);
+        double zram =
+            comp_decomp_cpu(SchemeKind::Zram, "", name, "zram");
         std::vector<std::string> row{name};
         for (const auto &c : configs) {
-            double a = compDecompCpu(SchemeKind::Ariadne, c, name);
+            double a = comp_decomp_cpu(SchemeKind::Ariadne, c, name, c);
             double normalized = a / zram;
             row.push_back(ReportTable::num(normalized, 2));
             sum += normalized;
@@ -75,5 +72,6 @@ main()
                      100.0 * (1.0 - sum / static_cast<double>(count)),
                      1)
               << "% (paper: ~15%)\n";
-    return 0;
+    report.addTable("normalized_cpu", table);
+    return report.finish();
 }

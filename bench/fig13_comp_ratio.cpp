@@ -13,37 +13,33 @@
 using namespace ariadne;
 using namespace ariadne::bench;
 
-namespace
-{
-
-double
-appRatio(const SystemConfig &cfg, const std::string &app_name)
-{
-    MobileSystem sys(cfg, standardApps());
-    SessionDriver driver(sys);
-    AppId uid = standardApp(app_name).uid;
-    driver.targetRelaunchScenario(uid, 0);
-    return sys.scheme().appStats(uid).ratio();
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig13", argc, argv);
     printBanner(std::cout,
                 "Fig. 13: compression ratio per app (original / "
                 "compressed; higher is better)");
+
+    auto app_ratio = [&](SchemeKind kind, const std::string &acfg,
+                         const std::string &app_name,
+                         const std::string &label) {
+        driver::FleetResult r = runVariant(
+            targetSpec(app_name + "/" + label, kind, app_name, 0,
+                       acfg));
+        report.add(r);
+        return session(r).appComp.at(standardApp(app_name).uid).ratio();
+    };
 
     ReportTable table({"App", "ZRAM", "EHL-1K-4K-16K",
                        "AL-512-2K-16K"});
 
     for (const auto &name : plottedApps()) {
-        double zram = appRatio(makeConfig(SchemeKind::Zram), name);
-        double big = appRatio(
-            makeConfig(SchemeKind::Ariadne, "EHL-1K-4K-16K"), name);
-        double small = appRatio(
-            makeConfig(SchemeKind::Ariadne, "AL-512-2K-16K"), name);
+        double zram = app_ratio(SchemeKind::Zram, "", name, "zram");
+        double big = app_ratio(SchemeKind::Ariadne, "EHL-1K-4K-16K",
+                               name, "EHL-1K-4K-16K");
+        double small = app_ratio(SchemeKind::Ariadne, "AL-512-2K-16K",
+                                 name, "AL-512-2K-16K");
         table.addRow({name, ReportTable::num(zram, 2),
                       ReportTable::num(big, 2),
                       ReportTable::num(small, 2)});
@@ -51,5 +47,6 @@ main()
     table.print(std::cout);
     std::cout << "\nEHL-1K-4K-16K exceeds ZRAM's ratio on every app; "
                  "AL-512-2K-16K stays comparable (paper Fig. 13).\n";
-    return 0;
+    report.addTable("comp_ratio", table);
+    return report.finish();
 }

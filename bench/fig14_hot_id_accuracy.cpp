@@ -7,6 +7,10 @@
  * (paper: ~70% average). Accuracy — fraction of the predicted hot
  * list used during the next relaunch or the following execution
  * (paper: ~92% average).
+ *
+ * The usage trace is declarative (prepare_target + one extra
+ * relaunch cycle); the scoring relaunch runs in a `custom` hook
+ * because it needs touch captures around individual driver calls.
  */
 
 #include "analysis/similarity.hh"
@@ -16,8 +20,9 @@ using namespace ariadne;
 using namespace ariadne::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig14", argc, argv);
     printBanner(std::cout, "Fig. 14: coverage and accuracy of hot "
                            "data identification (Ariadne)");
 
@@ -26,41 +31,54 @@ main()
     std::size_t n = 0;
 
     for (const auto &profile : standardApps()) {
-        SystemConfig cfg = makeConfig(SchemeKind::Ariadne,
-                                      "EHL-1K-2K-16K");
-        MobileSystem sys(cfg, standardApps());
-        SessionDriver driver(sys);
         AppId uid = profile.uid;
+        double coverage = 0.0, accuracy = 0.0;
 
-        driver.prepareTargetScenario(uid, 0);
+        driver::ScenarioSpec spec =
+            makeSpec(SchemeKind::Ariadne, "EHL-1K-2K-16K");
+        spec.name = profile.name + "/EHL-1K-2K-16K";
+        spec.program.push_back(
+            driver::Event::prepareTarget(profile.name, 0));
         // One extra relaunch cycle so the prediction comes from a
         // real relaunch, not launch seeding.
-        sys.appRelaunch(uid);
-        sys.appExecute(uid, Tick{10} * 1000000000ULL);
-        sys.appBackground(uid);
+        spec.program.push_back(driver::Event::relaunch(profile.name));
+        spec.program.push_back(driver::Event::execute(
+            profile.name, Tick{10} * 1000000000ULL));
+        spec.program.push_back(
+            driver::Event::background(profile.name));
+        spec.program.push_back(driver::Event::custom(0));
 
-        // Score the prediction on the next relaunch + execution.
-        std::vector<PageKey> predicted_keys =
-            sys.ariadne()->predictedHotSet(uid);
-        std::vector<Pfn> predicted;
-        predicted.reserve(predicted_keys.size());
-        for (const auto &key : predicted_keys)
-            predicted.push_back(key.pfn);
+        driver::SessionHook score =
+            [&](MobileSystem &sys, SessionDriver &,
+                driver::SessionResult &) {
+                // Score the prediction on the next relaunch +
+                // execution.
+                std::vector<PageKey> predicted_keys =
+                    sys.ariadne()->predictedHotSet(uid);
+                std::vector<Pfn> predicted;
+                predicted.reserve(predicted_keys.size());
+                for (const auto &key : predicted_keys)
+                    predicted.push_back(key.pfn);
 
-        sys.startTouchCapture(uid);
-        RelaunchStats st = sys.appRelaunch(uid);
-        std::vector<Pfn> relaunch_used = sys.stopTouchCapture(uid);
+                sys.startTouchCapture(uid);
+                sys.appRelaunch(uid);
+                std::vector<Pfn> relaunch_used =
+                    sys.stopTouchCapture(uid);
 
-        sys.startTouchCapture(uid);
-        sys.appExecute(uid, Tick{20} * 1000000000ULL);
-        std::vector<Pfn> exec_used = sys.stopTouchCapture(uid);
+                sys.startTouchCapture(uid);
+                sys.appExecute(uid, Tick{20} * 1000000000ULL);
+                std::vector<Pfn> exec_used =
+                    sys.stopTouchCapture(uid);
 
-        std::vector<Pfn> used = relaunch_used;
-        used.insert(used.end(), exec_used.begin(), exec_used.end());
+                std::vector<Pfn> used = relaunch_used;
+                used.insert(used.end(), exec_used.begin(),
+                            exec_used.end());
 
-        double coverage = predictionCoverage(predicted, relaunch_used);
-        double accuracy = predictionAccuracy(predicted, used);
-        (void)st;
+                coverage =
+                    predictionCoverage(predicted, relaunch_used);
+                accuracy = predictionAccuracy(predicted, used);
+            };
+        report.add(runVariant(std::move(spec), {score}));
 
         table.addRow({profile.name, ReportTable::num(coverage, 2),
                       ReportTable::num(accuracy, 2)});
@@ -74,5 +92,6 @@ main()
               << " (paper: ~0.70), average accuracy "
               << ReportTable::num(acc_sum / static_cast<double>(n), 2)
               << " (paper: ~0.92)\n";
-    return 0;
+    report.addTable("coverage_accuracy", table);
+    return report.finish();
 }

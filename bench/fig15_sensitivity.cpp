@@ -25,27 +25,27 @@ struct Row
     double ratio;
 };
 
-Row
-measure(SchemeKind kind, const std::string &acfg,
-        const std::string &app_name)
-{
-    driver::ScenarioSpec spec = bench::makeSpec(kind, acfg);
-    spec.name = "fig15";
-    spec.program.push_back(driver::Event::targetScenario(app_name, 0));
-    driver::SessionResult session =
-        bench::runSingleSession(std::move(spec));
-    const CompStats &st = session.appComp.at(standardApp(app_name).uid);
-    return {static_cast<double>(st.compNs) / 1e6,
-            static_cast<double>(st.decompNs) / 1e6, st.ratio()};
-}
-
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig15", argc, argv);
     printBanner(std::cout,
                 "Fig. 15: sensitivity to chunk-size configuration");
+
+    auto measure = [&](SchemeKind kind, const std::string &acfg,
+                       const std::string &app_name,
+                       const std::string &label) -> Row {
+        driver::FleetResult r = runVariant(
+            targetSpec(app_name + "/" + label, kind, app_name, 0,
+                       acfg));
+        report.add(r);
+        const CompStats &st =
+            session(r).appComp.at(standardApp(app_name).uid);
+        return {static_cast<double>(st.compNs) / 1e6,
+                static_cast<double>(st.decompNs) / 1e6, st.ratio()};
+    };
 
     struct SchemeUnderTest
     {
@@ -68,7 +68,8 @@ main()
         std::vector<std::string> comp_row{name}, decomp_row{name},
             ratio_row{name};
         for (const auto &scheme : schemes) {
-            Row r = measure(scheme.kind, scheme.acfg, name);
+            Row r = measure(scheme.kind, scheme.acfg, name,
+                            scheme.label);
             comp_row.push_back(ReportTable::num(r.compMs, 2));
             decomp_row.push_back(ReportTable::num(r.decompMs, 3));
             ratio_row.push_back(ReportTable::num(r.ratio, 2));
@@ -87,5 +88,8 @@ main()
     std::cout << "\nLarger cold chunks raise the ratio; smaller "
                  "chunks cut decompression latency — the Table 5 "
                  "configurations balance the two.\n";
-    return 0;
+    report.addTable("comp_latency_ms", comp);
+    report.addTable("decomp_latency_ms", decomp);
+    report.addTable("comp_ratio", ratio);
+    return report.finish();
 }

@@ -5,6 +5,9 @@
  * Paper result: ZRAM beats flash SWAP, but compression/decompression
  * still make relaunches 2.1x slower on average than the pure-DRAM
  * bound.
+ *
+ * Each (app, scheme) pair is one ScenarioSpec variant running the §5
+ * target-relaunch trace as a single-session fleet.
  */
 
 #include "bench_common.hh"
@@ -13,8 +16,9 @@ using namespace ariadne;
 using namespace ariadne::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig2", argc, argv);
     printBanner(std::cout,
                 "Fig. 2: relaunch latency (ms) under DRAM/ZRAM/SWAP");
 
@@ -24,12 +28,15 @@ main()
     double ratio_sum = 0.0;
     std::size_t n = 0;
     for (const auto &name : plottedApps()) {
-        double dram =
-            fullScaleMs(runTargetScenario(SchemeKind::Dram, name));
-        double zram =
-            fullScaleMs(runTargetScenario(SchemeKind::Zram, name));
-        double swap =
-            fullScaleMs(runTargetScenario(SchemeKind::Swap, name));
+        auto measure = [&](SchemeKind kind, const char *label) {
+            driver::FleetResult r = runVariant(
+                targetSpec(name + "/" + label, kind, name));
+            report.add(r);
+            return lastRelaunchMs(r);
+        };
+        double dram = measure(SchemeKind::Dram, "dram");
+        double zram = measure(SchemeKind::Zram, "zram");
+        double swap = measure(SchemeKind::Swap, "swap");
 
         table.addRow({name, ReportTable::num(dram, 1),
                       ReportTable::num(zram, 1),
@@ -43,5 +50,6 @@ main()
     std::cout << "\nAverage ZRAM/DRAM relaunch ratio: "
               << ReportTable::num(ratio_sum / static_cast<double>(n), 2)
               << "  (paper: 2.1x)\n";
-    return 0;
+    report.addTable("relaunch_ms", table);
+    return report.finish();
 }

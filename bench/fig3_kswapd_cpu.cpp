@@ -6,6 +6,9 @@
  * Paper result: ZRAM increases reclaim CPU ~2.6x over DRAM and ~2.0x
  * over SWAP (compression runs on the reclaim thread; SWAP mostly
  * yields the CPU while the device writes).
+ *
+ * Each scheme is one ScenarioSpec variant running the `light_usage`
+ * compound op (the Table 2 light mix) for 60 s.
  */
 
 #include "bench_common.hh"
@@ -13,30 +16,27 @@
 using namespace ariadne;
 using namespace ariadne::bench;
 
-namespace
-{
-
-double
-kswapdCpuMs(SchemeKind kind)
-{
-    SystemConfig cfg = makeConfig(kind);
-    MobileSystem sys(cfg, standardApps());
-    SessionDriver driver(sys);
-    driver.lightUsageScenario(Tick{60} * 1000000000ULL);
-    return static_cast<double>(sys.kswapdCpuNs()) / 1e6;
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig3", argc, argv);
     printBanner(std::cout,
                 "Fig. 3: kswapd CPU usage (ms) over a 60 s scenario");
 
-    double dram = kswapdCpuMs(SchemeKind::Dram);
-    double zram = kswapdCpuMs(SchemeKind::Zram);
-    double swap = kswapdCpuMs(SchemeKind::Swap);
+    auto kswapd_cpu_ms = [&](SchemeKind kind, const char *label) {
+        driver::ScenarioSpec spec = makeSpec(kind);
+        spec.name = std::string("light/") + label;
+        spec.program.push_back(
+            driver::Event::lightUsage(Tick{60} * 1000000000ULL,
+                                      Tick{1} * 1000000000ULL));
+        driver::FleetResult r = runVariant(std::move(spec));
+        report.add(r);
+        return static_cast<double>(session(r).kswapdCpuNs) / 1e6;
+    };
+
+    double dram = kswapd_cpu_ms(SchemeKind::Dram, "dram");
+    double zram = kswapd_cpu_ms(SchemeKind::Zram, "zram");
+    double swap = kswapd_cpu_ms(SchemeKind::Swap, "swap");
 
     ReportTable table({"Scheme", "kswapd CPU (ms)", "vs DRAM"});
     table.addRow({"DRAM", ReportTable::num(dram, 1), "1.00"});
@@ -49,5 +49,6 @@ main()
     std::cout << "\nZRAM/DRAM = " << ReportTable::num(zram / dram, 2)
               << " (paper: 2.6x), ZRAM/SWAP = "
               << ReportTable::num(zram / swap, 2) << " (paper: 2.0x)\n";
-    return 0;
+    report.addTable("kswapd_cpu_ms", table);
+    return report.finish();
 }

@@ -6,6 +6,10 @@
  * Paper result: LRU-based ZRAM compresses a significant amount of
  * hot data *early* (part 0), because launch-time data looks least
  * recently used — the root cause of unnecessary decompressions.
+ *
+ * Each app is one ScenarioSpec variant; a `custom` hook reads the
+ * ZRAM compression log after the target scenario (the event
+ * vocabulary measures latencies, not analysis logs).
  */
 
 #include "analysis/hotness_dist.hh"
@@ -16,24 +20,31 @@ using namespace ariadne;
 using namespace ariadne::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig4", argc, argv);
     printBanner(std::cout, "Fig. 4: hot/warm/cold share per "
                            "compression-order decile (ZRAM)");
 
     for (const auto &name : plottedApps()) {
-        SystemConfig cfg = makeConfig(SchemeKind::Zram);
-        MobileSystem sys(cfg, standardApps());
-        SessionDriver driver(sys);
         AppId target = standardApp(name).uid;
-        driver.targetRelaunchScenario(target, 0);
-
-        auto *zram = dynamic_cast<ZramScheme *>(&sys.scheme());
         std::vector<Hotness> stream;
-        for (const auto &ev : zram->compressionLog()) {
-            if (ev.key.uid == target)
-                stream.push_back(ev.truthAtCompression);
-        }
+
+        driver::ScenarioSpec spec = makeSpec(SchemeKind::Zram);
+        spec.name = name + "/zram";
+        spec.program.push_back(driver::Event::targetScenario(name, 0));
+        spec.program.push_back(driver::Event::custom(0));
+        driver::SessionHook read_log =
+            [&](MobileSystem &sys, SessionDriver &,
+                driver::SessionResult &) {
+                auto *zram = dynamic_cast<ZramScheme *>(&sys.scheme());
+                for (const auto &ev : zram->compressionLog()) {
+                    if (ev.key.uid == target)
+                        stream.push_back(ev.truthAtCompression);
+                }
+            };
+        report.add(runVariant(std::move(spec), {read_log}));
+
         auto deciles = hotnessByCompressionOrder(stream, 10);
 
         std::cout << "\n" << name << " (" << stream.size()
@@ -46,9 +57,10 @@ main()
                           ReportTable::num(deciles[i].cold, 2)});
         }
         table.print(std::cout);
+        report.addTable(name, table);
     }
     std::cout << "\nPart 0 carries a large hot share for every app: "
                  "LRU ignores relaunch hotness (paper's Observation "
                  "3).\n";
-    return 0;
+    return report.finish();
 }

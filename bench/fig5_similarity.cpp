@@ -5,6 +5,11 @@
  *
  * Paper result: average similarity ~70%, average reuse ~98% — the
  * basis of Insight 1 (last relaunch predicts the next).
+ *
+ * This measures the workload generator itself, not a swap scheme, so
+ * each per-app variant runs a `custom` hook that drives a bare
+ * AppInstance with the shared eval seed (MobileSystem derives
+ * per-app seeds, which would change the published numbers).
  */
 
 #include "analysis/similarity.hh"
@@ -14,8 +19,9 @@ using namespace ariadne;
 using namespace ariadne::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig5", argc, argv);
     printBanner(std::cout,
                 "Fig. 5: hot-data similarity and reuse across "
                 "consecutive relaunches");
@@ -25,22 +31,36 @@ main()
     std::size_t n = 0;
 
     for (const auto &profile : standardApps()) {
-        AppInstance inst(profile, evalScale, evalSeed);
-        inst.coldLaunch();
-        inst.execute(Tick{30} * 1000000000ULL);
+        double sim = 0.0, reuse = 0.0;
 
-        double sim_acc = 0.0, reuse_acc = 0.0;
-        constexpr unsigned relaunches = 5;
-        for (unsigned r = 0; r < relaunches; ++r) {
-            inst.relaunch();
-            std::vector<Pfn> prev = inst.previousHotSet();
-            std::vector<Pfn> cur = inst.hotSet();
-            sim_acc += hotDataSimilarity(prev, cur);
-            reuse_acc += reusedData(prev, cur, inst.warmSet());
-            inst.execute(Tick{10} * 1000000000ULL);
-        }
-        double sim = sim_acc / relaunches;
-        double reuse = reuse_acc / relaunches;
+        driver::ScenarioSpec spec = makeSpec(SchemeKind::Dram);
+        spec.name = profile.name + "/workload";
+        spec.apps = {profile.name};
+        spec.program.push_back(driver::Event::custom(0));
+
+        driver::SessionHook probe =
+            [&](MobileSystem &, SessionDriver &,
+                driver::SessionResult &) {
+                AppInstance inst(profile, evalScale, evalSeed);
+                inst.coldLaunch();
+                inst.execute(Tick{30} * 1000000000ULL);
+
+                double sim_acc = 0.0, reuse_acc = 0.0;
+                constexpr unsigned relaunches = 5;
+                for (unsigned r = 0; r < relaunches; ++r) {
+                    inst.relaunch();
+                    std::vector<Pfn> prev = inst.previousHotSet();
+                    std::vector<Pfn> cur = inst.hotSet();
+                    sim_acc += hotDataSimilarity(prev, cur);
+                    reuse_acc +=
+                        reusedData(prev, cur, inst.warmSet());
+                    inst.execute(Tick{10} * 1000000000ULL);
+                }
+                sim = sim_acc / relaunches;
+                reuse = reuse_acc / relaunches;
+            };
+        report.add(runVariant(std::move(spec), {probe}));
+
         table.addRow({profile.name, ReportTable::num(sim, 2),
                       ReportTable::num(reuse, 2)});
         sim_sum += sim;
@@ -53,5 +73,6 @@ main()
               << " (paper: 0.70), average reuse "
               << ReportTable::num(reuse_sum / static_cast<double>(n), 2)
               << " (paper: 0.98)\n";
-    return 0;
+    report.addTable("similarity_reuse", table);
+    return report.finish();
 }

@@ -11,7 +11,9 @@
  * Latency comes from the calibrated TimingModel (the device
  * substitute); the ratio is a real measurement of our from-scratch
  * codecs over synthesized anonymous pages (a 36 MB sample of the
- * 576 MB corpus — the ratio is volume-independent).
+ * 576 MB corpus — the ratio is volume-independent). Each codec is
+ * one ScenarioSpec variant whose `custom` hook measures the shared
+ * corpus.
  */
 
 #include "bench_common.hh"
@@ -51,8 +53,9 @@ makeCorpus(std::size_t pages)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig6", argc, argv);
     printBanner(std::cout,
                 "Fig. 6: comp/decomp latency and ratio vs chunk size");
 
@@ -71,39 +74,53 @@ main()
                            "CompRatio"});
 
         double t128 = 0.0, t128k = 0.0;
-        for (std::size_t chunk = 128; chunk <= 128 * 1024;
-             chunk *= 2) {
-            auto frame = ChunkedFrame::compress(
-                *codec, {corpus.data(), corpus.size()}, chunk);
-            double ratio = static_cast<double>(corpus.size()) /
-                           static_cast<double>(frame.size());
-            double comp_ms =
-                static_cast<double>(
-                    timing.compressNs(codec->cost(), chunk,
-                                      fullBytes)) /
-                1e6;
-            double decomp_ms =
-                static_cast<double>(
-                    timing.decompressNs(codec->cost(), chunk,
-                                        fullBytes)) /
-                1e6;
-            if (chunk == 128)
-                t128 = comp_ms;
-            if (chunk == 128 * 1024)
-                t128k = comp_ms;
 
-            std::string label =
-                chunk >= 1024 ? std::to_string(chunk / 1024) + "K"
-                              : std::to_string(chunk) + "B";
-            table.addRow({label, ReportTable::num(comp_ms, 1),
-                          ReportTable::num(decomp_ms, 1),
-                          ReportTable::num(ratio, 2)});
-        }
+        driver::ScenarioSpec spec = makeSpec(SchemeKind::Zram);
+        spec.name = std::string(codec->name()) + "/chunk-sweep";
+        spec.program.push_back(driver::Event::custom(0));
+
+        driver::SessionHook sweep_chunks =
+            [&](MobileSystem &, SessionDriver &,
+                driver::SessionResult &) {
+                for (std::size_t chunk = 128; chunk <= 128 * 1024;
+                     chunk *= 2) {
+                    auto frame = ChunkedFrame::compress(
+                        *codec, {corpus.data(), corpus.size()}, chunk);
+                    double ratio =
+                        static_cast<double>(corpus.size()) /
+                        static_cast<double>(frame.size());
+                    double comp_ms =
+                        static_cast<double>(
+                            timing.compressNs(codec->cost(), chunk,
+                                              fullBytes)) /
+                        1e6;
+                    double decomp_ms =
+                        static_cast<double>(
+                            timing.decompressNs(codec->cost(), chunk,
+                                                fullBytes)) /
+                        1e6;
+                    if (chunk == 128)
+                        t128 = comp_ms;
+                    if (chunk == 128 * 1024)
+                        t128k = comp_ms;
+
+                    std::string label =
+                        chunk >= 1024
+                            ? std::to_string(chunk / 1024) + "K"
+                            : std::to_string(chunk) + "B";
+                    table.addRow({label, ReportTable::num(comp_ms, 1),
+                                  ReportTable::num(decomp_ms, 1),
+                                  ReportTable::num(ratio, 2)});
+                }
+            };
+        report.add(runVariant(std::move(spec), {sweep_chunks}));
+
         table.print(std::cout);
         std::cout << "128KB/128B compression-time ratio: "
                   << ReportTable::num(t128k / t128, 1)
                   << (kind == CodecKind::Lz4 ? "  (paper: 59.2x)\n"
                                              : "  (paper: 41.8x)\n");
+        report.addTable(codec->name(), table);
     }
-    return 0;
+    return report.finish();
 }

@@ -5,6 +5,13 @@
  *
  * Paper result (normalized to DRAM): light — DRAM 1.000, ZRAM 1.122,
  * SWAP 1.003; heavy — DRAM 1.000, ZRAM 1.195, SWAP 1.017.
+ *
+ * Each (workload, scheme) pair is one ScenarioSpec variant: warmup,
+ * then the `light_usage` / `heavy_usage` compound op. Cold launches
+ * are identical across schemes and not part of the measured window,
+ * so a pair of `custom` hooks snapshots activity after warm-up and
+ * converts the 60 s window's delta into Joules
+ * (MobileSystem::windowEnergyJoules).
  */
 
 #include "bench_common.hh"
@@ -12,49 +19,45 @@
 using namespace ariadne;
 using namespace ariadne::bench;
 
-namespace
-{
-
-double
-scenarioJoules(SchemeKind kind, bool heavy)
-{
-    SystemConfig cfg = makeConfig(kind);
-    MobileSystem sys(cfg, standardApps());
-    SessionDriver driver(sys);
-    // Cold launches are identical across schemes and not part of the
-    // measured window: snapshot after warm-up and report the delta.
-    driver.warmUpAllApps();
-    ActivityTotals before = sys.activityTotals();
-    if (heavy)
-        driver.heavyUsageScenario(Tick{60} * 1000000000ULL);
-    else
-        driver.lightUsageScenario(Tick{60} * 1000000000ULL);
-    ActivityTotals totals = sys.activityTotals();
-    totals.cpuBusyNs -= before.cpuBusyNs;
-    totals.dramBytes -= before.dramBytes;
-    totals.flashReadBytes -= before.flashReadBytes;
-    totals.flashWriteBytes -= before.flashWriteBytes;
-    totals.wallTimeNs = Tick{60} * 1000000000ULL;
-    // Activity volumes are simulated at evalScale; rescale the
-    // dynamic part to paper scale.
-    totals.cpuBusyNs = static_cast<Tick>(
-        static_cast<double>(totals.cpuBusyNs) / evalScale);
-    totals.dramBytes = static_cast<std::size_t>(
-        static_cast<double>(totals.dramBytes) / evalScale);
-    totals.flashReadBytes = static_cast<std::size_t>(
-        static_cast<double>(totals.flashReadBytes) / evalScale);
-    totals.flashWriteBytes = static_cast<std::size_t>(
-        static_cast<double>(totals.flashWriteBytes) / evalScale);
-    return EnergyModel(cfg.energy).joules(totals);
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("table2", argc, argv);
     printBanner(std::cout,
                 "Table 2: energy (J) under three swap schemes, 60 s");
+
+    constexpr Tick window = Tick{60} * 1000000000ULL;
+
+    auto scenario_joules = [&](SchemeKind kind, const char *label,
+                               bool heavy) {
+        driver::ScenarioSpec spec = makeSpec(kind);
+        spec.name = std::string(heavy ? "heavy" : "light") + "/" +
+                    label;
+        spec.program.push_back(driver::Event::warmup());
+        spec.program.push_back(driver::Event::custom(0));
+        if (heavy)
+            spec.program.push_back(driver::Event::heavyUsage(window));
+        else
+            spec.program.push_back(driver::Event::lightUsage(
+                window, Tick{1} * 1000000000ULL));
+        spec.program.push_back(driver::Event::custom(1));
+
+        ActivityTotals before;
+        double joules = 0.0;
+        driver::SessionHook snapshot =
+            [&](MobileSystem &sys, SessionDriver &,
+                driver::SessionResult &) {
+                before = sys.activityTotals();
+            };
+        driver::SessionHook measure =
+            [&](MobileSystem &sys, SessionDriver &,
+                driver::SessionResult &) {
+                joules = sys.windowEnergyJoules(before, window,
+                                                evalScale);
+            };
+        report.add(runVariant(std::move(spec), {snapshot, measure}));
+        return joules;
+    };
 
     ReportTable table({"Workload", "Scheme", "Energy (J)", "Normalized",
                        "Paper"});
@@ -62,9 +65,9 @@ main()
     const char *paper_heavy[] = {"1.000", "1.195", "1.017"};
 
     for (bool heavy : {false, true}) {
-        double dram = scenarioJoules(SchemeKind::Dram, heavy);
-        double zram = scenarioJoules(SchemeKind::Zram, heavy);
-        double swap = scenarioJoules(SchemeKind::Swap, heavy);
+        double dram = scenario_joules(SchemeKind::Dram, "dram", heavy);
+        double zram = scenario_joules(SchemeKind::Zram, "zram", heavy);
+        double swap = scenario_joules(SchemeKind::Swap, "swap", heavy);
         const char **paper = heavy ? paper_heavy : paper_light;
         const char *label = heavy ? "Heavy" : "Light";
 
@@ -76,5 +79,6 @@ main()
                       ReportTable::num(swap / dram, 3), paper[2]});
     }
     table.print(std::cout);
-    return 0;
+    report.addTable("energy", table);
+    return report.finish();
 }

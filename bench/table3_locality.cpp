@@ -6,6 +6,11 @@
  * Paper result: P(2 consecutive) = 0.61-0.86, P(4 consecutive) =
  * 0.33-0.72 across the five plotted apps — the basis of PreDecomp's
  * one-page lookahead.
+ *
+ * Each app is one ScenarioSpec variant: `prepare_target` builds the
+ * usage scenario declaratively; the measured relaunch runs in a
+ * `custom` hook so the ZRAM sector-access log can be cleared right
+ * before it (only the target relaunch's swap-in stream counts).
  */
 
 #include "analysis/locality.hh"
@@ -16,8 +21,9 @@ using namespace ariadne;
 using namespace ariadne::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("table3", argc, argv);
     printBanner(std::cout, "Table 3: P(N consecutive zpool pages) "
                            "during relaunch (ZRAM)");
 
@@ -37,20 +43,28 @@ main()
                        "P4 (paper)"});
 
     for (const auto &row : paper) {
-        SystemConfig cfg = makeConfig(SchemeKind::Zram);
-        MobileSystem sys(cfg, standardApps());
-        SessionDriver driver(sys);
         AppId target = standardApp(row.name).uid;
+        double p2 = 0.0, p4 = 0.0;
 
-        auto *zram = dynamic_cast<ZramScheme *>(&sys.scheme());
-        // Measure only the target relaunch's swap-in stream.
-        driver.prepareTargetScenario(target, 0);
-        zram->clearLogs();
-        sys.appRelaunch(target);
-        const auto &sectors = zram->sectorAccessLog();
+        driver::ScenarioSpec spec = makeSpec(SchemeKind::Zram);
+        spec.name = std::string(row.name) + "/zram";
+        spec.program.push_back(
+            driver::Event::prepareTarget(row.name, 0));
+        spec.program.push_back(driver::Event::custom(0));
 
-        double p2 = consecutiveAccessProbability(sectors, 2);
-        double p4 = consecutiveAccessProbability(sectors, 4);
+        driver::SessionHook measure =
+            [&](MobileSystem &sys, SessionDriver &,
+                driver::SessionResult &) {
+                auto *zram = dynamic_cast<ZramScheme *>(&sys.scheme());
+                // Measure only the target relaunch's swap-in stream.
+                zram->clearLogs();
+                sys.appRelaunch(target);
+                const auto &sectors = zram->sectorAccessLog();
+                p2 = consecutiveAccessProbability(sectors, 2);
+                p4 = consecutiveAccessProbability(sectors, 4);
+            };
+        report.add(runVariant(std::move(spec), {measure}));
+
         table.addRow({row.name, ReportTable::num(p2, 2),
                       ReportTable::num(row.p2, 2),
                       ReportTable::num(p4, 2),
@@ -59,5 +73,6 @@ main()
     table.print(std::cout);
     std::cout << "\nLocality is high at depth 2 and drops at depth 4 "
                  "for every app, matching Insight 3.\n";
-    return 0;
+    report.addTable("locality", table);
+    return report.finish();
 }

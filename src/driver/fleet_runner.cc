@@ -1,6 +1,8 @@
 #include "driver/fleet_runner.hh"
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 
 #include "driver/json_writer.hh"
@@ -21,6 +23,7 @@ struct SessionContext
     const std::vector<AppId> &uids;
     SessionResult &result;
     double scale;
+    const std::vector<SessionHook> &hooks;
     /** Round-robin cursor for switch_next. */
     std::size_t cursor = 0;
 
@@ -92,6 +95,24 @@ runEvents(SessionContext &ctx, const std::vector<Event> &events)
                                 uid, ev.variant));
             break;
           }
+          case Event::Kind::PrepareTarget:
+            ctx.driver.prepareTargetScenario(ctx.lookup(ev.app),
+                                             ev.variant);
+            break;
+          case Event::Kind::LightUsage:
+            ctx.driver.lightUsageScenario(ev.duration, ev.gap);
+            break;
+          case Event::Kind::HeavyUsage:
+            ctx.driver.heavyUsageScenario(ev.duration);
+            break;
+          case Event::Kind::Custom:
+            if (ev.hook >= ctx.hooks.size())
+                panic("custom event references hook " +
+                      std::to_string(ev.hook) + " but only " +
+                      std::to_string(ctx.hooks.size()) +
+                      " hook(s) were supplied");
+            ctx.hooks[ev.hook](ctx.sys, ctx.driver, ctx.result);
+            break;
           case Event::Kind::Repeat:
             for (std::size_t i = 0; i < ev.count; ++i)
                 runEvents(ctx, ev.body);
@@ -99,6 +120,47 @@ runEvents(SessionContext &ctx, const std::vector<Event> &events)
         }
     }
 }
+
+/**
+ * Online per-metric accumulation of a fleet run. Sessions are folded
+ * strictly in index order (float addition is not associative, and the
+ * driver promises bit-identical aggregates for any thread count), so
+ * the streaming fold produces exactly the same FleetResult the old
+ * collect-then-aggregate pass did — while retaining only sample
+ * doubles, never whole SessionResults.
+ */
+struct StreamingAggregate
+{
+    Distribution relaunchMs, compDecompMs, kswapdMs, energy, ratio;
+
+    void
+    fold(const SessionResult &s, double scale, FleetResult &out)
+    {
+        for (const auto &sample : s.relaunches)
+            relaunchMs.sample(sample.fullScaleMs);
+        compDecompMs.sample(s.compDecompCpuMs(scale));
+        kswapdMs.sample(ticksToMs(s.kswapdCpuNs) / scale);
+        energy.sample(s.energyJ);
+        if (s.comp.outBytes > 0)
+            ratio.sample(s.comp.ratio());
+        out.totalRelaunches += s.relaunches.size();
+        out.totalStagedHits += s.stagedHits;
+        out.totalMajorFaults += s.majorFaults;
+        out.totalFlashFaults += s.flashFaults;
+        out.totalLostPages += s.lostPages;
+        out.totalDirectReclaims += s.directReclaims;
+    }
+
+    void
+    finish(FleetResult &out) const
+    {
+        out.relaunchMs = MetricSummary::of(relaunchMs);
+        out.compDecompCpuMs = MetricSummary::of(compDecompMs);
+        out.kswapdCpuMs = MetricSummary::of(kswapdMs);
+        out.energyJ = MetricSummary::of(energy);
+        out.compRatio = MetricSummary::of(ratio);
+    }
+};
 
 void
 writeSummary(JsonWriter &w, const std::string &name,
@@ -153,7 +215,9 @@ MetricSummary::of(const Distribution &d)
     return m;
 }
 
-FleetRunner::FleetRunner(ScenarioSpec spec) : scenario(std::move(spec))
+FleetRunner::FleetRunner(ScenarioSpec spec,
+                         std::vector<SessionHook> hooks)
+    : scenario(std::move(spec)), sessionHooks(std::move(hooks))
 {
 }
 
@@ -169,7 +233,8 @@ FleetRunner::runSession(std::size_t index) const
     SessionDriver driver(sys);
     auto uids = sys.appIds();
 
-    SessionContext ctx{sys, driver, uids, result, scenario.scale};
+    SessionContext ctx{sys,    driver,         uids,
+                       result, scenario.scale, sessionHooks};
     runEvents(ctx, scenario.program);
 
     result.compCpuNs = sys.cpu().total(CpuRole::Compression);
@@ -192,7 +257,8 @@ FleetRunner::runSession(std::size_t index) const
 }
 
 FleetResult
-FleetRunner::run(std::size_t fleet, unsigned threads) const
+FleetRunner::run(std::size_t fleet, unsigned threads,
+                 bool keep_sessions) const
 {
     if (fleet == 0)
         fleet = scenario.fleet;
@@ -212,19 +278,52 @@ FleetRunner::run(std::size_t fleet, unsigned threads) const
     result.scale = scenario.scale;
     result.seed = scenario.seed;
     result.fleet = fleet;
-    result.sessions.resize(fleet);
+    if (keep_sessions)
+        result.sessions.resize(fleet);
 
-    // Work-stealing over session indices. Every slot is written
-    // exactly once by whichever worker claims it; aggregation below
-    // walks the slots in index order, so nothing downstream can
-    // observe scheduling.
+    // Streaming aggregation. Session indices are claimed in order
+    // from an atomic counter; finished results enter a reorder buffer
+    // and are folded strictly in index order, so the aggregate cannot
+    // observe scheduling. A worker whose index is too far ahead of
+    // the fold frontier waits, which bounds the buffer (and therefore
+    // peak retained SessionResults) at `window`, independent of the
+    // fleet size.
+    StreamingAggregate agg;
+    const std::size_t window = std::size_t{2} * threads;
     std::atomic<std::size_t> next{0};
+    std::mutex mu;
+    std::condition_variable room;
+    std::map<std::size_t, SessionResult> pending;
+    std::size_t fold_frontier = 0;
+    std::size_t peak = 0;
+
     auto worker = [&]() {
         for (;;) {
             std::size_t i = next.fetch_add(1);
             if (i >= fleet)
                 return;
-            result.sessions[i] = runSession(i);
+            {
+                std::unique_lock<std::mutex> lk(mu);
+                room.wait(lk,
+                          [&] { return i < fold_frontier + window; });
+            }
+            SessionResult s = runSession(i);
+            {
+                std::unique_lock<std::mutex> lk(mu);
+                pending.emplace(i, std::move(s));
+                peak = std::max(peak, pending.size());
+                while (!pending.empty() &&
+                       pending.begin()->first == fold_frontier) {
+                    SessionResult &head = pending.begin()->second;
+                    agg.fold(head, scenario.scale, result);
+                    if (keep_sessions)
+                        result.sessions[fold_frontier] =
+                            std::move(head);
+                    pending.erase(pending.begin());
+                    ++fold_frontier;
+                }
+                room.notify_all();
+            }
         }
     };
     if (threads == 1) {
@@ -237,29 +336,24 @@ FleetRunner::run(std::size_t fleet, unsigned threads) const
         for (auto &th : pool)
             th.join();
     }
+    fatalIf(fold_frontier != fleet,
+            "fleet aggregation lost sessions (internal bug)");
 
-    Distribution relaunch_ms, comp_decomp_ms, kswapd_ms, energy,
-        ratio;
-    for (const SessionResult &s : result.sessions) {
-        for (const auto &sample : s.relaunches)
-            relaunch_ms.sample(sample.fullScaleMs);
-        comp_decomp_ms.sample(s.compDecompCpuMs(scenario.scale));
-        kswapd_ms.sample(ticksToMs(s.kswapdCpuNs) / scenario.scale);
-        energy.sample(s.energyJ);
-        if (s.comp.outBytes > 0)
-            ratio.sample(s.comp.ratio());
-        result.totalRelaunches += s.relaunches.size();
-        result.totalStagedHits += s.stagedHits;
-        result.totalMajorFaults += s.majorFaults;
-        result.totalFlashFaults += s.flashFaults;
-        result.totalLostPages += s.lostPages;
-        result.totalDirectReclaims += s.directReclaims;
-    }
-    result.relaunchMs = MetricSummary::of(relaunch_ms);
-    result.compDecompCpuMs = MetricSummary::of(comp_decomp_ms);
-    result.kswapdCpuMs = MetricSummary::of(kswapd_ms);
-    result.energyJ = MetricSummary::of(energy);
-    result.compRatio = MetricSummary::of(ratio);
+    agg.finish(result);
+    result.peakRetainedSessions = peak;
+    return result;
+}
+
+SweepResult
+FleetRunner::runSweep(const SweepSpec &sweep, std::size_t fleet,
+                      unsigned threads, bool keep_sessions)
+{
+    SweepResult result;
+    result.name = sweep.name;
+    result.variants.reserve(sweep.variants.size());
+    for (const ScenarioSpec &variant : sweep.variants)
+        result.variants.push_back(
+            FleetRunner(variant).run(fleet, threads, keep_sessions));
     return result;
 }
 
@@ -267,6 +361,13 @@ void
 FleetResult::writeJson(std::ostream &os, bool per_session) const
 {
     JsonWriter w(os);
+    writeJson(w, per_session);
+    os << "\n";
+}
+
+void
+FleetResult::writeJson(JsonWriter &w, bool per_session) const
+{
     w.beginObject();
     w.field("scenario", scenario);
     w.field("scheme", scheme);
@@ -325,6 +426,22 @@ FleetResult::writeJson(std::ostream &os, bool per_session) const
         }
         w.endArray();
     }
+    w.endObject();
+}
+
+void
+SweepResult::writeJson(std::ostream &os, bool per_session) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("sweep", name);
+    w.field("variantCount",
+            static_cast<std::uint64_t>(variants.size()));
+    w.key("variants");
+    w.beginArray();
+    for (const FleetResult &variant : variants)
+        variant.writeJson(w, per_session);
+    w.endArray();
     w.endObject();
     os << "\n";
 }

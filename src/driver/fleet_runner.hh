@@ -5,20 +5,26 @@
  *
  * Each fleet session owns a full MobileSystem seeded from
  * ScenarioSpec::sessionSeed(index), so a session's behaviour depends
- * only on (spec, index). Sessions are distributed over a thread pool;
- * results are stored by session index and aggregated sequentially
- * after the pool drains, which makes the aggregate (including every
- * percentile and its JSON rendering) bit-identical whether the fleet
- * ran on one thread or sixteen.
+ * only on (spec, index). Sessions are distributed over a thread pool
+ * and *streamed* into the aggregate in session-index order through a
+ * bounded reorder window: workers park an out-of-order result until
+ * its predecessors are folded, so peak retained SessionResults stay
+ * O(threads) no matter how large the fleet is, while the aggregate
+ * (including every percentile and its JSON rendering) remains
+ * bit-identical whether the fleet ran on one thread or sixteen.
+ *
+ * Sweeps (SweepSpec) run their variants back to back and report them
+ * side by side in one JSON document.
  */
 
 #ifndef ARIADNE_DRIVER_FLEET_RUNNER_HH
 #define ARIADNE_DRIVER_FLEET_RUNNER_HH
 
+#include <functional>
 #include <map>
 #include <ostream>
 
-#include "driver/scenario_spec.hh"
+#include "driver/sweep_spec.hh"
 #include "sys/session.hh"
 
 namespace ariadne::driver
@@ -79,6 +85,18 @@ struct MetricSummary
     static MetricSummary of(const Distribution &d);
 };
 
+/**
+ * Per-session hook a `custom` event calls back into:
+ * hooks[event.hook](system, driver, result). The benches use these
+ * for measurements the declarative vocabulary cannot express
+ * (analysis-log inspection, touch captures, workload-layer probes).
+ * Hooks run on the worker thread of their session; a hook that
+ * writes bench state shared across sessions must synchronize or run
+ * single-session fleets.
+ */
+using SessionHook =
+    std::function<void(MobileSystem &, SessionDriver &, SessionResult &)>;
+
 /** Aggregate outcome of a fleet run. */
 struct FleetResult
 {
@@ -89,7 +107,16 @@ struct FleetResult
     std::uint64_t seed = 0;
     std::size_t fleet = 0;
 
+    /** Per-session records; only populated when the run was asked to
+     * keep them (they defeat streaming aggregation's O(threads)
+     * memory bound). */
     std::vector<SessionResult> sessions;
+
+    /** High-water mark of SessionResults alive in the streaming
+     * reorder window (bounded by 2 * threads; 1 for single-threaded
+     * runs). Diagnostic only — never serialized, so reports stay
+     * thread-invariant. */
+    std::size_t peakRetainedSessions = 0;
 
     /** Across every measured relaunch of every session (paper-scale
      * milliseconds). */
@@ -109,8 +136,24 @@ struct FleetResult
 
     /**
      * Machine-readable report. @p per_session additionally emits one
-     * record per session (seeds, CPU, relaunch samples).
+     * record per session (seeds, CPU, relaunch samples) — the run
+     * must have kept sessions for that to be non-empty.
      */
+    void writeJson(std::ostream &os, bool per_session = false) const;
+
+    /** Emit the report object into an open writer (SweepResult embeds
+     * variant reports this way). */
+    void writeJson(class JsonWriter &w, bool per_session = false) const;
+};
+
+/** Side-by-side outcome of a multi-scenario sweep. */
+struct SweepResult
+{
+    std::string name;
+    /** One aggregate per variant, in SweepSpec order. */
+    std::vector<FleetResult> variants;
+
+    /** One report comparing every variant side by side. */
     void writeJson(std::ostream &os, bool per_session = false) const;
 };
 
@@ -118,23 +161,45 @@ struct FleetResult
 class FleetRunner
 {
   public:
-    explicit FleetRunner(ScenarioSpec spec);
+    /**
+     * @param spec Scenario to run.
+     * @param hooks Targets for the spec's `custom` events (a program
+     *        referencing hooks[i] with i >= hooks.size() panics).
+     */
+    explicit FleetRunner(ScenarioSpec spec,
+                         std::vector<SessionHook> hooks = {});
 
     /**
-     * Run @p fleet sessions on @p threads worker threads.
+     * Run @p fleet sessions on @p threads worker threads, streaming
+     * results into the aggregate in session-index order.
      * @param fleet Session count; 0 uses the spec's fleet size.
      * @param threads Worker threads; 0 picks the hardware count.
+     * @param keep_sessions Retain every SessionResult in the result
+     *        (needed for per-session JSON; costs O(fleet) memory).
      * Aggregates are independent of @p threads.
      */
-    FleetResult run(std::size_t fleet = 0, unsigned threads = 1) const;
+    FleetResult run(std::size_t fleet = 0, unsigned threads = 1,
+                    bool keep_sessions = false) const;
 
     /** Run the single session @p index (deterministic in isolation). */
     SessionResult runSession(std::size_t index) const;
+
+    /**
+     * Run every variant of @p sweep back to back (variant order is
+     * the spec's declaration order; aggregates are thread-invariant).
+     * @param fleet Per-variant session count; 0 uses each variant's
+     *        own fleet size.
+     */
+    static SweepResult runSweep(const SweepSpec &sweep,
+                                std::size_t fleet = 0,
+                                unsigned threads = 1,
+                                bool keep_sessions = false);
 
     const ScenarioSpec &spec() const noexcept { return scenario; }
 
   private:
     ScenarioSpec scenario;
+    std::vector<SessionHook> sessionHooks;
 };
 
 } // namespace ariadne::driver

@@ -9,6 +9,7 @@
 
 #include "driver/json_writer.hh"
 #include "sim/rng.hh"
+#include "sys/session.hh"
 #include "workload/apps.hh"
 
 namespace ariadne::driver
@@ -68,6 +69,20 @@ parseU64(const std::string &text, std::size_t line,
     } catch (const std::out_of_range &) {
         bad(line, what + " out of range: '" + text + "'");
     }
+}
+
+bool
+parseBool(const std::string &text, std::size_t line,
+          const std::string &what)
+{
+    std::string t;
+    for (char c : text)
+        t += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (t == "true" || t == "on" || t == "1")
+        return true;
+    if (t == "false" || t == "off" || t == "0")
+        return false;
+    bad(line, "invalid " + what + " '" + text + "' (true|false)");
 }
 
 /**
@@ -131,6 +146,21 @@ eventToString(std::ostream &os, const Event &ev, unsigned depth)
         break;
       case Event::Kind::TargetScenario:
         os << "target_scenario " << ev.app << " " << ev.variant;
+        break;
+      case Event::Kind::PrepareTarget:
+        os << "prepare_target " << ev.app << " " << ev.variant;
+        break;
+      case Event::Kind::LightUsage:
+        os << "light_usage " << formatDuration(ev.duration) << " "
+           << formatDuration(ev.gap);
+        break;
+      case Event::Kind::HeavyUsage:
+        os << "heavy_usage " << formatDuration(ev.duration);
+        break;
+      case Event::Kind::Custom:
+        // No config syntax; the rendered form is informational and
+        // deliberately rejected by the parser.
+        os << "custom " << ev.hook;
         break;
       case Event::Kind::Repeat:
         os << "repeat " << ev.count << "\n";
@@ -219,6 +249,35 @@ Event::targetScenario(std::string app, unsigned variant)
 }
 
 Event
+Event::prepareTarget(std::string app, unsigned variant)
+{
+    Event ev;
+    ev.kind = Kind::PrepareTarget;
+    ev.app = std::move(app);
+    ev.variant = variant;
+    return ev;
+}
+
+Event
+Event::lightUsage(Tick duration, Tick gap)
+{
+    Event ev;
+    ev.kind = Kind::LightUsage;
+    ev.duration = duration;
+    ev.gap = gap;
+    return ev;
+}
+
+Event
+Event::heavyUsage(Tick duration)
+{
+    Event ev;
+    ev.kind = Kind::HeavyUsage;
+    ev.duration = duration;
+    return ev;
+}
+
+Event
 Event::repeat(std::size_t count, std::vector<Event> body)
 {
     Event ev;
@@ -228,12 +287,21 @@ Event::repeat(std::size_t count, std::vector<Event> body)
     return ev;
 }
 
+Event
+Event::custom(std::size_t hook_index)
+{
+    Event ev;
+    ev.kind = Kind::Custom;
+    ev.hook = hook_index;
+    return ev;
+}
+
 bool
 Event::operator==(const Event &o) const
 {
     return kind == o.kind && app == o.app && duration == o.duration &&
            gap == o.gap && variant == o.variant && count == o.count &&
-           body == o.body;
+           hook == o.hook && body == o.body;
 }
 
 SchemeKind
@@ -322,6 +390,12 @@ ScenarioSpec::systemConfig(std::size_t session_index) const
     cfg.seed = sessionSeed(session_index);
     if (!ariadneConfig.empty())
         cfg.ariadne = AriadneConfig::parse(ariadneConfig);
+    if (seedProfiles)
+        cfg.seedAriadneProfiles = *seedProfiles;
+    if (preDecomp)
+        cfg.ariadne.preDecompEnabled = *preDecomp;
+    if (hotInitPages)
+        cfg.ariadne.defaultHotInitPages = *hotInitPages;
     return cfg;
 }
 
@@ -344,6 +418,13 @@ ScenarioSpec::toString() const
     os << "scheme = " << lower(schemeKindName(scheme)) << "\n";
     if (!ariadneConfig.empty())
         os << "ariadne = " << ariadneConfig << "\n";
+    if (seedProfiles)
+        os << "seed_profiles = " << (*seedProfiles ? "true" : "false")
+           << "\n";
+    if (preDecomp)
+        os << "predecomp = " << (*preDecomp ? "true" : "false") << "\n";
+    if (hotInitPages)
+        os << "hot_init_pages = " << *hotInitPages << "\n";
     os << "scale = " << JsonWriter::formatDouble(scale) << "\n";
     os << "seed = " << seed << "\n";
     os << "fleet = " << fleet << "\n";
@@ -374,42 +455,97 @@ ScenarioSpec::loadFile(const std::string &path)
     return parse(in);
 }
 
-ScenarioSpec
-ScenarioSpec::parse(std::istream &in)
+/**
+ * Parser state. Lives behind a pimpl so the header stays light; the
+ * event stack holds pointers into spec.program's nested body vectors,
+ * which is safe because only the innermost (stack top) vector ever
+ * grows (see the repeat handling below).
+ */
+struct SpecParser::Impl
 {
     ScenarioSpec spec;
-
-    const std::vector<std::string> known_apps = standardAppNames();
-    // Innermost target for parsed events; grows on `repeat`.
+    std::vector<std::string> knownApps = standardAppNames();
+    /** Innermost target for parsed events; grows on `repeat`. */
     std::vector<std::vector<Event> *> stack{&spec.program};
-    // Line numbers of open repeat blocks, for the error message.
-    std::vector<std::size_t> repeat_lines;
-    // App names referenced by events, validated after the whole file
-    // is read so an `apps = ...` line may follow the events that use
-    // it.
-    std::vector<std::pair<std::string, std::size_t>> referenced_apps;
+    /** Line numbers of open repeat blocks, for the error message. */
+    std::vector<std::size_t> repeatLines;
+    /** App names referenced by events, validated in finish() so an
+     * `apps = ...` line may follow the events that use it. */
+    std::vector<std::pair<std::string, std::size_t>> referencedApps;
+    bool anyEvents = false;
 
-    std::string raw;
-    std::size_t lineno = 0;
-    while (std::getline(in, raw)) {
-        ++lineno;
-        std::string line = raw;
-        if (auto hash = line.find('#'); hash != std::string::npos)
-            line = line.substr(0, hash);
-        line = trim(line);
-        if (line.empty())
-            continue;
+    void feed(const std::string &raw, std::size_t lineno);
+};
 
-        auto eq = line.find('=');
-        if (eq == std::string::npos)
-            bad(lineno, "expected 'key = value', got '" + line + "'");
-        std::string key = trim(line.substr(0, eq));
-        std::string value = trim(line.substr(eq + 1));
-        if (key.empty())
-            bad(lineno, "empty key");
-        if (value.empty())
-            bad(lineno, "empty value for key '" + key + "'");
+SpecParser::SpecParser() : impl(std::make_unique<Impl>()) {}
+SpecParser::~SpecParser() = default;
+SpecParser::SpecParser(SpecParser &&) noexcept = default;
+SpecParser &SpecParser::operator=(SpecParser &&) noexcept = default;
 
+void
+SpecParser::feed(const std::string &raw_line, std::size_t lineno)
+{
+    impl->feed(raw_line, lineno);
+}
+
+bool
+SpecParser::sawEvents() const noexcept
+{
+    return impl->anyEvents;
+}
+
+ScenarioSpec
+SpecParser::finish()
+{
+    if (impl->stack.size() > 1)
+        bad(impl->repeatLines.back(), "'repeat' block never closed");
+    for (const auto &[name, line] : impl->referencedApps)
+        requireKnownApp(name,
+                        impl->spec.apps.empty() ? impl->knownApps
+                                                : impl->spec.apps,
+                        line);
+    return std::move(impl->spec);
+}
+
+ConfigLine
+lexConfigLine(const std::string &raw)
+{
+    ConfigLine out;
+    std::string line = raw;
+    if (auto hash = line.find('#'); hash != std::string::npos)
+        line = line.substr(0, hash);
+    out.text = trim(line);
+    if (out.text.empty())
+        return out;
+    out.blank = false;
+    auto eq = out.text.find('=');
+    if (eq == std::string::npos)
+        return out;
+    out.hasEquals = true;
+    out.key = trim(out.text.substr(0, eq));
+    out.value = trim(out.text.substr(eq + 1));
+    return out;
+}
+
+void
+SpecParser::Impl::feed(const std::string &raw, std::size_t lineno)
+{
+    ScenarioSpec &spec = this->spec;
+
+    ConfigLine lexed = lexConfigLine(raw);
+    if (lexed.blank)
+        return;
+    if (!lexed.hasEquals)
+        bad(lineno,
+            "expected 'key = value', got '" + lexed.text + "'");
+    const std::string &key = lexed.key;
+    const std::string &value = lexed.value;
+    if (key.empty())
+        bad(lineno, "empty key");
+    if (value.empty())
+        bad(lineno, "empty value for key '" + key + "'");
+
+    {
         if (key == "name") {
             spec.name = value;
         } else if (key == "scheme") {
@@ -432,14 +568,24 @@ ScenarioSpec::parse(std::istream &in)
             spec.scale = v;
         } else if (key == "seed") {
             spec.seed = parseU64(value, lineno, "seed");
+        } else if (key == "seed_profiles") {
+            spec.seedProfiles = parseBool(value, lineno, key);
+        } else if (key == "predecomp") {
+            spec.preDecomp = parseBool(value, lineno, key);
+        } else if (key == "hot_init_pages") {
+            spec.hotInitPages = parseU64(value, lineno, "hot_init_pages");
         } else if (key == "fleet") {
             spec.fleet = parseU64(value, lineno, "fleet size");
             if (spec.fleet == 0)
                 bad(lineno, "fleet size must be >= 1");
         } else if (key == "apps") {
+            // Like every other key, a later `apps` line overrides an
+            // earlier one (sweep variants rely on this to replace the
+            // base mix).
             if (lower(value) == "standard") {
                 spec.apps.clear();
             } else {
+                std::vector<std::string> list;
                 std::string rest = value;
                 while (!rest.empty()) {
                     std::string tok;
@@ -453,13 +599,15 @@ ScenarioSpec::parse(std::istream &in)
                     }
                     if (tok.empty())
                         bad(lineno, "empty app name in list");
-                    requireKnownApp(tok, known_apps, lineno);
-                    spec.apps.push_back(tok);
+                    requireKnownApp(tok, knownApps, lineno);
+                    list.push_back(tok);
                 }
-                if (spec.apps.empty())
+                if (list.empty())
                     bad(lineno, "empty app list");
+                spec.apps = std::move(list);
             }
         } else if (key == "event") {
+            anyEvents = true;
             std::vector<std::string> tok = splitWs(value);
             const std::string &op = tok[0];
             auto expect_args = [&](std::size_t n) {
@@ -477,8 +625,15 @@ ScenarioSpec::parse(std::istream &in)
                 }
             };
             auto app_arg = [&](const std::string &name) {
-                referenced_apps.emplace_back(name, lineno);
+                referencedApps.emplace_back(name, lineno);
                 return name;
+            };
+            auto variant_arg = [&](const std::string &text) {
+                auto variant = parseU64(text, lineno, "scenario variant");
+                if (variant > std::numeric_limits<unsigned>::max())
+                    bad(lineno, "scenario variant out of range: '" +
+                                    text + "'");
+                return static_cast<unsigned>(variant);
             };
 
             if (op == "launch") {
@@ -508,14 +663,31 @@ ScenarioSpec::parse(std::istream &in)
                     parse_dur(tok[1]), parse_dur(tok[2])));
             } else if (op == "target_scenario") {
                 expect_args(2);
-                auto variant =
-                    parseU64(tok[2], lineno, "scenario variant");
-                if (variant >
-                    std::numeric_limits<unsigned>::max())
-                    bad(lineno, "scenario variant out of range: '" +
-                                    tok[2] + "'");
                 stack.back()->push_back(Event::targetScenario(
-                    app_arg(tok[1]), static_cast<unsigned>(variant)));
+                    app_arg(tok[1]), variant_arg(tok[2])));
+            } else if (op == "prepare_target") {
+                expect_args(2);
+                stack.back()->push_back(Event::prepareTarget(
+                    app_arg(tok[1]), variant_arg(tok[2])));
+            } else if (op == "light_usage") {
+                // Gap is optional: `light_usage 60s` uses the
+                // driver's default intermission.
+                if (tok.size() != 2 && tok.size() != 3)
+                    bad(lineno, "op 'light_usage' takes 1 or 2 "
+                                "argument(s), got " +
+                                    std::to_string(tok.size() - 1));
+                Tick gap = tok.size() == 3
+                               ? parse_dur(tok[2])
+                               : SessionDriver::lightUsageDefaultGap;
+                stack.back()->push_back(
+                    Event::lightUsage(parse_dur(tok[1]), gap));
+            } else if (op == "heavy_usage") {
+                expect_args(1);
+                stack.back()->push_back(
+                    Event::heavyUsage(parse_dur(tok[1])));
+            } else if (op == "custom") {
+                bad(lineno, "op 'custom' is programmatic-only (bench "
+                            "hooks have no config syntax)");
             } else if (op == "repeat") {
                 expect_args(1);
                 auto count = parseU64(tok[1], lineno, "repeat count");
@@ -523,13 +695,13 @@ ScenarioSpec::parse(std::istream &in)
                     bad(lineno, "repeat count must be >= 1");
                 stack.back()->push_back(Event::repeat(count, {}));
                 stack.push_back(&stack.back()->back().body);
-                repeat_lines.push_back(lineno);
+                repeatLines.push_back(lineno);
             } else if (op == "end") {
                 expect_args(0);
                 if (stack.size() == 1)
                     bad(lineno, "'end' without a matching 'repeat'");
                 stack.pop_back();
-                repeat_lines.pop_back();
+                repeatLines.pop_back();
             } else {
                 bad(lineno, "unknown event op '" + op + "'");
             }
@@ -537,13 +709,17 @@ ScenarioSpec::parse(std::istream &in)
             bad(lineno, "unknown key '" + key + "'");
         }
     }
+}
 
-    if (stack.size() > 1)
-        bad(repeat_lines.back(), "'repeat' block never closed");
-    for (const auto &[name, line] : referenced_apps)
-        requireKnownApp(name, spec.apps.empty() ? known_apps : spec.apps,
-                        line);
-    return spec;
+ScenarioSpec
+ScenarioSpec::parse(std::istream &in)
+{
+    SpecParser parser;
+    std::string raw;
+    std::size_t lineno = 0;
+    while (std::getline(in, raw))
+        parser.feed(raw, ++lineno);
+    return parser.finish();
 }
 
 bool
@@ -552,7 +728,8 @@ ScenarioSpec::operator==(const ScenarioSpec &o) const
     return name == o.name && scheme == o.scheme &&
            ariadneConfig == o.ariadneConfig && scale == o.scale &&
            seed == o.seed && fleet == o.fleet && apps == o.apps &&
-           program == o.program;
+           program == o.program && seedProfiles == o.seedProfiles &&
+           preDecomp == o.preDecomp && hotInitPages == o.hotInitPages;
 }
 
 } // namespace ariadne::driver

@@ -21,11 +21,16 @@
  *     event = end
  *
  * The event program speaks the MobileSystem driver vocabulary
- * (cold-launch / execute / background / relaunch / idle) plus three
+ * (cold-launch / execute / background / relaunch / idle) plus the
  * compound ops that encode the paper's methodology: `warmup`
  * (launch-use-background every app), `switch_next use idle`
- * (round-robin app switching, the daily-usage trace) and
- * `target_scenario app variant` (the §5 measured-relaunch trace).
+ * (round-robin app switching, the daily-usage trace),
+ * `target_scenario app variant` (the §5 measured-relaunch trace),
+ * `prepare_target app variant` (the same trace minus the measured
+ * relaunch), and `light_usage` / `heavy_usage` (the Table 2 usage
+ * mixes). Programmatic specs may additionally embed `custom` events
+ * that call back into bench-supplied hooks (see FleetRunner); those
+ * have no config syntax.
  *
  * Parse errors throw SpecError rather than calling fatal(): the
  * driver is a library and its callers (CLI, tests) decide how to
@@ -36,6 +41,8 @@
 #define ARIADNE_DRIVER_SCENARIO_SPEC_HH
 
 #include <istream>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -67,16 +74,22 @@ struct Event
         SwitchNext,     //!< round-robin: relaunch next app, use
                         //!< `duration`, background, idle `gap`
         TargetScenario, //!< §5 methodology for `app`, `variant`
+        PrepareTarget,  //!< TargetScenario minus the measured relaunch
+        LightUsage,     //!< Table 2 light mix for `duration`, `gap`
+        HeavyUsage,     //!< Table 2 heavy mix for `duration`
         Repeat,         //!< run `body` `count` times
+        Custom,         //!< call bench hook `hook` (programmatic only)
     };
 
     Kind kind = Kind::Idle;
     std::string app;          //!< Launch/Execute/Background/Relaunch/
-                              //!< TargetScenario
-    Tick duration = 0;        //!< Execute/Idle; SwitchNext use time
-    Tick gap = 0;             //!< SwitchNext intermission
-    unsigned variant = 0;     //!< TargetScenario usage-order variant
+                              //!< TargetScenario/PrepareTarget
+    Tick duration = 0;        //!< Execute/Idle; SwitchNext use time;
+                              //!< LightUsage/HeavyUsage span
+    Tick gap = 0;             //!< SwitchNext/LightUsage intermission
+    unsigned variant = 0;     //!< TargetScenario/PrepareTarget variant
     std::size_t count = 0;    //!< Repeat iterations
+    std::size_t hook = 0;     //!< Custom hook index (FleetRunner)
     std::vector<Event> body;  //!< Repeat sub-program
 
     // Convenience constructors for programmatic specs.
@@ -88,7 +101,11 @@ struct Event
     static Event warmup();
     static Event switchNext(Tick use, Tick gap);
     static Event targetScenario(std::string app, unsigned variant);
+    static Event prepareTarget(std::string app, unsigned variant);
+    static Event lightUsage(Tick duration, Tick gap);
+    static Event heavyUsage(Tick duration);
     static Event repeat(std::size_t count, std::vector<Event> body);
+    static Event custom(std::size_t hook_index);
 
     bool operator==(const Event &o) const;
 };
@@ -108,6 +125,15 @@ struct ScenarioSpec
     /** App names; empty = all ten standard apps. */
     std::vector<std::string> apps;
     std::vector<Event> program;
+
+    // Optional mechanism overrides — the ablation axes. Unset leaves
+    // the SystemConfig defaults untouched.
+    /** Override SystemConfig::seedAriadneProfiles (D1 ablation). */
+    std::optional<bool> seedProfiles;
+    /** Override AriadneConfig::preDecompEnabled (D3 ablation). */
+    std::optional<bool> preDecomp;
+    /** Override AriadneConfig::defaultHotInitPages (D1 ablation). */
+    std::optional<std::size_t> hotInitPages;
 
     /**
      * SystemConfig for fleet session @p session_index: the spec's
@@ -141,6 +167,56 @@ struct ScenarioSpec
 
     bool operator==(const ScenarioSpec &o) const;
 };
+
+/**
+ * Incremental line-oriented parser behind ScenarioSpec::parse.
+ *
+ * SweepSpec reuses it to parse variant sections with their original
+ * file line numbers, so sweep-config errors point at the right line.
+ * feed() accepts one raw config line at a time; finish() validates
+ * (open repeat blocks, app references) and returns the spec.
+ */
+class SpecParser
+{
+  public:
+    SpecParser();
+    ~SpecParser();
+    SpecParser(SpecParser &&) noexcept;
+    SpecParser &operator=(SpecParser &&) noexcept;
+
+    /** Parse one raw line; @p lineno is used in error messages. */
+    void feed(const std::string &raw_line, std::size_t lineno);
+
+    /** Whether any `event` line has been fed so far. */
+    bool sawEvents() const noexcept;
+
+    /** Validate and return the accumulated spec (call once). */
+    ScenarioSpec finish();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
+};
+
+/**
+ * One lexed config line. Both the scenario and the sweep parser read
+ * the same `key = value` grammar (`#` starts a comment, whitespace is
+ * trimmed), so the lexer is shared.
+ */
+struct ConfigLine
+{
+    /** Whole line was blank or a comment. */
+    bool blank = true;
+    /** Line contained a '='; key/value are only meaningful then. */
+    bool hasEquals = false;
+    std::string key;
+    std::string value;
+    /** Comment-stripped, trimmed text (for error messages). */
+    std::string text;
+};
+
+/** Lex one raw config line (never throws; callers judge validity). */
+ConfigLine lexConfigLine(const std::string &raw);
 
 /** Parse "dram|swap|zram|zswap|ariadne" (case-insensitive). */
 SchemeKind parseSchemeKind(const std::string &text);

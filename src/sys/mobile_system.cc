@@ -392,4 +392,25 @@ MobileSystem::energyJoules() const
     return EnergyModel(cfg.energy).joules(activityTotals());
 }
 
+double
+MobileSystem::windowEnergyJoules(const ActivityTotals &before,
+                                 Tick wall_ns, double scale) const
+{
+    ActivityTotals totals = activityTotals();
+    totals.cpuBusyNs -= before.cpuBusyNs;
+    totals.dramBytes -= before.dramBytes;
+    totals.flashReadBytes -= before.flashReadBytes;
+    totals.flashWriteBytes -= before.flashWriteBytes;
+    totals.wallTimeNs = wall_ns;
+    totals.cpuBusyNs = static_cast<Tick>(
+        static_cast<double>(totals.cpuBusyNs) / scale);
+    totals.dramBytes = static_cast<std::size_t>(
+        static_cast<double>(totals.dramBytes) / scale);
+    totals.flashReadBytes = static_cast<std::size_t>(
+        static_cast<double>(totals.flashReadBytes) / scale);
+    totals.flashWriteBytes = static_cast<std::size_t>(
+        static_cast<double>(totals.flashWriteBytes) / scale);
+    return EnergyModel(cfg.energy).joules(totals);
+}
+
 } // namespace ariadne

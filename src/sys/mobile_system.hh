@@ -114,6 +114,16 @@ class MobileSystem
     /** Scenario energy in Joules (Table 2). */
     double energyJoules() const;
 
+    /**
+     * Energy of a measured window: activity since @p before (a prior
+     * activityTotals() snapshot) over @p wall_ns of wall time, with
+     * the dynamic volumes (CPU, DRAM, flash traffic) rescaled by
+     * 1/@p scale back to paper scale. Table 2 measures this after
+     * warm-up so identical cold launches cancel across schemes.
+     */
+    double windowEnergyJoules(const ActivityTotals &before,
+                              Tick wall_ns, double scale) const;
+
     /** Pages recreated after being dropped under pressure. */
     std::uint64_t lostRecreations() const noexcept { return lostPages; }
 

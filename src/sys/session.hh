@@ -60,12 +60,17 @@ class SessionDriver
      */
     void warmUpAllApps(Tick bg_use_time = Tick{8} * 1000000000ULL);
 
+    /** Default intermission of the light-usage mix (the scenario
+     * parser's one-argument `light_usage` form uses it too). */
+    static constexpr Tick lightUsageDefaultGap =
+        Tick{1} * 1000000000ULL;
+
     /**
      * Light usage: round-robin relaunches with an intermission gap
      * until @p duration simulated time passes.
      */
     void lightUsageScenario(Tick duration = Tick{60} * 1000000000ULL,
-                            Tick gap = Tick{1} * 1000000000ULL);
+                            Tick gap = lightUsageDefaultGap);
 
     /** Heavy usage: continuous relaunches without intermission. */
     void heavyUsageScenario(Tick duration = Tick{60} * 1000000000ULL);

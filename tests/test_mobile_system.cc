@@ -162,3 +162,70 @@ TEST(MobileSystemDeath, UnknownAppPanics)
     MobileSystem sys(testConfig(SchemeKind::Zram), standardApps());
     EXPECT_DEATH(sys.appColdLaunch(999), "unknown app");
 }
+
+TEST(SessionDriver, UsageScenariosAdvanceTimeAndDifferInIntensity)
+{
+    // The heavy mix packs more switches (and thus more comp/decomp
+    // work under ZRAM) into the same wall-clock span than the light
+    // mix, which idles between switches.
+    auto cpu_after = [](bool heavy) {
+        MobileSystem sys(testConfig(SchemeKind::Zram), standardApps());
+        SessionDriver driver(sys);
+        if (heavy)
+            driver.heavyUsageScenario(Tick{20} * 1000000000ULL);
+        else
+            driver.lightUsageScenario(Tick{20} * 1000000000ULL);
+        return sys.cpu().compDecompTotal();
+    };
+    EXPECT_GT(cpu_after(true), cpu_after(false));
+}
+
+TEST(SessionDriver, UsageScenariosAreDeterministic)
+{
+    auto run = [](bool heavy) {
+        MobileSystem sys(testConfig(SchemeKind::Zram), standardApps());
+        SessionDriver driver(sys);
+        if (heavy)
+            driver.heavyUsageScenario(Tick{10} * 1000000000ULL);
+        else
+            driver.lightUsageScenario(Tick{10} * 1000000000ULL,
+                                      Tick{1} * 1000000000ULL);
+        return sys.clock().now() + sys.kswapdCpuNs();
+    };
+    EXPECT_EQ(run(false), run(false));
+    EXPECT_EQ(run(true), run(true));
+}
+
+TEST(MobileSystem, WindowEnergyMatchesFullRunFromZeroSnapshot)
+{
+    MobileSystem sys(testConfig(SchemeKind::Zram), standardApps());
+    SessionDriver driver(sys);
+    driver.targetRelaunchScenario(standardApp("YouTube").uid, 0);
+    // A zero snapshot over the full wall time at scale 1 is exactly
+    // the whole-scenario energy.
+    EXPECT_DOUBLE_EQ(
+        sys.windowEnergyJoules(ActivityTotals{}, sys.clock().now(),
+                               1.0),
+        sys.energyJoules());
+}
+
+TEST(MobileSystem, WindowEnergyExcludesActivityBeforeTheSnapshot)
+{
+    MobileSystem sys(testConfig(SchemeKind::Zram), standardApps());
+    SessionDriver driver(sys);
+    driver.warmUpAllApps();
+    ActivityTotals before = sys.activityTotals();
+    driver.heavyUsageScenario(Tick{10} * 1000000000ULL);
+
+    constexpr Tick window = Tick{10} * 1000000000ULL;
+    double busy = sys.windowEnergyJoules(before, window, 1.0);
+    // An identical window with nothing in it costs only static power.
+    double idle_floor =
+        sys.windowEnergyJoules(sys.activityTotals(), window, 1.0);
+    EXPECT_GT(busy, idle_floor);
+    EXPECT_GT(idle_floor, 0.0);
+    // Rescaling dynamic volumes to paper scale can only add energy.
+    EXPECT_GT(sys.windowEnergyJoules(before, window,
+                                     sys.config().scale),
+              busy);
+}

@@ -1,8 +1,11 @@
-/** @file Unit tests for the scenario-config parser. */
+/** @file Unit tests for the scenario- and sweep-config parsers. */
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "driver/scenario_spec.hh"
+#include "driver/sweep_spec.hh"
 
 using namespace ariadne;
 using namespace ariadne::driver;
@@ -74,6 +77,73 @@ TEST(ScenarioSpec, ParsesEveryKeyAndOp)
     EXPECT_EQ(spec.program[5].kind, Event::Kind::TargetScenario);
     EXPECT_EQ(spec.program[5].app, "Firefox");
     EXPECT_EQ(spec.program[5].variant, 2u);
+}
+
+TEST(ScenarioSpec, ParsesCompoundUsageOps)
+{
+    ScenarioSpec spec = ScenarioSpec::parseString(
+        "event = prepare_target YouTube 1\n"
+        "event = light_usage 60s 2s\n"
+        "event = light_usage 30s\n"
+        "event = heavy_usage 45s\n");
+    ASSERT_EQ(spec.program.size(), 4u);
+    EXPECT_EQ(spec.program[0].kind, Event::Kind::PrepareTarget);
+    EXPECT_EQ(spec.program[0].app, "YouTube");
+    EXPECT_EQ(spec.program[0].variant, 1u);
+    EXPECT_EQ(spec.program[1].kind, Event::Kind::LightUsage);
+    EXPECT_EQ(spec.program[1].duration, 60ull * 1000000000ull);
+    EXPECT_EQ(spec.program[1].gap, 2ull * 1000000000ull);
+    // The gap argument is optional and defaults to the driver's 1 s.
+    EXPECT_EQ(spec.program[2].gap, 1ull * 1000000000ull);
+    EXPECT_EQ(spec.program[3].kind, Event::Kind::HeavyUsage);
+    EXPECT_EQ(spec.program[3].duration, 45ull * 1000000000ull);
+
+    // They serialize canonically and round-trip.
+    ScenarioSpec reparsed = ScenarioSpec::parseString(spec.toString());
+    EXPECT_TRUE(spec == reparsed);
+}
+
+TEST(ScenarioSpec, ParsesAblationOverrideKeys)
+{
+    ScenarioSpec spec = ScenarioSpec::parseString(
+        "scheme = ariadne\n"
+        "ariadne = EHL-1K-2K-16K\n"
+        "seed_profiles = false\n"
+        "predecomp = off\n"
+        "hot_init_pages = 0\n"
+        "event = warmup\n");
+    ASSERT_TRUE(spec.seedProfiles.has_value());
+    EXPECT_FALSE(*spec.seedProfiles);
+    ASSERT_TRUE(spec.preDecomp.has_value());
+    EXPECT_FALSE(*spec.preDecomp);
+    ASSERT_TRUE(spec.hotInitPages.has_value());
+    EXPECT_EQ(*spec.hotInitPages, 0u);
+
+    // The overrides reach the derived SystemConfig...
+    SystemConfig cfg = spec.systemConfig(0);
+    EXPECT_FALSE(cfg.seedAriadneProfiles);
+    EXPECT_FALSE(cfg.ariadne.preDecompEnabled);
+    EXPECT_EQ(cfg.ariadne.defaultHotInitPages, 0u);
+    // ...and round-trip through toString.
+    EXPECT_TRUE(ScenarioSpec::parseString(spec.toString()) == spec);
+
+    // Unset leaves the defaults untouched.
+    ScenarioSpec plain = ScenarioSpec::parseString("event = warmup\n");
+    EXPECT_TRUE(plain.systemConfig(0).seedAriadneProfiles);
+    EXPECT_TRUE(plain.systemConfig(0).ariadne.preDecompEnabled);
+
+    EXPECT_THROW(ScenarioSpec::parseString("seed_profiles = maybe\n"),
+                 SpecError);
+}
+
+TEST(ScenarioSpec, CustomEventsAreProgrammaticOnly)
+{
+    EXPECT_THROW(ScenarioSpec::parseString("event = custom 0\n"),
+                 SpecError);
+    Event ev = Event::custom(3);
+    EXPECT_EQ(ev.kind, Event::Kind::Custom);
+    EXPECT_EQ(ev.hook, 3u);
+    EXPECT_FALSE(ev == Event::custom(2));
 }
 
 TEST(ScenarioSpec, RoundTripsThroughToString)
@@ -230,6 +300,190 @@ TEST(ParseDuration, RejectsOverflowInsteadOfWrapping)
     // Near the limit but representable stays accepted.
     EXPECT_EQ(parseDuration("18000000000s"),
               18000000000ull * 1000000000ull);
+}
+
+namespace
+{
+
+const char *sweepConfig = R"(
+# Base section shared by every variant.
+sweep = my-sweep
+scale = 0.125
+seed = 9
+fleet = 4
+apps = YouTube, Twitter
+event = warmup
+event = repeat 3
+event =   switch_next 1s 500ms
+event = end
+
+variant = zram
+scheme = zram
+
+variant = ariadne
+scheme = ariadne
+ariadne = EHL-1K-2K-16K
+
+variant = own-program
+scheme = dram
+event = launch YouTube
+event = execute YouTube 5s
+)";
+
+} // namespace
+
+TEST(SweepSpec, ParsesBaseAndVariantSections)
+{
+    SweepSpec sweep = SweepSpec::parseString(sweepConfig);
+    EXPECT_EQ(sweep.name, "my-sweep");
+    ASSERT_EQ(sweep.variants.size(), 3u);
+
+    const ScenarioSpec &zram = sweep.variants[0];
+    EXPECT_EQ(zram.name, "zram");
+    EXPECT_EQ(zram.scheme, SchemeKind::Zram);
+    // Base settings and program are inherited.
+    EXPECT_DOUBLE_EQ(zram.scale, 0.125);
+    EXPECT_EQ(zram.seed, 9u);
+    EXPECT_EQ(zram.fleet, 4u);
+    ASSERT_EQ(zram.apps.size(), 2u);
+    ASSERT_EQ(zram.program.size(), 2u);
+    EXPECT_EQ(zram.program[0].kind, Event::Kind::Warmup);
+    EXPECT_EQ(zram.program[1].kind, Event::Kind::Repeat);
+
+    const ScenarioSpec &ariadne = sweep.variants[1];
+    EXPECT_EQ(ariadne.scheme, SchemeKind::Ariadne);
+    EXPECT_EQ(ariadne.ariadneConfig, "EHL-1K-2K-16K");
+    EXPECT_TRUE(ariadne.program == zram.program);
+
+    // A variant with its own events replaces the base program.
+    const ScenarioSpec &own = sweep.variants[2];
+    ASSERT_EQ(own.program.size(), 2u);
+    EXPECT_EQ(own.program[0].kind, Event::Kind::Launch);
+    EXPECT_EQ(own.program[1].kind, Event::Kind::Execute);
+    // ...but still inherits the base settings.
+    EXPECT_EQ(own.fleet, 4u);
+}
+
+TEST(SweepSpec, VariantAppsOverrideTheBaseMix)
+{
+    SweepSpec sweep = SweepSpec::parseString(
+        "apps = YouTube, Twitter\n"
+        "event = warmup\n"
+        "variant = inherit\n"
+        "scheme = zram\n"
+        "variant = own-mix\n"
+        "apps = Firefox\n");
+    ASSERT_EQ(sweep.variants.size(), 2u);
+    EXPECT_EQ(sweep.variants[0].apps,
+              (std::vector<std::string>{"YouTube", "Twitter"}));
+    // The variant's list replaces — not appends to — the base list.
+    EXPECT_EQ(sweep.variants[1].apps,
+              (std::vector<std::string>{"Firefox"}));
+    // `apps = standard` restores the full ten-app mix.
+    SweepSpec standard = SweepSpec::parseString(
+        "apps = YouTube\n"
+        "event = warmup\n"
+        "variant = all\n"
+        "apps = standard\n");
+    EXPECT_TRUE(standard.variants[0].apps.empty());
+}
+
+TEST(SweepSpec, DuplicateDetectionUsesTheFinalVariantName)
+{
+    // An explicit `name =` line overrides the section header; two
+    // sections that end up with the same final name are rejected so
+    // every parsed sweep round-trips through its canonical form.
+    EXPECT_THROW(SweepSpec::parseString("variant = a\n"
+                                        "name = x\n"
+                                        "variant = b\n"
+                                        "name = x\n"),
+                 SpecError);
+    // Distinct final names are fine even with identical headers.
+    SweepSpec ok = SweepSpec::parseString("variant = a\n"
+                                          "name = x\n"
+                                          "variant = a\n"
+                                          "name = y\n");
+    EXPECT_EQ(ok.variants[0].name, "x");
+    EXPECT_EQ(ok.variants[1].name, "y");
+    EXPECT_TRUE(SweepSpec::parseString(ok.toString()) == ok);
+}
+
+TEST(SweepSpec, RoundTripsThroughToString)
+{
+    SweepSpec sweep = SweepSpec::parseString(sweepConfig);
+    SweepSpec reparsed = SweepSpec::parseString(sweep.toString());
+    EXPECT_TRUE(sweep == reparsed);
+    EXPECT_EQ(sweep.toString(), reparsed.toString());
+}
+
+TEST(SweepSpec, RejectsInvalidSweeps)
+{
+    // No variants at all.
+    EXPECT_THROW(SweepSpec::parseString("scheme = zram\n"), SpecError);
+    EXPECT_THROW(SweepSpec::parseString(""), SpecError);
+    // Duplicate variant names.
+    EXPECT_THROW(SweepSpec::parseString("variant = a\n"
+                                        "scheme = zram\n"
+                                        "variant = a\n"
+                                        "scheme = dram\n"),
+                 SpecError);
+    // `sweep` after the first variant.
+    EXPECT_THROW(SweepSpec::parseString("variant = a\n"
+                                        "sweep = late\n"),
+                 SpecError);
+    // Empty names.
+    EXPECT_THROW(SweepSpec::parseString("sweep =\n"
+                                        "variant = a\n"),
+                 SpecError);
+    EXPECT_THROW(SweepSpec::parseString("variant =\n"), SpecError);
+}
+
+TEST(SweepSpec, BaseSectionIsValidatedEvenWhenUnused)
+{
+    // Every variant overrides the program, so the bogus base event is
+    // never inherited — it must still be diagnosed, with its line.
+    try {
+        SweepSpec::parseString("event = bogus_op 1\n"
+                               "variant = a\n"
+                               "event = warmup\n");
+        FAIL() << "expected SpecError";
+    } catch (const SpecError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 1"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("bogus_op"),
+                  std::string::npos);
+    }
+    // A malformed base line with no variants reports the actual
+    // syntax error, not the generic no-variants message.
+    try {
+        SweepSpec::parseString("scheme = windows\n");
+        FAIL() << "expected SpecError";
+    } catch (const SpecError &e) {
+        EXPECT_NE(std::string(e.what()).find("unknown scheme"),
+                  std::string::npos);
+    }
+}
+
+TEST(SweepSpec, ErrorsNameTheOriginalFileLine)
+{
+    try {
+        SweepSpec::parseString("sweep = s\n"
+                               "variant = a\n"
+                               "scheme = zram\n"
+                               "bogus = 1\n");
+        FAIL() << "expected SpecError";
+    } catch (const SpecError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 4"),
+                  std::string::npos);
+    }
+}
+
+TEST(SweepSpec, DetectsSweepConfigs)
+{
+    std::istringstream sweep_text("sweep = s\nvariant = a\n");
+    EXPECT_TRUE(looksLikeSweepConfig(sweep_text));
+    std::istringstream scenario_text("name = daily\nevent = warmup\n");
+    EXPECT_FALSE(looksLikeSweepConfig(scenario_text));
 }
 
 TEST(FormatDuration, PicksShortestExactSuffix)

@@ -8,9 +8,14 @@
  *     ariadne_sim --config scenarios/daily.cfg --fleet 64 \
  *                 --threads 8 --json out.json
  *
- * Fleet aggregates are bit-identical regardless of --threads; every
+ * or runs a multi-scenario sweep, comparing named variants side by
+ * side in one report:
+ *
+ *     ariadne_sim --sweep scenarios/sweep_schemes.cfg --json out.json
+ *
+ * Aggregates are bit-identical regardless of --threads; every
  * session derives its seed from the scenario's base seed and its own
- * index.
+ * index, and sweep variants run in declaration order.
  */
 
 #include <algorithm>
@@ -32,10 +37,15 @@ namespace
 void
 usage(std::ostream &os)
 {
-    os << "usage: ariadne_sim --config FILE [options]\n"
+    os << "usage: ariadne_sim (--config FILE | --sweep FILE) "
+          "[options]\n"
           "\n"
           "options:\n"
-          "  --config FILE    scenario config (required)\n"
+          "  --config FILE    scenario config (one scenario; sweep "
+          "configs are\n"
+          "                   auto-detected and run as sweeps)\n"
+          "  --sweep FILE     sweep config (named variants, one "
+          "side-by-side report)\n"
           "  --fleet N        session count (default: the config's "
           "fleet size)\n"
           "  --threads T      worker threads (default 1; 0 = hardware "
@@ -43,14 +53,57 @@ usage(std::ostream &os)
           "  --json FILE      write the aggregate report as JSON "
           "('-' = stdout)\n"
           "  --per-session    include per-session records in the JSON\n"
-          "  --print-config   echo the parsed scenario and exit\n"
+          "  --print-config   echo the parsed config and exit\n"
+          "  --list-events    document the event vocabulary and exit\n"
           "  --quiet          suppress the human-readable summary\n"
           "  --help           this message\n";
+}
+
+void
+listEvents(std::ostream &os)
+{
+    os << "Scenario event vocabulary (one `event = ...` line each; "
+          "durations take ns/us/ms/s suffixes):\n"
+          "\n"
+          "  launch APP               cold-launch APP\n"
+          "  execute APP DURATION     run APP in the foreground\n"
+          "  background APP           move APP to the background\n"
+          "  relaunch APP             hot-relaunch APP and measure it\n"
+          "                           (first visit cold-launches "
+          "unmeasured)\n"
+          "  idle DURATION            idle wall time (kswapd catches "
+          "up)\n"
+          "  warmup                   launch-use-background every app\n"
+          "  switch_next USE GAP      round-robin: relaunch next app, "
+          "use USE,\n"
+          "                           background, idle GAP\n"
+          "  target_scenario APP V    the paper's SS5 measured-relaunch "
+          "trace,\n"
+          "                           usage-order variant V\n"
+          "  prepare_target APP V     target_scenario minus the "
+          "measured relaunch\n"
+          "  light_usage DURATION [GAP]\n"
+          "                           Table 2 light mix (round-robin "
+          "switches with\n"
+          "                           an intermission; GAP defaults to "
+          "1s)\n"
+          "  heavy_usage DURATION     Table 2 heavy mix (continuous "
+          "switches)\n"
+          "  repeat N ... end         run the enclosed block N times "
+          "(nestable)\n"
+          "\n"
+          "Sweep configs add `sweep = NAME` and `variant = NAME` "
+          "section lines;\n"
+          "lines before the first variant form the base scenario every "
+          "variant\n"
+          "inherits, and a variant that declares events replaces the "
+          "base program.\n";
 }
 
 struct Options
 {
     std::string configPath;
+    std::string sweepPath;
     std::size_t fleet = 0;   // 0 = use the spec's
     unsigned threads = 1;
     std::string jsonPath;
@@ -95,10 +148,17 @@ parseArgs(int argc, char **argv, Options &opt)
         if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
             usage(std::cout);
             std::exit(0);
+        } else if (!std::strcmp(arg, "--list-events")) {
+            listEvents(std::cout);
+            std::exit(0);
         } else if (!std::strcmp(arg, "--config")) {
             if (!need_value(i, arg))
                 return false;
             opt.configPath = argv[++i];
+        } else if (!std::strcmp(arg, "--sweep")) {
+            if (!need_value(i, arg))
+                return false;
+            opt.sweepPath = argv[++i];
         } else if (!std::strcmp(arg, "--fleet")) {
             if (!need_value(i, arg))
                 return false;
@@ -130,8 +190,9 @@ parseArgs(int argc, char **argv, Options &opt)
             return false;
         }
     }
-    if (opt.configPath.empty()) {
-        std::cerr << "ariadne_sim: --config is required\n";
+    if (opt.configPath.empty() == opt.sweepPath.empty()) {
+        std::cerr << "ariadne_sim: exactly one of --config / --sweep "
+                     "is required\n";
         usage(std::cerr);
         return false;
     }
@@ -178,6 +239,89 @@ printSummary(std::ostream &os, const FleetResult &r)
        << r.totalLostPages << "\n";
 }
 
+void
+printSweepSummary(std::ostream &os, const SweepResult &r)
+{
+    printBanner(os, "ariadne_sim: sweep '" + r.name + "' — " +
+                        std::to_string(r.variants.size()) +
+                        " variant(s)");
+
+    ReportTable table({"variant", "scheme", "fleet", "relaunch p50",
+                       "p90", "p99", "cpu mean (ms)", "energy (J)",
+                       "ratio"});
+    for (const FleetResult &v : r.variants) {
+        std::string scheme = v.scheme;
+        if (!v.ariadneConfig.empty())
+            scheme += " (" + v.ariadneConfig + ")";
+        table.addRow({v.scenario, scheme, std::to_string(v.fleet),
+                      ReportTable::num(v.relaunchMs.p50, 1),
+                      ReportTable::num(v.relaunchMs.p90, 1),
+                      ReportTable::num(v.relaunchMs.p99, 1),
+                      ReportTable::num(v.compDecompCpuMs.mean, 1),
+                      ReportTable::num(v.energyJ.mean, 2),
+                      ReportTable::num(v.compRatio.mean, 2)});
+    }
+    table.print(os);
+}
+
+/** Write the report to --json's target; returns the exit code. */
+template <typename Result>
+int
+emitJson(const Options &opt, const Result &result)
+{
+    if (opt.jsonPath.empty())
+        return 0;
+    if (opt.jsonPath == "-") {
+        result.writeJson(std::cout, opt.perSession);
+        return 0;
+    }
+    std::ofstream out(opt.jsonPath);
+    if (!out) {
+        std::cerr << "ariadne_sim: cannot write " << opt.jsonPath
+                  << "\n";
+        return 1;
+    }
+    result.writeJson(out, opt.perSession);
+    if (!opt.quiet)
+        std::cout << "\nJSON report written to " << opt.jsonPath
+                  << "\n";
+    return 0;
+}
+
+int
+runScenario(const Options &opt)
+{
+    ScenarioSpec spec = ScenarioSpec::loadFile(opt.configPath);
+    if (opt.printConfig) {
+        std::cout << spec.toString();
+        return 0;
+    }
+    FleetRunner runner(std::move(spec));
+    // Sessions are only worth retaining when a JSON report will
+    // actually carry them; otherwise streaming keeps memory bounded.
+    bool keep = opt.perSession && !opt.jsonPath.empty();
+    FleetResult result = runner.run(opt.fleet, opt.threads, keep);
+    if (!opt.quiet)
+        printSummary(std::cout, result);
+    return emitJson(opt, result);
+}
+
+int
+runSweep(const Options &opt)
+{
+    SweepSpec sweep = SweepSpec::loadFile(opt.sweepPath);
+    if (opt.printConfig) {
+        std::cout << sweep.toString();
+        return 0;
+    }
+    bool keep = opt.perSession && !opt.jsonPath.empty();
+    SweepResult result =
+        FleetRunner::runSweep(sweep, opt.fleet, opt.threads, keep);
+    if (!opt.quiet)
+        printSweepSummary(std::cout, result);
+    return emitJson(opt, result);
+}
+
 } // namespace
 
 int
@@ -187,40 +331,24 @@ main(int argc, char **argv)
     if (!parseArgs(argc, argv, opt))
         return 2;
 
-    ScenarioSpec spec;
+    // A sweep config handed to --config runs as a sweep: the two
+    // formats share their grammar, so the section lines identify it.
+    if (opt.sweepPath.empty()) {
+        std::ifstream probe(opt.configPath);
+        if (probe && looksLikeSweepConfig(probe)) {
+            opt.sweepPath = opt.configPath;
+            opt.configPath.clear();
+        }
+    }
+
     try {
-        spec = ScenarioSpec::loadFile(opt.configPath);
+        return opt.sweepPath.empty() ? runScenario(opt)
+                                     : runSweep(opt);
     } catch (const SpecError &e) {
         std::cerr << "ariadne_sim: " << e.what() << "\n";
         return 2;
+    } catch (const std::exception &e) {
+        std::cerr << "ariadne_sim: " << e.what() << "\n";
+        return 1;
     }
-
-    if (opt.printConfig) {
-        std::cout << spec.toString();
-        return 0;
-    }
-
-    FleetRunner runner(std::move(spec));
-    FleetResult result = runner.run(opt.fleet, opt.threads);
-
-    if (!opt.quiet)
-        printSummary(std::cout, result);
-
-    if (!opt.jsonPath.empty()) {
-        if (opt.jsonPath == "-") {
-            result.writeJson(std::cout, opt.perSession);
-        } else {
-            std::ofstream out(opt.jsonPath);
-            if (!out) {
-                std::cerr << "ariadne_sim: cannot write "
-                          << opt.jsonPath << "\n";
-                return 1;
-            }
-            result.writeJson(out, opt.perSession);
-            if (!opt.quiet)
-                std::cout << "\nJSON report written to "
-                          << opt.jsonPath << "\n";
-        }
-    }
-    return 0;
 }
