@@ -11,6 +11,14 @@
  * (EXPERIMENTS.md records both), and — via BenchReport — emits a
  * machine-readable JSON report next to the table when invoked with
  * `--json FILE`.
+ *
+ * Bench specs flow through the same pluggable workload layer as the
+ * CLI (driver/workload_source.hh): the default `workload = profiles`
+ * source interprets the event program built here, and because
+ * recording is observer-based, any bench variant can be captured with
+ * FleetRunner::runRecorded and replayed bit-identically — custom
+ * hooks record their system-level effects, though replay does not
+ * re-run the hook bodies themselves.
  */
 
 #ifndef ARIADNE_BENCH_COMMON_HH

@@ -5,6 +5,11 @@
  * print summary statistics plus a CSV export — the reproducibility
  * workflow of §5.
  *
+ * Traces written here use the v2 format: a session boundary and an
+ * embedded scenario snippet in the header, like the fleet traces
+ * `ariadne_sim --record` produces (those replay bit-identically via
+ * `workload = trace`; this hand-rolled one is for inspection only).
+ *
  * Run:  ./build/examples/trace_inspector [output.trace]
  */
 
@@ -56,11 +61,23 @@ main(int argc, char **argv)
                inst.relaunch());
         append(trace, now, inst.profile().uid, TraceOp::RelaunchEnd);
     }
-    writeTrace(path, trace);
+    {
+        TraceWriter writer(path, "name = trace-inspector-example\n");
+        writer.beginSession(0);
+        for (const auto &rec : trace)
+            writer.append(rec);
+    }
     std::printf("wrote %zu records to %s\n", trace.size(),
                 path.c_str());
 
-    // Read back and summarize.
+    // Read back and summarize (the header knows the session count and
+    // carries the scenario text the trace was recorded under).
+    TraceReader header(path);
+    std::printf("trace v%u: %llu records, %u session(s), %zu bytes "
+                "of embedded scenario\n",
+                header.version(),
+                static_cast<unsigned long long>(header.count()),
+                header.sessionCount(), header.spec().size());
     auto loaded = readTrace(path);
     std::array<std::size_t, 3> by_truth{};
     std::size_t touches = 0, allocations = 0, relaunches = 0;

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "driver/json_writer.hh"
+#include "driver/workload_source.hh"
 #include "sim/log.hh"
 #include "workload/apps.hh"
 
@@ -14,112 +15,6 @@ namespace ariadne::driver
 
 namespace
 {
-
-/** Per-session execution state for the event interpreter. */
-struct SessionContext
-{
-    MobileSystem &sys;
-    SessionDriver &driver;
-    const std::vector<AppId> &uids;
-    SessionResult &result;
-    double scale;
-    const std::vector<SessionHook> &hooks;
-    /** Round-robin cursor for switch_next. */
-    std::size_t cursor = 0;
-
-    AppId
-    lookup(const std::string &name) const
-    {
-        // Spec validation guarantees the name exists in this mix.
-        for (AppId uid : uids)
-            if (sys.app(uid).profile().name == name)
-                return uid;
-        panic("event references app absent from the mix: " + name);
-    }
-
-    void
-    record(AppId uid, const RelaunchStats &st)
-    {
-        RelaunchSample sample;
-        sample.uid = uid;
-        sample.stats = st;
-        sample.fullScaleMs = ticksToMs(st.fullScaleNs(scale));
-        result.relaunches.push_back(sample);
-    }
-};
-
-void
-runEvents(SessionContext &ctx, const std::vector<Event> &events)
-{
-    for (const Event &ev : events) {
-        switch (ev.kind) {
-          case Event::Kind::Launch:
-            ctx.driver.visit(ctx.lookup(ev.app));
-            break;
-          case Event::Kind::Execute:
-            ctx.sys.appExecute(ctx.lookup(ev.app), ev.duration);
-            break;
-          case Event::Kind::Background:
-            ctx.sys.appBackground(ctx.lookup(ev.app));
-            break;
-          case Event::Kind::Relaunch: {
-            AppId uid = ctx.lookup(ev.app);
-            // A first visit can only cold-launch; visit() reports
-            // that with uid == invalidApp and there is nothing to
-            // measure.
-            RelaunchStats st = ctx.driver.visit(uid);
-            if (st.uid != invalidApp)
-                ctx.record(uid, st);
-            break;
-          }
-          case Event::Kind::Idle:
-            ctx.sys.idle(ev.duration);
-            break;
-          case Event::Kind::Warmup:
-            ctx.driver.warmUpAllApps();
-            break;
-          case Event::Kind::SwitchNext: {
-            AppId uid = ctx.uids[ctx.cursor++ % ctx.uids.size()];
-            RelaunchStats st = ctx.driver.visit(uid);
-            if (st.uid != invalidApp)
-                ctx.record(uid, st);
-            ctx.sys.appExecute(uid, ev.duration);
-            ctx.sys.appBackground(uid);
-            if (ev.gap > 0)
-                ctx.sys.idle(ev.gap);
-            break;
-          }
-          case Event::Kind::TargetScenario: {
-            AppId uid = ctx.lookup(ev.app);
-            ctx.record(uid, ctx.driver.targetRelaunchScenario(
-                                uid, ev.variant));
-            break;
-          }
-          case Event::Kind::PrepareTarget:
-            ctx.driver.prepareTargetScenario(ctx.lookup(ev.app),
-                                             ev.variant);
-            break;
-          case Event::Kind::LightUsage:
-            ctx.driver.lightUsageScenario(ev.duration, ev.gap);
-            break;
-          case Event::Kind::HeavyUsage:
-            ctx.driver.heavyUsageScenario(ev.duration);
-            break;
-          case Event::Kind::Custom:
-            if (ev.hook >= ctx.hooks.size())
-                panic("custom event references hook " +
-                      std::to_string(ev.hook) + " but only " +
-                      std::to_string(ctx.hooks.size()) +
-                      " hook(s) were supplied");
-            ctx.hooks[ev.hook](ctx.sys, ctx.driver, ctx.result);
-            break;
-          case Event::Kind::Repeat:
-            for (std::size_t i = 0; i < ev.count; ++i)
-                runEvents(ctx, ev.body);
-            break;
-        }
-    }
-}
 
 /**
  * Online per-metric accumulation of a fleet run. Sessions are folded
@@ -219,23 +114,54 @@ FleetRunner::FleetRunner(ScenarioSpec spec,
                          std::vector<SessionHook> hooks)
     : scenario(std::move(spec)), sessionHooks(std::move(hooks))
 {
+    if (scenario.workload == WorkloadKind::Trace) {
+        // The trace carries the recorded scenario; adopt it as the
+        // effective spec so the replayed report is byte-identical to
+        // the recorded one. An explicit name in the replay spec
+        // survives (sweep variants rely on it for side-by-side
+        // reports); everything else comes from the recording.
+        auto replay =
+            std::make_shared<TraceReplaySource>(scenario.tracePath);
+        ScenarioSpec effective = replay->recordedSpec();
+        effective.workload = WorkloadKind::Trace;
+        effective.tracePath = scenario.tracePath;
+        if (scenario.name != "unnamed")
+            effective.name = scenario.name;
+        scenario = std::move(effective);
+        recordedForEmbed = replay->recordedSpec();
+        recordedForEmbed->name = scenario.name;
+        source = std::move(replay);
+    } else {
+        source = makeWorkloadSource(scenario);
+    }
 }
 
 SessionResult
 FleetRunner::runSession(std::size_t index) const
+{
+    return runSession(index, nullptr);
+}
+
+SessionResult
+FleetRunner::runSession(std::size_t index,
+                        TraceRecorder *recorder) const
 {
     SessionResult result;
     result.index = index;
     result.seed = scenario.sessionSeed(index);
 
     MobileSystem sys(scenario.systemConfig(index),
-                     scenario.appProfiles());
+                     source->sessionProfiles(index));
     SessionDriver driver(sys);
-    auto uids = sys.appIds();
 
-    SessionContext ctx{sys,    driver,         uids,
-                       result, scenario.scale, sessionHooks};
-    runEvents(ctx, scenario.program);
+    if (recorder) {
+        recorder->beginSession(index);
+        sys.setObserver(recorder);
+    }
+    SessionRun run(sys, driver, result, sessionHooks, scenario.scale,
+                   recorder);
+    source->drive(index, run);
+    auto uids = sys.appIds();
 
     result.compCpuNs = sys.cpu().total(CpuRole::Compression);
     result.decompCpuNs = sys.cpu().total(CpuRole::Decompression);
@@ -260,9 +186,56 @@ FleetResult
 FleetRunner::run(std::size_t fleet, unsigned threads,
                  bool keep_sessions) const
 {
+    return runFleet(fleet, threads, keep_sessions, nullptr);
+}
+
+FleetResult
+FleetRunner::runRecorded(const std::string &trace_path,
+                         std::size_t fleet, bool keep_sessions) const
+{
+    TraceWriter writer(trace_path, embeddableSpecText(fleet));
+    TraceRecorder recorder(writer);
+    FleetResult result = runFleet(fleet, 1, keep_sessions, &recorder);
+    writer.close();
+    return result;
+}
+
+std::string
+FleetRunner::embeddableSpecText(std::size_t fleet) const
+{
+    // Embed the recorded scenario with the fleet size that was
+    // actually captured, so a plain replay (`--fleet` omitted) runs
+    // exactly the recorded sessions.
+    ScenarioSpec spec = recordedForEmbed.value_or(scenario);
+    if (fleet != 0)
+        spec.fleet = fleet;
+    else
+        spec.fleet = scenario.fleet;
+    return spec.toString();
+}
+
+FleetResult
+FleetRunner::runFleet(std::size_t fleet, unsigned threads,
+                      bool keep_sessions,
+                      TraceRecorder *recorder) const
+{
     if (fleet == 0)
         fleet = scenario.fleet;
     fatalIf(fleet == 0, "fleet size must be >= 1");
+    if (std::size_t limit = source->sessionLimit();
+        limit != 0 && fleet > limit)
+        throw SpecError("workload source '" +
+                        std::string(source->kind()) + "' supplies " +
+                        std::to_string(limit) +
+                        " session(s) but the run asked for " +
+                        std::to_string(fleet) +
+                        " (trace replays cannot exceed the recorded "
+                        "fleet)");
+    if (recorder) {
+        // Recording serializes sessions into one stream; parallel
+        // workers would interleave it.
+        threads = 1;
+    }
     if (threads == 0) {
         threads = std::thread::hardware_concurrency();
         if (threads == 0)
@@ -307,7 +280,7 @@ FleetRunner::run(std::size_t fleet, unsigned threads,
                 room.wait(lk,
                           [&] { return i < fold_frontier + window; });
             }
-            SessionResult s = runSession(i);
+            SessionResult s = runSession(i, recorder);
             {
                 std::unique_lock<std::mutex> lk(mu);
                 pending.emplace(i, std::move(s));

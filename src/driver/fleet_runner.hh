@@ -4,15 +4,20 @@
  * simulated devices and aggregates the results.
  *
  * Each fleet session owns a full MobileSystem seeded from
- * ScenarioSpec::sessionSeed(index), so a session's behaviour depends
- * only on (spec, index). Sessions are distributed over a thread pool
- * and *streamed* into the aggregate in session-index order through a
- * bounded reorder window: workers park an out-of-order result until
- * its predecessors are folded, so peak retained SessionResults stay
- * O(threads) no matter how large the fleet is, while the aggregate
- * (including every percentile and its JSON rendering) remains
- * bit-identical whether the fleet ran on one thread or sixteen.
+ * ScenarioSpec::sessionSeed(index); its profiles and behaviour come
+ * from the spec's WorkloadSource (workload_source.hh), so a session
+ * depends only on (spec, index) whichever of the three workload kinds
+ * — event programs, synthetic populations, trace replay — drives it.
+ * Sessions are distributed over a thread pool and *streamed* into the
+ * aggregate in session-index order through a bounded reorder window:
+ * workers park an out-of-order result until its predecessors are
+ * folded, so peak retained SessionResults stay O(threads) no matter
+ * how large the fleet is, while the aggregate (including every
+ * percentile and its JSON rendering) remains bit-identical whether
+ * the fleet ran on one thread or sixteen.
  *
+ * runRecorded() captures a fleet into a trace that replays
+ * bit-identically (`ariadne_sim --record` / `workload = trace`).
  * Sweeps (SweepSpec) run their variants back to back and report them
  * side by side in one JSON document.
  */
@@ -20,55 +25,18 @@
 #ifndef ARIADNE_DRIVER_FLEET_RUNNER_HH
 #define ARIADNE_DRIVER_FLEET_RUNNER_HH
 
-#include <functional>
-#include <map>
+#include <memory>
+#include <optional>
 #include <ostream>
 
+#include "driver/session_result.hh"
 #include "driver/sweep_spec.hh"
-#include "sys/session.hh"
 
 namespace ariadne::driver
 {
 
-/** One measured relaunch inside a session. */
-struct RelaunchSample
-{
-    AppId uid = invalidApp;
-    /** Paper-scale latency in milliseconds. */
-    double fullScaleMs = 0.0;
-    RelaunchStats stats;
-};
-
-/** Everything one fleet session produced. */
-struct SessionResult
-{
-    std::size_t index = 0;
-    std::uint64_t seed = 0;
-
-    /** Measured relaunches, in program order. */
-    std::vector<RelaunchSample> relaunches;
-
-    Tick compCpuNs = 0;
-    Tick decompCpuNs = 0;
-    Tick kswapdCpuNs = 0;
-    Tick grandCpuNs = 0;
-    double energyJ = 0.0;
-    Tick simulatedNs = 0;
-
-    /** Scheme-wide compression accounting. */
-    CompStats comp;
-    /** Per-app compression accounting (Fig. 15 reads the target's). */
-    std::map<AppId, CompStats> appComp;
-
-    std::uint64_t stagedHits = 0;
-    std::uint64_t majorFaults = 0;
-    std::uint64_t flashFaults = 0;
-    std::uint64_t lostPages = 0;
-    std::uint64_t directReclaims = 0;
-
-    /** Comp+decomp CPU in paper-scale milliseconds. */
-    double compDecompCpuMs(double scale) const noexcept;
-};
+class WorkloadSource;
+class TraceRecorder;
 
 /** p50/p90/p99 plus the usual moments of one aggregated metric. */
 struct MetricSummary
@@ -84,18 +52,6 @@ struct MetricSummary
     /** Summarize a Distribution. */
     static MetricSummary of(const Distribution &d);
 };
-
-/**
- * Per-session hook a `custom` event calls back into:
- * hooks[event.hook](system, driver, result). The benches use these
- * for measurements the declarative vocabulary cannot express
- * (analysis-log inspection, touch captures, workload-layer probes).
- * Hooks run on the worker thread of their session; a hook that
- * writes bench state shared across sessions must synchronize or run
- * single-session fleets.
- */
-using SessionHook =
-    std::function<void(MobileSystem &, SessionDriver &, SessionResult &)>;
 
 /** Aggregate outcome of a fleet run. */
 struct FleetResult
@@ -162,6 +118,13 @@ class FleetRunner
 {
   public:
     /**
+     * Builds the spec's WorkloadSource. For `workload = trace` specs
+     * this loads and validates the trace and adopts the scenario
+     * embedded in it as the effective spec (only the replay spec's
+     * explicit name survives), which is what makes a replayed report
+     * byte-identical to the recorded one. Throws TraceError /
+     * SpecError on unreadable or corrupt traces.
+     *
      * @param spec Scenario to run.
      * @param hooks Targets for the spec's `custom` events (a program
      *        referencing hooks[i] with i >= hooks.size() panics).
@@ -173,6 +136,8 @@ class FleetRunner
      * Run @p fleet sessions on @p threads worker threads, streaming
      * results into the aggregate in session-index order.
      * @param fleet Session count; 0 uses the spec's fleet size.
+     *        Throws SpecError when it exceeds the workload source's
+     *        session limit (finite for trace replays).
      * @param threads Worker threads; 0 picks the hardware count.
      * @param keep_sessions Retain every SessionResult in the result
      *        (needed for per-session JSON; costs O(fleet) memory).
@@ -180,6 +145,18 @@ class FleetRunner
      */
     FleetResult run(std::size_t fleet = 0, unsigned threads = 1,
                     bool keep_sessions = false) const;
+
+    /**
+     * Run the fleet single-threaded and record every session's
+     * primitive op/touch stream into @p trace_path. Recording is
+     * passive: the returned FleetResult is bit-identical to an
+     * unrecorded run(), and replaying the trace (`workload = trace`)
+     * reproduces it byte for byte. One worker is mandatory — parallel
+     * sessions would interleave in the stream.
+     */
+    FleetResult runRecorded(const std::string &trace_path,
+                            std::size_t fleet = 0,
+                            bool keep_sessions = false) const;
 
     /** Run the single session @p index (deterministic in isolation). */
     SessionResult runSession(std::size_t index) const;
@@ -195,11 +172,27 @@ class FleetRunner
                                 unsigned threads = 1,
                                 bool keep_sessions = false);
 
+    /** Effective spec (the embedded scenario for trace replays). */
     const ScenarioSpec &spec() const noexcept { return scenario; }
 
+    /** The workload source driving this runner's sessions. */
+    const WorkloadSource &workload() const noexcept { return *source; }
+
   private:
+    SessionResult runSession(std::size_t index,
+                             TraceRecorder *recorder) const;
+    FleetResult runFleet(std::size_t fleet, unsigned threads,
+                         bool keep_sessions,
+                         TraceRecorder *recorder) const;
+    std::string embeddableSpecText(std::size_t fleet) const;
+
     ScenarioSpec scenario;
     std::vector<SessionHook> sessionHooks;
+    std::shared_ptr<const WorkloadSource> source;
+    /** Set for trace replays only: the spec to embed when re-recording
+     * (the recorded scenario, never a trace reference, so a recorded
+     * replay stays replayable). Other runners embed `scenario`. */
+    std::optional<ScenarioSpec> recordedForEmbed;
 };
 
 } // namespace ariadne::driver

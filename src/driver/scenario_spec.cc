@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <limits>
+#include <map>
 #include <sstream>
 
 #include "driver/json_writer.hh"
@@ -69,6 +70,17 @@ parseU64(const std::string &text, std::size_t line,
     } catch (const std::out_of_range &) {
         bad(line, what + " out of range: '" + text + "'");
     }
+}
+
+double
+parseDouble(const std::string &text, std::size_t line,
+            const std::string &what)
+{
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (text.empty() || end != text.c_str() + text.size())
+        bad(line, "invalid " + what + " '" + text + "'");
+    return v;
 }
 
 bool
@@ -304,6 +316,31 @@ Event::operator==(const Event &o) const
            hook == o.hook && body == o.body;
 }
 
+const char *
+workloadKindName(WorkloadKind kind) noexcept
+{
+    switch (kind) {
+      case WorkloadKind::Profiles: return "profiles";
+      case WorkloadKind::Trace: return "trace";
+      case WorkloadKind::Synthetic: return "synthetic";
+      default: return "unknown";
+    }
+}
+
+WorkloadKind
+parseWorkloadKind(const std::string &text)
+{
+    std::string t = lower(text);
+    if (t == "profiles")
+        return WorkloadKind::Profiles;
+    if (t == "trace")
+        return WorkloadKind::Trace;
+    if (t == "synthetic")
+        return WorkloadKind::Synthetic;
+    throw SpecError("unknown workload '" + text +
+                    "' (profiles|trace|synthetic)");
+}
+
 SchemeKind
 parseSchemeKind(const std::string &text)
 {
@@ -415,6 +452,13 @@ ScenarioSpec::toString() const
 {
     std::ostringstream os;
     os << "name = " << name << "\n";
+    if (workload == WorkloadKind::Trace) {
+        // A replay spec carries nothing but the trace reference; its
+        // identity lives in the scenario embedded in the trace.
+        os << "workload = trace\n";
+        os << "trace = " << tracePath << "\n";
+        return os.str();
+    }
     os << "scheme = " << lower(schemeKindName(scheme)) << "\n";
     if (!ariadneConfig.empty())
         os << "ariadne = " << ariadneConfig << "\n";
@@ -433,6 +477,26 @@ ScenarioSpec::toString() const
         for (std::size_t i = 0; i < apps.size(); ++i)
             os << (i ? ", " : "") << apps[i];
         os << "\n";
+    }
+    if (workload == WorkloadKind::Synthetic) {
+        // Canonical form spells out every population key, so a
+        // round-trip never depends on the struct's defaults.
+        os << "workload = synthetic\n";
+        os << "population_apps_per_user = " << population.appsPerUser
+           << "\n";
+        os << "population_footprint_spread = "
+           << JsonWriter::formatDouble(population.footprintSpread)
+           << "\n";
+        os << "population_light_share = "
+           << JsonWriter::formatDouble(population.lightShare) << "\n";
+        os << "population_heavy_share = "
+           << JsonWriter::formatDouble(population.heavyShare) << "\n";
+        os << "population_switches = " << population.switches << "\n";
+        os << "population_use = " << formatDuration(population.useTime)
+           << "\n";
+        os << "population_gap = " << formatDuration(population.gap)
+           << "\n";
+        return os.str();
     }
     for (const auto &ev : program)
         eventToString(os, ev, 0);
@@ -472,9 +536,14 @@ struct SpecParser::Impl
     /** App names referenced by events, validated in finish() so an
      * `apps = ...` line may follow the events that use it. */
     std::vector<std::pair<std::string, std::size_t>> referencedApps;
+    /** First line each key appeared on; finish() uses it to diagnose
+     * key/workload combinations independent of line order. */
+    std::map<std::string, std::size_t> seenKeys;
     bool anyEvents = false;
+    std::size_t firstEventLine = 0;
 
     void feed(const std::string &raw, std::size_t lineno);
+    void validateWorkload();
 };
 
 SpecParser::SpecParser() : impl(std::make_unique<Impl>()) {}
@@ -504,7 +573,67 @@ SpecParser::finish()
                         impl->spec.apps.empty() ? impl->knownApps
                                                 : impl->spec.apps,
                         line);
+    impl->validateWorkload();
     return std::move(impl->spec);
+}
+
+/**
+ * Cross-key validation of the workload axis. Runs in finish() so the
+ * `workload = ...` line may appear anywhere relative to the keys it
+ * governs (sweep variants rely on this when they override the base
+ * workload).
+ */
+void
+SpecParser::Impl::validateWorkload()
+{
+    auto line_of = [&](const std::string &key) {
+        auto it = seenKeys.find(key);
+        return it == seenKeys.end() ? std::size_t{0} : it->second;
+    };
+    auto is_population_key = [](const std::string &key) {
+        return key.rfind("population_", 0) == 0;
+    };
+
+    if (spec.workload == WorkloadKind::Trace) {
+        if (spec.tracePath.empty())
+            bad(line_of("workload"),
+                "workload = trace needs a 'trace = FILE' line");
+        // A replay takes its identity — scheme, scale, seed, fleet,
+        // apps, program — from the scenario recorded in the trace;
+        // stray keys would be silently ignored, so reject them.
+        for (const auto &[key, line] : seenKeys)
+            if (key != "name" && key != "workload" && key != "trace")
+                bad(line, "key '" + key + "' is not allowed with "
+                          "workload = trace (the replay takes its "
+                          "scheme, scale, seed, fleet, apps and "
+                          "program from the recorded scenario; only "
+                          "'name' may be overridden)");
+        if (anyEvents)
+            bad(firstEventLine,
+                "event program is not allowed with workload = trace");
+        return;
+    }
+    if (seenKeys.count("trace"))
+        bad(line_of("trace"), "'trace' requires workload = trace");
+
+    if (spec.workload == WorkloadKind::Synthetic) {
+        if (anyEvents)
+            bad(firstEventLine,
+                "event program is not allowed with workload = "
+                "synthetic (sessions generate their own programs from "
+                "the population_* keys; note sweep variants inherit "
+                "the base program unless they declare their own)");
+        if (spec.population.lightShare + spec.population.heavyShare >
+            1.0)
+            throw SpecError(
+                "scenario config: population_light_share + "
+                "population_heavy_share must not exceed 1");
+    } else {
+        for (const auto &[key, line] : seenKeys)
+            if (is_population_key(key))
+                bad(line,
+                    "'" + key + "' requires workload = synthetic");
+    }
 }
 
 ConfigLine
@@ -544,6 +673,7 @@ SpecParser::Impl::feed(const std::string &raw, std::size_t lineno)
         bad(lineno, "empty key");
     if (value.empty())
         bad(lineno, "empty value for key '" + key + "'");
+    seenKeys.emplace(key, lineno);
 
     {
         if (key == "name") {
@@ -606,8 +736,55 @@ SpecParser::Impl::feed(const std::string &raw, std::size_t lineno)
                     bad(lineno, "empty app list");
                 spec.apps = std::move(list);
             }
+        } else if (key == "workload") {
+            try {
+                spec.workload = parseWorkloadKind(value);
+            } catch (const SpecError &e) {
+                bad(lineno, e.what());
+            }
+        } else if (key == "trace") {
+            spec.tracePath = value;
+        } else if (key == "population_apps_per_user") {
+            spec.population.appsPerUser =
+                parseU64(value, lineno, "population_apps_per_user");
+        } else if (key == "population_footprint_spread") {
+            double v = parseDouble(value, lineno, key);
+            // NaN-safe form: NaN fails every comparison, so demand
+            // the in-range predicate rather than rejecting out-of-
+            // range ones.
+            if (!(v >= 0.0 && v < 1.0))
+                bad(lineno, "population_footprint_spread must be in "
+                            "[0, 1), got '" + value + "'");
+            spec.population.footprintSpread = v;
+        } else if (key == "population_light_share" ||
+                   key == "population_heavy_share") {
+            double v = parseDouble(value, lineno, key);
+            if (!(v >= 0.0 && v <= 1.0))
+                bad(lineno,
+                    key + " must be in [0, 1], got '" + value + "'");
+            if (key == "population_light_share")
+                spec.population.lightShare = v;
+            else
+                spec.population.heavyShare = v;
+        } else if (key == "population_switches") {
+            spec.population.switches =
+                parseU64(value, lineno, "population_switches");
+        } else if (key == "population_use" ||
+                   key == "population_gap") {
+            Tick v = 0;
+            try {
+                v = parseDuration(value);
+            } catch (const SpecError &e) {
+                bad(lineno, e.what());
+            }
+            if (key == "population_use")
+                spec.population.useTime = v;
+            else
+                spec.population.gap = v;
         } else if (key == "event") {
             anyEvents = true;
+            if (firstEventLine == 0)
+                firstEventLine = lineno;
             std::vector<std::string> tok = splitWs(value);
             const std::string &op = tok[0];
             auto expect_args = [&](std::size_t n) {
@@ -729,7 +906,9 @@ ScenarioSpec::operator==(const ScenarioSpec &o) const
            ariadneConfig == o.ariadneConfig && scale == o.scale &&
            seed == o.seed && fleet == o.fleet && apps == o.apps &&
            program == o.program && seedProfiles == o.seedProfiles &&
-           preDecomp == o.preDecomp && hotInitPages == o.hotInitPages;
+           preDecomp == o.preDecomp && hotInitPages == o.hotInitPages &&
+           workload == o.workload && tracePath == o.tracePath &&
+           population == o.population;
 }
 
 } // namespace ariadne::driver

@@ -32,6 +32,16 @@
  * that call back into bench-supplied hooks (see FleetRunner); those
  * have no config syntax.
  *
+ * Which workload drives the fleet is itself an axis: `workload =
+ * profiles` (default) runs the event program against the standard app
+ * profiles, `workload = trace` replays a recorded trace (`trace =
+ * FILE`, see `ariadne_sim --record`), and `workload = synthetic`
+ * generates a heterogeneous user population from the `population_*`
+ * keys — per-session app subsets, footprint spread and switch-rate
+ * classes (see SyntheticPopulationSource). Sweep variants may
+ * override any of these, which is how one sweep compares app mixes
+ * side by side.
+ *
  * Parse errors throw SpecError rather than calling fatal(): the
  * driver is a library and its callers (CLI, tests) decide how to
  * surface bad user input.
@@ -110,6 +120,50 @@ struct Event
     bool operator==(const Event &o) const;
 };
 
+/** Which workload source drives a scenario's sessions. */
+enum class WorkloadKind
+{
+    Profiles,  //!< event program over the declared app profiles
+    Trace,     //!< replay a recorded trace file bit-identically
+    Synthetic, //!< per-session synthetic user population
+};
+
+/** Stable config-format name ("profiles" / "trace" / "synthetic"). */
+const char *workloadKindName(WorkloadKind kind) noexcept;
+
+/** Parse a workload kind (case-insensitive); throws SpecError. */
+WorkloadKind parseWorkloadKind(const std::string &text);
+
+/**
+ * Parameters of a synthetic user population (`workload = synthetic`).
+ * Every fleet session models one user: a subset of the app pool, a
+ * per-app footprint multiplier, and a switch-rate class that shapes
+ * its generated program. All draws are deterministic in
+ * (seed, session index), so fleets stay thread-invariant.
+ */
+struct PopulationConfig
+{
+    /** Apps each user installs, drawn from the spec's pool
+     * (0 = every app). */
+    std::size_t appsPerUser = 0;
+    /** Relative half-width of the per-app footprint multiplier:
+     * volumes scale by 1 + U(-spread, spread). */
+    double footprintSpread = 0.25;
+    /** Share of light users (half the switches, double the gap). */
+    double lightShare = 0.25;
+    /** Share of heavy users (double the switches, half the use time,
+     * no gap); the remainder are regular users. */
+    double heavyShare = 0.25;
+    /** App switches a regular user performs after warmup. */
+    std::size_t switches = 40;
+    /** Foreground use per switch of a regular user. */
+    Tick useTime = Tick{2} * 1000000000ULL;
+    /** Intermission between switches of a regular user. */
+    Tick gap = Tick{1} * 1000000000ULL;
+
+    bool operator==(const PopulationConfig &o) const = default;
+};
+
 /** Full declarative description of one scenario. */
 struct ScenarioSpec
 {
@@ -122,9 +176,17 @@ struct ScenarioSpec
     std::uint64_t seed = 42;
     /** Default fleet size (the CLI --fleet flag overrides it). */
     std::size_t fleet = 1;
-    /** App names; empty = all ten standard apps. */
+    /** App names; empty = all ten standard apps. For synthetic
+     * workloads this is the pool users draw their subsets from. */
     std::vector<std::string> apps;
     std::vector<Event> program;
+
+    /** Which workload source drives the fleet's sessions. */
+    WorkloadKind workload = WorkloadKind::Profiles;
+    /** Trace file to replay (workload = trace). */
+    std::string tracePath;
+    /** Population parameters (workload = synthetic). */
+    PopulationConfig population;
 
     // Optional mechanism overrides — the ablation axes. Unset leaves
     // the SystemConfig defaults untouched.

@@ -9,7 +9,12 @@
  * variant inherits; each `variant = NAME` line starts a section whose
  * `key = value` lines override the base. A variant that declares any
  * `event` line replaces the base program wholesale (programs are
- * traces — merging them would be meaningless):
+ * traces — merging them would be meaningless). The workload axis
+ * (`workload`, `apps`, the `population_*` keys) is per-variant too,
+ * so one sweep can compare app mixes or whole synthetic populations
+ * side by side (scenarios/sweep_mixes.cfg); a variant that switches
+ * to `workload = synthetic` must not inherit a base program, so keep
+ * events in the program variants of such sweeps:
  *
  *     sweep = scheme-comparison
  *     scale = 0.0625

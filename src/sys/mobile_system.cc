@@ -258,28 +258,47 @@ MobileSystem::runTouches(AppId uid,
                          const std::vector<TouchEvent> &events,
                          RelaunchStats *stats)
 {
-    for (const auto &ev : events)
+    for (const auto &ev : events) {
+        if (observer)
+            observer->onTouch(uid, ev, simClock.now());
         processTouch(uid, ev, stats);
+    }
 }
 
 void
 MobileSystem::appColdLaunch(AppId uid)
 {
-    AppInstance &inst = app(uid);
+    runColdLaunch(uid, app(uid).coldLaunch());
+}
+
+void
+MobileSystem::runColdLaunch(AppId uid,
+                            const std::vector<TouchEvent> &events)
+{
+    if (observer)
+        observer->onOp(TraceOp::Launch, uid, 0, simClock.now());
     swapScheme->onLaunch(uid);
     Tick create = timing.params().processCreateNs;
     cpuAccount.charge(CpuRole::AppExecution, create);
     simClock.advance(create);
-    runTouches(uid, inst.coldLaunch(), nullptr);
+    runTouches(uid, events, nullptr);
     maybeKswapd();
 }
 
 void
 MobileSystem::appExecute(AppId uid, Tick dt)
 {
-    AppInstance &inst = app(uid);
+    runExecute(uid, dt, app(uid).execute(dt));
+}
+
+void
+MobileSystem::runExecute(AppId uid, Tick dt,
+                         const std::vector<TouchEvent> &events)
+{
+    if (observer)
+        observer->onOp(TraceOp::Execute, uid, dt, simClock.now());
     Tick start = simClock.now();
-    runTouches(uid, inst.execute(dt), nullptr);
+    runTouches(uid, events, nullptr);
     simClock.advanceTo(start + dt);
     maybeKswapd();
 }
@@ -287,6 +306,8 @@ MobileSystem::appExecute(AppId uid, Tick dt)
 void
 MobileSystem::appBackground(AppId uid)
 {
+    if (observer)
+        observer->onOp(TraceOp::Background, uid, 0, simClock.now());
     swapScheme->onBackground(uid);
     maybeKswapd();
 }
@@ -294,7 +315,15 @@ MobileSystem::appBackground(AppId uid)
 RelaunchStats
 MobileSystem::appRelaunch(AppId uid)
 {
-    AppInstance &inst = app(uid);
+    return runRelaunch(uid, app(uid).relaunch());
+}
+
+RelaunchStats
+MobileSystem::runRelaunch(AppId uid,
+                          const std::vector<TouchEvent> &events)
+{
+    if (observer)
+        observer->onOp(TraceOp::Relaunch, uid, 0, simClock.now());
     RelaunchStats stats;
     stats.uid = uid;
 
@@ -311,7 +340,6 @@ MobileSystem::appRelaunch(AppId uid)
     cpuAccount.charge(CpuRole::AppExecution, base);
     simClock.advance(base);
 
-    auto events = inst.relaunch();
     runTouches(uid, events, &stats);
 
     stats.totalNs = sw.elapsed();
@@ -321,6 +349,8 @@ MobileSystem::appRelaunch(AppId uid)
     inRelaunch = false;
     swapScheme->onRelaunchEnd(uid);
     maybeKswapd();
+    if (observer)
+        observer->onOp(TraceOp::RelaunchEnd, uid, 0, simClock.now());
 
     // Coverage of the prediction against what the relaunch touched.
     if (!predicted.empty()) {
@@ -348,6 +378,8 @@ MobileSystem::appRelaunch(AppId uid)
 void
 MobileSystem::idle(Tick dt)
 {
+    if (observer)
+        observer->onOp(TraceOp::Idle, invalidApp, dt, simClock.now());
     simClock.advance(dt);
     maybeKswapd();
 }

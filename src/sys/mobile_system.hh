@@ -29,9 +29,30 @@
 #include "sys/system_config.hh"
 #include "workload/generator.hh"
 #include "workload/page_synth.hh"
+#include "workload/trace.hh"
 
 namespace ariadne
 {
+
+/**
+ * Observer of the primitive op/touch stream a MobileSystem executes.
+ * Trace recording attaches one (driver::TraceRecorder); observation is
+ * strictly passive, so an observed run behaves bit-identically to an
+ * unobserved one.
+ */
+class SystemObserver
+{
+  public:
+    virtual ~SystemObserver() = default;
+
+    /** One primitive driver op. @p arg is the duration of
+     * Execute/Idle ops and zero otherwise; @p now is the simulated
+     * time the op begins. */
+    virtual void onOp(TraceOp op, AppId uid, Tick arg, Tick now) = 0;
+
+    /** One page touch executed for @p uid at time @p now. */
+    virtual void onTouch(AppId uid, const TouchEvent &ev, Tick now) = 0;
+};
 
 /** Measured relaunch outcome (one bar of Fig. 2 / Fig. 10). */
 struct RelaunchStats
@@ -83,6 +104,32 @@ class MobileSystem
 
     /** Idle wall time (kswapd catches up). */
     void idle(Tick dt);
+
+    // --- Replay primitives ---------------------------------------------
+    // The app* driver calls above generate their touch streams from
+    // this system's AppInstances; these variants take the stream as an
+    // argument instead, which is how trace replay re-executes a
+    // recorded session without consulting the workload generator. The
+    // generated and the replayed path share one implementation, so a
+    // recorded run and its replay are bit-identical.
+
+    /** appColdLaunch with an explicit touch stream. */
+    void runColdLaunch(AppId uid, const std::vector<TouchEvent> &events);
+
+    /** appExecute with an explicit touch stream. */
+    void runExecute(AppId uid, Tick dt,
+                    const std::vector<TouchEvent> &events);
+
+    /** appRelaunch with an explicit touch stream. */
+    RelaunchStats runRelaunch(AppId uid,
+                              const std::vector<TouchEvent> &events);
+
+    /**
+     * Attach (or with nullptr detach) a passive observer of the
+     * primitive op/touch stream. Not owned; must outlive the runs it
+     * observes.
+     */
+    void setObserver(SystemObserver *obs) noexcept { observer = obs; }
 
     /** Start recording every pfn @p uid touches. */
     void startTouchCapture(AppId uid);
@@ -154,6 +201,7 @@ class MobileSystem
     std::map<AppId, AppInstance> instances;
     std::unordered_map<AppId, std::unordered_set<Pfn>> touchCaptures;
 
+    SystemObserver *observer = nullptr;
     bool inRelaunch = false;
     double filePageDebt = 0.0;
     std::uint64_t lostPages = 0;

@@ -12,6 +12,12 @@
  *    intermission gap (Table 2 "light");
  *  - heavyUsageScenario: sequential launches without gaps
  *    (Table 2 "heavy").
+ *
+ * Every compound scenario bottoms out in MobileSystem's primitive
+ * driver ops (cold-launch / execute / background / relaunch / idle),
+ * so an attached SystemObserver — trace recording — sees the full
+ * op/touch stream regardless of which layer drove it, and a trace
+ * replay reproduces these scenarios without re-running them.
  */
 
 #ifndef ARIADNE_SYS_SESSION_HH

@@ -94,11 +94,14 @@ tableOneApps()
 AppProfile
 standardApp(const std::string &name)
 {
+    std::string known;
     for (const auto &app : standardApps()) {
         if (app.name == name)
             return app;
+        known += known.empty() ? "" : ", ";
+        known += app.name;
     }
-    fatal("unknown standard app: " + name);
+    fatal("unknown standard app: " + name + " (valid: " + known + ")");
 }
 
 } // namespace ariadne

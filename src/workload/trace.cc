@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstring>
+#include <limits>
 
 #include "sim/log.hh"
 
@@ -12,10 +13,16 @@ namespace
 {
 
 constexpr std::uint32_t traceMagic = 0x52545241u; // "ARTR"
-constexpr std::uint32_t traceVersion = 1;
+constexpr std::uint32_t traceVersionV1 = 1;
+constexpr std::uint32_t traceVersionV2 = 2;
 
 /** On-disk record: 8+1+4+8+4+1+1 = 27 bytes, packed little endian. */
 constexpr std::size_t recordBytes = 27;
+
+/** v2 header field offsets (after the 4-byte magic + 4-byte version):
+ * record count u64 @8, session count u32 @16, spec length u32 @20. */
+constexpr std::streamoff countOffset = 8;
+constexpr std::streamoff sessionOffset = 16;
 
 void
 encode(const TraceRecord &rec, std::array<char, recordBytes> &buf)
@@ -41,7 +48,7 @@ decode(const std::array<char, recordBytes> &buf, TraceRecord &rec)
     std::memcpy(&rec.time, p, 8);
     p += 8;
     std::uint8_t op = static_cast<std::uint8_t>(*p++);
-    if (op > static_cast<std::uint8_t>(TraceOp::Free))
+    if (op > static_cast<std::uint8_t>(TraceOp::SessionStart))
         return false;
     rec.op = static_cast<TraceOp>(op);
     std::memcpy(&rec.uid, p, 4);
@@ -70,23 +77,52 @@ traceOpName(TraceOp op) noexcept
       case TraceOp::Background: return "background";
       case TraceOp::Touch: return "touch";
       case TraceOp::Free: return "free";
+      case TraceOp::Execute: return "execute";
+      case TraceOp::Idle: return "idle";
+      case TraceOp::Sample: return "sample";
+      case TraceOp::SessionStart: return "sessionStart";
       default: return "unknown";
     }
 }
 
-TraceWriter::TraceWriter(const std::string &path)
+TraceWriter::TraceWriter(const std::string &path,
+                         const std::string &spec_text)
     : out(path, std::ios::binary | std::ios::trunc)
 {
     fatalIf(!out, "cannot open trace for writing: " + path);
-    std::uint64_t placeholder = 0;
+    fatalIf(spec_text.size() >
+                std::numeric_limits<std::uint32_t>::max(),
+            "trace spec text too large");
+    std::uint64_t count_placeholder = 0;
+    std::uint32_t session_placeholder = 0;
+    auto spec_len = static_cast<std::uint32_t>(spec_text.size());
     out.write(reinterpret_cast<const char *>(&traceMagic), 4);
-    out.write(reinterpret_cast<const char *>(&traceVersion), 4);
-    out.write(reinterpret_cast<const char *>(&placeholder), 8);
+    out.write(reinterpret_cast<const char *>(&traceVersionV2), 4);
+    out.write(reinterpret_cast<const char *>(&count_placeholder), 8);
+    out.write(reinterpret_cast<const char *>(&session_placeholder), 4);
+    out.write(reinterpret_cast<const char *>(&spec_len), 4);
+    out.write(spec_text.data(),
+              static_cast<std::streamsize>(spec_text.size()));
 }
 
 TraceWriter::~TraceWriter()
 {
     close();
+}
+
+void
+TraceWriter::beginSession(std::size_t index)
+{
+    TraceRecord rec;
+    rec.time = 0;
+    rec.op = TraceOp::SessionStart;
+    rec.uid = invalidApp;
+    rec.pfn = index;
+    rec.version = 0;
+    rec.truth = Hotness::Cold;
+    rec.newAllocation = false;
+    append(rec);
+    ++sessions;
 }
 
 void
@@ -105,22 +141,47 @@ TraceWriter::close()
     if (closed)
         return;
     closed = true;
-    out.seekp(8);
+    out.seekp(countOffset);
     out.write(reinterpret_cast<const char *>(&written), 8);
+    out.seekp(sessionOffset);
+    out.write(reinterpret_cast<const char *>(&sessions), 4);
     out.close();
 }
 
-TraceReader::TraceReader(const std::string &path)
-    : in(path, std::ios::binary)
+void
+TraceReader::fail(const std::string &msg) const
 {
-    fatalIf(!in, "cannot open trace: " + path);
-    std::uint32_t magic = 0, version = 0;
+    if (onError == OnError::Throw)
+        throw TraceError(msg);
+    fatal(msg);
+}
+
+TraceReader::TraceReader(const std::string &path, OnError on_error)
+    : in(path, std::ios::binary), path(path), onError(on_error)
+{
+    if (!in)
+        fail("cannot open trace: " + path);
+    std::uint32_t magic = 0;
     in.read(reinterpret_cast<char *>(&magic), 4);
-    in.read(reinterpret_cast<char *>(&version), 4);
+    in.read(reinterpret_cast<char *>(&fileVersion), 4);
     in.read(reinterpret_cast<char *>(&total), 8);
-    fatalIf(!in || magic != traceMagic, "bad trace header: " + path);
-    fatalIf(version != traceVersion,
-            "unsupported trace version in " + path);
+    if (!in || magic != traceMagic)
+        fail("bad trace header: " + path);
+    if (fileVersion != traceVersionV1 && fileVersion != traceVersionV2)
+        fail("unsupported trace version " +
+             std::to_string(fileVersion) + " in " + path +
+             " (this build reads versions 1 and 2)");
+    if (fileVersion == traceVersionV2) {
+        std::uint32_t spec_len = 0;
+        in.read(reinterpret_cast<char *>(&sessions), 4);
+        in.read(reinterpret_cast<char *>(&spec_len), 4);
+        if (!in)
+            fail("bad trace header: " + path);
+        specText.resize(spec_len);
+        in.read(specText.data(), spec_len);
+        if (!in)
+            fail("trace truncated inside embedded scenario: " + path);
+    }
 }
 
 bool
@@ -131,17 +192,20 @@ TraceReader::next(TraceRecord &rec)
     std::array<char, recordBytes> buf;
     in.read(buf.data(), buf.size());
     if (!in)
-        return false;
+        fail("trace truncated: header promises " +
+             std::to_string(total) + " record(s) but " + path +
+             " ends after " + std::to_string(consumed));
     if (!decode(buf, rec))
-        fatal("corrupt trace record");
+        fail("corrupt trace record " + std::to_string(consumed) +
+             " in " + path);
     ++consumed;
     return true;
 }
 
 std::vector<TraceRecord>
-readTrace(const std::string &path)
+readTrace(const std::string &path, TraceReader::OnError on_error)
 {
-    TraceReader reader(path);
+    TraceReader reader(path, on_error);
     std::vector<TraceRecord> records;
     records.reserve(reader.count());
     TraceRecord rec;

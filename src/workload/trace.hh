@@ -8,6 +8,15 @@
  * page data is reproduced from (uid, pfn, version) by the synthesizer,
  * so traces stay small. Binary format with a magic/version header and
  * fixed-size little-endian records; a CSV exporter aids inspection.
+ *
+ * Version 2 extends the format so a whole fleet run can be captured
+ * once and replayed bit-identically (`ariadne_sim --record` /
+ * `workload = trace`): the header carries the recording's serialized
+ * ScenarioSpec, `SessionStart` records delimit fleet sessions, and the
+ * primitive-op vocabulary covers everything MobileSystem executes
+ * (`Execute`/`Idle` store their duration in the record's `pfn` field;
+ * `Sample` marks a relaunch the driver recorded into its session
+ * result). Version-1 files remain readable.
  */
 
 #ifndef ARIADNE_WORKLOAD_TRACE_HH
@@ -15,6 +24,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -33,6 +43,12 @@ enum class TraceOp : std::uint8_t
     Background = 3, //!< app moved to background
     Touch = 4,      //!< page access (allocation or reuse)
     Free = 5,       //!< page freed
+    // Version-2 ops (fleet record/replay).
+    Execute = 6,      //!< foreground execution; `pfn` holds the Tick
+                      //!< duration
+    Idle = 7,         //!< idle wall time; `pfn` holds the duration
+    Sample = 8,       //!< preceding relaunch was recorded as a sample
+    SessionStart = 9, //!< fleet session boundary; `pfn` is the index
 };
 
 /** Stable display name of a trace op. */
@@ -44,6 +60,8 @@ struct TraceRecord
     Tick time = 0;
     TraceOp op = TraceOp::Touch;
     AppId uid = invalidApp;
+    /** Page frame for Touch; duration for Execute/Idle; session index
+     * for SessionStart. */
     Pfn pfn = invalidPfn;
     std::uint32_t version = 0;
     Hotness truth = Hotness::Cold;
@@ -53,16 +71,36 @@ struct TraceRecord
     bool operator==(const TraceRecord &o) const noexcept = default;
 };
 
-/** Streaming writer for binary trace files. */
+/**
+ * Unreadable or corrupt trace file. Raised instead of fatal() when a
+ * reader runs with OnError::Throw, so library callers (the driver, the
+ * CLI) can surface the problem as a clean non-zero exit.
+ */
+class TraceError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Streaming writer for binary trace files (always writes v2). */
 class TraceWriter
 {
   public:
-    /** Open @p path for writing; fatal() on failure. */
-    explicit TraceWriter(const std::string &path);
+    /**
+     * Open @p path for writing; fatal() on failure.
+     * @param spec_text Serialized ScenarioSpec of the recorded run,
+     *        embedded in the header so the trace is replayable on its
+     *        own. Empty for free-form traces.
+     */
+    explicit TraceWriter(const std::string &path,
+                         const std::string &spec_text = "");
     ~TraceWriter();
 
     TraceWriter(const TraceWriter &) = delete;
     TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Start fleet session @p index (appends a SessionStart record). */
+    void beginSession(std::size_t index);
 
     /** Append one record. */
     void append(const TraceRecord &rec);
@@ -70,36 +108,73 @@ class TraceWriter
     /** Records written so far. */
     std::uint64_t count() const noexcept { return written; }
 
+    /** Sessions begun so far. */
+    std::uint32_t sessionCount() const noexcept { return sessions; }
+
     /** Flush and close; called by the destructor as well. */
     void close();
 
   private:
     std::ofstream out;
     std::uint64_t written = 0;
+    std::uint32_t sessions = 0;
     bool closed = false;
 };
 
-/** Streaming reader for binary trace files. */
+/** Streaming reader for binary trace files (v1 and v2). */
 class TraceReader
 {
   public:
-    /** Open @p path; fatal() on missing file or bad header. */
-    explicit TraceReader(const std::string &path);
+    /** How to report unreadable or corrupt input. */
+    enum class OnError
+    {
+        Fatal, //!< fatal() with a message (programmatic misuse)
+        Throw, //!< raise TraceError (driver / CLI paths)
+    };
 
-    /** Read the next record. @return false at end of file. */
+    /**
+     * Open @p path. Missing files, bad magic, unsupported versions and
+     * truncated headers are diagnosed via @p on_error.
+     */
+    explicit TraceReader(const std::string &path,
+                         OnError on_error = OnError::Fatal);
+
+    /**
+     * Read the next record. @return false at end of file.
+     * A file shorter than its header promises (truncation) or a record
+     * that fails to decode is diagnosed via the reader's error policy.
+     */
     bool next(TraceRecord &rec);
 
     /** Records promised by the file header. */
     std::uint64_t count() const noexcept { return total; }
 
+    /** Format version of the file (1 or 2). */
+    std::uint32_t version() const noexcept { return fileVersion; }
+
+    /** Fleet sessions promised by the header (0 for v1 files). */
+    std::uint32_t sessionCount() const noexcept { return sessions; }
+
+    /** Embedded scenario text (empty for v1 or free-form traces). */
+    const std::string &spec() const noexcept { return specText; }
+
   private:
+    [[noreturn]] void fail(const std::string &msg) const;
+
     std::ifstream in;
+    std::string path;
+    OnError onError;
     std::uint64_t total = 0;
     std::uint64_t consumed = 0;
+    std::uint32_t fileVersion = 0;
+    std::uint32_t sessions = 0;
+    std::string specText;
 };
 
 /** Read an entire trace into memory. */
-std::vector<TraceRecord> readTrace(const std::string &path);
+std::vector<TraceRecord> readTrace(
+    const std::string &path,
+    TraceReader::OnError on_error = TraceReader::OnError::Fatal);
 
 /** Write an entire trace; convenience over TraceWriter. */
 void writeTrace(const std::string &path,

@@ -89,5 +89,11 @@ TEST(Apps, BangDreamHasLeastHotData)
 
 TEST(AppsDeath, UnknownNameIsFatal)
 {
-    EXPECT_DEATH(standardApp("NotAnApp"), "unknown standard app");
+    // The message lists every valid profile name, so a typo is
+    // fixable without reading the source.
+    EXPECT_DEATH(standardApp("NotAnApp"),
+                 "unknown standard app: NotAnApp "
+                 "\\(valid: YouTube, Twitter, Firefox, GoogleEarth, "
+                 "BangDream, TikTok, Edge, GoogleMaps, AngryBirds, "
+                 "TwitchTV\\)");
 }

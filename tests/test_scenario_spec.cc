@@ -136,6 +136,116 @@ TEST(ScenarioSpec, ParsesAblationOverrideKeys)
                  SpecError);
 }
 
+TEST(ScenarioSpec, ParsesSyntheticWorkloadKeys)
+{
+    ScenarioSpec spec = ScenarioSpec::parseString(
+        "scheme = zram\n"
+        "workload = synthetic\n"
+        "population_apps_per_user = 4\n"
+        "population_footprint_spread = 0.3\n"
+        "population_light_share = 0.2\n"
+        "population_heavy_share = 0.5\n"
+        "population_switches = 25\n"
+        "population_use = 500ms\n"
+        "population_gap = 250ms\n");
+    EXPECT_EQ(spec.workload, WorkloadKind::Synthetic);
+    EXPECT_EQ(spec.population.appsPerUser, 4u);
+    EXPECT_DOUBLE_EQ(spec.population.footprintSpread, 0.3);
+    EXPECT_DOUBLE_EQ(spec.population.lightShare, 0.2);
+    EXPECT_DOUBLE_EQ(spec.population.heavyShare, 0.5);
+    EXPECT_EQ(spec.population.switches, 25u);
+    EXPECT_EQ(spec.population.useTime, 500ull * 1000000ull);
+    EXPECT_EQ(spec.population.gap, 250ull * 1000000ull);
+
+    // Round-trips through the canonical form.
+    ScenarioSpec reparsed = ScenarioSpec::parseString(spec.toString());
+    EXPECT_TRUE(spec == reparsed);
+    EXPECT_EQ(spec.toString(), reparsed.toString());
+
+    // Key order is free: population keys may precede the workload
+    // line (sweep variants inherit base keys in base order).
+    ScenarioSpec reordered = ScenarioSpec::parseString(
+        "population_switches = 25\n"
+        "workload = synthetic\n");
+    EXPECT_EQ(reordered.population.switches, 25u);
+}
+
+TEST(ScenarioSpec, ParsesTraceWorkloadKeys)
+{
+    ScenarioSpec spec = ScenarioSpec::parseString(
+        "name = replay\n"
+        "workload = trace\n"
+        "trace = scenarios/daily.trace\n");
+    EXPECT_EQ(spec.workload, WorkloadKind::Trace);
+    EXPECT_EQ(spec.tracePath, "scenarios/daily.trace");
+    ScenarioSpec reparsed = ScenarioSpec::parseString(spec.toString());
+    EXPECT_TRUE(spec == reparsed);
+}
+
+TEST(ScenarioSpec, WorkloadKeyCombinationsAreValidated)
+{
+    // trace needs a file and tolerates no other identity keys.
+    EXPECT_THROW(ScenarioSpec::parseString("workload = trace\n"),
+                 SpecError);
+    EXPECT_THROW(ScenarioSpec::parseString("workload = trace\n"
+                                           "trace = x.trace\n"
+                                           "scheme = zram\n"),
+                 SpecError);
+    EXPECT_THROW(ScenarioSpec::parseString("workload = trace\n"
+                                           "trace = x.trace\n"
+                                           "event = warmup\n"),
+                 SpecError);
+    // 'trace' outside workload = trace is an error, not ignored.
+    EXPECT_THROW(ScenarioSpec::parseString("trace = x.trace\n"),
+                 SpecError);
+    // population keys demand a synthetic workload...
+    EXPECT_THROW(
+        ScenarioSpec::parseString("population_switches = 5\n"),
+        SpecError);
+    // ...and synthetic sessions generate their own programs.
+    EXPECT_THROW(ScenarioSpec::parseString("workload = synthetic\n"
+                                           "event = warmup\n"),
+                 SpecError);
+    // Share and spread ranges.
+    EXPECT_THROW(ScenarioSpec::parseString(
+                     "workload = synthetic\n"
+                     "population_light_share = 0.7\n"
+                     "population_heavy_share = 0.7\n"),
+                 SpecError);
+    EXPECT_THROW(ScenarioSpec::parseString(
+                     "workload = synthetic\n"
+                     "population_footprint_spread = 1.5\n"),
+                 SpecError);
+    // NaN fails every comparison, so range checks must demand the
+    // in-range predicate (strtod happily parses "nan").
+    EXPECT_THROW(ScenarioSpec::parseString(
+                     "workload = synthetic\n"
+                     "population_footprint_spread = nan\n"),
+                 SpecError);
+    EXPECT_THROW(ScenarioSpec::parseString(
+                     "workload = synthetic\n"
+                     "population_light_share = nan\n"),
+                 SpecError);
+    EXPECT_THROW(ScenarioSpec::parseString("workload = monkeys\n"),
+                 SpecError);
+}
+
+TEST(SweepSpec, VariantsMayOverrideTheWorkload)
+{
+    SweepSpec sweep = SweepSpec::parseString(
+        "scheme = zram\n"
+        "variant = program\n"
+        "event = warmup\n"
+        "variant = population\n"
+        "workload = synthetic\n"
+        "population_apps_per_user = 3\n");
+    ASSERT_EQ(sweep.variants.size(), 2u);
+    EXPECT_EQ(sweep.variants[0].workload, WorkloadKind::Profiles);
+    EXPECT_EQ(sweep.variants[1].workload, WorkloadKind::Synthetic);
+    EXPECT_EQ(sweep.variants[1].population.appsPerUser, 3u);
+    EXPECT_TRUE(SweepSpec::parseString(sweep.toString()) == sweep);
+}
+
 TEST(ScenarioSpec, CustomEventsAreProgrammaticOnly)
 {
     EXPECT_THROW(ScenarioSpec::parseString("event = custom 0\n"),

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <sstream>
 
 #include "workload/trace.hh"
 
@@ -118,6 +120,77 @@ TEST(Trace, CsvExportHasHeaderAndRows)
     std::remove(csv.c_str());
 }
 
+TEST(Trace, WriteReadCsvRoundtripPreservesEveryField)
+{
+    // Binary write -> read keeps record equality; the CSV export of
+    // the read-back trace then renders every field faithfully.
+    std::string bin = tempPath("ariadne_trace_rt2.bin");
+    std::string csv = tempPath("ariadne_trace_rt2.csv");
+    auto recs = sampleRecords();
+    writeTrace(bin, recs);
+    auto back = readTrace(bin);
+    ASSERT_EQ(back, recs);
+    exportTraceCsv(csv, back);
+
+    std::ifstream in(csv);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line)); // header
+    for (const auto &rec : recs) {
+        ASSERT_TRUE(std::getline(in, line));
+        std::ostringstream expect;
+        expect << rec.time << ',' << traceOpName(rec.op) << ','
+               << rec.uid << ',' << rec.pfn << ',' << rec.version
+               << ',' << hotnessName(rec.truth) << ','
+               << (rec.newAllocation ? 1 : 0);
+        EXPECT_EQ(line, expect.str());
+    }
+    EXPECT_FALSE(std::getline(in, line));
+    std::remove(bin.c_str());
+    std::remove(csv.c_str());
+}
+
+TEST(Trace, V2OpsRoundtrip)
+{
+    std::string path = tempPath("ariadne_trace_v2ops.bin");
+    std::vector<TraceRecord> recs;
+    recs.push_back({0, TraceOp::SessionStart, invalidApp, 0, 0,
+                    Hotness::Cold, false});
+    recs.push_back({10, TraceOp::Execute, 3, 2000000000ULL, 0,
+                    Hotness::Cold, false});
+    recs.push_back({20, TraceOp::Idle, invalidApp, 500000000ULL, 0,
+                    Hotness::Cold, false});
+    recs.push_back({30, TraceOp::Sample, 3, 0, 0, Hotness::Cold,
+                    false});
+    writeTrace(path, recs);
+    EXPECT_EQ(readTrace(path), recs);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, HeaderCarriesSpecAndSessions)
+{
+    std::string path = tempPath("ariadne_trace_hdr.bin");
+    const std::string spec_text = "name = recorded\nscheme = zram\n";
+    {
+        TraceWriter w(path, spec_text);
+        w.beginSession(0);
+        for (const auto &rec : sampleRecords())
+            w.append(rec);
+        w.beginSession(1);
+        EXPECT_EQ(w.sessionCount(), 2u);
+    }
+    TraceReader r(path);
+    EXPECT_EQ(r.version(), 2u);
+    EXPECT_EQ(r.spec(), spec_text);
+    EXPECT_EQ(r.sessionCount(), 2u);
+    // Session boundaries are ordinary records in the stream.
+    EXPECT_EQ(r.count(), sampleRecords().size() + 2);
+    TraceRecord rec;
+    ASSERT_TRUE(r.next(rec));
+    EXPECT_EQ(rec.op, TraceOp::SessionStart);
+    EXPECT_EQ(rec.pfn, 0u);
+    std::remove(path.c_str());
+}
+
 TEST(Trace, OpNamesStable)
 {
     EXPECT_STREQ(traceOpName(TraceOp::Launch), "launch");
@@ -140,5 +213,86 @@ TEST(TraceDeath, CorruptHeaderIsFatal)
         out << "garbage that is not a trace header";
     }
     EXPECT_DEATH(TraceReader reader(path), "bad trace header");
+    std::remove(path.c_str());
+}
+
+namespace
+{
+
+/** Write a valid trace, then chop it to @p keep_bytes. */
+std::string
+truncatedTrace(const std::string &name, std::size_t keep_bytes)
+{
+    std::string path = tempPath(name);
+    writeTrace(path, sampleRecords());
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    EXPECT_GT(bytes.size(), keep_bytes);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(keep_bytes));
+    return path;
+}
+
+} // namespace
+
+TEST(TraceDeath, TruncatedRecordSectionIsFatalNotSilent)
+{
+    // Header promises 7 records; the file ends mid-stream. next()
+    // must diagnose the truncation, not quietly report end-of-file.
+    std::string path =
+        truncatedTrace("ariadne_trace_trunc.bin", 24 + 2 * 27 + 5);
+    EXPECT_DEATH(
+        {
+            TraceReader reader(path);
+            TraceRecord rec;
+            while (reader.next(rec)) {
+            }
+        },
+        "trace truncated");
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ThrowPolicyRaisesTraceErrorInsteadOfExiting)
+{
+    EXPECT_THROW(TraceReader("/nonexistent/path/trace.bin",
+                             TraceReader::OnError::Throw),
+                 TraceError);
+
+    std::string bad = tempPath("ariadne_trace_bad_throw.bin");
+    {
+        std::ofstream out(bad, std::ios::binary);
+        out << "garbage that is not a trace header";
+    }
+    EXPECT_THROW(TraceReader(bad, TraceReader::OnError::Throw),
+                 TraceError);
+    std::remove(bad.c_str());
+
+    std::string trunc =
+        truncatedTrace("ariadne_trace_trunc_throw.bin",
+                       24 + 2 * 27 + 5);
+    TraceReader reader(trunc, TraceReader::OnError::Throw);
+    TraceRecord rec;
+    EXPECT_TRUE(reader.next(rec));
+    EXPECT_TRUE(reader.next(rec));
+    EXPECT_THROW(reader.next(rec), TraceError);
+    std::remove(trunc.c_str());
+}
+
+TEST(Trace, UnsupportedVersionIsRejected)
+{
+    std::string path = tempPath("ariadne_trace_future.bin");
+    writeTrace(path, sampleRecords());
+    // Bump the on-disk version to 99.
+    std::fstream f(path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(4);
+    std::uint32_t version = 99;
+    f.write(reinterpret_cast<const char *>(&version), 4);
+    f.close();
+    EXPECT_THROW(TraceReader(path, TraceReader::OnError::Throw),
+                 TraceError);
     std::remove(path.c_str());
 }

@@ -27,6 +27,7 @@
 
 #include "analysis/report.hh"
 #include "driver/fleet_runner.hh"
+#include "workload/trace.hh"
 
 using namespace ariadne;
 using namespace ariadne::driver;
@@ -50,6 +51,14 @@ usage(std::ostream &os)
           "fleet size)\n"
           "  --threads T      worker threads (default 1; 0 = hardware "
           "count)\n"
+          "  --record FILE    record the run as a replayable trace "
+          "(--config only;\n"
+          "                   forces one worker). Replay it with a "
+          "config that says\n"
+          "                   `workload = trace` and `trace = FILE` — "
+          "the replayed\n"
+          "                   report is byte-identical to the "
+          "recorded one\n"
           "  --json FILE      write the aggregate report as JSON "
           "('-' = stdout)\n"
           "  --per-session    include per-session records in the JSON\n"
@@ -97,7 +106,36 @@ listEvents(std::ostream &os)
           "lines before the first variant form the base scenario every "
           "variant\n"
           "inherits, and a variant that declares events replaces the "
-          "base program.\n";
+          "base program.\n"
+          "\n"
+          "Workload sources (`workload = profiles|trace|synthetic`, "
+          "default profiles):\n"
+          "\n"
+          "  profiles    run the event program over the `apps` mix "
+          "(the default)\n"
+          "  trace       replay a recorded trace bit-identically; "
+          "needs `trace = FILE`\n"
+          "              (record one with --record) and allows no "
+          "other keys\n"
+          "  synthetic   generate a heterogeneous user population; "
+          "each session\n"
+          "              draws its own app subset, footprint spread "
+          "and switch-rate\n"
+          "              class from the population_* keys:\n"
+          "                population_apps_per_user    apps per user "
+          "(0 = all)\n"
+          "                population_footprint_spread volume spread "
+          "in [0, 1)\n"
+          "                population_light_share      share of light "
+          "users\n"
+          "                population_heavy_share      share of heavy "
+          "users\n"
+          "                population_switches         switches per "
+          "regular user\n"
+          "                population_use              foreground use "
+          "per switch\n"
+          "                population_gap              intermission "
+          "per switch\n";
 }
 
 struct Options
@@ -107,6 +145,7 @@ struct Options
     std::size_t fleet = 0;   // 0 = use the spec's
     unsigned threads = 1;
     std::string jsonPath;
+    std::string recordPath;
     bool perSession = false;
     bool printConfig = false;
     bool quiet = false;
@@ -173,6 +212,10 @@ parseArgs(int argc, char **argv, Options &opt)
             if (!parse_count(arg, argv[++i], v))
                 return false;
             opt.threads = static_cast<unsigned>(v);
+        } else if (!std::strcmp(arg, "--record")) {
+            if (!need_value(i, arg))
+                return false;
+            opt.recordPath = argv[++i];
         } else if (!std::strcmp(arg, "--json")) {
             if (!need_value(i, arg))
                 return false;
@@ -195,6 +238,16 @@ parseArgs(int argc, char **argv, Options &opt)
                      "is required\n";
         usage(std::cerr);
         return false;
+    }
+    if (!opt.recordPath.empty() && !opt.sweepPath.empty()) {
+        std::cerr << "ariadne_sim: --record works with --config only "
+                     "(record each sweep variant separately)\n";
+        return false;
+    }
+    if (!opt.recordPath.empty() && opt.threads != 1) {
+        std::cerr << "ariadne_sim: --record forces --threads 1 (the "
+                     "trace serializes sessions in index order)\n";
+        opt.threads = 1;
     }
     return true;
 }
@@ -300,7 +353,15 @@ runScenario(const Options &opt)
     // Sessions are only worth retaining when a JSON report will
     // actually carry them; otherwise streaming keeps memory bounded.
     bool keep = opt.perSession && !opt.jsonPath.empty();
-    FleetResult result = runner.run(opt.fleet, opt.threads, keep);
+    FleetResult result;
+    if (opt.recordPath.empty()) {
+        result = runner.run(opt.fleet, opt.threads, keep);
+    } else {
+        result = runner.runRecorded(opt.recordPath, opt.fleet, keep);
+        if (!opt.quiet)
+            std::cout << "trace recorded to " << opt.recordPath
+                      << "\n";
+    }
     if (!opt.quiet)
         printSummary(std::cout, result);
     return emitJson(opt, result);
@@ -345,6 +406,9 @@ main(int argc, char **argv)
         return opt.sweepPath.empty() ? runScenario(opt)
                                      : runSweep(opt);
     } catch (const SpecError &e) {
+        std::cerr << "ariadne_sim: " << e.what() << "\n";
+        return 2;
+    } catch (const TraceError &e) {
         std::cerr << "ariadne_sim: " << e.what() << "\n";
         return 2;
     } catch (const std::exception &e) {
