@@ -18,9 +18,11 @@
  *    large-window ratio either);
  *  - EHL vs AL: hot-list exemption versus all-lists compression.
  *
- * The mechanism toggles are the ScenarioSpec ablation axes
- * (`seed_profiles`, `predecomp`, `hot_init_pages`), so every variant
- * here is expressible in a sweep config too.
+ * The mechanism toggles are Ariadne's registered scheme knobs
+ * (`scheme.seed_profiles`, `scheme.predecomp`,
+ * `scheme.hot_init_pages`; see `ariadne_sim --list-schemes`), so
+ * every variant here is pure configuration — expressible verbatim in
+ * a sweep config.
  */
 
 #include "bench_common.hh"
@@ -48,7 +50,7 @@ main(int argc, char **argv)
                 "Ablation: contribution of each Ariadne mechanism "
                 "(YouTube target, 3 cycles)");
 
-    auto ablation_spec = [](std::string name, SchemeKind kind,
+    auto ablation_spec = [](std::string name, const std::string &kind,
                             const std::string &acfg) {
         driver::ScenarioSpec spec = makeSpec(kind, acfg);
         spec.name = std::move(name);
@@ -60,32 +62,32 @@ main(int argc, char **argv)
 
     std::vector<driver::ScenarioSpec> variants;
     variants.push_back(
-        ablation_spec("ZRAM baseline", SchemeKind::Zram, ""));
+        ablation_spec("ZRAM baseline", "zram", ""));
     variants.push_back(ablation_spec("Ariadne full (EHL-1K-2K-16K)",
-                                     SchemeKind::Ariadne,
+                                     "ariadne",
                                      "EHL-1K-2K-16K"));
     {
         driver::ScenarioSpec spec =
-            ablation_spec("D1 no hotness seeding", SchemeKind::Ariadne,
+            ablation_spec("D1 no hotness seeding", "ariadne",
                           "EHL-1K-2K-16K");
-        spec.seedProfiles = false;
-        spec.hotInitPages = 0;
+        spec.params.set("seed_profiles", "false");
+        spec.params.set("hot_init_pages", "0");
         variants.push_back(std::move(spec));
     }
     variants.push_back(ablation_spec(
-        "D2 single 4K size", SchemeKind::Ariadne, "EHL-4K-4K-4K"));
+        "D2 single 4K size", "ariadne", "EHL-4K-4K-4K"));
     {
         driver::ScenarioSpec spec =
-            ablation_spec("D3 no predecomp", SchemeKind::Ariadne,
+            ablation_spec("D3 no predecomp", "ariadne",
                           "AL-1K-2K-16K");
-        spec.preDecomp = false;
+        spec.params.set("predecomp", "false");
         variants.push_back(std::move(spec));
     }
     variants.push_back(ablation_spec("D3 control (AL, predecomp on)",
-                                     SchemeKind::Ariadne,
+                                     "ariadne",
                                      "AL-1K-2K-16K"));
     variants.push_back(ablation_spec(
-        "D4 no cold batching", SchemeKind::Ariadne, "EHL-1K-2K-4K"));
+        "D4 no cold batching", "ariadne", "EHL-1K-2K-4K"));
 
     ReportTable table({"Variant", "Relaunch (ms)", "Comp+decomp CPU "
                                                    "(ms)",

@@ -55,13 +55,20 @@ plottedApps()
             "BangDream"};
 }
 
-/** Empty ScenarioSpec at the evaluation scale; add events to taste. */
+/**
+ * Empty ScenarioSpec at the evaluation scale; add events to taste.
+ * @param scheme Registered scheme name ("dram", "swap", "zram",
+ *        "zswap", "ariadne"; see swap/scheme_registry.hh).
+ * @param ariadne_cfg Table-5 config string; stored as the
+ *        `scheme.config` knob when non-empty.
+ */
 inline driver::ScenarioSpec
-makeSpec(SchemeKind kind, const std::string &ariadne_cfg = "")
+makeSpec(const std::string &scheme, const std::string &ariadne_cfg = "")
 {
     driver::ScenarioSpec spec;
-    spec.scheme = kind;
-    spec.ariadneConfig = ariadne_cfg;
+    spec.scheme = scheme;
+    if (!ariadne_cfg.empty())
+        spec.params.set("config", ariadne_cfg);
     spec.scale = evalScale;
     spec.seed = evalSeed;
     return spec;
@@ -69,11 +76,11 @@ makeSpec(SchemeKind kind, const std::string &ariadne_cfg = "")
 
 /** Spec for the §5 target-relaunch scenario of one app. */
 inline driver::ScenarioSpec
-targetSpec(std::string name, SchemeKind kind,
+targetSpec(std::string name, const std::string &scheme,
            const std::string &app_name, unsigned variant = 0,
            const std::string &ariadne_cfg = "")
 {
-    driver::ScenarioSpec spec = makeSpec(kind, ariadne_cfg);
+    driver::ScenarioSpec spec = makeSpec(scheme, ariadne_cfg);
     spec.name = std::move(name);
     spec.program.push_back(
         driver::Event::targetScenario(app_name, variant));

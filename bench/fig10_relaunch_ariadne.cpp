@@ -35,7 +35,7 @@ main(int argc, char **argv)
     columns.push_back("DRAM");
     ReportTable table(columns);
 
-    auto measure = [&](const std::string &app, SchemeKind kind,
+    auto measure = [&](const std::string &app, const std::string &kind,
                        const std::string &label,
                        const std::string &acfg = "") {
         driver::FleetResult r =
@@ -52,12 +52,12 @@ main(int argc, char **argv)
 
     for (const auto &name : plottedApps()) {
         std::vector<std::string> row{name};
-        double zram = measure(name, SchemeKind::Zram, "zram");
+        double zram = measure(name, "zram", "zram");
         row.push_back(ReportTable::num(zram, 1));
 
         double best = 1e18;
         for (const auto &c : configs) {
-            double ms = measure(name, SchemeKind::Ariadne, c, c);
+            double ms = measure(name, "ariadne", c, c);
             row.push_back(ReportTable::num(ms, 1));
             best = std::min(best, ms);
             ariadne_sum += ms;
@@ -67,7 +67,7 @@ main(int argc, char **argv)
                 ++ehl_count;
             }
         }
-        double dram = measure(name, SchemeKind::Dram, "dram");
+        double dram = measure(name, "dram", "dram");
         row.push_back(ReportTable::num(dram, 1));
         table.addRow(std::move(row));
 

@@ -25,7 +25,7 @@ main(int argc, char **argv)
     // target (§5): repeated switching is where ZRAM recompresses the
     // same hot data over and over while Ariadne's cold units stay
     // compressed.
-    auto comp_decomp_cpu = [&](SchemeKind kind, const std::string &acfg,
+    auto comp_decomp_cpu = [&](const std::string &kind, const std::string &acfg,
                                const std::string &app_name,
                                const std::string &label) {
         driver::ScenarioSpec spec = makeSpec(kind, acfg);
@@ -53,10 +53,10 @@ main(int argc, char **argv)
     std::size_t count = 0;
     for (const auto &name : plottedApps()) {
         double zram =
-            comp_decomp_cpu(SchemeKind::Zram, "", name, "zram");
+            comp_decomp_cpu("zram", "", name, "zram");
         std::vector<std::string> row{name};
         for (const auto &c : configs) {
-            double a = comp_decomp_cpu(SchemeKind::Ariadne, c, name, c);
+            double a = comp_decomp_cpu("ariadne", c, name, c);
             double normalized = a / zram;
             row.push_back(ReportTable::num(normalized, 2));
             sum += normalized;

@@ -20,6 +20,8 @@
  */
 
 #include "bench_common.hh"
+
+#include "core/config.hh"
 #include "compress/registry.hh"
 #include "workload/generator.hh"
 #include "workload/page_synth.hh"
@@ -64,7 +66,7 @@ main(int argc, char **argv)
         AppProfile profile = standardApp(name);
         Corpus c;
 
-        driver::ScenarioSpec spec = makeSpec(SchemeKind::Dram);
+        driver::ScenarioSpec spec = makeSpec("dram");
         spec.name = name + "/workload";
         spec.apps = {name};
         spec.program.push_back(driver::Event::custom(0));

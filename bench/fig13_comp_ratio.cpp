@@ -21,7 +21,7 @@ main(int argc, char **argv)
                 "Fig. 13: compression ratio per app (original / "
                 "compressed; higher is better)");
 
-    auto app_ratio = [&](SchemeKind kind, const std::string &acfg,
+    auto app_ratio = [&](const std::string &kind, const std::string &acfg,
                          const std::string &app_name,
                          const std::string &label) {
         driver::FleetResult r = runVariant(
@@ -35,10 +35,10 @@ main(int argc, char **argv)
                        "AL-512-2K-16K"});
 
     for (const auto &name : plottedApps()) {
-        double zram = app_ratio(SchemeKind::Zram, "", name, "zram");
-        double big = app_ratio(SchemeKind::Ariadne, "EHL-1K-4K-16K",
+        double zram = app_ratio("zram", "", name, "zram");
+        double big = app_ratio("ariadne", "EHL-1K-4K-16K",
                                name, "EHL-1K-4K-16K");
-        double small = app_ratio(SchemeKind::Ariadne, "AL-512-2K-16K",
+        double small = app_ratio("ariadne", "AL-512-2K-16K",
                                  name, "AL-512-2K-16K");
         table.addRow({name, ReportTable::num(zram, 2),
                       ReportTable::num(big, 2),

@@ -35,7 +35,7 @@ main(int argc, char **argv)
         double coverage = 0.0, accuracy = 0.0;
 
         driver::ScenarioSpec spec =
-            makeSpec(SchemeKind::Ariadne, "EHL-1K-2K-16K");
+            makeSpec("ariadne", "EHL-1K-2K-16K");
         spec.name = profile.name + "/EHL-1K-2K-16K";
         spec.program.push_back(
             driver::Event::prepareTarget(profile.name, 0));
@@ -54,7 +54,7 @@ main(int argc, char **argv)
                 // Score the prediction on the next relaunch +
                 // execution.
                 std::vector<PageKey> predicted_keys =
-                    sys.ariadne()->predictedHotSet(uid);
+                    sys.hotness()->predictedHotSet(uid);
                 std::vector<Pfn> predicted;
                 predicted.reserve(predicted_keys.size());
                 for (const auto &key : predicted_keys)

@@ -34,7 +34,7 @@ main(int argc, char **argv)
     printBanner(std::cout,
                 "Fig. 15: sensitivity to chunk-size configuration");
 
-    auto measure = [&](SchemeKind kind, const std::string &acfg,
+    auto measure = [&](const std::string &kind, const std::string &acfg,
                        const std::string &app_name,
                        const std::string &label) -> Row {
         driver::FleetResult r = runVariant(
@@ -50,13 +50,13 @@ main(int argc, char **argv)
     struct SchemeUnderTest
     {
         std::string label;
-        SchemeKind kind;
+        std::string kind;
         std::string acfg;
     };
     const std::vector<SchemeUnderTest> schemes = {
-        {"ZRAM", SchemeKind::Zram, ""},
-        {"AL-1K-4K-64K", SchemeKind::Ariadne, "AL-1K-4K-64K"},
-        {"AL-256-1K-4K", SchemeKind::Ariadne, "AL-256-1K-4K"},
+        {"ZRAM", "zram", ""},
+        {"AL-1K-4K-64K", "ariadne", "AL-1K-4K-64K"},
+        {"AL-256-1K-4K", "ariadne", "AL-256-1K-4K"},
     };
 
     ReportTable comp({"App", "ZRAM", "AL-1K-4K-64K", "AL-256-1K-4K"});

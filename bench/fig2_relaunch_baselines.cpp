@@ -28,15 +28,15 @@ main(int argc, char **argv)
     double ratio_sum = 0.0;
     std::size_t n = 0;
     for (const auto &name : plottedApps()) {
-        auto measure = [&](SchemeKind kind, const char *label) {
+        auto measure = [&](const std::string &kind, const char *label) {
             driver::FleetResult r = runVariant(
                 targetSpec(name + "/" + label, kind, name));
             report.add(r);
             return lastRelaunchMs(r);
         };
-        double dram = measure(SchemeKind::Dram, "dram");
-        double zram = measure(SchemeKind::Zram, "zram");
-        double swap = measure(SchemeKind::Swap, "swap");
+        double dram = measure("dram", "dram");
+        double zram = measure("zram", "zram");
+        double swap = measure("swap", "swap");
 
         table.addRow({name, ReportTable::num(dram, 1),
                       ReportTable::num(zram, 1),

@@ -23,7 +23,7 @@ main(int argc, char **argv)
     printBanner(std::cout,
                 "Fig. 3: kswapd CPU usage (ms) over a 60 s scenario");
 
-    auto kswapd_cpu_ms = [&](SchemeKind kind, const char *label) {
+    auto kswapd_cpu_ms = [&](const std::string &kind, const char *label) {
         driver::ScenarioSpec spec = makeSpec(kind);
         spec.name = std::string("light/") + label;
         spec.program.push_back(
@@ -34,9 +34,9 @@ main(int argc, char **argv)
         return static_cast<double>(session(r).kswapdCpuNs) / 1e6;
     };
 
-    double dram = kswapd_cpu_ms(SchemeKind::Dram, "dram");
-    double zram = kswapd_cpu_ms(SchemeKind::Zram, "zram");
-    double swap = kswapd_cpu_ms(SchemeKind::Swap, "swap");
+    double dram = kswapd_cpu_ms("dram", "dram");
+    double zram = kswapd_cpu_ms("zram", "zram");
+    double swap = kswapd_cpu_ms("swap", "swap");
 
     ReportTable table({"Scheme", "kswapd CPU (ms)", "vs DRAM"});
     table.addRow({"DRAM", ReportTable::num(dram, 1), "1.00"});

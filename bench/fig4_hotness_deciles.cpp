@@ -30,7 +30,7 @@ main(int argc, char **argv)
         AppId target = standardApp(name).uid;
         std::vector<Hotness> stream;
 
-        driver::ScenarioSpec spec = makeSpec(SchemeKind::Zram);
+        driver::ScenarioSpec spec = makeSpec("zram");
         spec.name = name + "/zram";
         spec.program.push_back(driver::Event::targetScenario(name, 0));
         spec.program.push_back(driver::Event::custom(0));

@@ -33,7 +33,7 @@ main(int argc, char **argv)
     for (const auto &profile : standardApps()) {
         double sim = 0.0, reuse = 0.0;
 
-        driver::ScenarioSpec spec = makeSpec(SchemeKind::Dram);
+        driver::ScenarioSpec spec = makeSpec("dram");
         spec.name = profile.name + "/workload";
         spec.apps = {profile.name};
         spec.program.push_back(driver::Event::custom(0));

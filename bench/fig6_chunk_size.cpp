@@ -75,7 +75,7 @@ main(int argc, char **argv)
 
         double t128 = 0.0, t128k = 0.0;
 
-        driver::ScenarioSpec spec = makeSpec(SchemeKind::Zram);
+        driver::ScenarioSpec spec = makeSpec("zram");
         spec.name = std::string(codec->name()) + "/chunk-sweep";
         spec.program.push_back(driver::Event::custom(0));
 

@@ -42,7 +42,7 @@ main(int argc, char **argv)
         AppProfile profile = standardApp(row.name);
         double mb_10s = 0.0, mb_5min = 0.0;
 
-        driver::ScenarioSpec spec = makeSpec(SchemeKind::Dram);
+        driver::ScenarioSpec spec = makeSpec("dram");
         spec.name = std::string(row.name) + "/workload";
         spec.apps = {row.name};
         spec.program.push_back(driver::Event::custom(0));

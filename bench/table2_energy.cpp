@@ -28,7 +28,7 @@ main(int argc, char **argv)
 
     constexpr Tick window = Tick{60} * 1000000000ULL;
 
-    auto scenario_joules = [&](SchemeKind kind, const char *label,
+    auto scenario_joules = [&](const std::string &kind, const char *label,
                                bool heavy) {
         driver::ScenarioSpec spec = makeSpec(kind);
         spec.name = std::string(heavy ? "heavy" : "light") + "/" +
@@ -65,9 +65,9 @@ main(int argc, char **argv)
     const char *paper_heavy[] = {"1.000", "1.195", "1.017"};
 
     for (bool heavy : {false, true}) {
-        double dram = scenario_joules(SchemeKind::Dram, "dram", heavy);
-        double zram = scenario_joules(SchemeKind::Zram, "zram", heavy);
-        double swap = scenario_joules(SchemeKind::Swap, "swap", heavy);
+        double dram = scenario_joules("dram", "dram", heavy);
+        double zram = scenario_joules("zram", "zram", heavy);
+        double swap = scenario_joules("swap", "swap", heavy);
         const char **paper = heavy ? paper_heavy : paper_light;
         const char *label = heavy ? "Heavy" : "Light";
 

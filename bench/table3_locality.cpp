@@ -46,7 +46,7 @@ main(int argc, char **argv)
         AppId target = standardApp(row.name).uid;
         double p2 = 0.0, p4 = 0.0;
 
-        driver::ScenarioSpec spec = makeSpec(SchemeKind::Zram);
+        driver::ScenarioSpec spec = makeSpec("zram");
         spec.name = std::string(row.name) + "/zram";
         spec.program.push_back(
             driver::Event::prepareTarget(row.name, 0));

@@ -27,7 +27,6 @@ namespace
 // evicted. Mirrors scenarios/daily.cfg.
 constexpr const char *dayConfig = R"(
 name = daily
-ariadne = EHL-1K-2K-16K
 scale = 0.0625
 seed = 42
 fleet = 1
@@ -38,10 +37,12 @@ event = end
 )";
 
 FleetResult
-runDay(SchemeKind kind)
+runDay(const std::string &scheme)
 {
     ScenarioSpec spec = ScenarioSpec::parseString(dayConfig);
-    spec.scheme = kind;
+    spec.scheme = scheme;
+    if (scheme == "ariadne")
+        spec.params.set("config", "EHL-1K-2K-16K");
     return FleetRunner(std::move(spec)).run(1, 1);
 }
 
@@ -73,8 +74,8 @@ main()
 {
     std::printf("Daily usage: 120 app switches across 10 apps "
                 "(full-scale estimates)\n\n");
-    FleetResult zram = runDay(SchemeKind::Zram);
-    FleetResult ariadne_day = runDay(SchemeKind::Ariadne);
+    FleetResult zram = runDay("zram");
+    FleetResult ariadne_day = runDay("ariadne");
     report(zram);
     report(ariadne_day);
 

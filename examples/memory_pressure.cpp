@@ -22,14 +22,15 @@ namespace
 {
 
 void
-runScheme(SchemeKind kind, std::size_t zpool_mb)
+runScheme(const std::string &scheme, std::size_t zpool_mb)
 {
     SystemConfig cfg;
     cfg.scale = 0.0625;
-    cfg.scheme = kind;
-    cfg.ariadne = AriadneConfig::parse("EHL-1K-2K-16K");
-    cfg.ariadne.zpoolBytes = zpool_mb << 20;
-    cfg.zram.zpoolBytes = zpool_mb << 20;
+    cfg.scheme = scheme;
+    if (scheme == "ariadne")
+        cfg.schemeParams.set("config", "EHL-1K-2K-16K");
+    if (scheme != "swap" && scheme != "dram")
+        cfg.schemeParams.set("zpool_mb", std::to_string(zpool_mb));
 
     MobileSystem sys(cfg, standardApps());
     SessionDriver driver(sys);
@@ -65,13 +66,13 @@ main()
     std::printf("Memory pressure: 10 apps cycling for 30 s, shrinking "
                 "zpool (1/16 scale volumes)\n\n");
     // Ample pool: everything stays in DRAM-compressed form.
-    runScheme(SchemeKind::Ariadne, 192);
+    runScheme("ariadne", 192);
     // Tight pools: cold units spill to flash, compressed.
-    runScheme(SchemeKind::Ariadne, 24);
-    runScheme(SchemeKind::Ariadne, 12);
+    runScheme("ariadne", 24);
+    runScheme("ariadne", 12);
     // Baselines under the same pressure.
-    runScheme(SchemeKind::Zswap, 12);
-    runScheme(SchemeKind::Swap, 12);
+    runScheme("zswap", 12);
+    runScheme("swap", 12);
 
     std::printf("\nAriadne's writeback ships compressed cold units, "
                 "so its flash traffic stays well below raw SWAP.\n");

@@ -21,12 +21,13 @@ namespace
 {
 
 RelaunchStats
-runOnce(SchemeKind kind)
+runOnce(const std::string &scheme)
 {
     SystemConfig cfg;
     cfg.scale = 0.0625; // 1/16 footprint for a fast demo
-    cfg.scheme = kind;
-    cfg.ariadne = AriadneConfig::parse("EHL-1K-2K-16K");
+    cfg.scheme = scheme;
+    if (scheme == "ariadne")
+        cfg.schemeParams.set("config", "EHL-1K-2K-16K");
 
     MobileSystem system(cfg, standardApps());
     SessionDriver driver(system);
@@ -51,9 +52,9 @@ main()
 {
     std::printf("Ariadne quickstart: YouTube relaunch, 10 apps in "
                 "background\n\n");
-    RelaunchStats zram = runOnce(SchemeKind::Zram);
-    RelaunchStats ariadne_stats = runOnce(SchemeKind::Ariadne);
-    RelaunchStats dram = runOnce(SchemeKind::Dram);
+    RelaunchStats zram = runOnce("zram");
+    RelaunchStats ariadne_stats = runOnce("ariadne");
+    RelaunchStats dram = runOnce("dram");
 
     double speedup = ariadne_stats.totalNs
                          ? static_cast<double>(zram.totalNs) /

@@ -15,6 +15,81 @@ AriadneScheme::AriadneScheme(SwapContext context, AriadneConfig config)
 {
 }
 
+SchemeInfo
+ariadneSchemeInfo()
+{
+    SchemeInfo info;
+    info.key = "ariadne";
+    info.displayName = "Ariadne";
+    info.description = "hotness-aware, size-adaptive compressed swap "
+                       "(the paper's scheme: HotnessOrg + "
+                       "AdaptiveComp + PreDecomp)";
+    info.knobs = {
+        {"config", "string", "EHL-1K-2K-16K",
+         "Table-5 configuration string: scenario (EHL|AL) plus "
+         "small/medium/large chunk sizes",
+         [](const std::string &value) {
+             std::string error;
+             if (!AriadneConfig::tryParse(value, &error))
+                 throw SchemeError("invalid value for scheme knob "
+                                   "'config': " + error);
+         }},
+        {"zpool_mb", "mb", "3072", "zpool capacity (paper scale)"},
+        {"flash_mb", "mb", "8192", "flash swap space for compressed "
+                                   "cold writeback (paper scale)"},
+        {"reclaim_batch", "u64", "32",
+         "pages reclaimed per batch"},
+        {"codec", "string", "lzo",
+         "compression codec (lzo|lz4|bdi|null)",
+         [](const std::string &value) { parseCodecKnob(value); }},
+        {"predecomp", "bool", "true",
+         "predictive pre-decompression (the D3 ablation axis)"},
+        {"predecomp_buffer_pages", "u64", "8",
+         "staging-buffer capacity in pages"},
+        {"predecomp_depth", "u64", "1",
+         "pages pre-decompressed per trigger"},
+        {"hot_init_pages", "u64", "4096",
+         "fallback hot-list seed when no profile exists (the D1 "
+         "ablation axis)"},
+        {"seed_profiles", "bool", "true",
+         "seed per-app hot-set profiles from offline data "
+         "(consumed by the system layer; the D1 ablation axis)"},
+    };
+    info.build = [](SwapContext ctx, const SchemeParams &params,
+                    double scale) {
+        AriadneConfig ac;
+        if (const std::string *text = params.raw("config")) {
+            std::string error;
+            auto parsed = AriadneConfig::tryParse(*text, &error);
+            if (!parsed)
+                throw SchemeError("invalid value for scheme knob "
+                                  "'config': " + error);
+            ac = *parsed;
+        }
+        ac.zpoolBytes = params.getMiB("zpool_mb", ac.zpoolBytes);
+        ac.flashBytes = params.getMiB("flash_mb", ac.flashBytes);
+        ac.reclaimBatch =
+            params.getU64("reclaim_batch", ac.reclaimBatch);
+        if (const std::string *codec = params.raw("codec"))
+            ac.codec = parseCodecKnob(*codec);
+        ac.preDecompEnabled =
+            params.getBool("predecomp", ac.preDecompEnabled);
+        ac.preDecompBufferPages = params.getU64(
+            "predecomp_buffer_pages", ac.preDecompBufferPages);
+        ac.preDecompDepth =
+            params.getU64("predecomp_depth", ac.preDecompDepth);
+        ac.defaultHotInitPages = params.getU64(
+            "hot_init_pages", ac.defaultHotInitPages);
+        // `seed_profiles` is schema-validated here but consumed by
+        // MobileSystem, which owns the app profiles the seeding
+        // derives its hot-set sizes from.
+        ac.zpoolBytes = scaledBytes(ac.zpoolBytes, scale);
+        ac.flashBytes = scaledBytes(ac.flashBytes, scale);
+        return std::make_unique<AriadneScheme>(ctx, ac);
+    };
+    return info;
+}
+
 void
 AriadneScheme::seedProfile(AppId uid, std::size_t hot_pages)
 {

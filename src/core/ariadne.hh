@@ -32,12 +32,13 @@
 #include "core/predecomp.hh"
 #include "core/profile_store.hh"
 #include "swap/scheme.hh"
+#include "swap/scheme_registry.hh"
 
 namespace ariadne
 {
 
 /** Hotness-aware, size-adaptive compressed swap scheme. */
-class AriadneScheme : public SwapScheme
+class AriadneScheme : public SwapScheme, public HotnessAware
 {
   public:
     AriadneScheme(SwapContext context, AriadneConfig config);
@@ -58,11 +59,14 @@ class AriadneScheme : public SwapScheme
     const Zpool *zpool() const override { return &pool; }
     const FlashDevice *flash() const override { return &flashDev; }
 
+    /** Hotness capability (profile seeding, Fig. 14 scoring). */
+    HotnessAware *hotness() noexcept override { return this; }
+
     /** Seed the per-app hot-set size profile (offline profiling). */
-    void seedProfile(AppId uid, std::size_t hot_pages);
+    void seedProfile(AppId uid, std::size_t hot_pages) override;
 
     /** The scheme's relaunch prediction for Fig. 14 scoring. */
-    std::vector<PageKey> predictedHotSet(AppId uid) const;
+    std::vector<PageKey> predictedHotSet(AppId uid) const override;
 
     /** PreDecomp staging statistics. */
     const PreDecomp &preDecomp() const noexcept { return stagingBuf; }
@@ -147,6 +151,9 @@ class AriadneScheme : public SwapScheme
     std::unordered_map<const PageMeta *, ZObjectId> pendingPredictions;
     std::uint64_t preSwapCount = 0;
 };
+
+/** Registry entry for `scheme = ariadne` (see scheme_registry.cc). */
+SchemeInfo ariadneSchemeInfo();
 
 } // namespace ariadne
 

@@ -8,6 +8,7 @@
 #include "driver/json_writer.hh"
 #include "driver/workload_source.hh"
 #include "sim/log.hh"
+#include "swap/scheme_registry.hh"
 #include "workload/apps.hh"
 
 namespace ariadne::driver
@@ -88,6 +89,35 @@ writeCompStats(JsonWriter &w, const CompStats &c)
     w.endObject();
 }
 
+/**
+ * Apply a what-if replay override to the recorded scenario: knob
+ * overrides overlay the recorded knobs when the scheme is unchanged
+ * (so `--scheme ariadne` on an Ariadne trace — or a pure knob tweak —
+ * keeps the recorded configuration), and start from a fresh bag when
+ * the scheme differs (another scheme's knobs would fail its schema).
+ * The result is validated against the registry; errors surface as
+ * SpecError, the driver's configuration-error currency.
+ */
+void
+applySchemeOverride(ScenarioSpec &spec,
+                    const std::string &override_scheme,
+                    const SchemeParams &override_params)
+{
+    if (override_scheme.empty() || override_scheme == spec.scheme) {
+        for (const auto &[knob, value] : override_params.entries())
+            spec.params.set(knob, value);
+    } else {
+        spec.scheme = override_scheme;
+        spec.params = override_params;
+    }
+    try {
+        SchemeRegistry::instance().validate(spec.scheme, spec.params);
+    } catch (const SchemeError &e) {
+        throw SpecError(std::string("what-if replay override: ") +
+                        e.what());
+    }
+}
+
 } // namespace
 
 double
@@ -119,7 +149,9 @@ FleetRunner::FleetRunner(ScenarioSpec spec,
         // effective spec so the replayed report is byte-identical to
         // the recorded one. An explicit name in the replay spec
         // survives (sweep variants rely on it for side-by-side
-        // reports); everything else comes from the recording.
+        // reports), and a what-if override swaps the scheme the
+        // recorded workload runs under; everything else comes from
+        // the recording.
         auto replay =
             std::make_shared<TraceReplaySource>(scenario.tracePath);
         ScenarioSpec effective = replay->recordedSpec();
@@ -127,9 +159,20 @@ FleetRunner::FleetRunner(ScenarioSpec spec,
         effective.tracePath = scenario.tracePath;
         if (scenario.name != "unnamed")
             effective.name = scenario.name;
+        bool what_if = !scenario.replayScheme.empty() ||
+                       !scenario.replayParams.empty();
+        if (what_if)
+            applySchemeOverride(effective, scenario.replayScheme,
+                                scenario.replayParams);
         scenario = std::move(effective);
         recordedForEmbed = replay->recordedSpec();
         recordedForEmbed->name = scenario.name;
+        if (what_if) {
+            // Re-recording a what-if replay must embed the scheme it
+            // actually ran (the workload axes stay the recording's).
+            recordedForEmbed->scheme = scenario.scheme;
+            recordedForEmbed->params = scenario.params;
+        }
         source = std::move(replay);
     } else {
         source = makeWorkloadSource(scenario);
@@ -246,8 +289,9 @@ FleetRunner::runFleet(std::size_t fleet, unsigned threads,
 
     FleetResult result;
     result.scenario = scenario.name;
-    result.scheme = schemeKindName(scenario.scheme);
-    result.ariadneConfig = scenario.ariadneConfig;
+    result.scheme =
+        SchemeRegistry::instance().at(scenario.scheme).displayName;
+    result.ariadneConfig = scenario.params.getString("config", "");
     result.scale = scenario.scale;
     result.seed = scenario.seed;
     result.fleet = fleet;

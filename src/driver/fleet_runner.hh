@@ -122,8 +122,15 @@ class FleetRunner
      * this loads and validates the trace and adopts the scenario
      * embedded in it as the effective spec (only the replay spec's
      * explicit name survives), which is what makes a replayed report
-     * byte-identical to the recorded one. Throws TraceError /
-     * SpecError on unreadable or corrupt traces.
+     * byte-identical to the recorded one. A what-if override
+     * (ScenarioSpec::replayScheme / replayParams, or `ariadne_sim
+     * --replay TRACE --scheme NAME`) swaps the scheme the recorded
+     * workload runs under instead — the workload stream itself stays
+     * bit-identical to the recording — and also flows into
+     * runRecorded()'s embedded spec, so a re-recorded what-if replay
+     * carries the scheme it actually ran. Throws TraceError /
+     * SpecError on unreadable or corrupt traces and SpecError on an
+     * override that fails the scheme registry's validation.
      *
      * @param spec Scenario to run.
      * @param hooks Targets for the spec's `custom` events (a program

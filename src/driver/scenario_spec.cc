@@ -8,8 +8,10 @@
 #include <map>
 #include <sstream>
 
+#include "core/config.hh"
 #include "driver/json_writer.hh"
 #include "sim/rng.hh"
+#include "swap/scheme_registry.hh"
 #include "sys/session.hh"
 #include "workload/apps.hh"
 
@@ -341,22 +343,15 @@ parseWorkloadKind(const std::string &text)
                     "' (profiles|trace|synthetic)");
 }
 
-SchemeKind
-parseSchemeKind(const std::string &text)
+std::string
+parseSchemeName(const std::string &text)
 {
     std::string t = lower(text);
-    if (t == "dram")
-        return SchemeKind::Dram;
-    if (t == "swap")
-        return SchemeKind::Swap;
-    if (t == "zram")
-        return SchemeKind::Zram;
-    if (t == "zswap")
-        return SchemeKind::Zswap;
-    if (t == "ariadne")
-        return SchemeKind::Ariadne;
-    throw SpecError("unknown scheme '" + text +
-                    "' (dram|swap|zram|zswap|ariadne)");
+    if (!SchemeRegistry::instance().find(t))
+        throw SpecError("unknown scheme '" + text + "' (valid: " +
+                        SchemeRegistry::instance().namesJoined() +
+                        ")");
+    return t;
 }
 
 Tick
@@ -424,15 +419,8 @@ ScenarioSpec::systemConfig(std::size_t session_index) const
     SystemConfig cfg;
     cfg.scale = scale;
     cfg.scheme = scheme;
+    cfg.schemeParams = params;
     cfg.seed = sessionSeed(session_index);
-    if (!ariadneConfig.empty())
-        cfg.ariadne = AriadneConfig::parse(ariadneConfig);
-    if (seedProfiles)
-        cfg.seedAriadneProfiles = *seedProfiles;
-    if (preDecomp)
-        cfg.ariadne.preDecompEnabled = *preDecomp;
-    if (hotInitPages)
-        cfg.ariadne.defaultHotInitPages = *hotInitPages;
     return cfg;
 }
 
@@ -453,22 +441,20 @@ ScenarioSpec::toString() const
     std::ostringstream os;
     os << "name = " << name << "\n";
     if (workload == WorkloadKind::Trace) {
-        // A replay spec carries nothing but the trace reference; its
-        // identity lives in the scenario embedded in the trace.
+        // A replay spec carries the trace reference plus (at most) a
+        // what-if scheme override; everything else lives in the
+        // scenario embedded in the trace.
         os << "workload = trace\n";
         os << "trace = " << tracePath << "\n";
+        if (!replayScheme.empty())
+            os << "scheme = " << replayScheme << "\n";
+        for (const auto &[knob, value] : replayParams.entries())
+            os << "scheme." << knob << " = " << value << "\n";
         return os.str();
     }
-    os << "scheme = " << lower(schemeKindName(scheme)) << "\n";
-    if (!ariadneConfig.empty())
-        os << "ariadne = " << ariadneConfig << "\n";
-    if (seedProfiles)
-        os << "seed_profiles = " << (*seedProfiles ? "true" : "false")
-           << "\n";
-    if (preDecomp)
-        os << "predecomp = " << (*preDecomp ? "true" : "false") << "\n";
-    if (hotInitPages)
-        os << "hot_init_pages = " << *hotInitPages << "\n";
+    os << "scheme = " << scheme << "\n";
+    for (const auto &[knob, value] : params.entries())
+        os << "scheme." << knob << " = " << value << "\n";
     os << "scale = " << JsonWriter::formatDouble(scale) << "\n";
     os << "seed = " << seed << "\n";
     os << "fleet = " << fleet << "\n";
@@ -539,10 +525,21 @@ struct SpecParser::Impl
     /** First line each key appeared on; finish() uses it to diagnose
      * key/workload combinations independent of line order. */
     std::map<std::string, std::size_t> seenKeys;
+    /** Last line each `scheme.<knob>` key appeared on; knob names and
+     * value types are validated in finish() against the *final*
+     * scheme, so a `scheme = ...` line may follow its knobs. */
+    std::map<std::string, std::size_t> paramLines;
+    /** Deprecated flat aliases (`ariadne`, `seed_profiles`, ...)
+     * with their normalized values; merged into the params in
+     * finish() when the final scheme has the knob, dropped otherwise
+     * (the historically tolerated behaviour). */
+    std::map<std::string, std::pair<std::string, std::size_t>>
+        legacyParams;
     bool anyEvents = false;
     std::size_t firstEventLine = 0;
 
     void feed(const std::string &raw, std::size_t lineno);
+    void validateScheme();
     void validateWorkload();
 };
 
@@ -574,7 +571,68 @@ SpecParser::finish()
                                                 : impl->spec.apps,
                         line);
     impl->validateWorkload();
+    impl->validateScheme();
     return std::move(impl->spec);
+}
+
+/**
+ * Resolve the scheme axis: merge the deprecated flat aliases into the
+ * knob bag, then check every knob (name and value type) against the
+ * final scheme's schema. Runs in finish() so `scheme = ...` may
+ * appear after the knobs it governs (sweep variants rely on this when
+ * they override the base scheme). For trace replays the knobs have
+ * already moved to the what-if override (see validateWorkload); an
+ * override with an explicit scheme is validated here, one that only
+ * tweaks knobs of the recorded scheme is validated by the FleetRunner
+ * once the recorded scheme is known.
+ */
+void
+SpecParser::Impl::validateScheme()
+{
+    const SchemeRegistry &registry = SchemeRegistry::instance();
+    bool is_trace = spec.workload == WorkloadKind::Trace;
+
+    if (!is_trace) {
+        const SchemeInfo &info = registry.at(spec.scheme);
+        for (const auto &[knob, legacy] : legacyParams) {
+            // Like every other key, the later line wins: an explicit
+            // scheme.* knob beats an *earlier* alias, but an alias
+            // following it overrides (sweep variants rely on this to
+            // replace base settings whichever syntax either side
+            // uses).
+            auto explicit_line = paramLines.find(knob);
+            if (explicit_line != paramLines.end() &&
+                explicit_line->second > legacy.second)
+                continue;
+            bool known = std::any_of(info.knobs.begin(),
+                                     info.knobs.end(),
+                                     [&, k = knob](const SchemeKnob &s) {
+                                         return s.name == k;
+                                     });
+            if (known) {
+                spec.params.set(knob, legacy.first);
+                paramLines[knob] = legacy.second;
+            }
+        }
+    }
+
+    const std::string &scheme_key =
+        is_trace ? spec.replayScheme : spec.scheme;
+    const SchemeParams &bag = is_trace ? spec.replayParams : spec.params;
+    if (scheme_key.empty())
+        return; // knob-only what-if override; FleetRunner validates
+    for (const auto &[knob, value] : bag.entries()) {
+        auto line_it = paramLines.find(knob);
+        std::size_t line =
+            line_it == paramLines.end() ? 0 : line_it->second;
+        SchemeParams probe;
+        probe.set(knob, value);
+        try {
+            registry.validate(scheme_key, probe);
+        } catch (const SchemeError &e) {
+            bad(line, e.what());
+        }
+    }
 }
 
 /**
@@ -598,19 +656,32 @@ SpecParser::Impl::validateWorkload()
         if (spec.tracePath.empty())
             bad(line_of("workload"),
                 "workload = trace needs a 'trace = FILE' line");
-        // A replay takes its identity — scheme, scale, seed, fleet,
+        // A replay takes its workload identity — scale, seed, fleet,
         // apps, program — from the scenario recorded in the trace;
-        // stray keys would be silently ignored, so reject them.
+        // stray keys would be silently ignored, so reject them. The
+        // scheme axis is the exception: `scheme` / `scheme.*` lines
+        // form a what-if override that re-runs the recorded workload
+        // under a different scheme.
         for (const auto &[key, line] : seenKeys)
-            if (key != "name" && key != "workload" && key != "trace")
+            if (key != "name" && key != "workload" &&
+                key != "trace" && key != "scheme" &&
+                key.rfind("scheme.", 0) != 0)
                 bad(line, "key '" + key + "' is not allowed with "
                           "workload = trace (the replay takes its "
-                          "scheme, scale, seed, fleet, apps and "
-                          "program from the recorded scenario; only "
-                          "'name' may be overridden)");
+                          "scale, seed, fleet, apps and program from "
+                          "the recorded scenario; only 'name' and a "
+                          "'scheme' what-if override may be set)");
         if (anyEvents)
             bad(firstEventLine,
                 "event program is not allowed with workload = trace");
+        // Relocate the scheme axis into the what-if override slots;
+        // the spec's own scheme/params stay at their defaults so the
+        // recorded scenario's axes are adopted untouched.
+        if (seenKeys.count("scheme"))
+            spec.replayScheme = spec.scheme;
+        spec.replayParams = spec.params;
+        spec.scheme = "zram";
+        spec.params = SchemeParams{};
         return;
     }
     if (seenKeys.count("trace"))
@@ -680,13 +751,23 @@ SpecParser::Impl::feed(const std::string &raw, std::size_t lineno)
             spec.name = value;
         } else if (key == "scheme") {
             try {
-                spec.scheme = parseSchemeKind(value);
+                spec.scheme = parseSchemeName(value);
             } catch (const SpecError &e) {
                 bad(lineno, e.what());
             }
+        } else if (key.rfind("scheme.", 0) == 0) {
+            std::string knob = key.substr(7);
+            if (knob.empty())
+                bad(lineno, "empty scheme knob name in '" + key + "'");
+            // Knob names and value types are checked against the
+            // final scheme's schema in finish(), so this line may
+            // precede (or follow) the `scheme = ...` it configures.
+            spec.params.set(knob, value);
+            paramLines[knob] = lineno;
         } else if (key == "ariadne") {
+            // Deprecated alias of `scheme.config`.
             validateAriadneConfig(value, lineno);
-            spec.ariadneConfig = value;
+            legacyParams["config"] = {value, lineno};
         } else if (key == "scale") {
             char *end = nullptr;
             double v = std::strtod(value.c_str(), &end);
@@ -698,12 +779,14 @@ SpecParser::Impl::feed(const std::string &raw, std::size_t lineno)
             spec.scale = v;
         } else if (key == "seed") {
             spec.seed = parseU64(value, lineno, "seed");
-        } else if (key == "seed_profiles") {
-            spec.seedProfiles = parseBool(value, lineno, key);
-        } else if (key == "predecomp") {
-            spec.preDecomp = parseBool(value, lineno, key);
+        } else if (key == "seed_profiles" || key == "predecomp") {
+            // Deprecated aliases of the scheme.* knobs of the same
+            // name; normalized so serialization stays canonical.
+            bool v = parseBool(value, lineno, key);
+            legacyParams[key] = {v ? "true" : "false", lineno};
         } else if (key == "hot_init_pages") {
-            spec.hotInitPages = parseU64(value, lineno, "hot_init_pages");
+            std::uint64_t v = parseU64(value, lineno, key);
+            legacyParams[key] = {std::to_string(v), lineno};
         } else if (key == "fleet") {
             spec.fleet = parseU64(value, lineno, "fleet size");
             if (spec.fleet == 0)
@@ -903,11 +986,12 @@ bool
 ScenarioSpec::operator==(const ScenarioSpec &o) const
 {
     return name == o.name && scheme == o.scheme &&
-           ariadneConfig == o.ariadneConfig && scale == o.scale &&
-           seed == o.seed && fleet == o.fleet && apps == o.apps &&
-           program == o.program && seedProfiles == o.seedProfiles &&
-           preDecomp == o.preDecomp && hotInitPages == o.hotInitPages &&
-           workload == o.workload && tracePath == o.tracePath &&
+           params == o.params && scale == o.scale && seed == o.seed &&
+           fleet == o.fleet && apps == o.apps &&
+           program == o.program && workload == o.workload &&
+           tracePath == o.tracePath &&
+           replayScheme == o.replayScheme &&
+           replayParams == o.replayParams &&
            population == o.population;
 }
 

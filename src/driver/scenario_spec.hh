@@ -11,7 +11,7 @@
  *     # Daily usage, §1: users switch apps >100 times a day.
  *     name = daily
  *     scheme = ariadne
- *     ariadne = EHL-1K-2K-16K
+ *     scheme.config = EHL-1K-2K-16K
  *     scale = 0.0625
  *     seed = 42
  *     fleet = 32
@@ -19,6 +19,16 @@
  *     event = repeat 120
  *     event =   switch_next 2s 1s
  *     event = end
+ *
+ * The scheme axis is registry-driven (swap/scheme_registry.hh):
+ * `scheme = NAME` selects any registered scheme and namespaced
+ * `scheme.<knob> = value` lines set its policy knobs, validated
+ * against the scheme's schema (`ariadne_sim --list-schemes` prints
+ * every scheme with its knobs). The pre-registry flat keys —
+ * `ariadne`, `seed_profiles`, `predecomp`, `hot_init_pages` — still
+ * parse as deprecated aliases of the corresponding `scheme.*` knobs
+ * and are dropped when the selected scheme lacks the knob, matching
+ * their historically tolerated behaviour.
  *
  * The event program speaks the MobileSystem driver vocabulary
  * (cold-launch / execute / background / relaunch / idle) plus the
@@ -42,6 +52,12 @@
  * override any of these, which is how one sweep compares app mixes
  * side by side.
  *
+ * A trace spec may additionally carry a *what-if* scheme override:
+ * `scheme = zswap` (plus `scheme.*` knobs) re-runs the recorded
+ * workload — its touch streams are bit-identical by construction —
+ * under a different scheme or different policy knobs. Without an
+ * override the replay reproduces the recorded report byte for byte.
+ *
  * Parse errors throw SpecError rather than calling fatal(): the
  * driver is a library and its callers (CLI, tests) decide how to
  * surface bad user input.
@@ -52,7 +68,6 @@
 
 #include <istream>
 #include <memory>
-#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -168,9 +183,12 @@ struct PopulationConfig
 struct ScenarioSpec
 {
     std::string name = "unnamed";
-    SchemeKind scheme = SchemeKind::Zram;
-    /** Ariadne Table-5 config string; empty = AriadneConfig defaults. */
-    std::string ariadneConfig;
+    /** Registered scheme name (`scheme = ...`); see
+     * SchemeRegistry. */
+    std::string scheme = "zram";
+    /** Scheme policy knobs (`scheme.<knob> = ...` lines), validated
+     * against the scheme's schema at parse time. */
+    SchemeParams params;
     double scale = 0.0625;
     /** Base seed; each fleet session derives its own from it. */
     std::uint64_t seed = 42;
@@ -188,14 +206,14 @@ struct ScenarioSpec
     /** Population parameters (workload = synthetic). */
     PopulationConfig population;
 
-    // Optional mechanism overrides — the ablation axes. Unset leaves
-    // the SystemConfig defaults untouched.
-    /** Override SystemConfig::seedAriadneProfiles (D1 ablation). */
-    std::optional<bool> seedProfiles;
-    /** Override AriadneConfig::preDecompEnabled (D3 ablation). */
-    std::optional<bool> preDecomp;
-    /** Override AriadneConfig::defaultHotInitPages (D1 ablation). */
-    std::optional<std::size_t> hotInitPages;
+    // What-if replay override (workload = trace only). The replay's
+    // workload stream always comes from the recording; these swap the
+    // scheme it runs under.
+    /** Scheme to replay under; empty = the recorded scheme. */
+    std::string replayScheme;
+    /** Knob overrides: overlaid on the recorded knobs when the
+     * scheme is unchanged, a fresh bag when it differs. */
+    SchemeParams replayParams;
 
     /**
      * SystemConfig for fleet session @p session_index: the spec's
@@ -280,8 +298,12 @@ struct ConfigLine
 /** Lex one raw config line (never throws; callers judge validity). */
 ConfigLine lexConfigLine(const std::string &raw);
 
-/** Parse "dram|swap|zram|zswap|ariadne" (case-insensitive). */
-SchemeKind parseSchemeKind(const std::string &text);
+/**
+ * Validate a `scheme =` value against the registry; returns the
+ * canonical lowercase key or throws SpecError listing the registered
+ * names.
+ */
+std::string parseSchemeName(const std::string &text);
 
 /**
  * Parse a duration like "250ms", "2s", "1500us", "30" (plain = ns).

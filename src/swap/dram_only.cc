@@ -1,3 +1,21 @@
 #include "swap/dram_only.hh"
 
-// DramOnlyScheme is header-only; this file anchors the library.
+namespace ariadne
+{
+
+SchemeInfo
+dramOnlySchemeInfo()
+{
+    SchemeInfo info;
+    info.key = "dram";
+    info.displayName = "DRAM";
+    info.description = "ideal all-in-DRAM baseline: no compression, "
+                       "no swapping, no reclaim";
+    info.unboundedDram = true;
+    info.build = [](SwapContext ctx, const SchemeParams &, double) {
+        return std::make_unique<DramOnlyScheme>(ctx);
+    };
+    return info;
+}
+
+} // namespace ariadne

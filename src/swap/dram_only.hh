@@ -11,6 +11,7 @@
 #define ARIADNE_SWAP_DRAM_ONLY_HH
 
 #include "swap/scheme.hh"
+#include "swap/scheme_registry.hh"
 
 namespace ariadne
 {
@@ -57,6 +58,9 @@ class DramOnlyScheme : public SwapScheme
         return 0;
     }
 };
+
+/** Registry entry for `scheme = dram` (see scheme_registry.cc). */
+SchemeInfo dramOnlySchemeInfo();
 
 } // namespace ariadne
 

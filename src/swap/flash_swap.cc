@@ -11,6 +11,32 @@ FlashSwapScheme::FlashSwapScheme(SwapContext context,
 {
 }
 
+SchemeInfo
+flashSwapSchemeInfo()
+{
+    SchemeInfo info;
+    info.key = "swap";
+    info.displayName = "SWAP";
+    info.description = "uncompressed flash swap with readahead "
+                       "clustering (low CPU, high latency and wear)";
+    info.knobs = {
+        {"flash_mb", "mb", "8192",
+         "swap partition capacity (paper scale)"},
+        {"reclaim_batch", "u64", "32", "pages written per reclaim "
+                                       "batch"},
+    };
+    info.build = [](SwapContext ctx, const SchemeParams &params,
+                    double scale) {
+        FlashSwapConfig fc;
+        fc.flashBytes = scaledBytes(
+            params.getMiB("flash_mb", fc.flashBytes), scale);
+        fc.reclaimBatch =
+            params.getU64("reclaim_batch", fc.reclaimBatch);
+        return std::make_unique<FlashSwapScheme>(ctx, fc);
+    };
+    return info;
+}
+
 FlashSwapScheme::AppState &
 FlashSwapScheme::stateFor(AppId uid)
 {

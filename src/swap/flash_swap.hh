@@ -15,6 +15,7 @@
 
 #include "mem/lru_list.hh"
 #include "swap/scheme.hh"
+#include "swap/scheme_registry.hh"
 
 namespace ariadne
 {
@@ -59,6 +60,9 @@ class FlashSwapScheme : public SwapScheme
     FlashDevice flashDev;
     std::map<AppId, AppState> appStates;
 };
+
+/** Registry entry for `scheme = swap` (see scheme_registry.cc). */
+SchemeInfo flashSwapSchemeInfo();
 
 } // namespace ariadne
 

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "mem/dram.hh"
 #include "mem/flash.hh"
@@ -65,6 +66,26 @@ struct CompStats
 
     /** Merge @p o into this. */
     void add(const CompStats &o) noexcept;
+};
+
+/**
+ * Optional hotness-prediction capability of a scheme. The system and
+ * the benches query it through SwapScheme::hotness() instead of
+ * downcasting to a concrete scheme type, so any future scheme with
+ * per-app hot-set knowledge (e.g. a TRRIP-style temperature
+ * predictor) plugs into profile seeding and Fig. 14 scoring without
+ * driver changes.
+ */
+class HotnessAware
+{
+  public:
+    virtual ~HotnessAware() = default;
+
+    /** Seed the per-app hot-set size profile (offline profiling). */
+    virtual void seedProfile(AppId uid, std::size_t hot_pages) = 0;
+
+    /** The scheme's current relaunch prediction for @p uid. */
+    virtual std::vector<PageKey> predictedHotSet(AppId uid) const = 0;
 };
 
 /** Outcome of a swap-in fault. */
@@ -122,6 +143,14 @@ class SwapScheme
 
     /** Underlying flash swap device, when the scheme has one. */
     virtual const FlashDevice *flash() const { return nullptr; }
+
+    /** Hotness-prediction capability, when the scheme has one. */
+    virtual HotnessAware *hotness() noexcept { return nullptr; }
+    const HotnessAware *
+    hotness() const noexcept
+    {
+        return const_cast<SwapScheme *>(this)->hotness();
+    }
 
     /** Per-app compression statistics. */
     const CompStats &appStats(AppId uid) const;

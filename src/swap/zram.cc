@@ -19,6 +19,83 @@ ZramScheme::name() const
     return cfg.writeback ? "zswap" : "zram";
 }
 
+namespace
+{
+
+/** Shared schema/factory of the zram and zswap registrations; they
+ * differ only in the writeback axis (and zswap's flash knob). */
+SchemeInfo
+zramFamilyInfo(bool writeback)
+{
+    SchemeInfo info;
+    info.key = writeback ? "zswap" : "zram";
+    info.displayName = writeback ? "ZSWAP" : "ZRAM";
+    info.description =
+        writeback ? "ZRAM baseline with ZSWAP-style writeback: "
+                    "oldest compressed objects spill to flash when "
+                    "the zpool fills"
+                  : "state-of-the-art Android baseline: 4 KB "
+                    "compression chunks, LRU victims, on-demand "
+                    "decompression";
+    info.knobs = {
+        {"zpool_mb", "mb", "3072", "zpool capacity (paper scale)"},
+        {"reclaim_batch", "u64", "32",
+         "pages compressed per reclaim batch"},
+        {"proactive_fraction", "double", "0.03",
+         "share of a backgrounded app's resident pages compressed "
+         "proactively",
+         [](const std::string &value) {
+             SchemeParams probe;
+             probe.set("proactive_fraction", value);
+             double v = probe.getDouble("proactive_fraction", 0.0);
+             if (v < 0.0 || v > 1.0)
+                 throw SchemeError("scheme knob 'proactive_fraction' "
+                                   "must be in [0, 1], got '" + value +
+                                   "'");
+         }},
+        {"codec", "string", "lzo",
+         "compression codec (lzo|lz4|bdi|null)",
+         [](const std::string &value) { parseCodecKnob(value); }},
+    };
+    if (writeback)
+        info.knobs.push_back({"flash_mb", "mb", "8192",
+                              "flash swap-space capacity for "
+                              "compressed writeback (paper scale)"});
+    info.build = [writeback](SwapContext ctx,
+                             const SchemeParams &params,
+                             double scale) {
+        ZramConfig zc;
+        zc.writeback = writeback;
+        zc.zpoolBytes = scaledBytes(
+            params.getMiB("zpool_mb", zc.zpoolBytes), scale);
+        zc.flashBytes = scaledBytes(
+            params.getMiB("flash_mb", zc.flashBytes), scale);
+        zc.reclaimBatch =
+            params.getU64("reclaim_batch", zc.reclaimBatch);
+        // Range-checked by the knob's check lambda at validate time.
+        zc.proactiveFraction = params.getDouble("proactive_fraction",
+                                                zc.proactiveFraction);
+        if (const std::string *codec = params.raw("codec"))
+            zc.codec = parseCodecKnob(*codec);
+        return std::make_unique<ZramScheme>(ctx, zc);
+    };
+    return info;
+}
+
+} // namespace
+
+SchemeInfo
+zramSchemeInfo()
+{
+    return zramFamilyInfo(/*writeback=*/false);
+}
+
+SchemeInfo
+zswapSchemeInfo()
+{
+    return zramFamilyInfo(/*writeback=*/true);
+}
+
 ZramScheme::AppState &
 ZramScheme::stateFor(AppId uid)
 {

@@ -21,6 +21,7 @@
 #include "compress/registry.hh"
 #include "mem/lru_list.hh"
 #include "swap/scheme.hh"
+#include "swap/scheme_registry.hh"
 
 namespace ariadne
 {
@@ -129,6 +130,13 @@ class ZramScheme : public SwapScheme
     std::vector<CompressionEvent> compLog;
     std::vector<Sector> sectorLog;
 };
+
+/** Registry entry for `scheme = zram` (see scheme_registry.cc). */
+SchemeInfo zramSchemeInfo();
+
+/** Registry entry for `scheme = zswap` (ZramScheme with flash
+ * writeback enabled). */
+SchemeInfo zswapSchemeInfo();
 
 } // namespace ariadne
 

@@ -8,30 +8,17 @@
 namespace ariadne
 {
 
-const char *
-schemeKindName(SchemeKind kind) noexcept
-{
-    switch (kind) {
-      case SchemeKind::Dram: return "DRAM";
-      case SchemeKind::Swap: return "SWAP";
-      case SchemeKind::Zram: return "ZRAM";
-      case SchemeKind::Zswap: return "ZSWAP";
-      case SchemeKind::Ariadne: return "Ariadne";
-      default: return "unknown";
-    }
-}
-
 MobileSystem::MobileSystem(const SystemConfig &config,
                            const std::vector<AppProfile> &profiles)
     : cfg(config), timing(cfg.timing), appProfiles(profiles)
 {
     fatalIf(appProfiles.empty(), "MobileSystem needs at least one app");
 
-    // Size the anonymous-page budget. The ideal DRAM baseline gets
+    // Size the anonymous-page budget. Ideal-DRAM-style schemes get
     // enough memory to never reclaim (the paper's optimistic bound).
     std::size_t dram_bytes = static_cast<std::size_t>(
         static_cast<double>(cfg.dramBytes) * cfg.scale);
-    if (cfg.scheme == SchemeKind::Dram) {
+    if (SchemeRegistry::instance().at(cfg.scheme).unboundedDram) {
         std::size_t need = 0;
         for (const auto &p : appProfiles)
             need += p.anonBytes5min;
@@ -65,56 +52,26 @@ MobileSystem::makeScheme()
     SwapContext ctx{simClock, timing,     cpuAccount,
                     activity, *dramModel, *pageCompressor};
 
-    auto scaled = [&](std::size_t bytes) {
-        return static_cast<std::size_t>(static_cast<double>(bytes) *
-                                        cfg.scale);
-    };
+    swapScheme = SchemeRegistry::instance().build(
+        cfg.scheme, ctx, cfg.schemeParams, cfg.scale);
 
-    switch (cfg.scheme) {
-      case SchemeKind::Dram:
-        swapScheme = std::make_unique<DramOnlyScheme>(ctx);
-        break;
-      case SchemeKind::Swap: {
-        FlashSwapConfig fc = cfg.flashSwap;
-        fc.flashBytes = scaled(fc.flashBytes);
-        swapScheme = std::make_unique<FlashSwapScheme>(ctx, fc);
-        break;
-      }
-      case SchemeKind::Zram:
-      case SchemeKind::Zswap: {
-        ZramConfig zc = cfg.zram;
-        zc.writeback = (cfg.scheme == SchemeKind::Zswap);
-        zc.zpoolBytes = scaled(zc.zpoolBytes);
-        zc.flashBytes = scaled(zc.flashBytes);
-        swapScheme = std::make_unique<ZramScheme>(ctx, zc);
-        break;
-      }
-      case SchemeKind::Ariadne: {
-        AriadneConfig ac = cfg.ariadne;
-        ac.zpoolBytes = scaled(ac.zpoolBytes);
-        ac.flashBytes = scaled(ac.flashBytes);
-        auto scheme = std::make_unique<AriadneScheme>(ctx, ac);
-        // Offline profiling seed: expected hot pages per app (§4.2).
-        for (const auto &p : cfg.seedAriadneProfiles
-                 ? appProfiles
-                 : std::vector<AppProfile>{}) {
+    // Offline profiling seed: expected hot pages per app (§4.2),
+    // derived from the profiles this system carries — which is why
+    // the system layer, not the scheme factory, performs it. Any
+    // scheme with the hotness capability participates; the
+    // `seed_profiles` knob is the D1 ablation axis.
+    HotnessAware *predictor = swapScheme->hotness();
+    if (predictor &&
+        cfg.schemeParams.getBool("seed_profiles", true)) {
+        for (const auto &p : appProfiles) {
             auto hot_pages = static_cast<std::size_t>(
                 p.hotFraction *
                 static_cast<double>(p.anonBytes10s) * cfg.scale /
                 static_cast<double>(pageSize));
-            scheme->seedProfile(p.uid,
-                                std::max<std::size_t>(1, hot_pages));
+            predictor->seedProfile(
+                p.uid, std::max<std::size_t>(1, hot_pages));
         }
-        swapScheme = std::move(scheme);
-        break;
-      }
     }
-}
-
-AriadneScheme *
-MobileSystem::ariadne() noexcept
-{
-    return dynamic_cast<AriadneScheme *>(swapScheme.get());
 }
 
 AppInstance &
@@ -189,7 +146,7 @@ MobileSystem::processTouch(AppId uid, const TouchEvent &ev,
         pageTable.emplace(key, std::move(meta));
 
         if (!dramModel->allocate(1)) {
-            swapScheme->reclaim(cfg.zram.reclaimBatch, true);
+            swapScheme->reclaim(cfg.directReclaimBatch, true);
             panicIf(!dramModel->allocate(1),
                     "allocation failed after direct reclaim");
         }
@@ -220,7 +177,7 @@ MobileSystem::processTouch(AppId uid, const TouchEvent &ev,
         if (stats)
             ++stats->lostRecreated;
         if (!dramModel->allocate(1)) {
-            swapScheme->reclaim(cfg.zram.reclaimBatch, true);
+            swapScheme->reclaim(cfg.directReclaimBatch, true);
             panicIf(!dramModel->allocate(1),
                     "allocation failed after direct reclaim");
         }
@@ -329,8 +286,8 @@ MobileSystem::runRelaunch(AppId uid,
 
     // Capture the scheme's prediction before the relaunch clears it.
     std::vector<PageKey> predicted;
-    if (AriadneScheme *ari = ariadne())
-        predicted = ari->predictedHotSet(uid);
+    if (const HotnessAware *predictor = swapScheme->hotness())
+        predicted = predictor->predictedHotSet(uid);
 
     swapScheme->onRelaunchStart(uid);
     inRelaunch = true;

@@ -20,12 +20,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
-#include "core/ariadne.hh"
 #include "mem/dram.hh"
-#include "swap/dram_only.hh"
-#include "swap/flash_swap.hh"
 #include "swap/kswapd.hh"
-#include "swap/zram.hh"
+#include "swap/scheme_registry.hh"
 #include "sys/system_config.hh"
 #include "workload/generator.hh"
 #include "workload/page_synth.hh"
@@ -149,8 +146,13 @@ class MobileSystem
     Dram &dram() noexcept { return *dramModel; }
     PageCompressor &compressor() noexcept { return *pageCompressor; }
 
-    /** The AriadneScheme, or nullptr for other schemes. */
-    AriadneScheme *ariadne() noexcept;
+    /**
+     * The scheme's hotness-prediction capability, or nullptr when the
+     * scheme has none. Replaces the old concrete-type downcast
+     * (MobileSystem::ariadne()), so driver and bench code works with
+     * any registered scheme that predicts hot sets.
+     */
+    HotnessAware *hotness() noexcept { return swapScheme->hotness(); }
 
     /** kswapd-thread CPU (reclaim daemon + file writeback), Fig. 3. */
     Tick kswapdCpuNs() const noexcept;

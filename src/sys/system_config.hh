@@ -3,28 +3,26 @@
  * System-level configuration (the paper's Table 4 platform plus
  * scheme selection).
  *
- * All capacities are given at paper scale and multiplied by `scale`
- * internally, so a bench can run at 1/8 footprint and reconstruct
- * full-scale latencies (see RelaunchStats::fullScaleNs).
+ * The swap scheme is selected by registry name (`dram`, `swap`,
+ * `zram`, `zswap`, `ariadne`; see swap/scheme_registry.hh) and
+ * configured through a SchemeParams knob bag, so adding a scheme or a
+ * policy knob never touches this struct. All capacities are given at
+ * paper scale and multiplied by `scale` internally, so a bench can
+ * run at 1/8 footprint and reconstruct full-scale latencies (see
+ * RelaunchStats::fullScaleNs).
  */
 
 #ifndef ARIADNE_SYS_SYSTEM_CONFIG_HH
 #define ARIADNE_SYS_SYSTEM_CONFIG_HH
 
-#include "core/config.hh"
+#include <string>
+
 #include "sim/energy_model.hh"
 #include "sim/timing_model.hh"
-#include "swap/flash_swap.hh"
-#include "swap/zram.hh"
+#include "swap/scheme_registry.hh"
 
 namespace ariadne
 {
-
-/** Which swap scheme the system runs. */
-enum class SchemeKind { Dram, Swap, Zram, Zswap, Ariadne };
-
-/** Stable display name of a scheme kind. */
-const char *schemeKindName(SchemeKind kind) noexcept;
 
 /** Full system configuration. */
 struct SystemConfig
@@ -41,12 +39,17 @@ struct SystemConfig
     double lowWatermark = 0.02;
     double highWatermark = 0.05;
 
-    SchemeKind scheme = SchemeKind::Zram;
+    /** Registered name of the swap scheme to run. */
+    std::string scheme = "zram";
 
-    /** Scheme-specific knobs (zpool/flash sizes at paper scale). */
-    AriadneConfig ariadne;
-    ZramConfig zram;
-    FlashSwapConfig flashSwap;
+    /** Scheme policy knobs, validated against the scheme's schema
+     * (`scheme.<knob>` keys of a scenario config). */
+    SchemeParams schemeParams;
+
+    /** Pages requested per synchronous direct-reclaim call on the
+     * fault path (scheme-independent; kswapd sizes its own batches
+     * from the watermarks). */
+    std::size_t directReclaimBatch = 32;
 
     /** File pages written back per anonymous page allocated; models
      * the file-cache share of kswapd work that exists under every
@@ -58,11 +61,6 @@ struct SystemConfig
 
     /** Deterministic seed for the workload instances. */
     std::uint64_t seed = 42;
-
-    /** Seed Ariadne's per-app hot-set profiles from offline data
-     * (§4.2). Disable for the D1 ablation: without seeding the hot
-     * list starts empty and must be learned from the first relaunch. */
-    bool seedAriadneProfiles = true;
 
     /** Per-page application-side touch cost (read/first-use work). */
     Tick pageTouchNs = 1500;

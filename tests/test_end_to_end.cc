@@ -16,14 +16,14 @@ namespace
 {
 
 SystemConfig
-config(SchemeKind kind, const std::string &ariadne_cfg = "")
+config(const std::string &kind, const std::string &ariadne_cfg = "")
 {
     SystemConfig cfg;
     cfg.scale = 0.03125;
     cfg.scheme = kind;
     cfg.seed = 11;
     if (!ariadne_cfg.empty())
-        cfg.ariadne = AriadneConfig::parse(ariadne_cfg);
+        cfg.schemeParams.set("config", ariadne_cfg);
     return cfg;
 }
 
@@ -32,16 +32,16 @@ config(SchemeKind kind, const std::string &ariadne_cfg = "")
 TEST(EndToEnd, HeadlineRelaunchOrdering)
 {
     // Ariadne-EHL ~halves the ZRAM relaunch and approaches DRAM.
-    auto run = [](SchemeKind kind) {
+    auto run = [](const std::string &kind) {
         MobileSystem sys(config(kind), standardApps());
         SessionDriver driver(sys);
         return driver
             .targetRelaunchScenario(standardApp("YouTube").uid, 0)
             .fullScaleNs(0.03125);
     };
-    double dram = static_cast<double>(run(SchemeKind::Dram));
-    double zram = static_cast<double>(run(SchemeKind::Zram));
-    double ariadne_ms = static_cast<double>(run(SchemeKind::Ariadne));
+    double dram = static_cast<double>(run("dram"));
+    double zram = static_cast<double>(run("zram"));
+    double ariadne_ms = static_cast<double>(run("ariadne"));
     EXPECT_GT(zram / dram, 1.6);  // paper: 2.1x
     EXPECT_LT(zram / dram, 3.0);
     EXPECT_LT(ariadne_ms / dram, 1.3); // paper: within 10%
@@ -50,7 +50,7 @@ TEST(EndToEnd, HeadlineRelaunchOrdering)
 
 TEST(EndToEnd, AriadneCutsCompDecompCpuForHotRichApps)
 {
-    auto cpu = [](SchemeKind kind) {
+    auto cpu = [](const std::string &kind) {
         MobileSystem sys(config(kind), standardApps());
         SessionDriver driver(sys);
         AppId uid = standardApp("YouTube").uid;
@@ -58,14 +58,14 @@ TEST(EndToEnd, AriadneCutsCompDecompCpuForHotRichApps)
             driver.targetRelaunchScenario(uid, v);
         return sys.cpu().compDecompTotal();
     };
-    EXPECT_LT(cpu(SchemeKind::Ariadne), cpu(SchemeKind::Zram));
+    EXPECT_LT(cpu("ariadne"), cpu("zram"));
 }
 
 TEST(EndToEnd, AriadneFlashWearBelowSwap)
 {
     // Compressed (and cold-only) writeback writes less flash than raw
     // swap for the same workload.
-    auto wear = [](SchemeKind kind) {
+    auto wear = [](const std::string &kind) {
         SystemConfig cfg = config(kind);
         MobileSystem sys(cfg, standardApps());
         SessionDriver driver(sys);
@@ -73,13 +73,13 @@ TEST(EndToEnd, AriadneFlashWearBelowSwap)
         const FlashDevice *flash = sys.scheme().flash();
         return flash ? flash->hostWriteBytes() : 0;
     };
-    std::uint64_t swap_wear = wear(SchemeKind::Swap);
-    std::uint64_t ariadne_wear = wear(SchemeKind::Ariadne);
+    std::uint64_t swap_wear = wear("swap");
+    std::uint64_t ariadne_wear = wear("ariadne");
     EXPECT_GT(swap_wear, 0u);
     EXPECT_LT(ariadne_wear, swap_wear);
 }
 
-class SchemeStress : public ::testing::TestWithParam<SchemeKind>
+class SchemeStress : public ::testing::TestWithParam<const char *>
 {
 };
 
@@ -110,11 +110,11 @@ TEST_P(SchemeStress, LongMixedWorkloadStaysConsistent)
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeStress,
-                         ::testing::Values(SchemeKind::Dram,
-                                           SchemeKind::Swap,
-                                           SchemeKind::Zram,
-                                           SchemeKind::Zswap,
-                                           SchemeKind::Ariadne));
+                         ::testing::Values("dram",
+                                           "swap",
+                                           "zram",
+                                           "zswap",
+                                           "ariadne"));
 
 class AriadneConfigSweep
     : public ::testing::TestWithParam<const char *>
@@ -123,7 +123,7 @@ class AriadneConfigSweep
 
 TEST_P(AriadneConfigSweep, EveryTableFiveConfigWorks)
 {
-    SystemConfig cfg = config(SchemeKind::Ariadne, GetParam());
+    SystemConfig cfg = config("ariadne", GetParam());
     MobileSystem sys(cfg, standardApps());
     SessionDriver driver(sys);
     RelaunchStats st =
@@ -147,23 +147,23 @@ TEST(EndToEnd, ZswapKeepsMoreDataThanZram)
     // ZSWAP extends capacity via flash writeback: under identical
     // pressure it loses no (or fewer) pages than plain ZRAM with a
     // tiny pool.
-    auto lost = [](SchemeKind kind) {
+    auto lost = [](const std::string &kind) {
         SystemConfig cfg = config(kind);
-        cfg.zram.zpoolBytes = std::size_t{192} * 1024 * 1024;
+        cfg.schemeParams.set("zpool_mb", "192");
         MobileSystem sys(cfg, standardApps());
         SessionDriver driver(sys);
         driver.warmUpAllApps();
         return sys.scheme().lostPages();
     };
-    EXPECT_LE(lost(SchemeKind::Zswap), lost(SchemeKind::Zram));
+    EXPECT_LE(lost("zswap"), lost("zram"));
 }
 
 TEST(EndToEnd, PreDecompAblation)
 {
     // D3 ablation: disabling PreDecomp cannot make relaunches faster.
-    SystemConfig with = config(SchemeKind::Ariadne, "AL-1K-2K-16K");
+    SystemConfig with = config("ariadne", "AL-1K-2K-16K");
     SystemConfig without = with;
-    without.ariadne.preDecompEnabled = false;
+    without.schemeParams.set("predecomp", "false");
     auto run = [](const SystemConfig &cfg) {
         MobileSystem sys(cfg, standardApps());
         SessionDriver driver(sys);
@@ -177,7 +177,7 @@ TEST(EndToEnd, PreDecompAblation)
 TEST(EndToEnd, Fig5StatisticsEmergeFromGenerator)
 {
     // System-level check of Insight 1 on a running instance.
-    MobileSystem sys(config(SchemeKind::Zram), standardApps());
+    MobileSystem sys(config("zram"), standardApps());
     SessionDriver driver(sys);
     AppId yt = standardApp("YouTube").uid;
     driver.targetRelaunchScenario(yt, 0);

@@ -145,8 +145,8 @@ TEST(FleetRunner, ProgrammaticSpecMatchesParsedSpec)
 
     ScenarioSpec built;
     built.name = "test-fleet";
-    built.scheme = SchemeKind::Ariadne;
-    built.ariadneConfig = "EHL-1K-2K-16K";
+    built.scheme = "ariadne";
+    built.params.set("config", "EHL-1K-2K-16K");
     built.scale = 0.0625;
     built.seed = 7;
     built.fleet = 6;
@@ -164,7 +164,7 @@ TEST(FleetRunner, TargetScenarioRecordsMeasuredRelaunch)
 {
     ScenarioSpec spec;
     spec.name = "target";
-    spec.scheme = SchemeKind::Zram;
+    spec.scheme = "zram";
     spec.scale = 0.0625;
     spec.apps = {"YouTube", "Twitter", "Firefox"};
     spec.program.push_back(Event::targetScenario("YouTube", 0));
@@ -177,7 +177,7 @@ TEST(FleetRunner, ColdLaunchIsNotARelaunchSample)
 {
     ScenarioSpec spec;
     spec.name = "cold";
-    spec.scheme = SchemeKind::Zram;
+    spec.scheme = "zram";
     spec.scale = 0.0625;
     spec.apps = {"YouTube"};
     // First relaunch op can only cold-launch: nothing measured.
@@ -234,7 +234,7 @@ TEST(FleetRunner, CustomEventsCallHooksInProgramOrder)
 {
     ScenarioSpec spec;
     spec.name = "hooks";
-    spec.scheme = SchemeKind::Zram;
+    spec.scheme = "zram";
     spec.scale = 0.0625;
     spec.apps = {"YouTube"};
     spec.program.push_back(Event::custom(1));

@@ -11,7 +11,7 @@ namespace
 {
 
 SystemConfig
-testConfig(SchemeKind kind)
+testConfig(const std::string &kind)
 {
     SystemConfig cfg;
     cfg.scale = 0.03125; // 1/32 for fast tests
@@ -24,7 +24,7 @@ testConfig(SchemeKind kind)
 
 TEST(MobileSystem, ColdLaunchAllocatesWorkingSet)
 {
-    MobileSystem sys(testConfig(SchemeKind::Zram), standardApps());
+    MobileSystem sys(testConfig("zram"), standardApps());
     AppId yt = standardApp("YouTube").uid;
     std::size_t used_before = sys.dram().usedPages();
     sys.appColdLaunch(yt);
@@ -35,7 +35,7 @@ TEST(MobileSystem, ColdLaunchAllocatesWorkingSet)
 
 TEST(MobileSystem, RelaunchStatsAreConsistent)
 {
-    MobileSystem sys(testConfig(SchemeKind::Zram), standardApps());
+    MobileSystem sys(testConfig("zram"), standardApps());
     SessionDriver driver(sys);
     AppId yt = standardApp("YouTube").uid;
     RelaunchStats st = driver.targetRelaunchScenario(yt, 0);
@@ -47,7 +47,7 @@ TEST(MobileSystem, RelaunchStatsAreConsistent)
 
 TEST(MobileSystem, DramSchemeNeverFaults)
 {
-    MobileSystem sys(testConfig(SchemeKind::Dram), standardApps());
+    MobileSystem sys(testConfig("dram"), standardApps());
     SessionDriver driver(sys);
     RelaunchStats st =
         driver.targetRelaunchScenario(standardApp("Twitter").uid, 0);
@@ -58,43 +58,52 @@ TEST(MobileSystem, DramSchemeNeverFaults)
 TEST(MobileSystem, SchemeOrderingMatchesFig2)
 {
     // DRAM < ZRAM < SWAP relaunch latency (paper Fig. 2).
-    auto run = [](SchemeKind kind) {
+    auto run = [](const std::string &kind) {
         MobileSystem sys(testConfig(kind), standardApps());
         SessionDriver driver(sys);
         return driver
             .targetRelaunchScenario(standardApp("YouTube").uid, 0)
             .totalNs;
     };
-    Tick dram = run(SchemeKind::Dram);
-    Tick zram = run(SchemeKind::Zram);
-    Tick swap = run(SchemeKind::Swap);
+    Tick dram = run("dram");
+    Tick zram = run("zram");
+    Tick swap = run("swap");
     EXPECT_LT(dram, zram);
     EXPECT_LT(zram, swap);
 }
 
 TEST(MobileSystem, AriadneBeatsZram)
 {
-    auto run = [](SchemeKind kind) {
+    auto run = [](const std::string &kind) {
         MobileSystem sys(testConfig(kind), standardApps());
         SessionDriver driver(sys);
         return driver
             .targetRelaunchScenario(standardApp("YouTube").uid, 0)
             .totalNs;
     };
-    EXPECT_LT(run(SchemeKind::Ariadne), run(SchemeKind::Zram));
+    EXPECT_LT(run("ariadne"), run("zram"));
 }
 
-TEST(MobileSystem, AriadneAccessorOnlyForAriadne)
+TEST(MobileSystem, HotnessCapabilityOnlyForPredictingSchemes)
 {
-    MobileSystem zram(testConfig(SchemeKind::Zram), standardApps());
-    EXPECT_EQ(zram.ariadne(), nullptr);
-    MobileSystem ari(testConfig(SchemeKind::Ariadne), standardApps());
-    EXPECT_NE(ari.ariadne(), nullptr);
+    // The capability query replaces the old AriadneScheme downcast:
+    // schemes without hot-set prediction return nullptr, Ariadne
+    // exposes seeding and prediction through the interface.
+    MobileSystem zram(testConfig("zram"), standardApps());
+    EXPECT_EQ(zram.hotness(), nullptr);
+    MobileSystem ari(testConfig("ariadne"), standardApps());
+    ASSERT_NE(ari.hotness(), nullptr);
+    // The capability serves predictions once the scheme has seen a
+    // relaunch (the same data Fig. 14 scores).
+    SessionDriver driver(ari);
+    AppId yt = standardApp("YouTube").uid;
+    driver.targetRelaunchScenario(yt, 0);
+    EXPECT_FALSE(ari.hotness()->predictedHotSet(yt).empty());
 }
 
 TEST(MobileSystem, KswapdCpuGrowsUnderPressure)
 {
-    MobileSystem sys(testConfig(SchemeKind::Zram), standardApps());
+    MobileSystem sys(testConfig("zram"), standardApps());
     SessionDriver driver(sys);
     driver.warmUpAllApps();
     EXPECT_GT(sys.kswapdCpuNs(), 0u);
@@ -102,7 +111,7 @@ TEST(MobileSystem, KswapdCpuGrowsUnderPressure)
 
 TEST(MobileSystem, EnergyIsPositiveAndActivitySane)
 {
-    MobileSystem sys(testConfig(SchemeKind::Zram), standardApps());
+    MobileSystem sys(testConfig("zram"), standardApps());
     SessionDriver driver(sys);
     driver.targetRelaunchScenario(standardApp("Firefox").uid, 0);
     ActivityTotals totals = sys.activityTotals();
@@ -114,7 +123,7 @@ TEST(MobileSystem, EnergyIsPositiveAndActivitySane)
 
 TEST(MobileSystem, TouchCaptureRecordsAccesses)
 {
-    MobileSystem sys(testConfig(SchemeKind::Zram), standardApps());
+    MobileSystem sys(testConfig("zram"), standardApps());
     AppId yt = standardApp("YouTube").uid;
     sys.startTouchCapture(yt);
     sys.appColdLaunch(yt);
@@ -125,7 +134,7 @@ TEST(MobileSystem, TouchCaptureRecordsAccesses)
 
 TEST(MobileSystem, IdleRunsKswapd)
 {
-    MobileSystem sys(testConfig(SchemeKind::Zram), standardApps());
+    MobileSystem sys(testConfig("zram"), standardApps());
     Tick t0 = sys.clock().now();
     sys.idle(Tick{5} * 1000000000ULL);
     EXPECT_EQ(sys.clock().now() - t0, Tick{5} * 1000000000ULL);
@@ -134,7 +143,7 @@ TEST(MobileSystem, IdleRunsKswapd)
 TEST(MobileSystem, DeterministicAcrossRuns)
 {
     auto run = [] {
-        MobileSystem sys(testConfig(SchemeKind::Ariadne),
+        MobileSystem sys(testConfig("ariadne"),
                          standardApps());
         SessionDriver driver(sys);
         return driver
@@ -146,7 +155,7 @@ TEST(MobileSystem, DeterministicAcrossRuns)
 
 TEST(MobileSystem, CoverageReportedForAriadne)
 {
-    MobileSystem sys(testConfig(SchemeKind::Ariadne), standardApps());
+    MobileSystem sys(testConfig("ariadne"), standardApps());
     SessionDriver driver(sys);
     AppId yt = standardApp("YouTube").uid;
     driver.targetRelaunchScenario(yt, 0);
@@ -159,7 +168,7 @@ TEST(MobileSystem, CoverageReportedForAriadne)
 
 TEST(MobileSystemDeath, UnknownAppPanics)
 {
-    MobileSystem sys(testConfig(SchemeKind::Zram), standardApps());
+    MobileSystem sys(testConfig("zram"), standardApps());
     EXPECT_DEATH(sys.appColdLaunch(999), "unknown app");
 }
 
@@ -169,7 +178,7 @@ TEST(SessionDriver, UsageScenariosAdvanceTimeAndDifferInIntensity)
     // work under ZRAM) into the same wall-clock span than the light
     // mix, which idles between switches.
     auto cpu_after = [](bool heavy) {
-        MobileSystem sys(testConfig(SchemeKind::Zram), standardApps());
+        MobileSystem sys(testConfig("zram"), standardApps());
         SessionDriver driver(sys);
         if (heavy)
             driver.heavyUsageScenario(Tick{20} * 1000000000ULL);
@@ -183,7 +192,7 @@ TEST(SessionDriver, UsageScenariosAdvanceTimeAndDifferInIntensity)
 TEST(SessionDriver, UsageScenariosAreDeterministic)
 {
     auto run = [](bool heavy) {
-        MobileSystem sys(testConfig(SchemeKind::Zram), standardApps());
+        MobileSystem sys(testConfig("zram"), standardApps());
         SessionDriver driver(sys);
         if (heavy)
             driver.heavyUsageScenario(Tick{10} * 1000000000ULL);
@@ -198,7 +207,7 @@ TEST(SessionDriver, UsageScenariosAreDeterministic)
 
 TEST(MobileSystem, WindowEnergyMatchesFullRunFromZeroSnapshot)
 {
-    MobileSystem sys(testConfig(SchemeKind::Zram), standardApps());
+    MobileSystem sys(testConfig("zram"), standardApps());
     SessionDriver driver(sys);
     driver.targetRelaunchScenario(standardApp("YouTube").uid, 0);
     // A zero snapshot over the full wall time at scale 1 is exactly
@@ -211,7 +220,7 @@ TEST(MobileSystem, WindowEnergyMatchesFullRunFromZeroSnapshot)
 
 TEST(MobileSystem, WindowEnergyExcludesActivityBeforeTheSnapshot)
 {
-    MobileSystem sys(testConfig(SchemeKind::Zram), standardApps());
+    MobileSystem sys(testConfig("zram"), standardApps());
     SessionDriver driver(sys);
     driver.warmUpAllApps();
     ActivityTotals before = sys.activityTotals();

@@ -17,7 +17,7 @@ const char *fullConfig = R"(
 # A kitchen-sink scenario exercising every key and op.
 name = kitchen-sink
 scheme = ariadne
-ariadne = AL-512-2K-16K
+scheme.config = AL-512-2K-16K
 scale = 0.125
 seed = 1234
 fleet = 16
@@ -43,8 +43,8 @@ TEST(ScenarioSpec, ParsesEveryKeyAndOp)
 {
     ScenarioSpec spec = ScenarioSpec::parseString(fullConfig);
     EXPECT_EQ(spec.name, "kitchen-sink");
-    EXPECT_EQ(spec.scheme, SchemeKind::Ariadne);
-    EXPECT_EQ(spec.ariadneConfig, "AL-512-2K-16K");
+    EXPECT_EQ(spec.scheme, "ariadne");
+    EXPECT_EQ(spec.params.getString("config", ""), "AL-512-2K-16K");
     EXPECT_DOUBLE_EQ(spec.scale, 0.125);
     EXPECT_EQ(spec.seed, 1234u);
     EXPECT_EQ(spec.fleet, 16u);
@@ -103,8 +103,11 @@ TEST(ScenarioSpec, ParsesCompoundUsageOps)
     EXPECT_TRUE(spec == reparsed);
 }
 
-TEST(ScenarioSpec, ParsesAblationOverrideKeys)
+TEST(ScenarioSpec, LegacyFlatKeysAliasSchemeKnobs)
 {
+    // The pre-registry flat keys still parse, landing in the scheme
+    // knob bag (normalized), so old configs and old recorded traces
+    // keep replaying.
     ScenarioSpec spec = ScenarioSpec::parseString(
         "scheme = ariadne\n"
         "ariadne = EHL-1K-2K-16K\n"
@@ -112,28 +115,97 @@ TEST(ScenarioSpec, ParsesAblationOverrideKeys)
         "predecomp = off\n"
         "hot_init_pages = 0\n"
         "event = warmup\n");
-    ASSERT_TRUE(spec.seedProfiles.has_value());
-    EXPECT_FALSE(*spec.seedProfiles);
-    ASSERT_TRUE(spec.preDecomp.has_value());
-    EXPECT_FALSE(*spec.preDecomp);
-    ASSERT_TRUE(spec.hotInitPages.has_value());
-    EXPECT_EQ(*spec.hotInitPages, 0u);
+    EXPECT_EQ(spec.params.getString("config", ""), "EHL-1K-2K-16K");
+    EXPECT_FALSE(spec.params.getBool("seed_profiles", true));
+    EXPECT_FALSE(spec.params.getBool("predecomp", true));
+    EXPECT_EQ(spec.params.getU64("hot_init_pages", 7), 0u);
 
-    // The overrides reach the derived SystemConfig...
+    // The knobs reach the derived SystemConfig...
     SystemConfig cfg = spec.systemConfig(0);
-    EXPECT_FALSE(cfg.seedAriadneProfiles);
-    EXPECT_FALSE(cfg.ariadne.preDecompEnabled);
-    EXPECT_EQ(cfg.ariadne.defaultHotInitPages, 0u);
-    // ...and round-trip through toString.
+    EXPECT_EQ(cfg.scheme, "ariadne");
+    EXPECT_TRUE(cfg.schemeParams == spec.params);
+    // ...and round-trip through toString (in namespaced form).
+    EXPECT_NE(spec.toString().find("scheme.predecomp = false"),
+              std::string::npos);
     EXPECT_TRUE(ScenarioSpec::parseString(spec.toString()) == spec);
 
-    // Unset leaves the defaults untouched.
-    ScenarioSpec plain = ScenarioSpec::parseString("event = warmup\n");
-    EXPECT_TRUE(plain.systemConfig(0).seedAriadneProfiles);
-    EXPECT_TRUE(plain.systemConfig(0).ariadne.preDecompEnabled);
+    // Alias and namespaced form follow the same last-line-wins rule
+    // as every other key (sweep variants override base settings
+    // whichever syntax either side uses).
+    ScenarioSpec explicit_last = ScenarioSpec::parseString(
+        "scheme = ariadne\n"
+        "predecomp = off\n"
+        "scheme.predecomp = on\n"
+        "event = warmup\n");
+    EXPECT_TRUE(explicit_last.params.getBool("predecomp", false));
+    ScenarioSpec alias_last = ScenarioSpec::parseString(
+        "scheme = ariadne\n"
+        "scheme.config = EHL-1K-2K-16K\n"
+        "ariadne = AL-1K-2K-16K\n"
+        "event = warmup\n");
+    EXPECT_EQ(alias_last.params.getString("config", ""),
+              "AL-1K-2K-16K");
+
+    // Aliases of knobs the selected scheme lacks are dropped, which
+    // is how they always behaved (ZRAM ignored `hot_init_pages`).
+    ScenarioSpec zram = ScenarioSpec::parseString(
+        "scheme = zram\n"
+        "hot_init_pages = 0\n"
+        "event = warmup\n");
+    EXPECT_TRUE(zram.params.empty());
 
     EXPECT_THROW(ScenarioSpec::parseString("seed_profiles = maybe\n"),
                  SpecError);
+}
+
+TEST(ScenarioSpec, SchemeKnobsAreValidatedAgainstTheSchema)
+{
+    // Order-free: the knob may precede the scheme line it configures.
+    ScenarioSpec spec = ScenarioSpec::parseString(
+        "scheme.zpool_mb = 192\n"
+        "scheme = zswap\n"
+        "event = warmup\n");
+    EXPECT_EQ(spec.params.getMiB("zpool_mb", 0),
+              std::size_t{192} << 20);
+
+    // Unknown knobs name the scheme and list its valid knobs.
+    try {
+        ScenarioSpec::parseString("scheme = zram\n"
+                                  "scheme.config = EHL-1K-2K-16K\n"
+                                  "event = warmup\n");
+        FAIL() << "expected SpecError";
+    } catch (const SpecError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("scheme 'zram' has no knob 'config'"),
+                  std::string::npos);
+        EXPECT_NE(msg.find("zpool_mb"), std::string::npos);
+    }
+    // Malformed values are typed errors, with the line named.
+    EXPECT_THROW(ScenarioSpec::parseString("scheme = ariadne\n"
+                                           "scheme.predecomp = maybe\n"
+                                           "event = warmup\n"),
+                 SpecError);
+    EXPECT_THROW(ScenarioSpec::parseString("scheme = ariadne\n"
+                                           "scheme.config = EHL-1K\n"
+                                           "event = warmup\n"),
+                 SpecError);
+    EXPECT_THROW(ScenarioSpec::parseString("scheme. = 1\n"),
+                 SpecError);
+}
+
+TEST(ScenarioSpec, UnknownSchemeErrorListsRegisteredNames)
+{
+    try {
+        ScenarioSpec::parseString("scheme = windows\n");
+        FAIL() << "expected SpecError";
+    } catch (const SpecError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown scheme 'windows'"),
+                  std::string::npos);
+        for (const char *name :
+             {"ariadne", "dram", "swap", "zram", "zswap"})
+            EXPECT_NE(msg.find(name), std::string::npos) << name;
+    }
 }
 
 TEST(ScenarioSpec, ParsesSyntheticWorkloadKeys)
@@ -187,9 +259,28 @@ TEST(ScenarioSpec, WorkloadKeyCombinationsAreValidated)
     // trace needs a file and tolerates no other identity keys.
     EXPECT_THROW(ScenarioSpec::parseString("workload = trace\n"),
                  SpecError);
+    // A scheme line is the what-if override, not an error...
+    ScenarioSpec what_if = ScenarioSpec::parseString(
+        "workload = trace\n"
+        "trace = x.trace\n"
+        "scheme = zswap\n"
+        "scheme.zpool_mb = 64\n");
+    EXPECT_EQ(what_if.replayScheme, "zswap");
+    EXPECT_EQ(what_if.replayParams.getMiB("zpool_mb", 0),
+              std::size_t{64} << 20);
+    EXPECT_TRUE(ScenarioSpec::parseString(what_if.toString()) ==
+                what_if);
+    // ...a knob-only override keeps the recorded scheme...
+    ScenarioSpec knob_only = ScenarioSpec::parseString(
+        "workload = trace\n"
+        "trace = x.trace\n"
+        "scheme.zpool_mb = 64\n");
+    EXPECT_TRUE(knob_only.replayScheme.empty());
+    EXPECT_TRUE(knob_only.replayParams.has("zpool_mb"));
+    // ...but workload-identity keys are still rejected.
     EXPECT_THROW(ScenarioSpec::parseString("workload = trace\n"
                                            "trace = x.trace\n"
-                                           "scheme = zram\n"),
+                                           "seed = 7\n"),
                  SpecError);
     EXPECT_THROW(ScenarioSpec::parseString("workload = trace\n"
                                            "trace = x.trace\n"
@@ -269,8 +360,8 @@ TEST(ScenarioSpec, DefaultsWhenKeysOmitted)
 {
     ScenarioSpec spec = ScenarioSpec::parseString("event = warmup\n");
     EXPECT_EQ(spec.name, "unnamed");
-    EXPECT_EQ(spec.scheme, SchemeKind::Zram);
-    EXPECT_TRUE(spec.ariadneConfig.empty());
+    EXPECT_EQ(spec.scheme, "zram");
+    EXPECT_TRUE(spec.params.empty());
     EXPECT_DOUBLE_EQ(spec.scale, 0.0625);
     EXPECT_EQ(spec.seed, 42u);
     EXPECT_EQ(spec.fleet, 1u);
@@ -450,7 +541,7 @@ TEST(SweepSpec, ParsesBaseAndVariantSections)
 
     const ScenarioSpec &zram = sweep.variants[0];
     EXPECT_EQ(zram.name, "zram");
-    EXPECT_EQ(zram.scheme, SchemeKind::Zram);
+    EXPECT_EQ(zram.scheme, "zram");
     // Base settings and program are inherited.
     EXPECT_DOUBLE_EQ(zram.scale, 0.125);
     EXPECT_EQ(zram.seed, 9u);
@@ -461,8 +552,9 @@ TEST(SweepSpec, ParsesBaseAndVariantSections)
     EXPECT_EQ(zram.program[1].kind, Event::Kind::Repeat);
 
     const ScenarioSpec &ariadne = sweep.variants[1];
-    EXPECT_EQ(ariadne.scheme, SchemeKind::Ariadne);
-    EXPECT_EQ(ariadne.ariadneConfig, "EHL-1K-2K-16K");
+    EXPECT_EQ(ariadne.scheme, "ariadne");
+    EXPECT_EQ(ariadne.params.getString("config", ""),
+              "EHL-1K-2K-16K");
     EXPECT_TRUE(ariadne.program == zram.program);
 
     // A variant with its own events replaces the base program.

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Cross-scheme what-if replay: a recorded trace re-run under a
+ * different scheme. The workload stream is bit-identical by
+ * construction (touch streams come from the trace), so replay
+ * determinism — same override, same bytes — and same-scheme fidelity
+ * — replay equals the directly-run scenario — are hard guarantees,
+ * asserted here for every registered scheme.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "driver/fleet_runner.hh"
+#include "swap/scheme_registry.hh"
+
+using namespace ariadne;
+using namespace ariadne::driver;
+
+namespace
+{
+
+/** Small but busy: warmup overflows the scaled budget, switches
+ * relaunch compressed data. Recorded once per test binary. */
+ScenarioSpec
+recordedSpec()
+{
+    return ScenarioSpec::parseString(R"(
+name = whatif-base
+scheme = zram
+scale = 0.0625
+seed = 11
+fleet = 2
+event = warmup
+event = repeat 6
+event =   switch_next 200ms 100ms
+event = end
+)");
+}
+
+std::string
+jsonOf(const FleetResult &r)
+{
+    std::ostringstream os;
+    r.writeJson(os, /*per_session=*/false);
+    return os.str();
+}
+
+/** Replay @p trace under @p scheme (empty = recorded scheme). */
+FleetResult
+replayUnder(const std::string &trace, const std::string &scheme)
+{
+    ScenarioSpec spec;
+    spec.workload = WorkloadKind::Trace;
+    spec.tracePath = trace;
+    spec.replayScheme = scheme;
+    return FleetRunner(std::move(spec)).run();
+}
+
+class WhatIfReplay : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        // Unique per process: ctest runs each TEST_F as its own
+        // process in parallel, and each one records its own copy.
+        tracePath = ::testing::TempDir() + "whatif_replay_test." +
+                    std::to_string(::getpid()) + ".trace";
+        recordedJson = new std::string(jsonOf(
+            FleetRunner(recordedSpec()).runRecorded(tracePath)));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        std::remove(tracePath.c_str());
+        delete recordedJson;
+        recordedJson = nullptr;
+    }
+
+    static std::string tracePath;
+    static std::string *recordedJson;
+};
+
+std::string WhatIfReplay::tracePath;
+std::string *WhatIfReplay::recordedJson = nullptr;
+
+} // namespace
+
+TEST_F(WhatIfReplay, EverySchemeReplaysDeterministically)
+{
+    // Two replays under the same override must be byte-identical —
+    // for all five registered schemes, and the same-scheme replay
+    // (zram) must additionally match the recorded report.
+    for (const std::string &scheme :
+         SchemeRegistry::instance().names()) {
+        std::string first = jsonOf(replayUnder(tracePath, scheme));
+        std::string second = jsonOf(replayUnder(tracePath, scheme));
+        EXPECT_EQ(first, second) << "scheme " << scheme;
+        if (scheme == "zram")
+            EXPECT_EQ(first, *recordedJson);
+        else
+            EXPECT_NE(first, *recordedJson) << "scheme " << scheme;
+    }
+}
+
+TEST_F(WhatIfReplay, SameSchemeReplayMatchesDirectRun)
+{
+    // Recording is passive and replay is faithful: the recorded
+    // report, a fresh direct run of the same spec, and a replay with
+    // no override are all byte-identical.
+    std::string direct = jsonOf(FleetRunner(recordedSpec()).run());
+    EXPECT_EQ(direct, *recordedJson);
+    EXPECT_EQ(jsonOf(replayUnder(tracePath, "")), direct);
+    EXPECT_EQ(jsonOf(replayUnder(tracePath, "zram")), direct);
+}
+
+TEST_F(WhatIfReplay, OverrideChangesSchemeButNotWorkload)
+{
+    FleetResult ariadne_replay = replayUnder(tracePath, "ariadne");
+    EXPECT_EQ(ariadne_replay.scheme, "Ariadne");
+    EXPECT_EQ(ariadne_replay.scenario, "whatif-base");
+    FleetResult direct = FleetRunner(recordedSpec()).run();
+    // Identical workload stream: the same relaunches were measured...
+    EXPECT_EQ(ariadne_replay.totalRelaunches,
+              direct.totalRelaunches);
+    EXPECT_EQ(ariadne_replay.relaunchMs.samples,
+              direct.relaunchMs.samples);
+    // ...under a genuinely different scheme.
+    EXPECT_NE(jsonOf(ariadne_replay), jsonOf(direct));
+}
+
+TEST_F(WhatIfReplay, KnobOnlyOverrideTweaksTheRecordedScheme)
+{
+    // scheme.* lines without `scheme =` overlay the recorded knobs.
+    ScenarioSpec spec;
+    spec.workload = WorkloadKind::Trace;
+    spec.tracePath = tracePath;
+    spec.replayParams.set("zpool_mb", "48");
+    FleetResult tweaked = FleetRunner(std::move(spec)).run();
+    EXPECT_EQ(tweaked.scheme, "ZRAM");
+    EXPECT_NE(jsonOf(tweaked), *recordedJson);
+}
+
+TEST_F(WhatIfReplay, InvalidOverridesThrowSpecError)
+{
+    // Unknown knob for the overridden scheme.
+    ScenarioSpec bad_knob;
+    bad_knob.workload = WorkloadKind::Trace;
+    bad_knob.tracePath = tracePath;
+    bad_knob.replayScheme = "swap";
+    bad_knob.replayParams.set("zpool_mb", "48");
+    EXPECT_THROW(FleetRunner(std::move(bad_knob)), SpecError);
+    // Unknown scheme.
+    ScenarioSpec bad_scheme;
+    bad_scheme.workload = WorkloadKind::Trace;
+    bad_scheme.tracePath = tracePath;
+    bad_scheme.replayScheme = "nonsense";
+    EXPECT_THROW(FleetRunner(std::move(bad_scheme)), SpecError);
+}
+
+TEST_F(WhatIfReplay, ReRecordingAWhatIfEmbedsTheEffectiveScheme)
+{
+    // Re-record a zswap what-if replay; the new trace must replay
+    // under zswap without any override (the embedded spec carries the
+    // scheme that actually ran).
+    std::string rerecorded = ::testing::TempDir() +
+                             "whatif_rerecorded_test." +
+                             std::to_string(::getpid()) + ".trace";
+    ScenarioSpec spec;
+    spec.workload = WorkloadKind::Trace;
+    spec.tracePath = tracePath;
+    spec.replayScheme = "zswap";
+    std::string what_if =
+        jsonOf(FleetRunner(std::move(spec)).runRecorded(rerecorded));
+    std::string replayed = jsonOf(replayUnder(rerecorded, ""));
+    EXPECT_EQ(replayed, what_if);
+    EXPECT_NE(replayed.find("\"scheme\": \"ZSWAP\""),
+              std::string::npos);
+    std::remove(rerecorded.c_str());
+}

@@ -13,6 +13,13 @@
  *
  *     ariadne_sim --sweep scenarios/sweep_schemes.cfg --json out.json
  *
+ * or replays a recorded trace — optionally under a *different*
+ * registered scheme (what-if replay; the recorded workload stream is
+ * re-run bit-identically):
+ *
+ *     ariadne_sim --record daily.trace --config scenarios/daily.cfg
+ *     ariadne_sim --replay daily.trace --scheme zswap
+ *
  * Aggregates are bit-identical regardless of --threads; every
  * session derives its seed from the scenario's base seed and its own
  * index, and sweep variants run in declaration order.
@@ -27,6 +34,7 @@
 
 #include "analysis/report.hh"
 #include "driver/fleet_runner.hh"
+#include "swap/scheme_registry.hh"
 #include "workload/trace.hh"
 
 using namespace ariadne;
@@ -38,8 +46,8 @@ namespace
 void
 usage(std::ostream &os)
 {
-    os << "usage: ariadne_sim (--config FILE | --sweep FILE) "
-          "[options]\n"
+    os << "usage: ariadne_sim (--config FILE | --sweep FILE | "
+          "--replay TRACE) [options]\n"
           "\n"
           "options:\n"
           "  --config FILE    scenario config (one scenario; sweep "
@@ -47,23 +55,33 @@ usage(std::ostream &os)
           "                   auto-detected and run as sweeps)\n"
           "  --sweep FILE     sweep config (named variants, one "
           "side-by-side report)\n"
+          "  --replay TRACE   replay a recorded trace (shorthand for "
+          "a config with\n"
+          "                   `workload = trace` and `trace = "
+          "TRACE`)\n"
+          "  --scheme NAME    what-if replay: re-run the recorded "
+          "workload under\n"
+          "                   registered scheme NAME instead of the "
+          "recorded one\n"
+          "                   (--replay only; see --list-schemes)\n"
           "  --fleet N        session count (default: the config's "
           "fleet size)\n"
           "  --threads T      worker threads (default 1; 0 = hardware "
           "count)\n"
           "  --record FILE    record the run as a replayable trace "
-          "(--config only;\n"
-          "                   forces one worker). Replay it with a "
-          "config that says\n"
-          "                   `workload = trace` and `trace = FILE` — "
-          "the replayed\n"
-          "                   report is byte-identical to the "
-          "recorded one\n"
+          "(--config or\n"
+          "                   --replay; forces one worker). Replay it "
+          "with --replay\n"
+          "                   FILE — the replayed report is "
+          "byte-identical to the\n"
+          "                   recorded one\n"
           "  --json FILE      write the aggregate report as JSON "
           "('-' = stdout)\n"
           "  --per-session    include per-session records in the JSON\n"
           "  --print-config   echo the parsed config and exit\n"
           "  --list-events    document the event vocabulary and exit\n"
+          "  --list-schemes   list every registered scheme with its "
+          "knob schema\n"
           "  --quiet          suppress the human-readable summary\n"
           "  --help           this message\n";
 }
@@ -115,8 +133,12 @@ listEvents(std::ostream &os)
           "(the default)\n"
           "  trace       replay a recorded trace bit-identically; "
           "needs `trace = FILE`\n"
-          "              (record one with --record) and allows no "
-          "other keys\n"
+          "              (record one with --record). A `scheme = "
+          "NAME` line (plus\n"
+          "              scheme.* knobs) re-runs the recorded "
+          "workload under another\n"
+          "              scheme (what-if replay); no other keys are "
+          "allowed\n"
           "  synthetic   generate a heterogeneous user population; "
           "each session\n"
           "              draws its own app subset, footprint spread "
@@ -138,10 +160,44 @@ listEvents(std::ostream &os)
           "per switch\n";
 }
 
+/** Registry-driven scheme listing (--list-schemes). */
+void
+listSchemes(std::ostream &os)
+{
+    os << "Registered swap schemes (select one with `scheme = NAME`; "
+          "set policy knobs\n"
+          "with namespaced `scheme.<knob> = value` lines, or replay "
+          "a recorded trace\n"
+          "under another scheme with `--replay TRACE --scheme "
+          "NAME`):\n";
+    for (const SchemeInfo *info :
+         SchemeRegistry::instance().infos()) {
+        os << "\n  " << info->key << " (" << info->displayName
+           << ")\n      " << info->description << "\n";
+        if (info->knobs.empty()) {
+            os << "      (no knobs)\n";
+            continue;
+        }
+        for (const SchemeKnob &knob : info->knobs) {
+            os << "      scheme." << knob.name << " = <" << knob.type
+               << ">  [default " << knob.defaultValue << "]\n"
+               << "          " << knob.description << "\n";
+        }
+    }
+    os << "\nDeprecated flat aliases still accepted: `ariadne` -> "
+          "`scheme.config`,\n"
+          "`seed_profiles`, `predecomp`, `hot_init_pages` -> the "
+          "scheme.* knobs of the\n"
+          "same name (dropped when the selected scheme lacks the "
+          "knob).\n";
+}
+
 struct Options
 {
     std::string configPath;
     std::string sweepPath;
+    std::string replayPath;
+    std::string schemeName;
     std::size_t fleet = 0;   // 0 = use the spec's
     unsigned threads = 1;
     std::string jsonPath;
@@ -190,6 +246,9 @@ parseArgs(int argc, char **argv, Options &opt)
         } else if (!std::strcmp(arg, "--list-events")) {
             listEvents(std::cout);
             std::exit(0);
+        } else if (!std::strcmp(arg, "--list-schemes")) {
+            listSchemes(std::cout);
+            std::exit(0);
         } else if (!std::strcmp(arg, "--config")) {
             if (!need_value(i, arg))
                 return false;
@@ -198,6 +257,14 @@ parseArgs(int argc, char **argv, Options &opt)
             if (!need_value(i, arg))
                 return false;
             opt.sweepPath = argv[++i];
+        } else if (!std::strcmp(arg, "--replay")) {
+            if (!need_value(i, arg))
+                return false;
+            opt.replayPath = argv[++i];
+        } else if (!std::strcmp(arg, "--scheme")) {
+            if (!need_value(i, arg))
+                return false;
+            opt.schemeName = argv[++i];
         } else if (!std::strcmp(arg, "--fleet")) {
             if (!need_value(i, arg))
                 return false;
@@ -233,15 +300,25 @@ parseArgs(int argc, char **argv, Options &opt)
             return false;
         }
     }
-    if (opt.configPath.empty() == opt.sweepPath.empty()) {
+    int sources = (opt.configPath.empty() ? 0 : 1) +
+                  (opt.sweepPath.empty() ? 0 : 1) +
+                  (opt.replayPath.empty() ? 0 : 1);
+    if (sources != 1) {
         std::cerr << "ariadne_sim: exactly one of --config / --sweep "
-                     "is required\n";
+                     "/ --replay is required\n";
         usage(std::cerr);
         return false;
     }
+    if (!opt.schemeName.empty() && opt.replayPath.empty()) {
+        std::cerr << "ariadne_sim: --scheme is a what-if replay "
+                     "override and requires --replay (put a `scheme "
+                     "= ...` line in the config otherwise)\n";
+        return false;
+    }
     if (!opt.recordPath.empty() && !opt.sweepPath.empty()) {
-        std::cerr << "ariadne_sim: --record works with --config only "
-                     "(record each sweep variant separately)\n";
+        std::cerr << "ariadne_sim: --record works with --config or "
+                     "--replay only (record each sweep variant "
+                     "separately)\n";
         return false;
     }
     if (!opt.recordPath.empty() && opt.threads != 1) {
@@ -341,10 +418,25 @@ emitJson(const Options &opt, const Result &result)
     return 0;
 }
 
+/** The spec a run executes: the --config file, or the --replay
+ * trace reference with its optional --scheme what-if override. */
+ScenarioSpec
+loadSpec(const Options &opt)
+{
+    if (opt.replayPath.empty())
+        return ScenarioSpec::loadFile(opt.configPath);
+    ScenarioSpec spec;
+    spec.workload = WorkloadKind::Trace;
+    spec.tracePath = opt.replayPath;
+    if (!opt.schemeName.empty())
+        spec.replayScheme = parseSchemeName(opt.schemeName);
+    return spec;
+}
+
 int
 runScenario(const Options &opt)
 {
-    ScenarioSpec spec = ScenarioSpec::loadFile(opt.configPath);
+    ScenarioSpec spec = loadSpec(opt);
     if (opt.printConfig) {
         std::cout << spec.toString();
         return 0;
@@ -394,7 +486,7 @@ main(int argc, char **argv)
 
     // A sweep config handed to --config runs as a sweep: the two
     // formats share their grammar, so the section lines identify it.
-    if (opt.sweepPath.empty()) {
+    if (opt.sweepPath.empty() && !opt.configPath.empty()) {
         std::ifstream probe(opt.configPath);
         if (probe && looksLikeSweepConfig(probe)) {
             opt.sweepPath = opt.configPath;
@@ -409,6 +501,9 @@ main(int argc, char **argv)
         std::cerr << "ariadne_sim: " << e.what() << "\n";
         return 2;
     } catch (const TraceError &e) {
+        std::cerr << "ariadne_sim: " << e.what() << "\n";
+        return 2;
+    } catch (const SchemeError &e) {
         std::cerr << "ariadne_sim: " << e.what() << "\n";
         return 2;
     } catch (const std::exception &e) {
