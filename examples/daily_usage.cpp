@@ -47,7 +47,7 @@ runDay(const std::string &scheme)
 }
 
 void
-report(const FleetResult &r)
+printRow(const FleetResult &r)
 {
     std::string label = r.scheme;
     if (r.scheme == "Ariadne" && !r.ariadneConfig.empty())
@@ -76,8 +76,8 @@ main()
                 "(full-scale estimates)\n\n");
     FleetResult zram = runDay("zram");
     FleetResult ariadne_day = runDay("ariadne");
-    report(zram);
-    report(ariadne_day);
+    printRow(zram);
+    printRow(ariadne_day);
 
     double zram_sum = daySumMs(zram);
     double ariadne_sum = daySumMs(ariadne_day);

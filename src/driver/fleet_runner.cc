@@ -7,6 +7,7 @@
 
 #include "driver/json_writer.hh"
 #include "driver/workload_source.hh"
+#include "report/report_merger.hh"
 #include "sim/log.hh"
 #include "swap/scheme_registry.hh"
 #include "workload/apps.hh"
@@ -17,50 +18,9 @@ namespace ariadne::driver
 namespace
 {
 
-/**
- * Online per-metric accumulation of a fleet run. Sessions are folded
- * strictly in index order (float addition is not associative, and the
- * driver promises bit-identical aggregates for any thread count), so
- * the streaming fold produces exactly the same FleetResult the old
- * collect-then-aggregate pass did — while retaining only sample
- * doubles, never whole SessionResults.
- */
-struct StreamingAggregate
-{
-    Distribution relaunchMs, compDecompMs, kswapdMs, energy, ratio;
-
-    void
-    fold(const SessionResult &s, double scale, FleetResult &out)
-    {
-        for (const auto &sample : s.relaunches)
-            relaunchMs.sample(sample.fullScaleMs);
-        compDecompMs.sample(s.compDecompCpuMs(scale));
-        kswapdMs.sample(ticksToMs(s.kswapdCpuNs) / scale);
-        energy.sample(s.energyJ);
-        if (s.comp.outBytes > 0)
-            ratio.sample(s.comp.ratio());
-        out.totalRelaunches += s.relaunches.size();
-        out.totalStagedHits += s.stagedHits;
-        out.totalMajorFaults += s.majorFaults;
-        out.totalFlashFaults += s.flashFaults;
-        out.totalLostPages += s.lostPages;
-        out.totalDirectReclaims += s.directReclaims;
-    }
-
-    void
-    finish(FleetResult &out) const
-    {
-        out.relaunchMs = MetricSummary::of(relaunchMs);
-        out.compDecompCpuMs = MetricSummary::of(compDecompMs);
-        out.kswapdCpuMs = MetricSummary::of(kswapdMs);
-        out.energyJ = MetricSummary::of(energy);
-        out.compRatio = MetricSummary::of(ratio);
-    }
-};
-
 void
 writeSummary(JsonWriter &w, const std::string &name,
-             const MetricSummary &m)
+             const MetricSummary &m, PercentileMode mode)
 {
     w.key(name);
     w.beginObject();
@@ -71,6 +31,8 @@ writeSummary(JsonWriter &w, const std::string &name,
     w.field("p50", m.p50);
     w.field("p90", m.p90);
     w.field("p99", m.p99);
+    if (mode == PercentileMode::Sketch)
+        w.field("rankErrorBound", m.rankErrorBound);
     w.endObject();
 }
 
@@ -124,20 +86,6 @@ double
 SessionResult::compDecompCpuMs(double scale) const noexcept
 {
     return ticksToMs(compCpuNs + decompCpuNs) / scale;
-}
-
-MetricSummary
-MetricSummary::of(const Distribution &d)
-{
-    MetricSummary m;
-    m.samples = d.samples();
-    m.mean = d.mean();
-    m.min = d.min();
-    m.max = d.max();
-    m.p50 = d.percentile(0.50);
-    m.p90 = d.percentile(0.90);
-    m.p99 = d.percentile(0.99);
-    return m;
 }
 
 FleetRunner::FleetRunner(ScenarioSpec spec,
@@ -257,10 +205,8 @@ FleetRunner::embeddableSpecText(std::size_t fleet) const
     return spec.toString();
 }
 
-FleetResult
-FleetRunner::runFleet(std::size_t fleet, unsigned threads,
-                      bool keep_sessions,
-                      TraceRecorder *recorder) const
+std::size_t
+FleetRunner::resolveFleet(std::size_t fleet) const
 {
     if (fleet == 0)
         fleet = scenario.fleet;
@@ -274,6 +220,40 @@ FleetRunner::runFleet(std::size_t fleet, unsigned threads,
                         std::to_string(fleet) +
                         " (trace replays cannot exceed the recorded "
                         "fleet)");
+    return fleet;
+}
+
+report::FleetPartial
+FleetRunner::makePartial(std::size_t fleet,
+                         const report::ShardPlan &plan) const
+{
+    report::FleetPartial p(scenario.percentiles, scenario.sketchK);
+    p.scenario = scenario.name;
+    p.scheme =
+        SchemeRegistry::instance().at(scenario.scheme).displayName;
+    p.ariadneConfig = scenario.params.getString("config", "");
+    p.scale = scenario.scale;
+    p.seed = scenario.seed;
+    p.fleet = fleet;
+    auto [begin, end] = plan.sessionRange(fleet);
+    p.sessionsBegin = begin;
+    p.sessionsEnd = end;
+    return p;
+}
+
+void
+FleetRunner::runPartialInto(report::FleetPartial &partial,
+                            unsigned threads,
+                            std::vector<SessionResult> *kept,
+                            std::size_t &peak,
+                            TraceRecorder *recorder) const
+{
+    const std::size_t begin = partial.sessionsBegin;
+    const std::size_t end = partial.sessionsEnd;
+    peak = 0;
+    if (begin == end)
+        return; // a small fleet can leave a shard empty
+    const std::size_t span = end - begin;
     if (recorder) {
         // Recording serializes sessions into one stream; parallel
         // workers would interleave it.
@@ -284,19 +264,10 @@ FleetRunner::runFleet(std::size_t fleet, unsigned threads,
         if (threads == 0)
             threads = 1;
     }
-    if (threads > fleet)
-        threads = static_cast<unsigned>(fleet);
-
-    FleetResult result;
-    result.scenario = scenario.name;
-    result.scheme =
-        SchemeRegistry::instance().at(scenario.scheme).displayName;
-    result.ariadneConfig = scenario.params.getString("config", "");
-    result.scale = scenario.scale;
-    result.seed = scenario.seed;
-    result.fleet = fleet;
-    if (keep_sessions)
-        result.sessions.resize(fleet);
+    if (threads > span)
+        threads = static_cast<unsigned>(span);
+    if (kept)
+        kept->resize(span);
 
     // Streaming aggregation. Session indices are claimed in order
     // from an atomic counter; finished results enter a reorder buffer
@@ -305,19 +276,18 @@ FleetRunner::runFleet(std::size_t fleet, unsigned threads,
     // the fold frontier waits, which bounds the buffer (and therefore
     // peak retained SessionResults) at `window`, independent of the
     // fleet size.
-    StreamingAggregate agg;
     const std::size_t window = std::size_t{2} * threads;
-    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> next{begin};
     std::mutex mu;
     std::condition_variable room;
     std::map<std::size_t, SessionResult> pending;
-    std::size_t fold_frontier = 0;
-    std::size_t peak = 0;
+    std::size_t fold_frontier = begin;
+    std::size_t high_water = 0;
 
     auto worker = [&]() {
         for (;;) {
             std::size_t i = next.fetch_add(1);
-            if (i >= fleet)
+            if (i >= end)
                 return;
             {
                 std::unique_lock<std::mutex> lk(mu);
@@ -328,13 +298,13 @@ FleetRunner::runFleet(std::size_t fleet, unsigned threads,
             {
                 std::unique_lock<std::mutex> lk(mu);
                 pending.emplace(i, std::move(s));
-                peak = std::max(peak, pending.size());
+                high_water = std::max(high_water, pending.size());
                 while (!pending.empty() &&
                        pending.begin()->first == fold_frontier) {
                     SessionResult &head = pending.begin()->second;
-                    agg.fold(head, scenario.scale, result);
-                    if (keep_sessions)
-                        result.sessions[fold_frontier] =
+                    partial.fold(head);
+                    if (kept)
+                        (*kept)[fold_frontier - begin] =
                             std::move(head);
                     pending.erase(pending.begin());
                     ++fold_frontier;
@@ -353,12 +323,71 @@ FleetRunner::runFleet(std::size_t fleet, unsigned threads,
         for (auto &th : pool)
             th.join();
     }
-    fatalIf(fold_frontier != fleet,
+    fatalIf(fold_frontier != end,
             "fleet aggregation lost sessions (internal bug)");
+    peak = high_water;
+}
 
-    agg.finish(result);
+FleetResult
+FleetRunner::runFleet(std::size_t fleet, unsigned threads,
+                      bool keep_sessions,
+                      TraceRecorder *recorder) const
+{
+    fleet = resolveFleet(fleet);
+    // An in-process run is the 1/1 shard of the sharded pipeline:
+    // fold into a FleetPartial, finalize through the merge code path.
+    report::FleetPartial partial =
+        makePartial(fleet, report::ShardPlan{});
+    std::vector<SessionResult> kept;
+    std::size_t peak = 0;
+    runPartialInto(partial, threads, keep_sessions ? &kept : nullptr,
+                   peak, recorder);
+    FleetResult result = report::finalizeFleet(partial);
+    result.sessions = std::move(kept);
     result.peakRetainedSessions = peak;
     return result;
+}
+
+report::PartialReport
+FleetRunner::runShard(const report::ShardPlan &plan, std::size_t fleet,
+                      unsigned threads) const
+{
+    fleet = resolveFleet(fleet);
+    report::PartialReport rep;
+    rep.kind = report::PartialReport::Kind::Fleet;
+    rep.shard = plan;
+    rep.fleet = makePartial(fleet, plan);
+    std::size_t peak = 0;
+    runPartialInto(rep.fleet, threads, nullptr, peak, nullptr);
+    return rep;
+}
+
+report::PartialReport
+FleetRunner::runSweepShard(const SweepSpec &sweep,
+                           const report::ShardPlan &plan,
+                           std::size_t fleet, unsigned threads)
+{
+    report::PartialReport rep;
+    rep.kind = report::PartialReport::Kind::Sweep;
+    rep.shard = plan;
+    rep.sweepName = sweep.name;
+    rep.variantCount = sweep.variants.size();
+    // Shards own disjoint variants, so the merger cannot infer run
+    // consistency from overlap the way fleet shards' session ranges
+    // do; stamp the run identity for it to cross-check instead.
+    rep.sweepSpecHash = report::fnv1a64(sweep.toString());
+    rep.fleetOverride = fleet;
+    for (std::size_t j = 0; j < sweep.variants.size(); ++j) {
+        if (!plan.ownsVariant(j))
+            continue;
+        // Each owned variant runs its whole fleet as a complete (1/1)
+        // partial; the sweep-level shard identity lives on `rep`.
+        report::PartialReport variant =
+            FleetRunner(sweep.variants[j])
+                .runShard(report::ShardPlan{}, fleet, threads);
+        rep.variants.push_back({j, std::move(variant.fleet)});
+    }
+    return rep;
 }
 
 SweepResult
@@ -393,6 +422,7 @@ FleetResult::writeJson(JsonWriter &w, bool per_session) const
     w.field("scale", scale);
     w.field("seed", seed);
     w.field("fleet", fleet);
+    w.field("percentiles", percentileModeName(percentiles));
     w.field("totalRelaunches", totalRelaunches);
     w.field("totalStagedHits", totalStagedHits);
     w.field("totalMajorFaults", totalMajorFaults);
@@ -402,11 +432,11 @@ FleetResult::writeJson(JsonWriter &w, bool per_session) const
 
     w.key("metrics");
     w.beginObject();
-    writeSummary(w, "relaunchMs", relaunchMs);
-    writeSummary(w, "compDecompCpuMs", compDecompCpuMs);
-    writeSummary(w, "kswapdCpuMs", kswapdCpuMs);
-    writeSummary(w, "energyJoules", energyJ);
-    writeSummary(w, "compressionRatio", compRatio);
+    writeSummary(w, "relaunchMs", relaunchMs, percentiles);
+    writeSummary(w, "compDecompCpuMs", compDecompCpuMs, percentiles);
+    writeSummary(w, "kswapdCpuMs", kswapdCpuMs, percentiles);
+    writeSummary(w, "energyJoules", energyJ, percentiles);
+    writeSummary(w, "compressionRatio", compRatio, percentiles);
     w.endObject();
 
     if (per_session) {

@@ -20,6 +20,13 @@
  * bit-identically (`ariadne_sim --record` / `workload = trace`).
  * Sweeps (SweepSpec) run their variants back to back and report them
  * side by side in one JSON document.
+ *
+ * Aggregation itself lives in src/report/: sessions fold into a
+ * report::FleetPartial and the final numbers come from
+ * report::finalizeFleet — the same code path `ariadne_sim --merge`
+ * uses — so an in-process run is literally the 1/1-shard case of the
+ * sharded pipeline (runShard / runSweepShard produce the other
+ * shards' PartialReports).
  */
 
 #ifndef ARIADNE_DRIVER_FLEET_RUNNER_HH
@@ -31,6 +38,7 @@
 
 #include "driver/session_result.hh"
 #include "driver/sweep_spec.hh"
+#include "report/partial_report.hh"
 
 namespace ariadne::driver
 {
@@ -38,20 +46,9 @@ namespace ariadne::driver
 class WorkloadSource;
 class TraceRecorder;
 
-/** p50/p90/p99 plus the usual moments of one aggregated metric. */
-struct MetricSummary
-{
-    std::uint64_t samples = 0;
-    double mean = 0.0;
-    double min = 0.0;
-    double max = 0.0;
-    double p50 = 0.0;
-    double p90 = 0.0;
-    double p99 = 0.0;
-
-    /** Summarize a Distribution. */
-    static MetricSummary of(const Distribution &d);
-};
+/** The per-metric summary record (moved to the report subsystem so
+ * the shard/merge pipeline and the driver share one definition). */
+using report::MetricSummary;
 
 /** Aggregate outcome of a fleet run. */
 struct FleetResult
@@ -62,6 +59,9 @@ struct FleetResult
     double scale = 0.0625;
     std::uint64_t seed = 0;
     std::size_t fleet = 0;
+    /** How percentiles were aggregated (exact vectors or sketch);
+     * sketch-mode summaries carry their rank-error bounds. */
+    PercentileMode percentiles = PercentileMode::Exact;
 
     /** Per-session records; only populated when the run was asked to
      * keep them (they defeat streaming aggregation's O(threads)
@@ -165,6 +165,28 @@ class FleetRunner
                             std::size_t fleet = 0,
                             bool keep_sessions = false) const;
 
+    /**
+     * Run only this process's share of the fleet — the contiguous
+     * session range @p plan assigns (global indices, so per-session
+     * seeds are unchanged) — and return its mergeable PartialReport.
+     * Merging all COUNT shards (report::mergePartials / `ariadne_sim
+     * --merge`) reproduces run()'s report; byte-identically in exact
+     * percentile mode. Shards never retain sessions or record traces.
+     */
+    report::PartialReport runShard(const report::ShardPlan &plan,
+                                   std::size_t fleet = 0,
+                                   unsigned threads = 1) const;
+
+    /**
+     * Run this process's share of @p sweep — the variants @p plan
+     * assigns round-robin, each as a complete fleet — as a mergeable
+     * PartialReport tagged with the variants' declaration indices.
+     */
+    static report::PartialReport
+    runSweepShard(const SweepSpec &sweep,
+                  const report::ShardPlan &plan, std::size_t fleet = 0,
+                  unsigned threads = 1);
+
     /** Run the single session @p index (deterministic in isolation). */
     SessionResult runSession(std::size_t index) const;
 
@@ -191,6 +213,18 @@ class FleetRunner
     FleetResult runFleet(std::size_t fleet, unsigned threads,
                          bool keep_sessions,
                          TraceRecorder *recorder) const;
+    std::size_t resolveFleet(std::size_t fleet) const;
+    report::FleetPartial
+    makePartial(std::size_t fleet,
+                const report::ShardPlan &plan) const;
+    /** Fold the partial's session range through the thread pool /
+     * reorder window; optionally retaining sessions (full-range runs
+     * only) and reporting the window's high-water mark. */
+    void runPartialInto(report::FleetPartial &partial,
+                        unsigned threads,
+                        std::vector<SessionResult> *kept,
+                        std::size_t &peak,
+                        TraceRecorder *recorder) const;
     std::string embeddableSpecText(std::size_t fleet) const;
 
     ScenarioSpec scenario;

@@ -458,6 +458,13 @@ ScenarioSpec::toString() const
     os << "scale = " << JsonWriter::formatDouble(scale) << "\n";
     os << "seed = " << seed << "\n";
     os << "fleet = " << fleet << "\n";
+    if (percentiles != PercentileMode::Exact) {
+        // Sketch mode spells out its buffer size, so a round-trip
+        // never depends on the struct's default.
+        os << "percentiles = " << percentileModeName(percentiles)
+           << "\n";
+        os << "sketch_k = " << sketchK << "\n";
+    }
     if (!apps.empty()) {
         os << "apps = ";
         for (std::size_t i = 0; i < apps.size(); ++i)
@@ -652,6 +659,11 @@ SpecParser::Impl::validateWorkload()
         return key.rfind("population_", 0) == 0;
     };
 
+    if (seenKeys.count("sketch_k") &&
+        spec.percentiles != PercentileMode::Sketch)
+        bad(line_of("sketch_k"),
+            "'sketch_k' requires percentiles = sketch");
+
     if (spec.workload == WorkloadKind::Trace) {
         if (spec.tracePath.empty())
             bad(line_of("workload"),
@@ -791,6 +803,19 @@ SpecParser::Impl::feed(const std::string &raw, std::size_t lineno)
             spec.fleet = parseU64(value, lineno, "fleet size");
             if (spec.fleet == 0)
                 bad(lineno, "fleet size must be >= 1");
+        } else if (key == "percentiles") {
+            auto mode = parsePercentileModeName(value);
+            if (!mode)
+                bad(lineno, "unknown percentiles mode '" + value +
+                                "' (exact|sketch)");
+            spec.percentiles = *mode;
+        } else if (key == "sketch_k") {
+            std::uint64_t v = parseU64(value, lineno, "sketch_k");
+            if (v < PercentileSketch::minK)
+                bad(lineno, "sketch_k must be >= " +
+                                std::to_string(PercentileSketch::minK) +
+                                ", got '" + value + "'");
+            spec.sketchK = v;
         } else if (key == "apps") {
             // Like every other key, a later `apps` line overrides an
             // earlier one (sweep variants rely on this to replace the
@@ -987,7 +1012,8 @@ ScenarioSpec::operator==(const ScenarioSpec &o) const
 {
     return name == o.name && scheme == o.scheme &&
            params == o.params && scale == o.scale && seed == o.seed &&
-           fleet == o.fleet && apps == o.apps &&
+           fleet == o.fleet && percentiles == o.percentiles &&
+           sketchK == o.sketchK && apps == o.apps &&
            program == o.program && workload == o.workload &&
            tracePath == o.tracePath &&
            replayScheme == o.replayScheme &&

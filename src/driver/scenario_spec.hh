@@ -72,6 +72,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/stats.hh"
 #include "sys/system_config.hh"
 #include "workload/app_model.hh"
 
@@ -194,6 +195,18 @@ struct ScenarioSpec
     std::uint64_t seed = 42;
     /** Default fleet size (the CLI --fleet flag overrides it). */
     std::size_t fleet = 1;
+    /**
+     * How fleet aggregates compute percentiles (`percentiles =
+     * exact|sketch`). Exact keeps every sample (byte-reproducible,
+     * memory O(samples)); sketch keeps a mergeable
+     * PercentileSketch (memory O(sketch_k * log n), percentiles
+     * within its tracked rank-error bound) — the mode for
+     * million-session fleets and their shards.
+     */
+    PercentileMode percentiles = PercentileMode::Exact;
+    /** Sketch buffer size (`sketch_k = N`, sketch mode only). */
+    std::size_t sketchK = PercentileSketch::defaultK;
+
     /** App names; empty = all ten standard apps. For synthetic
      * workloads this is the pool users draw their subsets from. */
     std::vector<std::string> apps;

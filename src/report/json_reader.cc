@@ -1,0 +1,388 @@
+#include "report/json_reader.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace ariadne::report
+{
+
+namespace
+{
+
+[[noreturn]] void
+typeError(const char *expected, JsonValue::Type got)
+{
+    const char *name = "null";
+    switch (got) {
+      case JsonValue::Type::Null: name = "null"; break;
+      case JsonValue::Type::Bool: name = "bool"; break;
+      case JsonValue::Type::Number: name = "number"; break;
+      case JsonValue::Type::String: name = "string"; break;
+      case JsonValue::Type::Object: name = "object"; break;
+      case JsonValue::Type::Array: name = "array"; break;
+    }
+    throw JsonError(std::string("expected ") + expected + ", got " +
+                    name);
+}
+
+} // namespace
+
+/** Recursive-descent parser over an in-memory document. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue v = parseValue(0);
+        skipWs();
+        if (pos != text.size())
+            fail("trailing characters after the document");
+        return v;
+    }
+
+  private:
+    /** Nesting cap: corrupt input must error, not smash the stack. */
+    static constexpr std::size_t maxDepth = 200;
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        throw JsonError("JSON error at byte " + std::to_string(pos) +
+                        ": " + msg);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        if (pos >= text.size())
+            fail("unexpected end of input");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" + peek() +
+                 "'");
+        ++pos;
+    }
+
+    bool
+    consumeWord(const char *word)
+    {
+        std::size_t len = std::char_traits<char>::length(word);
+        if (text.compare(pos, len, word) != 0)
+            return false;
+        pos += len;
+        return true;
+    }
+
+    JsonValue
+    parseValue(std::size_t depth)
+    {
+        if (depth > maxDepth)
+            fail("nesting too deep");
+        skipWs();
+        char c = peek();
+        JsonValue v;
+        if (c == '{') {
+            v.type = JsonValue::Type::Object;
+            ++pos;
+            skipWs();
+            if (peek() == '}') {
+                ++pos;
+                return v;
+            }
+            for (;;) {
+                skipWs();
+                if (peek() != '"')
+                    fail("expected a string object key");
+                std::string key = parseString();
+                skipWs();
+                expect(':');
+                v.members.emplace_back(std::move(key),
+                                       parseValue(depth + 1));
+                skipWs();
+                if (peek() == ',') {
+                    ++pos;
+                    continue;
+                }
+                expect('}');
+                return v;
+            }
+        }
+        if (c == '[') {
+            v.type = JsonValue::Type::Array;
+            ++pos;
+            skipWs();
+            if (peek() == ']') {
+                ++pos;
+                return v;
+            }
+            for (;;) {
+                v.elements.push_back(parseValue(depth + 1));
+                skipWs();
+                if (peek() == ',') {
+                    ++pos;
+                    continue;
+                }
+                expect(']');
+                return v;
+            }
+        }
+        if (c == '"') {
+            v.type = JsonValue::Type::String;
+            v.stringValue = parseString();
+            return v;
+        }
+        if (consumeWord("true")) {
+            v.type = JsonValue::Type::Bool;
+            v.boolValue = true;
+            return v;
+        }
+        if (consumeWord("false")) {
+            v.type = JsonValue::Type::Bool;
+            v.boolValue = false;
+            return v;
+        }
+        if (consumeWord("null"))
+            return v;
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return parseNumber();
+        fail(std::string("unexpected character '") + c + "'");
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos >= text.size())
+                fail("unterminated string");
+            char c = text[pos++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                fail("unterminated escape");
+            char esc = text[pos++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                unsigned cp = parseHex4();
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                    // High surrogate: a \uXXXX low surrogate must
+                    // follow to form one code point.
+                    if (pos + 1 >= text.size() || text[pos] != '\\' ||
+                        text[pos + 1] != 'u')
+                        fail("high surrogate without a low surrogate");
+                    pos += 2;
+                    unsigned low = parseHex4();
+                    if (low < 0xDC00 || low > 0xDFFF)
+                        fail("invalid low surrogate");
+                    cp = 0x10000 + ((cp - 0xD800) << 10) +
+                         (low - 0xDC00);
+                } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                    fail("stray low surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                fail(std::string("invalid escape '\\") + esc + "'");
+            }
+        }
+    }
+
+    unsigned
+    parseHex4()
+    {
+        unsigned value = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (pos >= text.size())
+                fail("unterminated \\u escape");
+            char c = text[pos++];
+            value <<= 4;
+            if (c >= '0' && c <= '9')
+                value |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                value |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                value |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("invalid hex digit in \\u escape");
+        }
+        return value;
+    }
+
+    static void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        std::size_t start = pos;
+        if (peek() == '-')
+            ++pos;
+        auto digits = [&] {
+            std::size_t before = pos;
+            while (pos < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[pos])))
+                ++pos;
+            if (pos == before)
+                fail("malformed number");
+        };
+        digits();
+        if (pos < text.size() && text[pos] == '.') {
+            ++pos;
+            digits();
+        }
+        if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            digits();
+        }
+        JsonValue v;
+        v.type = JsonValue::Type::Number;
+        v.numberText = text.substr(start, pos - start);
+        // strtod is correctly rounded, so shortest-round-trip tokens
+        // (JsonWriter::formatDouble) come back bit-identical.
+        v.numberValue = std::strtod(v.numberText.c_str(), nullptr);
+        return v;
+    }
+
+    const std::string &text;
+    std::size_t pos = 0;
+};
+
+bool
+JsonValue::asBool() const
+{
+    if (type != Type::Bool)
+        typeError("bool", type);
+    return boolValue;
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (type != Type::Number)
+        typeError("number", type);
+    return numberValue;
+}
+
+std::uint64_t
+JsonValue::asU64() const
+{
+    if (type != Type::Number)
+        typeError("number", type);
+    const std::string &t = numberText;
+    if (t.empty() || t[0] == '-' ||
+        t.find_first_not_of("0123456789") != std::string::npos)
+        throw JsonError("expected a non-negative integer, got '" + t +
+                        "'");
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(t.c_str(), &end, 10);
+    if (errno != 0 || end != t.c_str() + t.size())
+        throw JsonError("integer out of range: '" + t + "'");
+    return v;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (type != Type::String)
+        typeError("string", type);
+    return stringValue;
+}
+
+const std::vector<JsonValue> &
+JsonValue::asArray() const
+{
+    if (type != Type::Array)
+        typeError("array", type);
+    return elements;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::asObject() const
+{
+    if (type != Type::Object)
+        typeError("object", type);
+    return members;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (type != Type::Object)
+        typeError("object", type);
+    for (const auto &[k, v] : members)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        throw JsonError("missing key '" + key + "'");
+    return *v;
+}
+
+JsonValue
+JsonValue::parseText(const std::string &text)
+{
+    return JsonParser(text).parseDocument();
+}
+
+} // namespace ariadne::report

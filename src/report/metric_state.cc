@@ -1,0 +1,119 @@
+#include "report/metric_state.hh"
+
+#include <algorithm>
+
+#include "report/report_error.hh"
+
+namespace ariadne::report
+{
+
+MetricSummary
+MetricSummary::of(const Distribution &d)
+{
+    MetricSummary m;
+    m.samples = d.samples();
+    m.mean = d.mean();
+    m.min = d.min();
+    m.max = d.max();
+    m.p50 = d.percentile(0.50);
+    m.p90 = d.percentile(0.90);
+    m.p99 = d.percentile(0.99);
+    return m;
+}
+
+MetricState::MetricState(PercentileMode mode, std::size_t sketch_k)
+    : percentileMode(mode), sk(sketch_k)
+{
+}
+
+void
+MetricState::sample(double v)
+{
+    total += v;
+    n += 1;
+    lo = (n == 1) ? v : std::min(lo, v);
+    hi = (n == 1) ? v : std::max(hi, v);
+    if (percentileMode == PercentileMode::Exact)
+        samples_.push_back(v);
+    else
+        sk.sample(v);
+}
+
+void
+MetricState::merge(const MetricState &o)
+{
+    if (percentileMode != o.percentileMode)
+        throw ReportError(
+            "cannot merge metric states with different percentile "
+            "modes (" +
+            std::string(percentileModeName(percentileMode)) + " vs " +
+            percentileModeName(o.percentileMode) + ")");
+    if (percentileMode == PercentileMode::Sketch &&
+        !sk.compatible(o.sk))
+        throw ReportError(
+            "cannot merge percentile sketches of different capacity "
+            "(k = " +
+            std::to_string(sk.k()) + " vs " + std::to_string(o.sk.k()) +
+            ")");
+    if (o.n == 0)
+        return;
+    total += o.total;
+    lo = (n == 0) ? o.lo : std::min(lo, o.lo);
+    hi = (n == 0) ? o.hi : std::max(hi, o.hi);
+    n += o.n;
+    if (percentileMode == PercentileMode::Exact)
+        samples_.insert(samples_.end(), o.samples_.begin(),
+                        o.samples_.end());
+    else
+        sk.merge(o.sk);
+}
+
+MetricSummary
+MetricState::summarize() const
+{
+    if (percentileMode == PercentileMode::Exact) {
+        // Recompute from the fold-ordered sample vector exactly the
+        // way the pre-shard driver summarized its Distribution, so
+        // merged shards reproduce the unsharded report byte for byte.
+        Distribution d;
+        for (double v : samples_)
+            d.sample(v);
+        return MetricSummary::of(d);
+    }
+    MetricSummary m;
+    m.samples = n;
+    m.mean = n ? total / static_cast<double>(n) : 0.0;
+    m.min = minValue();
+    m.max = maxValue();
+    m.p50 = sk.percentile(0.50);
+    m.p90 = sk.percentile(0.90);
+    m.p99 = sk.percentile(0.99);
+    m.rankErrorBound = sk.rankErrorBound();
+    return m;
+}
+
+std::size_t
+MetricState::retainedValues() const noexcept
+{
+    return percentileMode == PercentileMode::Exact ? samples_.size()
+                                                   : sk.retained();
+}
+
+MetricState
+MetricState::restoreSketch(std::uint64_t count, double sum, double min,
+                           double max, std::size_t sketch_k,
+                           std::uint64_t rank_error_bound,
+                           std::vector<PercentileSketch::Level> levels)
+{
+    MetricState state(PercentileMode::Sketch, sketch_k);
+    state.n = count;
+    state.total = sum;
+    state.lo = min;
+    state.hi = max;
+    state.sk = PercentileSketch::restore(sketch_k, count,
+                                         rank_error_bound,
+                                         std::move(levels));
+    return state;
+}
+
+} // namespace ariadne::report

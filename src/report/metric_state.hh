@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Mergeable per-metric aggregation state.
+ *
+ * A MetricState is everything a shard knows about one metric: count,
+ * sum, min/max, and — depending on the scenario's `percentiles` mode —
+ * either the exact sample vector in fold order or a mergeable
+ * PercentileSketch. FleetRunner folds sessions into MetricStates,
+ * partial reports serialize them, and ReportMerger folds shards'
+ * states together; summarize() is the single place a MetricSummary is
+ * computed, so single-process and sharded runs cannot disagree.
+ *
+ * Exact mode preserves byte-identity: states merge by concatenating
+ * sample vectors in shard order (the unsharded fold order, because
+ * shards are contiguous session ranges), and summarize() recomputes
+ * mean/min/max/percentiles from that vector exactly the way the
+ * pre-shard driver did. Sketch mode trades that for O(sketch) memory:
+ * min/max/mean stay exact (running values), percentiles carry the
+ * sketch's tracked rank-error bound.
+ */
+
+#ifndef ARIADNE_REPORT_METRIC_STATE_HH
+#define ARIADNE_REPORT_METRIC_STATE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace ariadne::report
+{
+
+/** p50/p90/p99 plus the usual moments of one aggregated metric. */
+struct MetricSummary
+{
+    std::uint64_t samples = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    /** Worst-case absolute rank error of the percentiles, in samples
+     * (0 = exact; see PercentileSketch::rankErrorBound). */
+    std::uint64_t rankErrorBound = 0;
+
+    /** Summarize an exact Distribution. */
+    static MetricSummary of(const Distribution &d);
+};
+
+/** Mergeable aggregation state of one metric. */
+class MetricState
+{
+  public:
+    /** Exact-mode state (the default keeps aggregate structs
+     * default-constructible). */
+    MetricState() : MetricState(PercentileMode::Exact) {}
+
+    explicit MetricState(PercentileMode mode,
+                         std::size_t sketch_k = PercentileSketch::defaultK);
+
+    /** Record one sample. */
+    void sample(double v);
+
+    /**
+     * Fold @p o after this state's samples (shard order). Throws
+     * ReportError when the modes or sketch capacities differ —
+     * merging them would silently change semantics.
+     */
+    void merge(const MetricState &o);
+
+    /** The one summary implementation shared by every report path. */
+    MetricSummary summarize() const;
+
+    PercentileMode mode() const noexcept { return percentileMode; }
+    std::size_t sketchK() const noexcept { return sk.k(); }
+    std::uint64_t count() const noexcept { return n; }
+    double sum() const noexcept { return total; }
+    double minValue() const noexcept { return n ? lo : 0.0; }
+    double maxValue() const noexcept { return n ? hi : 0.0; }
+
+    /** Exact-mode samples in fold order (empty in sketch mode). */
+    const std::vector<double> &sampleValues() const noexcept
+    {
+        return samples_;
+    }
+
+    /** The sketch (meaningful in sketch mode only). */
+    const PercentileSketch &sketch() const noexcept { return sk; }
+
+    /** Raw values currently retained — samples (exact) or buffered
+     * sketch items (O(k log n), never O(n)). */
+    std::size_t retainedValues() const noexcept;
+
+    /**
+     * Rebuild a sketch-mode state from serialized parts (the partial
+     * report parse path; exact states rebuild by replaying their
+     * sample vector instead, which reproduces sum/min/max exactly).
+     */
+    static MetricState
+    restoreSketch(std::uint64_t count, double sum, double min,
+                  double max, std::size_t sketch_k,
+                  std::uint64_t rank_error_bound,
+                  std::vector<PercentileSketch::Level> levels);
+
+  private:
+    PercentileMode percentileMode = PercentileMode::Exact;
+    std::uint64_t n = 0;
+    double total = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    std::vector<double> samples_;
+    PercentileSketch sk;
+};
+
+} // namespace ariadne::report
+
+#endif // ARIADNE_REPORT_METRIC_STATE_HH

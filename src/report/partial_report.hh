@@ -1,0 +1,155 @@
+/**
+ * @file
+ * PartialReport — one shard's mergeable share of a run.
+ *
+ * A FleetPartial captures everything a shard aggregated about one
+ * fleet: run identity (scenario/scheme/scale/seed/fleet, percentile
+ * mode), the shard's contiguous session range, the integer totals and
+ * one MetricState per report metric. Folding sessions into a partial
+ * is the *only* aggregation implementation — FleetRunner uses it for
+ * in-process runs (a trivial 1/1 shard), `ariadne_sim --shard i/N
+ * --partial out.json` serializes one, and ReportMerger folds K of
+ * them back into the exact final report schema FleetRunner emits.
+ *
+ * A PartialReport wraps either one fleet shard (`kind = fleet`,
+ * sessions partitioned by ShardPlan::sessionRange) or a sweep shard
+ * (`kind = sweep`: the round-robin-owned variants, each carried as a
+ * complete FleetPartial tagged with its declaration index).
+ *
+ * The on-disk format is JSON (`"ariadnePartial": 1`); numbers are
+ * written in shortest round-trip form and re-parsed bit-identically,
+ * which is what lets merged exact-mode reports reproduce the
+ * unsharded run byte for byte. Parse problems throw ReportError.
+ */
+
+#ifndef ARIADNE_REPORT_PARTIAL_REPORT_HH
+#define ARIADNE_REPORT_PARTIAL_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "driver/session_result.hh"
+#include "report/metric_state.hh"
+#include "report/shard_plan.hh"
+
+namespace ariadne::report
+{
+
+/** One shard's aggregation state for one fleet. */
+struct FleetPartial
+{
+    FleetPartial() : FleetPartial(PercentileMode::Exact) {}
+
+    explicit FleetPartial(
+        PercentileMode mode,
+        std::size_t sketch_k = PercentileSketch::defaultK)
+        : mode(mode), sketchK(sketch_k), relaunchMs(mode, sketch_k),
+          compDecompCpuMs(mode, sketch_k), kswapdCpuMs(mode, sketch_k),
+          energyJ(mode, sketch_k), compRatio(mode, sketch_k)
+    {
+    }
+
+    // Run identity — every shard of one run must agree on these.
+    std::string scenario;
+    std::string scheme;
+    std::string ariadneConfig;
+    double scale = 0.0625;
+    std::uint64_t seed = 0;
+    /** Total fleet size of the (unsharded) run. */
+    std::size_t fleet = 0;
+    PercentileMode mode = PercentileMode::Exact;
+    std::size_t sketchK = PercentileSketch::defaultK;
+
+    /** This shard's contiguous session range [begin, end). */
+    std::size_t sessionsBegin = 0;
+    std::size_t sessionsEnd = 0;
+
+    std::uint64_t totalRelaunches = 0;
+    std::uint64_t totalStagedHits = 0;
+    std::uint64_t totalMajorFaults = 0;
+    std::uint64_t totalFlashFaults = 0;
+    std::uint64_t totalLostPages = 0;
+    std::uint64_t totalDirectReclaims = 0;
+
+    MetricState relaunchMs;
+    MetricState compDecompCpuMs;
+    MetricState kswapdCpuMs;
+    MetricState energyJ;
+    MetricState compRatio;
+
+    /** Fold one finished session (must be called in session-index
+     * order; FleetRunner's reorder window guarantees it). */
+    void fold(const driver::SessionResult &s);
+
+    /**
+     * Fold @p o's sessions after this shard's. Throws ReportError
+     * when the run identities differ or the ranges are not adjacent
+     * (o.sessionsBegin == this->sessionsEnd).
+     */
+    void merge(const FleetPartial &o);
+
+    /** Values currently retained across all metric states (exact:
+     * O(sessions); sketch: O(k log n)). */
+    std::size_t retainedValues() const noexcept;
+};
+
+/** One shard's serialized share of a fleet or sweep run. */
+struct PartialReport
+{
+    /** On-disk format version ("ariadnePartial"). */
+    static constexpr std::uint64_t formatVersion = 1;
+
+    enum class Kind
+    {
+        Fleet,
+        Sweep,
+    };
+
+    Kind kind = Kind::Fleet;
+    ShardPlan shard;
+
+    /** kind == Fleet: the shard's aggregation state. */
+    FleetPartial fleet;
+
+    /** kind == Sweep: sweep identity plus the owned variants. */
+    std::string sweepName;
+    std::size_t variantCount = 0;
+    /**
+     * Run identity every sweep shard must share: FNV-1a of the
+     * canonical sweep spec plus the CLI --fleet override. Shards own
+     * *disjoint* variants, so unlike fleet shards there is no
+     * overlapping state to cross-check at merge time — workers that
+     * ran different specs or different fleet overrides would
+     * otherwise fold into one silently inconsistent side-by-side
+     * report.
+     */
+    std::uint64_t sweepSpecHash = 0;
+    std::uint64_t fleetOverride = 0;
+    struct SweepEntry
+    {
+        /** Declaration index of the variant in the sweep. */
+        std::size_t index = 0;
+        /** The variant's complete (1/1) aggregation state. */
+        FleetPartial fleet;
+    };
+    std::vector<SweepEntry> variants;
+
+    /** Serialize as JSON (parse(writeJson(x)) round-trips exactly). */
+    void writeJson(std::ostream &os) const;
+
+    /** Parse a serialized partial; throws ReportError. */
+    static PartialReport parseText(const std::string &text);
+
+    /** Load and parse @p path; throws ReportError (message names the
+     * file). */
+    static PartialReport loadFile(const std::string &path);
+};
+
+/** FNV-1a 64-bit hash — stable across platforms and builds, unlike
+ * std::hash, so partials produced on different machines agree. */
+std::uint64_t fnv1a64(const std::string &text) noexcept;
+
+} // namespace ariadne::report
+
+#endif // ARIADNE_REPORT_PARTIAL_REPORT_HH

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Error currency of the report subsystem.
+ *
+ * Everything under src/report/ deals in user-supplied artifacts —
+ * partial report files, shard specs, merge requests — so problems are
+ * configuration errors, never programming errors: they throw
+ * ReportError (or a subclass) rather than calling fatal(), and the
+ * CLI maps them to exit code 2 exactly like driver::SpecError.
+ */
+
+#ifndef ARIADNE_REPORT_REPORT_ERROR_HH
+#define ARIADNE_REPORT_REPORT_ERROR_HH
+
+#include <stdexcept>
+
+namespace ariadne::report
+{
+
+/** Invalid shard spec, partial report or merge request. */
+class ReportError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+} // namespace ariadne::report
+
+#endif // ARIADNE_REPORT_REPORT_ERROR_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * ReportMerger — fold K partial reports into the final report.
+ *
+ * finalizeFleet()/finalizeSweep() turn aggregation state into the
+ * exact FleetResult/SweepResult schema FleetRunner emits — they are
+ * the *only* summarization path, shared by in-process runs (a 1/1
+ * shard) and `ariadne_sim --merge`.
+ *
+ * The merger canonicalizes before folding: partials sort by shard
+ * index (CLI argument order cannot change the result), every shard
+ * 1..N must be present exactly once, run identities must agree, and
+ * fleet session ranges must be exactly the ShardPlan ranges — so an
+ * exact-mode merge reproduces the unsharded report byte for byte, and
+ * a sketch-mode merge is deterministic for a given shard set.
+ * Violations throw ReportError (the CLI's exit-2 currency).
+ */
+
+#ifndef ARIADNE_REPORT_REPORT_MERGER_HH
+#define ARIADNE_REPORT_REPORT_MERGER_HH
+
+#include <vector>
+
+#include "driver/fleet_runner.hh"
+#include "report/partial_report.hh"
+
+namespace ariadne::report
+{
+
+/** Summarize one (complete or partial) fleet aggregation state into
+ * the final report record. */
+driver::FleetResult finalizeFleet(const FleetPartial &p);
+
+/** Summarize a complete sweep partial (every variant present, each
+ * complete); throws ReportError otherwise. */
+driver::SweepResult finalizeSweep(const PartialReport &p);
+
+/** Outcome of a merge: exactly one of the two reports, per kind. */
+struct MergedReport
+{
+    PartialReport::Kind kind = PartialReport::Kind::Fleet;
+    driver::FleetResult fleet;
+    driver::SweepResult sweep;
+};
+
+/**
+ * Fold @p partials into the final report. Validates coverage and
+ * identity (see file header); throws ReportError on any mismatch.
+ */
+MergedReport mergePartials(std::vector<PartialReport> partials);
+
+/** Load @p paths (PartialReport::loadFile) and merge them. */
+MergedReport mergeReportFiles(const std::vector<std::string> &paths);
+
+} // namespace ariadne::report
+
+#endif // ARIADNE_REPORT_REPORT_MERGER_HH

@@ -1,0 +1,79 @@
+#include "report/shard_plan.hh"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ariadne::report
+{
+
+namespace
+{
+
+bool
+parseCount(const std::string &text, std::size_t &out)
+{
+    if (text.empty() ||
+        !std::all_of(text.begin(), text.end(), [](unsigned char c) {
+            return std::isdigit(c);
+        }))
+        return false;
+    try {
+        out = std::stoull(text);
+    } catch (const std::out_of_range &) {
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+ShardPlan
+ShardPlan::parse(const std::string &text)
+{
+    auto fail = [&](const std::string &why) -> ShardPlan {
+        throw ReportError("invalid shard spec '" + text + "': " + why +
+                          " (expected INDEX/COUNT with 1 <= INDEX <= "
+                          "COUNT, e.g. 2/4)");
+    };
+    auto slash = text.find('/');
+    if (slash == std::string::npos)
+        return fail("missing '/'");
+    ShardPlan plan;
+    if (!parseCount(text.substr(0, slash), plan.index) ||
+        !parseCount(text.substr(slash + 1), plan.count))
+        return fail("INDEX and COUNT must be decimal integers");
+    if (plan.count == 0)
+        return fail("COUNT must be >= 1");
+    if (plan.index == 0 || plan.index > plan.count)
+        return fail("INDEX must be in [1, COUNT]");
+    return plan;
+}
+
+std::string
+ShardPlan::toString() const
+{
+    return std::to_string(index) + "/" + std::to_string(count);
+}
+
+std::pair<std::size_t, std::size_t>
+ShardPlan::sessionRange(std::size_t fleet) const noexcept
+{
+    // Balanced contiguous ranges: shard i gets
+    // [ (i-1)*fleet/count, i*fleet/count ). Integer arithmetic tiles
+    // [0, fleet) exactly, with sizes differing by at most one. The
+    // products go through 128 bits: COUNT is unbounded user input,
+    // and a wrapped product would yield begin > end.
+    auto cut = [&](std::size_t i) {
+        return static_cast<std::size_t>(
+            static_cast<unsigned __int128>(i) * fleet / count);
+    };
+    return {cut(index - 1), cut(index)};
+}
+
+bool
+ShardPlan::ownsVariant(std::size_t variant_index) const noexcept
+{
+    return variant_index % count == index - 1;
+}
+
+} // namespace ariadne::report

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * ShardPlan — deterministic partitioning of a run across processes.
+ *
+ * A plan is the pair "shard INDEX of COUNT" (1-based, the CLI's
+ * `--shard i/N`). It is pure arithmetic with no state, so any process
+ * handed the same spec and the same `i/N` computes the same share:
+ *
+ *  - fleets partition by *session index* into contiguous balanced
+ *    ranges — sessionRange(F) of shards 1..N tile [0, F) exactly, and
+ *    because sessions derive their seeds from their global index, the
+ *    union of the shards is the unsharded run, session for session;
+ *  - sweeps partition by *variant index*, round-robin — shard i owns
+ *    variants j with j % N == i-1, and each owned variant runs its
+ *    whole fleet.
+ *
+ * Contiguous session ranges are what make merged exact-mode reports
+ * byte-identical: concatenating the shards' per-metric sample vectors
+ * in shard order reproduces the unsharded fold order exactly.
+ */
+
+#ifndef ARIADNE_REPORT_SHARD_PLAN_HH
+#define ARIADNE_REPORT_SHARD_PLAN_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "report/report_error.hh"
+
+namespace ariadne::report
+{
+
+/** One shard's identity within a sharded run (1-based INDEX/COUNT). */
+struct ShardPlan
+{
+    std::size_t index = 1;
+    std::size_t count = 1;
+
+    /** Whether this is the trivial single-shard plan. */
+    bool unsharded() const noexcept { return count == 1; }
+
+    /**
+     * Parse "INDEX/COUNT" (e.g. "2/4"); throws ReportError on
+     * malformed text, a zero count, or an index outside [1, COUNT].
+     */
+    static ShardPlan parse(const std::string &text);
+
+    /** Canonical "INDEX/COUNT" form. */
+    std::string toString() const;
+
+    /**
+     * Session indices [begin, end) of this shard in a fleet of
+     * @p fleet sessions: contiguous balanced ranges that tile
+     * [0, fleet) across the COUNT shards (shards may be empty when
+     * fleet < COUNT).
+     */
+    std::pair<std::size_t, std::size_t>
+    sessionRange(std::size_t fleet) const noexcept;
+
+    /** Whether this shard runs sweep variant @p variant_index
+     * (round-robin assignment). */
+    bool ownsVariant(std::size_t variant_index) const noexcept;
+
+    bool operator==(const ShardPlan &o) const = default;
+};
+
+} // namespace ariadne::report
+
+#endif // ARIADNE_REPORT_SHARD_PLAN_HH

@@ -1,0 +1,439 @@
+/** @file Unit tests for the report subsystem: JSON reader, shard
+ * plans, metric states, partial reports and the merger. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "driver/json_writer.hh"
+#include "report/json_reader.hh"
+#include "report/metric_state.hh"
+#include "report/partial_report.hh"
+#include "report/report_merger.hh"
+#include "report/shard_plan.hh"
+
+using namespace ariadne;
+using namespace ariadne::report;
+
+// --- JSON reader ----------------------------------------------------
+
+TEST(JsonReader, ParsesNestedDocument)
+{
+    JsonValue v = JsonValue::parseText(R"({
+        "name": "daily",
+        "count": 3,
+        "ok": true,
+        "none": null,
+        "list": [1, 2.5, -3e2],
+        "obj": {"inner": "x"}
+    })");
+    EXPECT_EQ(v.at("name").asString(), "daily");
+    EXPECT_EQ(v.at("count").asU64(), 3u);
+    EXPECT_TRUE(v.at("ok").asBool());
+    EXPECT_TRUE(v.at("none").isNull());
+    ASSERT_EQ(v.at("list").asArray().size(), 3u);
+    EXPECT_DOUBLE_EQ(v.at("list").asArray()[2].asDouble(), -300.0);
+    EXPECT_EQ(v.at("obj").at("inner").asString(), "x");
+    EXPECT_EQ(v.find("missing"), nullptr);
+    EXPECT_THROW(v.at("missing"), JsonError);
+}
+
+TEST(JsonReader, ShortestRoundTripDoublesComeBackBitIdentical)
+{
+    for (double d : {0.1, 1.0 / 3.0, 6.02e23, 5e-324, 0.0625,
+                     123456789.123456789}) {
+        std::string text = driver::JsonWriter::formatDouble(d);
+        JsonValue v = JsonValue::parseText("[" + text + "]");
+        EXPECT_EQ(v.asArray()[0].asDouble(), d) << text;
+    }
+}
+
+TEST(JsonReader, FullRangeIntegersSurvive)
+{
+    JsonValue v = JsonValue::parseText("[18446744073709551615, 42]");
+    EXPECT_EQ(v.asArray()[0].asU64(), 18446744073709551615ULL);
+    EXPECT_EQ(v.asArray()[1].asU64(), 42u);
+    // Fractions and negatives are not integers.
+    EXPECT_THROW(JsonValue::parseText("[1.5]").asArray()[0].asU64(),
+                 JsonError);
+    EXPECT_THROW(JsonValue::parseText("[-1]").asArray()[0].asU64(),
+                 JsonError);
+}
+
+TEST(JsonReader, DecodesEscapes)
+{
+    JsonValue v = JsonValue::parseText(
+        R"(["a\"b\\c\n\t", "Aé€", "\u00e9\ud83d\ude00"])");
+    EXPECT_EQ(v.asArray()[0].asString(), "a\"b\\c\n\t");
+    // Raw UTF-8 passes through verbatim...
+    EXPECT_EQ(v.asArray()[1].asString(), "A\xc3\xa9\xe2\x82\xac");
+    // ...and \uXXXX escapes (including surrogate pairs) decode to it.
+    EXPECT_EQ(v.asArray()[2].asString(), "\xc3\xa9\xf0\x9f\x98\x80");
+}
+
+TEST(JsonReader, RejectsMalformedInput)
+{
+    EXPECT_THROW(JsonValue::parseText(""), JsonError);
+    EXPECT_THROW(JsonValue::parseText("{"), JsonError);
+    EXPECT_THROW(JsonValue::parseText("{\"a\" 1}"), JsonError);
+    EXPECT_THROW(JsonValue::parseText("[1,]"), JsonError);
+    EXPECT_THROW(JsonValue::parseText("[1] trailing"), JsonError);
+    EXPECT_THROW(JsonValue::parseText("nul"), JsonError);
+    EXPECT_THROW(JsonValue::parseText("\"unterminated"), JsonError);
+    EXPECT_THROW(JsonValue::parseText("[01e]"), JsonError);
+    // Deep nesting errors instead of smashing the stack.
+    std::string bomb(100000, '[');
+    EXPECT_THROW(JsonValue::parseText(bomb), JsonError);
+}
+
+// --- ShardPlan ------------------------------------------------------
+
+TEST(ShardPlan, ParsesValidSpecs)
+{
+    ShardPlan p = ShardPlan::parse("2/4");
+    EXPECT_EQ(p.index, 2u);
+    EXPECT_EQ(p.count, 4u);
+    EXPECT_EQ(p.toString(), "2/4");
+    EXPECT_FALSE(p.unsharded());
+    EXPECT_TRUE(ShardPlan::parse("1/1").unsharded());
+}
+
+TEST(ShardPlan, RejectsMalformedSpecs)
+{
+    for (const char *bad :
+         {"0/4", "5/4", "a/b", "4", "1/0", "", "1/", "/4", "-1/4",
+          "1/4/2", "1 / 4"})
+        EXPECT_THROW(ShardPlan::parse(bad), ReportError) << bad;
+}
+
+TEST(ShardPlan, SessionRangesTileTheFleet)
+{
+    for (std::size_t count : {1u, 2u, 3u, 4u, 7u, 8u}) {
+        for (std::size_t fleet : {0u, 1u, 2u, 5u, 8u, 64u, 1000u}) {
+            std::size_t expected_begin = 0;
+            for (std::size_t i = 1; i <= count; ++i) {
+                auto [begin, end] =
+                    ShardPlan{i, count}.sessionRange(fleet);
+                EXPECT_EQ(begin, expected_begin);
+                EXPECT_LE(begin, end);
+                expected_begin = end;
+            }
+            EXPECT_EQ(expected_begin, fleet);
+        }
+    }
+}
+
+TEST(ShardPlan, HugeShardCountsDoNotOverflowTheRanges)
+{
+    // COUNT is unbounded user input; index*fleet must not wrap.
+    const std::size_t huge = ~std::size_t{0} / 3 + 1;
+    std::size_t covered = 0;
+    for (std::size_t i : {std::size_t{1}, huge - 1, huge}) {
+        auto [begin, end] = ShardPlan{i, huge}.sessionRange(3);
+        EXPECT_LE(begin, end);
+        EXPECT_LE(end, 3u);
+        covered += end - begin;
+    }
+    EXPECT_LE(covered, 3u);
+    auto [last_begin, last_end] = ShardPlan{huge, huge}.sessionRange(3);
+    EXPECT_EQ(last_end, 3u);
+    (void)last_begin;
+}
+
+TEST(ShardPlan, VariantsRoundRobinAcrossShards)
+{
+    const std::size_t count = 3;
+    for (std::size_t j = 0; j < 10; ++j) {
+        std::size_t owners = 0;
+        for (std::size_t i = 1; i <= count; ++i)
+            owners += ShardPlan{i, count}.ownsVariant(j) ? 1 : 0;
+        EXPECT_EQ(owners, 1u) << "variant " << j;
+    }
+    EXPECT_TRUE((ShardPlan{1, 3}.ownsVariant(0)));
+    EXPECT_TRUE((ShardPlan{2, 3}.ownsVariant(4)));
+}
+
+// --- MetricState ----------------------------------------------------
+
+TEST(MetricState, ExactMergeReproducesTheUnshardedFold)
+{
+    MetricState whole(PercentileMode::Exact);
+    MetricState a(PercentileMode::Exact), b(PercentileMode::Exact);
+    for (int i = 0; i < 100; ++i) {
+        double v = static_cast<double>((i * 13) % 41) + 0.125;
+        whole.sample(v);
+        (i < 37 ? a : b).sample(v);
+    }
+    a.merge(b);
+    MetricSummary lhs = a.summarize(), rhs = whole.summarize();
+    EXPECT_EQ(lhs.samples, rhs.samples);
+    EXPECT_EQ(lhs.mean, rhs.mean);
+    EXPECT_EQ(lhs.min, rhs.min);
+    EXPECT_EQ(lhs.max, rhs.max);
+    EXPECT_EQ(lhs.p50, rhs.p50);
+    EXPECT_EQ(lhs.p90, rhs.p90);
+    EXPECT_EQ(lhs.p99, rhs.p99);
+}
+
+TEST(MetricState, SketchModeRetainsNoSampleVector)
+{
+    MetricState state(PercentileMode::Sketch, 32);
+    for (int i = 0; i < 10000; ++i)
+        state.sample(static_cast<double>(i));
+    EXPECT_TRUE(state.sampleValues().empty());
+    EXPECT_LT(state.retainedValues(), 1000u);
+    EXPECT_EQ(state.count(), 10000u);
+    EXPECT_DOUBLE_EQ(state.minValue(), 0.0);
+    EXPECT_DOUBLE_EQ(state.maxValue(), 9999.0);
+    MetricSummary s = state.summarize();
+    EXPECT_GT(s.rankErrorBound, 0u);
+    EXPECT_NEAR(s.p50, 5000.0,
+                static_cast<double>(s.rankErrorBound));
+}
+
+TEST(MetricState, MergeRejectsMismatchedModes)
+{
+    MetricState exact(PercentileMode::Exact);
+    MetricState sketch(PercentileMode::Sketch, 32);
+    MetricState sketch64(PercentileMode::Sketch, 64);
+    exact.sample(1.0);
+    sketch.sample(1.0);
+    EXPECT_THROW(exact.merge(sketch), ReportError);
+    EXPECT_THROW(sketch.merge(sketch64), ReportError);
+}
+
+// --- Partial reports ------------------------------------------------
+
+namespace
+{
+
+FleetPartial
+samplePartial(PercentileMode mode, std::size_t begin, std::size_t end,
+              std::uint64_t salt)
+{
+    FleetPartial p(mode, 32);
+    p.scenario = "unit";
+    p.scheme = "ZRAM";
+    p.scale = 0.0625;
+    p.seed = 0xdeadbeefcafef00dULL;
+    p.fleet = 8;
+    p.sessionsBegin = begin;
+    p.sessionsEnd = end;
+    for (std::size_t i = begin; i < end; ++i) {
+        driver::SessionResult s;
+        driver::RelaunchSample r;
+        r.fullScaleMs =
+            static_cast<double>((i * 131 + salt) % 97) + 0.5;
+        s.relaunches.push_back(r);
+        s.kswapdCpuNs = 1000000 * (i + 1);
+        s.energyJ = 0.25 * static_cast<double>(i + salt);
+        s.majorFaults = i;
+        p.fold(s);
+    }
+    return p;
+}
+
+std::string
+partialJson(const PartialReport &p)
+{
+    std::ostringstream os;
+    p.writeJson(os);
+    return os.str();
+}
+
+} // namespace
+
+TEST(PartialReport, JsonRoundTripIsExact)
+{
+    for (PercentileMode mode :
+         {PercentileMode::Exact, PercentileMode::Sketch}) {
+        PartialReport rep;
+        rep.kind = PartialReport::Kind::Fleet;
+        rep.shard = {2, 4};
+        rep.fleet = samplePartial(mode, 2, 4, 7);
+        std::string text = partialJson(rep);
+        PartialReport back = PartialReport::parseText(text);
+        EXPECT_EQ(back.shard, rep.shard);
+        EXPECT_EQ(back.fleet.seed, rep.fleet.seed);
+        // Re-serializing the parsed report reproduces every byte —
+        // doubles round-trip exactly.
+        EXPECT_EQ(partialJson(back), text);
+    }
+}
+
+TEST(PartialReport, SweepRoundTrip)
+{
+    PartialReport rep;
+    rep.kind = PartialReport::Kind::Sweep;
+    rep.shard = {1, 2};
+    rep.sweepName = "schemes";
+    rep.variantCount = 3;
+    rep.variants.push_back(
+        {0, samplePartial(PercentileMode::Exact, 0, 8, 1)});
+    rep.variants.push_back(
+        {2, samplePartial(PercentileMode::Exact, 0, 8, 2)});
+    std::string text = partialJson(rep);
+    PartialReport back = PartialReport::parseText(text);
+    ASSERT_EQ(back.variants.size(), 2u);
+    EXPECT_EQ(back.variants[1].index, 2u);
+    EXPECT_EQ(partialJson(back), text);
+}
+
+TEST(PartialReport, RejectsCorruptDocuments)
+{
+    EXPECT_THROW(PartialReport::parseText("garbage"), ReportError);
+    EXPECT_THROW(PartialReport::parseText("{}"), ReportError);
+    EXPECT_THROW(PartialReport::parseText(
+                     R"({"ariadnePartial": 99, "kind": "fleet",
+                         "shardIndex": 1, "shardCount": 1})"),
+                 ReportError);
+    // Truncated sample vectors are diagnosed via the count field.
+    PartialReport rep;
+    rep.fleet = samplePartial(PercentileMode::Exact, 0, 4, 3);
+    std::string text = partialJson(rep);
+    auto pos = text.find("\"samples\": [");
+    ASSERT_NE(pos, std::string::npos);
+    auto end = text.find("]", pos);
+    std::string truncated = text.substr(0, text.find("[", pos) + 1) +
+                            "1" + text.substr(end);
+    EXPECT_THROW(PartialReport::parseText(truncated), ReportError);
+    EXPECT_THROW(PartialReport::loadFile("/nonexistent/partial.json"),
+                 ReportError);
+}
+
+// --- Merger ---------------------------------------------------------
+
+TEST(ReportMerger, MergesShardsInCanonicalOrder)
+{
+    PartialReport a, b;
+    a.shard = {1, 2};
+    a.fleet = samplePartial(PercentileMode::Exact, 0, 4, 5);
+    b.shard = {2, 2};
+    b.fleet = samplePartial(PercentileMode::Exact, 4, 8, 5);
+
+    MergedReport forward = mergePartials({a, b});
+    MergedReport shuffled = mergePartials({b, a});
+    std::ostringstream x, y;
+    forward.fleet.writeJson(x);
+    shuffled.fleet.writeJson(y);
+    EXPECT_EQ(x.str(), y.str());
+    EXPECT_EQ(forward.fleet.fleet, 8u);
+    EXPECT_EQ(forward.fleet.relaunchMs.samples, 8u);
+}
+
+TEST(ReportMerger, SingleShardMergeEqualsFinalize)
+{
+    PartialReport solo;
+    solo.fleet = samplePartial(PercentileMode::Exact, 0, 8, 9);
+    MergedReport merged = mergePartials({solo});
+    std::ostringstream x, y;
+    merged.fleet.writeJson(x);
+    finalizeFleet(solo.fleet).writeJson(y);
+    EXPECT_EQ(x.str(), y.str());
+}
+
+TEST(ReportMerger, DiagnosesBadShardSets)
+{
+    PartialReport a, b, dup;
+    a.shard = {1, 2};
+    a.fleet = samplePartial(PercentileMode::Exact, 0, 4, 5);
+    b.shard = {2, 2};
+    b.fleet = samplePartial(PercentileMode::Exact, 4, 8, 5);
+    dup = a;
+
+    EXPECT_THROW(mergePartials({}), ReportError);
+    EXPECT_THROW(mergePartials({a}), ReportError);         // missing 2/2
+    EXPECT_THROW(mergePartials({a, dup}), ReportError);    // duplicate
+    PartialReport wrong_seed = b;
+    wrong_seed.fleet.seed ^= 1;
+    EXPECT_THROW(mergePartials({a, wrong_seed}), ReportError);
+    PartialReport wrong_range = b;
+    wrong_range.fleet.sessionsBegin = 3;
+    EXPECT_THROW(mergePartials({a, wrong_range}), ReportError);
+    PartialReport wrong_mode = b;
+    wrong_mode.fleet = samplePartial(PercentileMode::Sketch, 4, 8, 5);
+    EXPECT_THROW(mergePartials({a, wrong_mode}), ReportError);
+}
+
+TEST(PartialReport, RejectsCorruptSketchState)
+{
+    PartialReport rep;
+    rep.fleet = samplePartial(PercentileMode::Sketch, 0, 4, 3);
+    std::string text = partialJson(rep);
+    // Empty the first sketch's levels while leaving its count: the
+    // weight invariant (levels weigh exactly `count`) must catch it
+    // with exit-2 currency, never a crash at percentile time.
+    auto pos = text.find("\"levels\": [");
+    ASSERT_NE(pos, std::string::npos);
+    auto open = text.find("[", pos);
+    std::size_t depth = 0, end = open;
+    do {
+        if (text[end] == '[')
+            ++depth;
+        else if (text[end] == ']')
+            --depth;
+        ++end;
+    } while (depth > 0);
+    std::string gutted =
+        text.substr(0, open + 1) + text.substr(end - 1);
+    EXPECT_THROW(PartialReport::parseText(gutted), ReportError);
+}
+
+TEST(ReportMerger, SweepShardsMustShareOneRunIdentity)
+{
+    auto shard = [](std::size_t index, std::uint64_t hash,
+                    std::uint64_t fleet_override) {
+        PartialReport p;
+        p.kind = PartialReport::Kind::Sweep;
+        p.shard = {index, 2};
+        p.sweepName = "s";
+        p.variantCount = 2;
+        p.sweepSpecHash = hash;
+        p.fleetOverride = fleet_override;
+        PartialReport::SweepEntry e;
+        e.index = index - 1;
+        e.fleet = samplePartial(PercentileMode::Exact, 0, 8, index);
+        p.variants.push_back(std::move(e));
+        return p;
+    };
+    // Same spec + same --fleet merges fine...
+    EXPECT_EQ(mergePartials({shard(1, 7, 0), shard(2, 7, 0)})
+                  .sweep.variants.size(),
+              2u);
+    // ...but shards of different sweep specs or different --fleet
+    // overrides must be refused, not silently mixed.
+    EXPECT_THROW(mergePartials({shard(1, 7, 0), shard(2, 8, 0)}),
+                 ReportError);
+    EXPECT_THROW(mergePartials({shard(1, 7, 4), shard(2, 7, 2)}),
+                 ReportError);
+}
+
+TEST(ReportMerger, SweepNeedsEveryVariantExactlyOnce)
+{
+    auto entry = [](std::size_t index) {
+        PartialReport::SweepEntry e;
+        e.index = index;
+        e.fleet = samplePartial(PercentileMode::Exact, 0, 8, index);
+        return e;
+    };
+    PartialReport a, b;
+    a.kind = b.kind = PartialReport::Kind::Sweep;
+    a.sweepName = b.sweepName = "s";
+    a.variantCount = b.variantCount = 3;
+    a.shard = {1, 2};
+    b.shard = {2, 2};
+    a.variants.push_back(entry(0));
+    a.variants.push_back(entry(2));
+    b.variants.push_back(entry(1));
+
+    driver::SweepResult merged = mergePartials({b, a}).sweep;
+    ASSERT_EQ(merged.variants.size(), 3u);
+    EXPECT_EQ(merged.name, "s");
+
+    PartialReport missing = b;
+    missing.variants.clear();
+    EXPECT_THROW(mergePartials({a, missing}), ReportError);
+    PartialReport incomplete = b;
+    incomplete.variants[0].fleet.sessionsEnd = 4;
+    EXPECT_THROW(mergePartials({a, incomplete}), ReportError);
+}

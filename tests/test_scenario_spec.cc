@@ -356,6 +356,58 @@ TEST(ScenarioSpec, RoundTripsThroughToString)
     EXPECT_EQ(spec.toString(), reparsed.toString());
 }
 
+TEST(ScenarioSpec, ParsesPercentileModeKeys)
+{
+    ScenarioSpec spec = ScenarioSpec::parseString(
+        "percentiles = sketch\n"
+        "sketch_k = 128\n"
+        "event = warmup\n");
+    EXPECT_EQ(spec.percentiles, PercentileMode::Sketch);
+    EXPECT_EQ(spec.sketchK, 128u);
+    // Sketch mode round-trips with its buffer size spelled out.
+    EXPECT_NE(spec.toString().find("percentiles = sketch"),
+              std::string::npos);
+    EXPECT_NE(spec.toString().find("sketch_k = 128"),
+              std::string::npos);
+    EXPECT_TRUE(ScenarioSpec::parseString(spec.toString()) == spec);
+
+    // The default stays exact (and is omitted from the canonical
+    // form, so pre-sketch configs and traces are untouched).
+    ScenarioSpec exact = ScenarioSpec::parseString(
+        "percentiles = exact\nevent = warmup\n");
+    EXPECT_EQ(exact.percentiles, PercentileMode::Exact);
+    EXPECT_EQ(exact.toString().find("percentiles"),
+              std::string::npos);
+}
+
+TEST(ScenarioSpec, ValidatesPercentileModeKeys)
+{
+    EXPECT_THROW(ScenarioSpec::parseString("percentiles = median\n"),
+                 SpecError);
+    // sketch_k needs sketch mode, whatever the line order...
+    EXPECT_THROW(ScenarioSpec::parseString("sketch_k = 128\n"
+                                           "event = warmup\n"),
+                 SpecError);
+    EXPECT_THROW(
+        ScenarioSpec::parseString("sketch_k = 128\n"
+                                  "percentiles = exact\n"
+                                  "event = warmup\n"),
+        SpecError);
+    // ...and a sane size.
+    EXPECT_THROW(ScenarioSpec::parseString("percentiles = sketch\n"
+                                           "sketch_k = 4\n"),
+                 SpecError);
+    EXPECT_THROW(ScenarioSpec::parseString("percentiles = sketch\n"
+                                           "sketch_k = nope\n"),
+                 SpecError);
+    // Replay specs adopt the recorded scenario's aggregation mode;
+    // overriding it there is rejected like any other stray key.
+    EXPECT_THROW(ScenarioSpec::parseString("workload = trace\n"
+                                           "trace = x.trace\n"
+                                           "percentiles = sketch\n"),
+                 SpecError);
+}
+
 TEST(ScenarioSpec, DefaultsWhenKeysOmitted)
 {
     ScenarioSpec spec = ScenarioSpec::parseString("event = warmup\n");

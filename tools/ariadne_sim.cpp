@@ -15,10 +15,21 @@
  *
  * or replays a recorded trace — optionally under a *different*
  * registered scheme (what-if replay; the recorded workload stream is
- * re-run bit-identically):
+ * re-run bit-identically), or under *every* registered scheme as one
+ * side-by-side sweep:
  *
  *     ariadne_sim --record daily.trace --config scenarios/daily.cfg
  *     ariadne_sim --replay daily.trace --scheme zswap
+ *     ariadne_sim --replay daily.trace --sweep-schemes
+ *
+ * Runs also distribute across processes/machines: each worker runs
+ * one deterministic shard and writes a mergeable partial report, and
+ * a merge folds the partials into the standard report — in exact
+ * percentile mode byte-identical to the unsharded run:
+ *
+ *     ariadne_sim --config daily.cfg --shard 1/2 --partial a.json
+ *     ariadne_sim --config daily.cfg --shard 2/2 --partial b.json
+ *     ariadne_sim --merge a.json b.json -o report.json
  *
  * Aggregates are bit-identical regardless of --threads; every
  * session derives its seed from the scenario's base seed and its own
@@ -31,9 +42,11 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "analysis/report.hh"
 #include "driver/fleet_runner.hh"
+#include "report/report_merger.hh"
 #include "swap/scheme_registry.hh"
 #include "workload/trace.hh"
 
@@ -47,7 +60,8 @@ void
 usage(std::ostream &os)
 {
     os << "usage: ariadne_sim (--config FILE | --sweep FILE | "
-          "--replay TRACE) [options]\n"
+          "--replay TRACE |\n"
+          "                    --merge PARTIAL...) [options]\n"
           "\n"
           "options:\n"
           "  --config FILE    scenario config (one scenario; sweep "
@@ -64,6 +78,27 @@ usage(std::ostream &os)
           "                   registered scheme NAME instead of the "
           "recorded one\n"
           "                   (--replay only; see --list-schemes)\n"
+          "  --sweep-schemes  what-if sweep: replay the trace under "
+          "every registered\n"
+          "                   scheme as sweep variants in one "
+          "side-by-side report\n"
+          "                   (--replay only)\n"
+          "  --shard I/N      run only shard I of N (fleets: a "
+          "contiguous session\n"
+          "                   range; sweeps: round-robin variants) "
+          "and write the\n"
+          "                   mergeable partial report to --partial. "
+          "Merging all N\n"
+          "                   partials reproduces the unsharded "
+          "report —\n"
+          "                   byte-identically with `percentiles = "
+          "exact`\n"
+          "  --partial FILE   partial-report destination for --shard "
+          "('-' = stdout)\n"
+          "  --merge P...     fold partial reports (one per shard) "
+          "into the final\n"
+          "                   report; write it with -o/--json\n"
+          "  -o FILE          alias of --json\n"
           "  --fleet N        session count (default: the config's "
           "fleet size)\n"
           "  --threads T      worker threads (default 1; 0 = hardware "
@@ -198,10 +233,16 @@ struct Options
     std::string sweepPath;
     std::string replayPath;
     std::string schemeName;
+    bool sweepSchemes = false;
     std::size_t fleet = 0;   // 0 = use the spec's
     unsigned threads = 1;
     std::string jsonPath;
     std::string recordPath;
+    bool sharded = false;
+    report::ShardPlan shard;
+    std::string partialPath;
+    bool mergeMode = false;
+    std::vector<std::string> mergeInputs;
     bool perSession = false;
     bool printConfig = false;
     bool quiet = false;
@@ -265,6 +306,29 @@ parseArgs(int argc, char **argv, Options &opt)
             if (!need_value(i, arg))
                 return false;
             opt.schemeName = argv[++i];
+        } else if (!std::strcmp(arg, "--sweep-schemes")) {
+            opt.sweepSchemes = true;
+        } else if (!std::strcmp(arg, "--shard")) {
+            if (!need_value(i, arg))
+                return false;
+            try {
+                opt.shard = report::ShardPlan::parse(argv[++i]);
+            } catch (const report::ReportError &e) {
+                std::cerr << "ariadne_sim: --shard: " << e.what()
+                          << "\n";
+                return false;
+            }
+            opt.sharded = true;
+        } else if (!std::strcmp(arg, "--partial")) {
+            if (!need_value(i, arg))
+                return false;
+            opt.partialPath = argv[++i];
+        } else if (!std::strcmp(arg, "--merge")) {
+            opt.mergeMode = true;
+            // Consume the run of partial-report paths that follows.
+            while (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) &&
+                   std::strcmp(argv[i + 1], "-o"))
+                opt.mergeInputs.push_back(argv[++i]);
         } else if (!std::strcmp(arg, "--fleet")) {
             if (!need_value(i, arg))
                 return false;
@@ -283,7 +347,8 @@ parseArgs(int argc, char **argv, Options &opt)
             if (!need_value(i, arg))
                 return false;
             opt.recordPath = argv[++i];
-        } else if (!std::strcmp(arg, "--json")) {
+        } else if (!std::strcmp(arg, "--json") ||
+                   !std::strcmp(arg, "-o")) {
             if (!need_value(i, arg))
                 return false;
             opt.jsonPath = argv[++i];
@@ -302,12 +367,29 @@ parseArgs(int argc, char **argv, Options &opt)
     }
     int sources = (opt.configPath.empty() ? 0 : 1) +
                   (opt.sweepPath.empty() ? 0 : 1) +
-                  (opt.replayPath.empty() ? 0 : 1);
+                  (opt.replayPath.empty() ? 0 : 1) +
+                  (opt.mergeMode ? 1 : 0);
     if (sources != 1) {
         std::cerr << "ariadne_sim: exactly one of --config / --sweep "
-                     "/ --replay is required\n";
+                     "/ --replay / --merge is required\n";
         usage(std::cerr);
         return false;
+    }
+    if (opt.mergeMode) {
+        if (opt.mergeInputs.empty()) {
+            std::cerr << "ariadne_sim: --merge needs at least one "
+                         "partial report file (one per shard)\n";
+            usage(std::cerr);
+            return false;
+        }
+        if (opt.sharded || !opt.partialPath.empty() ||
+            !opt.recordPath.empty() || opt.perSession) {
+            std::cerr << "ariadne_sim: --merge only folds existing "
+                         "partial reports; it cannot combine with "
+                         "--shard, --partial, --record or "
+                         "--per-session\n";
+            return false;
+        }
     }
     if (!opt.schemeName.empty() && opt.replayPath.empty()) {
         std::cerr << "ariadne_sim: --scheme is a what-if replay "
@@ -315,10 +397,46 @@ parseArgs(int argc, char **argv, Options &opt)
                      "= ...` line in the config otherwise)\n";
         return false;
     }
+    if (opt.sweepSchemes && opt.replayPath.empty()) {
+        std::cerr << "ariadne_sim: --sweep-schemes replays a recorded "
+                     "trace under every registered scheme and "
+                     "requires --replay\n";
+        return false;
+    }
+    if (opt.sweepSchemes && !opt.schemeName.empty()) {
+        std::cerr << "ariadne_sim: --sweep-schemes already replays "
+                     "under every scheme; drop --scheme\n";
+        return false;
+    }
+    if (opt.sharded && opt.partialPath.empty()) {
+        std::cerr << "ariadne_sim: --shard writes a mergeable partial "
+                     "report; add --partial FILE ('-' = stdout)\n";
+        return false;
+    }
+    if (!opt.partialPath.empty() && !opt.sharded) {
+        std::cerr << "ariadne_sim: --partial requires --shard I/N "
+                     "(an unsharded run writes a final report with "
+                     "--json)\n";
+        return false;
+    }
+    if (opt.sharded &&
+        (!opt.recordPath.empty() || !opt.jsonPath.empty() ||
+         opt.perSession)) {
+        std::cerr << "ariadne_sim: --shard produces a partial report "
+                     "only; it cannot combine with --record, --json "
+                     "or --per-session (merge the partials for the "
+                     "final report)\n";
+        return false;
+    }
     if (!opt.recordPath.empty() && !opt.sweepPath.empty()) {
         std::cerr << "ariadne_sim: --record works with --config or "
                      "--replay only (record each sweep variant "
                      "separately)\n";
+        return false;
+    }
+    if (!opt.recordPath.empty() && opt.sweepSchemes) {
+        std::cerr << "ariadne_sim: --record works on single runs, not "
+                     "the --sweep-schemes what-if sweep\n";
         return false;
     }
     if (!opt.recordPath.empty() && opt.threads != 1) {
@@ -351,7 +469,11 @@ printSummary(std::ostream &os, const FleetResult &r)
                              ? ""
                              : " (" + r.ariadneConfig + ")"));
     os << "fleet " << r.fleet << ", base seed " << r.seed << ", scale "
-       << r.scale << "\n\n";
+       << r.scale;
+    if (r.percentiles == PercentileMode::Sketch)
+        os << ", sketch percentiles (rank-error bounds in the JSON "
+              "report)";
+    os << "\n\n";
 
     ReportTable table({"metric", "n", "mean", "p50", "p90", "p99",
                        "min", "max"});
@@ -418,6 +540,27 @@ emitJson(const Options &opt, const Result &result)
     return 0;
 }
 
+/** Write a shard's partial report; returns the exit code. */
+int
+emitPartial(const Options &opt, const report::PartialReport &p)
+{
+    if (opt.partialPath == "-") {
+        p.writeJson(std::cout);
+        return 0;
+    }
+    std::ofstream out(opt.partialPath);
+    if (!out) {
+        std::cerr << "ariadne_sim: cannot write " << opt.partialPath
+                  << "\n";
+        return 1;
+    }
+    p.writeJson(out);
+    if (!opt.quiet)
+        std::cout << "partial report (shard " << p.shard.toString()
+                  << ") written to " << opt.partialPath << "\n";
+    return 0;
+}
+
 /** The spec a run executes: the --config file, or the --replay
  * trace reference with its optional --scheme what-if override. */
 ScenarioSpec
@@ -442,6 +585,19 @@ runScenario(const Options &opt)
         return 0;
     }
     FleetRunner runner(std::move(spec));
+    if (opt.sharded) {
+        report::PartialReport part =
+            runner.runShard(opt.shard, opt.fleet, opt.threads);
+        // `--partial -` owns stdout for the JSON (its one consumer is
+        // --merge); keep the status line out of the stream.
+        if (!opt.quiet && opt.partialPath != "-")
+            std::cout << "shard " << part.shard.toString()
+                      << ": ran sessions ["
+                      << part.fleet.sessionsBegin << ", "
+                      << part.fleet.sessionsEnd << ") of fleet "
+                      << part.fleet.fleet << "\n";
+        return emitPartial(opt, part);
+    }
     // Sessions are only worth retaining when a JSON report will
     // actually carry them; otherwise streaming keeps memory bounded.
     bool keep = opt.perSession && !opt.jsonPath.empty();
@@ -460,12 +616,20 @@ runScenario(const Options &opt)
 }
 
 int
-runSweep(const Options &opt)
+runSweep(const Options &opt, const SweepSpec &sweep)
 {
-    SweepSpec sweep = SweepSpec::loadFile(opt.sweepPath);
     if (opt.printConfig) {
         std::cout << sweep.toString();
         return 0;
+    }
+    if (opt.sharded) {
+        report::PartialReport part = FleetRunner::runSweepShard(
+            sweep, opt.shard, opt.fleet, opt.threads);
+        if (!opt.quiet && opt.partialPath != "-")
+            std::cout << "shard " << part.shard.toString() << ": ran "
+                      << part.variants.size() << " of "
+                      << part.variantCount << " variant(s)\n";
+        return emitPartial(opt, part);
     }
     bool keep = opt.perSession && !opt.jsonPath.empty();
     SweepResult result =
@@ -473,6 +637,42 @@ runSweep(const Options &opt)
     if (!opt.quiet)
         printSweepSummary(std::cout, result);
     return emitJson(opt, result);
+}
+
+/**
+ * The --sweep-schemes sweep: one variant per registered scheme, each
+ * a what-if replay of the trace, so the side-by-side report compares
+ * every scheme over the *identical* recorded workload stream.
+ */
+SweepSpec
+schemeSweep(const std::string &trace_path)
+{
+    SweepSpec sweep;
+    sweep.name = "whatif-schemes";
+    for (const SchemeInfo *info : SchemeRegistry::instance().infos()) {
+        ScenarioSpec variant;
+        variant.name = info->key;
+        variant.workload = WorkloadKind::Trace;
+        variant.tracePath = trace_path;
+        variant.replayScheme = info->key;
+        sweep.variants.push_back(std::move(variant));
+    }
+    return sweep;
+}
+
+int
+runMerge(const Options &opt)
+{
+    report::MergedReport merged =
+        report::mergeReportFiles(opt.mergeInputs);
+    if (merged.kind == report::PartialReport::Kind::Fleet) {
+        if (!opt.quiet)
+            printSummary(std::cout, merged.fleet);
+        return emitJson(opt, merged.fleet);
+    }
+    if (!opt.quiet)
+        printSweepSummary(std::cout, merged.sweep);
+    return emitJson(opt, merged.sweep);
 }
 
 } // namespace
@@ -495,8 +695,13 @@ main(int argc, char **argv)
     }
 
     try {
-        return opt.sweepPath.empty() ? runScenario(opt)
-                                     : runSweep(opt);
+        if (opt.mergeMode)
+            return runMerge(opt);
+        if (opt.sweepSchemes)
+            return runSweep(opt, schemeSweep(opt.replayPath));
+        if (!opt.sweepPath.empty())
+            return runSweep(opt, SweepSpec::loadFile(opt.sweepPath));
+        return runScenario(opt);
     } catch (const SpecError &e) {
         std::cerr << "ariadne_sim: " << e.what() << "\n";
         return 2;
@@ -504,6 +709,9 @@ main(int argc, char **argv)
         std::cerr << "ariadne_sim: " << e.what() << "\n";
         return 2;
     } catch (const SchemeError &e) {
+        std::cerr << "ariadne_sim: " << e.what() << "\n";
+        return 2;
+    } catch (const report::ReportError &e) {
         std::cerr << "ariadne_sim: " << e.what() << "\n";
         return 2;
     } catch (const std::exception &e) {
