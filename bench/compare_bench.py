@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_*.json perf report against a committed baseline.
+
+Usage:
+    compare_bench.py CURRENT BASELINE [--rate-tolerance 0.25]
+                     [--counter-tolerance 0.0]
+
+Rates (sessions/sec, pages/sec.*) may regress by at most
+--rate-tolerance relative to the baseline (improvements always pass).
+Telemetry counters are deterministic functions of the workload, so
+they must match the baseline within --counter-tolerance (default:
+exactly); a counter drift means the simulator does different *work*
+than it did at the baseline commit, which is a behavioural change
+that deserves a baseline refresh in the same PR.
+
+Wall time, RSS, and duration accumulators are machine-dependent and
+reported for information only. Exit status: 0 pass, 1 fail, 2 usage.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("ariadneBench") != 1:
+        sys.exit(f"{path}: not an ariadneBench v1 document")
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--rate-tolerance", type=float, default=0.25,
+                    help="max fractional rate regression (default 0.25)")
+    ap.add_argument("--counter-tolerance", type=float, default=0.0,
+                    help="max fractional counter drift (default exact)")
+    args = ap.parse_args()
+
+    cur = load(args.current)
+    base = load(args.baseline)
+    if cur["bench"] != base["bench"]:
+        sys.exit(f"bench mismatch: {cur['bench']} vs {base['bench']}")
+
+    failures = []
+
+    for name, base_rate in base.get("rates", {}).items():
+        cur_rate = cur.get("rates", {}).get(name)
+        if cur_rate is None:
+            failures.append(f"rate '{name}' missing from current run")
+            continue
+        floor = base_rate * (1.0 - args.rate_tolerance)
+        status = "ok" if cur_rate >= floor else "FAIL"
+        print(f"rate {name}: {cur_rate:.1f} vs baseline "
+              f"{base_rate:.1f} (floor {floor:.1f}) {status}")
+        if cur_rate < floor:
+            failures.append(
+                f"rate '{name}' regressed: {cur_rate:.1f} < "
+                f"{floor:.1f} ({args.rate_tolerance:.0%} band below "
+                f"baseline {base_rate:.1f})")
+
+    for name, base_val in base.get("counters", {}).items():
+        cur_val = cur.get("counters", {}).get(name)
+        if cur_val is None:
+            failures.append(f"counter '{name}' missing from current run")
+            continue
+        limit = abs(base_val) * args.counter_tolerance
+        if abs(cur_val - base_val) > limit:
+            failures.append(
+                f"counter '{name}' drifted: {cur_val} vs baseline "
+                f"{base_val} (tolerance {args.counter_tolerance:.0%})")
+
+    drift = sum(1 for n in cur.get("counters", {})
+                if n not in base.get("counters", {}))
+    if drift:
+        print(f"note: {drift} counter(s) in current run absent from "
+              f"baseline (new instrumentation; refresh the baseline)")
+
+    print(f"info: wall {cur.get('wallSeconds', 0):.2f}s vs baseline "
+          f"{base.get('wallSeconds', 0):.2f}s, peak RSS "
+          f"{cur.get('peakRssBytes', 0) // (1 << 20)} MiB "
+          f"(informational)")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"PASS: {cur['bench']} within tolerance "
+          f"(rates {args.rate_tolerance:.0%}, counters "
+          f"{args.counter_tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,9 @@
 #include "report/report_merger.hh"
 #include "sim/log.hh"
 #include "swap/scheme_registry.hh"
+#include "telemetry/progress.hh"
+#include "telemetry/telemetry.hh"
+#include "telemetry/trace_log.hh"
 #include "workload/apps.hh"
 
 namespace ariadne::driver
@@ -17,6 +20,9 @@ namespace ariadne::driver
 
 namespace
 {
+
+telemetry::Counter c_sessions("fleet.sessions");
+telemetry::DurationProbe d_session("fleet.session");
 
 void
 writeSummary(JsonWriter &w, const std::string &name,
@@ -137,6 +143,9 @@ SessionResult
 FleetRunner::runSession(std::size_t index,
                         TraceRecorder *recorder) const
 {
+    c_sessions.add();
+    telemetry::ScopedTimer timer(d_session);
+    telemetry::TraceSpan span("session", "index", index);
     SessionResult result;
     result.index = index;
     result.seed = scenario.sessionSeed(index);
@@ -295,6 +304,7 @@ FleetRunner::runPartialInto(report::FleetPartial &partial,
                           [&] { return i < fold_frontier + window; });
             }
             SessionResult s = runSession(i, recorder);
+            std::size_t folded = 0;
             {
                 std::unique_lock<std::mutex> lk(mu);
                 pending.emplace(i, std::move(s));
@@ -308,18 +318,29 @@ FleetRunner::runPartialInto(report::FleetPartial &partial,
                             std::move(head);
                     pending.erase(pending.begin());
                     ++fold_frontier;
+                    ++folded;
                 }
                 room.notify_all();
             }
+            // Heartbeats happen outside the fold lock; the meter has
+            // its own synchronization and may block on stderr.
+            if (folded)
+                telemetry::ProgressMeter::global().tick(folded);
         }
     };
     if (threads == 1) {
+        telemetry::TraceLog::global().nameThisThread("fleet-main");
         worker();
     } else {
         std::vector<std::thread> pool;
         pool.reserve(threads);
-        for (unsigned t = 0; t < threads; ++t)
-            pool.emplace_back(worker);
+        for (unsigned t = 0; t < threads; ++t) {
+            pool.emplace_back([&worker, t]() {
+                telemetry::TraceLog::global().nameThisThread(
+                    "worker-" + std::to_string(t));
+                worker();
+            });
+        }
         for (auto &th : pool)
             th.join();
     }

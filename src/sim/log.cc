@@ -2,13 +2,33 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace ariadne
 {
 
 namespace
 {
+
 LogLevel g_level = LogLevel::Warn;
+
+// Serializes emitLine so concurrent fleet workers' messages never
+// interleave mid-line; each message is one complete write.
+std::mutex g_logMutex;
+
+void
+emitLine(const char *prefix, const std::string &msg)
+{
+    std::string line;
+    line.reserve(msg.size() + 16);
+    line += prefix;
+    line += msg;
+    line += '\n';
+    std::lock_guard<std::mutex> lock(g_logMutex);
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+}
+
 } // namespace
 
 LogLevel
@@ -26,14 +46,14 @@ setLogLevel(LogLevel level)
 void
 panic(const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    emitLine("panic: ", msg);
     std::abort();
 }
 
 void
 fatal(const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    emitLine("fatal: ", msg);
     std::exit(1);
 }
 
@@ -41,21 +61,21 @@ void
 warn(const std::string &msg)
 {
     if (g_level >= LogLevel::Warn)
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+        emitLine("warn: ", msg);
 }
 
 void
 inform(const std::string &msg)
 {
     if (g_level >= LogLevel::Inform)
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+        emitLine("info: ", msg);
 }
 
 void
 debug(const std::string &msg)
 {
     if (g_level >= LogLevel::Debug)
-        std::fprintf(stderr, "debug: %s\n", msg.c_str());
+        emitLine("debug: ", msg);
 }
 
 } // namespace ariadne

@@ -1,9 +1,20 @@
 #include "swap/flash_swap.hh"
 
 #include "sim/log.hh"
+#include "telemetry/telemetry.hh"
 
 namespace ariadne
 {
+
+namespace
+{
+
+telemetry::Counter c_swapout("flash.swapout");
+telemetry::Counter c_swapoutDropped("flash.swapout_dropped");
+telemetry::Counter c_swapin("flash.swapin");
+telemetry::DurationProbe d_swapin("flash.swapin");
+
+} // namespace
 
 FlashSwapScheme::FlashSwapScheme(SwapContext context,
                                  FlashSwapConfig config)
@@ -98,9 +109,11 @@ FlashSwapScheme::reclaim(std::size_t pages, bool direct)
             FlashSlot slot = flashDev.write(pageSize);
             if (slot == invalidFlashSlot) {
                 // Swap space exhausted: data dropped.
+                c_swapoutDropped.add();
                 victim->location = PageLocation::Lost;
                 ++lost;
             } else {
+                c_swapout.add();
                 // Submission is cheap CPU; the program happens in the
                 // device while the CPU runs other work.
                 Tick submit = ctx.timing.params().flashSubmitCpuNs;
@@ -124,6 +137,8 @@ FlashSwapScheme::swapIn(PageMeta &page)
 {
     panicIf(page.location != PageLocation::Flash,
             "FlashSwapScheme::swapIn on non-flash page");
+    c_swapin.add();
+    telemetry::ScopedTimer timer(d_swapin);
     SwapInResult res;
     res.fromFlash = true;
     Stopwatch sw(ctx.clock);

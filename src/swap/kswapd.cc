@@ -1,7 +1,18 @@
 #include "swap/kswapd.hh"
 
+#include "telemetry/telemetry.hh"
+
 namespace ariadne
 {
+
+namespace
+{
+
+telemetry::Counter c_wakeup("kswapd.wakeup");
+telemetry::Counter c_reclaimedPages("kswapd.reclaimed_pages");
+telemetry::DurationProbe d_run("kswapd.run");
+
+} // namespace
 
 std::size_t
 Kswapd::maybeRun()
@@ -9,6 +20,8 @@ Kswapd::maybeRun()
     if (!ctx.dram.belowLowWatermark())
         return 0;
 
+    c_wakeup.add();
+    telemetry::ScopedTimer timer(d_run);
     ++runs;
     ctx.cpu.charge(CpuRole::Kswapd, wakeupCpuNs);
     totalCpuNs += wakeupCpuNs;
@@ -22,6 +35,7 @@ Kswapd::maybeRun()
     Tick after = ctx.cpu.grandTotal();
     totalCpuNs += after - before;
     reclaimed += freed;
+    c_reclaimedPages.add(freed);
     return freed;
 }
 

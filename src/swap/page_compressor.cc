@@ -1,7 +1,33 @@
 #include "swap/page_compressor.hh"
 
+#include "telemetry/telemetry.hh"
+
 namespace ariadne
 {
+
+namespace
+{
+
+telemetry::Counter c_cacheHit("compressor.cache_hit");
+telemetry::Counter c_cacheMiss("compressor.cache_miss");
+
+// Per-codec host-time compression cost, indexed by CodecKind. These
+// are the only probes measuring *real* compression work (the schemes
+// charge modeled sim-time separately).
+telemetry::DurationProbe &
+compressProbe(CodecKind kind)
+{
+    static telemetry::DurationProbe probes[] = {
+        telemetry::DurationProbe("compressor.compress.lz4"),
+        telemetry::DurationProbe("compressor.compress.lzo"),
+        telemetry::DurationProbe("compressor.compress.bdi"),
+        telemetry::DurationProbe("compressor.compress.null"),
+    };
+    auto i = static_cast<std::size_t>(kind);
+    return probes[i < 4 ? i : 3];
+}
+
+} // namespace
 
 std::size_t
 PageCompressor::compressedSizeOne(const PageRef &page,
@@ -13,11 +39,14 @@ PageCompressor::compressedSizeOne(const PageRef &page,
                  static_cast<std::uint32_t>(chunk_bytes)};
     auto it = cache.find(key);
     if (it != cache.end()) {
+        c_cacheHit.add();
         ++hits;
         return it->second;
     }
+    c_cacheMiss.add();
     ++misses;
 
+    telemetry::ScopedTimer timer(compressProbe(codec.kind()));
     std::vector<std::uint8_t> buf(pageSize);
     content.materialize(page.key, page.version,
                         {buf.data(), buf.size()});
@@ -36,6 +65,7 @@ PageCompressor::compressedSizeMany(const std::vector<PageRef> &pages,
 {
     if (pages.empty())
         return 0;
+    telemetry::ScopedTimer timer(compressProbe(codec.kind()));
     std::vector<std::uint8_t> buf(pages.size() * pageSize);
     for (std::size_t i = 0; i < pages.size(); ++i) {
         content.materialize(pages[i].key, pages[i].version,

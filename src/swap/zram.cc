@@ -1,9 +1,22 @@
 #include "swap/zram.hh"
 
 #include "sim/log.hh"
+#include "telemetry/telemetry.hh"
 
 namespace ariadne
 {
+
+namespace
+{
+
+telemetry::Counter c_compressOut("zram.compress_out");
+telemetry::Counter c_writeback("zram.writeback");
+telemetry::Counter c_dropped("zram.dropped");
+telemetry::Counter c_swapinZpool("zram.swapin_zpool");
+telemetry::Counter c_swapinFlash("zram.swapin_flash");
+telemetry::DurationProbe d_swapin("zram.swapin");
+
+} // namespace
 
 ZramScheme::ZramScheme(SwapContext context, ZramConfig config)
     : SwapScheme(context), cfg(config), codec(makeCodec(cfg.codec)),
@@ -168,6 +181,7 @@ ZramScheme::ensureZpoolSpace(std::size_t csize, bool synchronous)
                 ctx.cpu.charge(CpuRole::IoSubmit, submit);
                 if (synchronous)
                     ctx.clock.advance(submit);
+                c_writeback.add();
                 victim->location = PageLocation::Flash;
                 victim->flashSlot = slot;
                 victim->objectId = invalidObject;
@@ -177,6 +191,7 @@ ZramScheme::ensureZpoolSpace(std::size_t csize, bool synchronous)
         }
         // No writeback possible: data is dropped (§2.2 — the system
         // deletes inactive compressed data, risking app termination).
+        c_dropped.add();
         victim->location = PageLocation::Lost;
         victim->objectId = invalidObject;
         ++lost;
@@ -188,6 +203,7 @@ ZramScheme::ensureZpoolSpace(std::size_t csize, bool synchronous)
 void
 ZramScheme::compressOut(PageMeta &victim, bool synchronous)
 {
+    c_compressOut.add();
     PageRef ref{victim.key, victim.version};
     std::size_t csize = ctx.compressor.compressedSizeOne(
         ref, *codec, cfg.chunkBytes);
@@ -262,6 +278,7 @@ ZramScheme::onBackground(AppId uid)
 SwapInResult
 ZramScheme::swapIn(PageMeta &page)
 {
+    telemetry::ScopedTimer timer(d_swapin);
     SwapInResult res;
     Stopwatch sw(ctx.clock);
 
@@ -270,6 +287,7 @@ ZramScheme::swapIn(PageMeta &page)
     ctx.clock.advance(fault);
 
     if (page.location == PageLocation::Zpool) {
+        c_swapinZpool.add();
         sectorLog.push_back(pool.sectorOf(page.objectId));
         std::size_t csize = pool.objectSize(page.objectId);
         pool.erase(page.objectId);
@@ -277,6 +295,7 @@ ZramScheme::swapIn(PageMeta &page)
         chargeDecompression(page.key.uid, codec->cost(), cfg.chunkBytes,
                             pageSize, csize, true);
     } else if (page.location == PageLocation::Flash) {
+        c_swapinFlash.add();
         panicIf(!flashDev, "flash swap-in without writeback device");
         std::size_t csize = flashDev->read(page.flashSlot);
         flashDev->free(page.flashSlot);

@@ -4,9 +4,31 @@
 #include <unordered_set>
 
 #include "sim/log.hh"
+#include "telemetry/telemetry.hh"
+#include "telemetry/trace_log.hh"
 
 namespace ariadne
 {
+
+namespace
+{
+
+// Hot-path probes (subsystem.verb). Namespace-scope statics so the
+// name→slot interning happens once, before any hot loop.
+telemetry::Counter c_touch("sys.touch");
+telemetry::Counter c_alloc("sys.page_alloc");
+telemetry::Counter c_majorFault("sys.major_fault");
+telemetry::Counter c_lostRecreate("sys.lost_recreate");
+telemetry::Counter c_launch("sys.launch");
+telemetry::Counter c_relaunch("sys.relaunch");
+telemetry::Counter c_background("sys.background");
+telemetry::Counter c_execute("sys.execute");
+telemetry::Counter c_idle("sys.idle");
+telemetry::DurationProbe d_launch("sys.launch");
+telemetry::DurationProbe d_execute("sys.execute");
+telemetry::DurationProbe d_relaunch("sys.relaunch");
+
+} // namespace
 
 MobileSystem::MobileSystem(const SystemConfig &config,
                            const std::vector<AppProfile> &profiles)
@@ -129,6 +151,7 @@ MobileSystem::processTouch(AppId uid, const TouchEvent &ev,
     PageKey key{uid, ev.pfn};
     auto it = pageTable.find(key);
 
+    c_touch.add();
     if (stats)
         ++stats->pagesTouched;
     auto capture = touchCaptures.find(uid);
@@ -145,6 +168,7 @@ MobileSystem::processTouch(AppId uid, const TouchEvent &ev,
         PageMeta &ref = *meta;
         pageTable.emplace(key, std::move(meta));
 
+        c_alloc.add();
         if (!dramModel->allocate(1)) {
             swapScheme->reclaim(cfg.directReclaimBatch, true);
             panicIf(!dramModel->allocate(1),
@@ -173,6 +197,7 @@ MobileSystem::processTouch(AppId uid, const TouchEvent &ev,
 
       case PageLocation::Lost: {
         // Data was dropped under pressure; the app must rebuild it.
+        c_lostRecreate.add();
         ++lostPages;
         if (stats)
             ++stats->lostRecreated;
@@ -191,6 +216,7 @@ MobileSystem::processTouch(AppId uid, const TouchEvent &ev,
       }
 
       default: {
+        c_majorFault.add();
         SwapInResult res = swapScheme->swapIn(meta);
         if (stats) {
             ++stats->majorFaults;
@@ -232,6 +258,9 @@ void
 MobileSystem::runColdLaunch(AppId uid,
                             const std::vector<TouchEvent> &events)
 {
+    c_launch.add();
+    telemetry::ScopedTimer timer(d_launch);
+    telemetry::TraceSpan span("cold_launch", "uid", uid);
     if (observer)
         observer->onOp(TraceOp::Launch, uid, 0, simClock.now());
     swapScheme->onLaunch(uid);
@@ -252,6 +281,8 @@ void
 MobileSystem::runExecute(AppId uid, Tick dt,
                          const std::vector<TouchEvent> &events)
 {
+    c_execute.add();
+    telemetry::ScopedTimer timer(d_execute);
     if (observer)
         observer->onOp(TraceOp::Execute, uid, dt, simClock.now());
     Tick start = simClock.now();
@@ -263,6 +294,7 @@ MobileSystem::runExecute(AppId uid, Tick dt,
 void
 MobileSystem::appBackground(AppId uid)
 {
+    c_background.add();
     if (observer)
         observer->onOp(TraceOp::Background, uid, 0, simClock.now());
     swapScheme->onBackground(uid);
@@ -279,6 +311,9 @@ RelaunchStats
 MobileSystem::runRelaunch(AppId uid,
                           const std::vector<TouchEvent> &events)
 {
+    c_relaunch.add();
+    telemetry::ScopedTimer timer(d_relaunch);
+    telemetry::TraceSpan span("relaunch", "uid", uid);
     if (observer)
         observer->onOp(TraceOp::Relaunch, uid, 0, simClock.now());
     RelaunchStats stats;
@@ -335,6 +370,7 @@ MobileSystem::runRelaunch(AppId uid,
 void
 MobileSystem::idle(Tick dt)
 {
+    c_idle.add();
     if (observer)
         observer->onOp(TraceOp::Idle, invalidApp, dt, simClock.now());
     simClock.advance(dt);

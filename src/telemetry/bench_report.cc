@@ -1,0 +1,124 @@
+#include "telemetry/bench_report.hh"
+
+#include <ostream>
+
+#include "driver/json_writer.hh"
+#include "telemetry/build_info.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace ariadne::telemetry
+{
+
+namespace
+{
+
+void
+writeMeta(driver::JsonWriter &w, const RunMeta &meta)
+{
+    w.key("meta");
+    w.beginObject();
+    w.field("gitSha", meta.gitSha);
+    w.field("buildType", meta.buildType);
+    w.field("threads", meta.threads);
+    w.field("scenario", meta.scenario);
+    w.field("scenarioHash", meta.scenarioHash);
+    w.endObject();
+}
+
+void
+writeSnapshot(driver::JsonWriter &w,
+              const Registry::Snapshot &snapshot)
+{
+    w.key("counters");
+    w.beginObject();
+    for (const auto &c : snapshot.counters)
+        w.field(c.name, c.value);
+    w.endObject();
+
+    w.key("durations");
+    w.beginObject();
+    for (const auto &d : snapshot.durations) {
+        w.key(d.name);
+        w.beginObject();
+        w.field("count", d.count);
+        w.field("totalNs", d.totalNs);
+        w.field("meanNs", d.meanNs());
+        w.endObject();
+    }
+    w.endObject();
+}
+
+} // namespace
+
+RunMeta
+RunMeta::current()
+{
+    RunMeta meta;
+    meta.gitSha = telemetry::gitSha();
+    meta.buildType = telemetry::buildType();
+    return meta;
+}
+
+void
+BenchReport::writeJson(std::ostream &os) const
+{
+    driver::JsonWriter w(os);
+    w.beginObject();
+    w.field("ariadneBench", schemaVersion);
+    w.field("bench", bench);
+    writeMeta(w, meta);
+    w.field("wallSeconds", wallSeconds);
+    w.field("peakRssBytes", peakRssBytes);
+
+    w.key("rates");
+    w.beginObject();
+    for (const auto &[name, value] : rates)
+        w.field(name, value);
+    w.endObject();
+
+    w.key("totals");
+    w.beginObject();
+    for (const auto &[name, value] : totals)
+        w.field(name, value);
+    w.endObject();
+
+    writeSnapshot(w, telemetry);
+    w.endObject();
+    os << "\n";
+}
+
+void
+writeMetricsJson(std::ostream &os, const RunMeta &meta,
+                 const Registry::Snapshot &snapshot)
+{
+    driver::JsonWriter w(os);
+    w.beginObject();
+    w.field("ariadneMetrics", std::uint64_t{1});
+    writeMeta(w, meta);
+    writeSnapshot(w, snapshot);
+    w.endObject();
+    os << "\n";
+}
+
+std::uint64_t
+currentPeakRssBytes() noexcept
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+    // Linux reports ru_maxrss in KiB.
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+#endif
+#else
+    return 0;
+#endif
+}
+
+} // namespace ariadne::telemetry

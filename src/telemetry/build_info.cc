@@ -1,0 +1,27 @@
+#include "telemetry/build_info.hh"
+
+// Supplied by CMake (see the telemetry section of CMakeLists.txt);
+// default to "unknown" so non-CMake builds still compile.
+#ifndef ARIADNE_GIT_SHA
+#define ARIADNE_GIT_SHA "unknown"
+#endif
+#ifndef ARIADNE_BUILD_TYPE
+#define ARIADNE_BUILD_TYPE "unknown"
+#endif
+
+namespace ariadne::telemetry
+{
+
+const char *
+gitSha() noexcept
+{
+    return ARIADNE_GIT_SHA[0] ? ARIADNE_GIT_SHA : "unknown";
+}
+
+const char *
+buildType() noexcept
+{
+    return ARIADNE_BUILD_TYPE[0] ? ARIADNE_BUILD_TYPE : "unknown";
+}
+
+} // namespace ariadne::telemetry

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Build provenance for reproducibility stamping.
+ *
+ * BENCH_*.json and `--metrics` output carry the git SHA and build
+ * type of the binary that produced them, so a perf trajectory's
+ * points are attributable to commits and never compare a Debug run
+ * against a Release baseline unnoticed. The values are baked in at
+ * configure time (CMake runs `git rev-parse`); a build from an
+ * exported tarball reports "unknown".
+ */
+
+#ifndef ARIADNE_TELEMETRY_BUILD_INFO_HH
+#define ARIADNE_TELEMETRY_BUILD_INFO_HH
+
+namespace ariadne::telemetry
+{
+
+/** Short git SHA of the source tree, or "unknown". */
+const char *gitSha() noexcept;
+
+/** CMAKE_BUILD_TYPE of this binary, or "unknown". */
+const char *buildType() noexcept;
+
+} // namespace ariadne::telemetry
+
+#endif // ARIADNE_TELEMETRY_BUILD_INFO_HH

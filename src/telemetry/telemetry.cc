@@ -1,0 +1,153 @@
+#include "telemetry/telemetry.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "sim/log.hh"
+
+namespace ariadne::telemetry
+{
+
+namespace detail
+{
+std::atomic<bool> g_enabled{false};
+} // namespace detail
+
+void
+setEnabled(bool on) noexcept
+{
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+Registry &
+Registry::global()
+{
+    static Registry instance;
+    return instance;
+}
+
+Registry::Shard &
+Registry::attachShard()
+{
+    std::lock_guard<std::mutex> lk(mu);
+    shards.push_back(std::make_unique<Shard>());
+    return *shards.back();
+}
+
+std::size_t
+Registry::intern(const std::string &name, bool duration)
+{
+    std::lock_guard<std::mutex> lk(mu);
+    for (const Entry &e : entries) {
+        if (e.name == name && e.isDuration == duration)
+            return e.slot;
+    }
+    std::size_t width = duration ? 2 : 1;
+    panicIf(nextSlot + width > maxSlots,
+            "telemetry registry slot space exhausted (raise "
+            "Registry::maxSlots)");
+    std::size_t slot = nextSlot;
+    nextSlot += width;
+    entries.push_back(Entry{name, slot, duration});
+    return slot;
+}
+
+std::size_t
+Registry::counterSlot(const std::string &name)
+{
+    return intern(name, /*duration=*/false);
+}
+
+std::size_t
+Registry::durationSlot(const std::string &name)
+{
+    return intern(name, /*duration=*/true);
+}
+
+Registry::Snapshot
+Registry::snapshot() const
+{
+    Snapshot snap;
+    std::lock_guard<std::mutex> lk(mu);
+    auto slot_total = [&](std::size_t slot) {
+        std::uint64_t total = 0;
+        for (const auto &shard : shards)
+            total +=
+                shard->slots[slot].load(std::memory_order_relaxed);
+        return total;
+    };
+    for (const Entry &e : entries) {
+        if (e.isDuration) {
+            snap.durations.push_back(DurationValue{
+                e.name, slot_total(e.slot + 1), slot_total(e.slot)});
+        } else {
+            snap.counters.push_back(
+                CounterValue{e.name, slot_total(e.slot)});
+        }
+    }
+    auto by_name = [](const auto &a, const auto &b) {
+        return a.name < b.name;
+    };
+    std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+    std::sort(snap.durations.begin(), snap.durations.end(), by_name);
+    return snap;
+}
+
+void
+Registry::reset() noexcept
+{
+    std::lock_guard<std::mutex> lk(mu);
+    for (const auto &shard : shards)
+        for (std::size_t i = 0; i < maxSlots; ++i)
+            shard->slots[i].store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t
+Registry::Snapshot::counter(const std::string &name) const noexcept
+{
+    for (const CounterValue &c : counters)
+        if (c.name == name)
+            return c.value;
+    return 0;
+}
+
+Registry::DurationValue
+Registry::Snapshot::duration(const std::string &name) const noexcept
+{
+    for (const DurationValue &d : durations)
+        if (d.name == name)
+            return d;
+    return DurationValue{name, 0, 0};
+}
+
+void
+Registry::Snapshot::merge(const Snapshot &o)
+{
+    std::map<std::string, CounterValue> cs;
+    for (const CounterValue &c : counters)
+        cs[c.name] = c;
+    for (const CounterValue &c : o.counters) {
+        auto [it, inserted] = cs.emplace(c.name, c);
+        if (!inserted)
+            it->second.value += c.value;
+    }
+    counters.clear();
+    for (auto &[name, c] : cs)
+        counters.push_back(std::move(c));
+
+    std::map<std::string, DurationValue> ds;
+    for (const DurationValue &d : durations)
+        ds[d.name] = d;
+    for (const DurationValue &d : o.durations) {
+        auto [it, inserted] = ds.emplace(d.name, d);
+        if (!inserted) {
+            it->second.count += d.count;
+            it->second.totalNs += d.totalNs;
+        }
+    }
+    durations.clear();
+    for (auto &[name, d] : ds)
+        durations.push_back(std::move(d));
+}
+
+} // namespace ariadne::telemetry

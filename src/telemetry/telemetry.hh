@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Low-overhead, deterministic-safe instrumentation registry.
+ *
+ * The telemetry layer counts what the simulator *does* (pages
+ * touched, compressions run, kswapd wakeups) and how long the host
+ * spends doing it (scoped-timer duration accumulators over the
+ * steady clock). It is strictly out-of-band: probes only ever write
+ * into telemetry's own per-thread shards, never into simulator state,
+ * so enabling any amount of telemetry cannot change a report byte —
+ * reports are functions of (spec, seed) and telemetry reads are
+ * side-effect-free.
+ *
+ * Hot-path cost: a disabled probe is one relaxed load and a branch; an
+ * enabled counter increment is a single relaxed fetch_add into the
+ * calling thread's own shard (uncontended, no locks). Shards merge on
+ * finalize: snapshot() sums every thread's slots, so the totals are
+ * associative across any thread split — the same property PR 5's
+ * MetricState gives sharded fleet runs, which is what will let a
+ * future fleet launcher fold workers' metrics files together.
+ *
+ * Naming convention: `subsystem.verb` (e.g. `sys.touch`,
+ * `kswapd.wakeup`, `compressor.compress.lzo`). Counters and duration
+ * accumulators live in separate namespaces keyed by these names.
+ */
+
+#ifndef ARIADNE_TELEMETRY_TELEMETRY_HH
+#define ARIADNE_TELEMETRY_TELEMETRY_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ariadne::telemetry
+{
+
+namespace detail
+{
+/** Global enable flag; read relaxed on every probe hit. */
+extern std::atomic<bool> g_enabled;
+} // namespace detail
+
+/** Whether counter/duration probes record anything. */
+inline bool
+enabled() noexcept
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/** Turn probe recording on or off (off by default). */
+void setEnabled(bool on) noexcept;
+
+/** Monotonic nanoseconds of the host steady clock. */
+inline std::uint64_t
+hostNowNs() noexcept
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/**
+ * Process-wide registry of named monotonic counters and duration
+ * accumulators, sharded per thread.
+ *
+ * Registration (interning a name to a slot) takes a lock and is meant
+ * for probe construction — typically namespace-scope statics at the
+ * instrumentation site. Recording is lock-free. The slot space is
+ * fixed (maxSlots) so shards never reallocate under concurrent
+ * writers; exceeding it is a programming error (panic).
+ */
+class Registry
+{
+  public:
+    /** Total slots across counters (1 each) and durations (2 each). */
+    static constexpr std::size_t maxSlots = 512;
+
+    /** The process-wide registry every probe records into. */
+    static Registry &global();
+
+    /** Intern a counter name; returns its slot. Idempotent. */
+    std::size_t counterSlot(const std::string &name);
+
+    /** Intern a duration name; returns the base of its (total-ns,
+     * count) slot pair. Idempotent. */
+    std::size_t durationSlot(const std::string &name);
+
+    /** Add @p delta to @p slot in this thread's shard. */
+    void
+    add(std::size_t slot, std::uint64_t delta) noexcept
+    {
+        shardForThisThread().slots[slot].fetch_add(
+            delta, std::memory_order_relaxed);
+    }
+
+    /** Record one duration of @p ns against a durationSlot() base. */
+    void
+    recordDuration(std::size_t base, std::uint64_t ns) noexcept
+    {
+        Shard &s = shardForThisThread();
+        s.slots[base].fetch_add(ns, std::memory_order_relaxed);
+        s.slots[base + 1].fetch_add(1, std::memory_order_relaxed);
+    }
+
+    struct CounterValue
+    {
+        std::string name;
+        std::uint64_t value = 0;
+    };
+
+    struct DurationValue
+    {
+        std::string name;
+        std::uint64_t count = 0;
+        std::uint64_t totalNs = 0;
+
+        /** Mean nanoseconds per recorded span (0 when empty). */
+        double
+        meanNs() const noexcept
+        {
+            return count ? static_cast<double>(totalNs) /
+                               static_cast<double>(count)
+                         : 0.0;
+        }
+    };
+
+    /** Merged view of every shard, sorted by name. */
+    struct Snapshot
+    {
+        std::vector<CounterValue> counters;
+        std::vector<DurationValue> durations;
+
+        /** Value of counter @p name (0 when absent). */
+        std::uint64_t counter(const std::string &name) const noexcept;
+
+        /** Duration record for @p name (zeros when absent). */
+        DurationValue duration(const std::string &name) const noexcept;
+
+        /** Fold @p o into this by name (values add) — the cross-shard
+         * merge a distributed launcher performs on workers' metrics. */
+        void merge(const Snapshot &o);
+    };
+
+    /** Merge-on-finalize: sum every thread's shard per slot. */
+    Snapshot snapshot() const;
+
+    /** Zero every shard's slots; registrations (and probes holding
+     * slots) stay valid. */
+    void reset() noexcept;
+
+  private:
+    struct Shard
+    {
+        std::atomic<std::uint64_t> slots[maxSlots] = {};
+    };
+
+    Registry() = default;
+
+    /** The calling thread's shard (attached on first record). The
+     * thread_local pointer is constant-initialized, so the hot path
+     * is one TLS load and a null check. */
+    Shard &
+    shardForThisThread()
+    {
+        thread_local Shard *t_shard = nullptr;
+        if (!t_shard)
+            t_shard = &attachShard();
+        return *t_shard;
+    }
+
+    Shard &attachShard();
+    std::size_t intern(const std::string &name, bool duration);
+
+    struct Entry
+    {
+        std::string name;
+        std::size_t slot = 0;
+        bool isDuration = false;
+    };
+
+    mutable std::mutex mu;
+    std::vector<Entry> entries;
+    std::size_t nextSlot = 0;
+    /** Stable-address shards, one per thread that ever recorded. */
+    std::vector<std::unique_ptr<Shard>> shards;
+};
+
+/**
+ * A named monotonic counter probe. Construct once (namespace-scope
+ * static at the instrumentation site) and add() on the hot path.
+ */
+class Counter
+{
+  public:
+    explicit Counter(const char *name)
+        : slot(Registry::global().counterSlot(name))
+    {
+    }
+
+    void
+    add(std::uint64_t n = 1) noexcept
+    {
+        if (enabled())
+            Registry::global().add(slot, n);
+    }
+
+  private:
+    std::size_t slot;
+};
+
+/** A named duration accumulator; pair with ScopedTimer. */
+class DurationProbe
+{
+  public:
+    explicit DurationProbe(const char *name)
+        : base(Registry::global().durationSlot(name))
+    {
+    }
+
+    /** Record one explicit span of @p ns. */
+    void
+    record(std::uint64_t ns) noexcept
+    {
+        if (enabled())
+            Registry::global().recordDuration(base, ns);
+    }
+
+  private:
+    std::size_t base;
+};
+
+/**
+ * RAII host-time span feeding a DurationProbe. The enabled check is
+ * taken once at construction; nesting works naturally (each timer
+ * records its own probe independently).
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(DurationProbe &p) noexcept
+        : probe(enabled() ? &p : nullptr),
+          start(probe ? hostNowNs() : 0)
+    {
+    }
+
+    ~ScopedTimer()
+    {
+        if (probe)
+            probe->record(hostNowNs() - start);
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    DurationProbe *probe;
+    std::uint64_t start;
+};
+
+} // namespace ariadne::telemetry
+
+#endif // ARIADNE_TELEMETRY_TELEMETRY_HH

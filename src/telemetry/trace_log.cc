@@ -1,0 +1,166 @@
+#include "telemetry/trace_log.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "driver/json_writer.hh"
+
+namespace ariadne::telemetry
+{
+
+namespace detail
+{
+std::atomic<bool> g_traceEnabled{false};
+} // namespace detail
+
+void
+setTraceEnabled(bool on) noexcept
+{
+    detail::g_traceEnabled.store(on, std::memory_order_relaxed);
+}
+
+TraceLog &
+TraceLog::global()
+{
+    static TraceLog instance;
+    return instance;
+}
+
+TraceLog::TraceLog() : originNs(hostNowNs()) {}
+
+std::uint64_t
+TraceLog::nowNs() const noexcept
+{
+    return hostNowNs() - originNs;
+}
+
+TraceLog::Buffer &
+TraceLog::bufferForThisThread()
+{
+    thread_local Buffer *t_buffer = nullptr;
+    if (!t_buffer)
+        t_buffer = &attachBuffer();
+    return *t_buffer;
+}
+
+TraceLog::Buffer &
+TraceLog::attachBuffer()
+{
+    std::lock_guard<std::mutex> lk(mu);
+    buffers.push_back(std::make_unique<Buffer>());
+    buffers.back()->tid = nextTid++;
+    return *buffers.back();
+}
+
+void
+TraceLog::complete(const char *name, std::uint64_t start_ns,
+                   std::uint64_t end_ns, const char *arg_key,
+                   std::uint64_t arg_value)
+{
+    Buffer &buf = bufferForThisThread();
+    TraceEvent ev;
+    ev.name = name;
+    ev.tsNs = start_ns;
+    ev.durNs = end_ns > start_ns ? end_ns - start_ns : 0;
+    ev.tid = buf.tid;
+    if (arg_key) {
+        ev.argKey = arg_key;
+        ev.argValue = arg_value;
+    }
+    // The buffer belongs to this thread alone; events() snapshots it
+    // under the log mutex, so only the size update needs care — and
+    // vectors grow only here, on the owning thread, while readers
+    // (events/export) run after the traced work joined.
+    buf.events.push_back(std::move(ev));
+}
+
+void
+TraceLog::nameThisThread(const std::string &name)
+{
+    if (!traceEnabled())
+        return;
+    bufferForThisThread().threadName = name;
+}
+
+std::vector<TraceEvent>
+TraceLog::events() const
+{
+    std::vector<TraceEvent> all;
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        for (const auto &buf : buffers)
+            all.insert(all.end(), buf->events.begin(),
+                       buf->events.end());
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.tsNs < b.tsNs;
+                     });
+    return all;
+}
+
+std::vector<std::pair<std::uint32_t, std::string>>
+TraceLog::threadNames() const
+{
+    std::vector<std::pair<std::uint32_t, std::string>> names;
+    std::lock_guard<std::mutex> lk(mu);
+    for (const auto &buf : buffers)
+        if (!buf->threadName.empty())
+            names.emplace_back(buf->tid, buf->threadName);
+    return names;
+}
+
+void
+TraceLog::writeChromeTrace(std::ostream &os) const
+{
+    driver::JsonWriter w(os);
+    w.beginObject();
+    w.field("displayTimeUnit", "ms");
+    w.key("traceEvents");
+    w.beginArray();
+    for (const auto &[tid, name] : threadNames()) {
+        w.beginObject();
+        w.field("ph", "M");
+        w.field("name", "thread_name");
+        w.field("pid", 1);
+        w.field("tid", static_cast<std::uint64_t>(tid));
+        w.key("args");
+        w.beginObject();
+        w.field("name", name);
+        w.endObject();
+        w.endObject();
+    }
+    for (const TraceEvent &ev : events()) {
+        w.beginObject();
+        w.field("ph", "X");
+        w.field("name", ev.name);
+        w.field("pid", 1);
+        w.field("tid", static_cast<std::uint64_t>(ev.tid));
+        // Trace-event timestamps are microseconds; keep sub-us
+        // precision as a decimal fraction.
+        w.field("ts", static_cast<double>(ev.tsNs) / 1000.0);
+        w.field("dur", static_cast<double>(ev.durNs) / 1000.0);
+        if (!ev.argKey.empty()) {
+            w.key("args");
+            w.beginObject();
+            w.field(ev.argKey, ev.argValue);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+void
+TraceLog::clear()
+{
+    std::lock_guard<std::mutex> lk(mu);
+    for (const auto &buf : buffers) {
+        buf->events.clear();
+        buf->threadName.clear();
+    }
+}
+
+} // namespace ariadne::telemetry

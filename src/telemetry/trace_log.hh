@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Chrome trace-event timeline log.
+ *
+ * Collects host-time spans (what each worker thread was doing, when)
+ * and exports them in the Chrome trace-event JSON format, loadable in
+ * Perfetto / chrome://tracing / catapult. Spans are recorded into
+ * per-thread buffers (one mutex acquisition per thread lifetime, no
+ * locks per span) and merged at export; like the rest of telemetry the
+ * log is strictly out-of-band — recording never touches simulator
+ * state, so traced runs produce byte-identical reports.
+ *
+ * Only "complete" events (ph = "X": name, ts, dur) plus thread-name
+ * metadata events are emitted; that is the subset every trace viewer
+ * renders as nested span timelines. Timestamps are microseconds since
+ * the log's origin (its construction, reset by clear()).
+ */
+
+#ifndef ARIADNE_TELEMETRY_TRACE_LOG_HH
+#define ARIADNE_TELEMETRY_TRACE_LOG_HH
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hh"
+
+namespace ariadne::telemetry
+{
+
+namespace detail
+{
+extern std::atomic<bool> g_traceEnabled;
+} // namespace detail
+
+/** Whether TraceSpan records anything. */
+inline bool
+traceEnabled() noexcept
+{
+    return detail::g_traceEnabled.load(std::memory_order_relaxed);
+}
+
+/** Turn span recording on or off (off by default). */
+void setTraceEnabled(bool on) noexcept;
+
+/** One recorded span (or thread-metadata record when dur == 0 and
+ * metadata is set). */
+struct TraceEvent
+{
+    std::string name;
+    std::uint64_t tsNs = 0;  //!< start, ns since the log origin
+    std::uint64_t durNs = 0; //!< span length in ns
+    std::uint32_t tid = 0;   //!< log-assigned thread id
+    /** Optional single argument rendered into "args". */
+    std::string argKey;
+    std::uint64_t argValue = 0;
+};
+
+/** Process-wide span log with per-thread buffers. */
+class TraceLog
+{
+  public:
+    static TraceLog &global();
+
+    /** ns since the log origin on the host steady clock. */
+    std::uint64_t nowNs() const noexcept;
+
+    /** Record one complete span on the calling thread. */
+    void complete(const char *name, std::uint64_t start_ns,
+                  std::uint64_t end_ns, const char *arg_key = nullptr,
+                  std::uint64_t arg_value = 0);
+
+    /** Name the calling thread in the exported timeline (emitted as a
+     * thread_name metadata event). No-op while tracing is disabled. */
+    void nameThisThread(const std::string &name);
+
+    /** All recorded spans merged across threads, by start time. */
+    std::vector<TraceEvent> events() const;
+
+    /** Thread names assigned so far as (tid, name). */
+    std::vector<std::pair<std::uint32_t, std::string>>
+    threadNames() const;
+
+    /**
+     * Export the Chrome trace-event document:
+     * {"displayTimeUnit": "ms", "traceEvents": [...]} with one
+     * metadata event per named thread and one "X" event per span
+     * (ts/dur in microseconds).
+     */
+    void writeChromeTrace(std::ostream &os) const;
+
+    /** Drop every recorded span and thread name. */
+    void clear();
+
+  private:
+    struct Buffer
+    {
+        std::uint32_t tid = 0;
+        std::vector<TraceEvent> events;
+        std::string threadName;
+    };
+
+    TraceLog();
+
+    Buffer &bufferForThisThread();
+    Buffer &attachBuffer();
+
+    std::uint64_t originNs = 0;
+    mutable std::mutex mu;
+    std::vector<std::unique_ptr<Buffer>> buffers;
+    std::uint32_t nextTid = 1;
+};
+
+/**
+ * RAII span: records [construction, destruction) on the calling
+ * thread under @p name when tracing is enabled at construction.
+ */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(const char *span_name,
+                       const char *arg_key = nullptr,
+                       std::uint64_t arg_value = 0) noexcept
+        : name(traceEnabled() ? span_name : nullptr), argKey(arg_key),
+          argValue(arg_value),
+          start(name ? TraceLog::global().nowNs() : 0)
+    {
+    }
+
+    ~TraceSpan()
+    {
+        if (name) {
+            TraceLog &log = TraceLog::global();
+            log.complete(name, start, log.nowNs(), argKey, argValue);
+        }
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    const char *name;
+    const char *argKey;
+    std::uint64_t argValue;
+    std::uint64_t start;
+};
+
+} // namespace ariadne::telemetry
+
+#endif // ARIADNE_TELEMETRY_TRACE_LOG_HH

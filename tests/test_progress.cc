@@ -1,0 +1,132 @@
+/** @file Unit tests for the live fleet progress meter. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "telemetry/progress.hh"
+
+using namespace ariadne;
+using telemetry::ProgressMeter;
+
+namespace
+{
+
+class ProgressTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        ProgressMeter::global().disable();
+        ProgressMeter::global().setMinIntervalNs(200'000'000);
+    }
+};
+
+} // namespace
+
+TEST_F(ProgressTest, FormatLineWithKnownTotal)
+{
+    EXPECT_EQ(ProgressMeter::formatLine("daily", 128, 512, 3.0),
+              "progress: daily 128/512 sessions (25.0%), "
+              "42.7 sessions/s, eta 9.0s");
+}
+
+TEST_F(ProgressTest, FormatLineUnknownTotalOmitsPercentAndEta)
+{
+    std::string line = ProgressMeter::formatLine("sweep", 10, 0, 2.0);
+    EXPECT_EQ(line, "progress: sweep 10 sessions, 5.0 sessions/s");
+}
+
+TEST_F(ProgressTest, FormatLineZeroElapsedOmitsRate)
+{
+    std::string line = ProgressMeter::formatLine("x", 1, 4, 0.0);
+    EXPECT_EQ(line.find("sessions/s"), std::string::npos);
+    EXPECT_NE(line.find("1/4"), std::string::npos);
+}
+
+TEST_F(ProgressTest, FormatSummary)
+{
+    EXPECT_EQ(ProgressMeter::formatSummary("daily", 64, 4.0),
+              "progress: daily done: 64 sessions in 4.0s "
+              "(16.0 sessions/s)");
+}
+
+TEST_F(ProgressTest, DisabledTickIsANoop)
+{
+    ProgressMeter &m = ProgressMeter::global();
+    EXPECT_FALSE(m.isEnabled());
+    m.tick(5); // must not crash or count
+    std::ostringstream sink;
+    m.enable(10, "t", &sink);
+    EXPECT_EQ(m.completed(), 0u);
+}
+
+TEST_F(ProgressTest, TicksCountAndEmitWholeLines)
+{
+    std::ostringstream sink;
+    ProgressMeter &m = ProgressMeter::global();
+    m.enable(4, "unit", &sink);
+    m.setMinIntervalNs(0); // deterministic: every tick emits
+    m.tick();
+    m.tick(2);
+    m.tick();
+    EXPECT_EQ(m.completed(), 4u);
+    m.finish();
+
+    std::string out = sink.str();
+    // Every emitted line is newline-terminated and prefixed.
+    std::istringstream lines(out);
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(lines, line)) {
+        EXPECT_EQ(line.rfind("progress: unit", 0), 0u) << line;
+        ++n;
+    }
+    EXPECT_EQ(n, 4u); // three heartbeats + the summary
+    EXPECT_NE(out.find("4/4 sessions (100.0%)"), std::string::npos);
+    EXPECT_NE(out.find("done: 4 sessions"), std::string::npos);
+}
+
+TEST_F(ProgressTest, RateLimitSuppressesIntermediateLines)
+{
+    std::ostringstream sink;
+    ProgressMeter &m = ProgressMeter::global();
+    m.enable(100, "rl", &sink);
+    m.setMinIntervalNs(60'000'000'000ULL); // one minute: nothing fits
+    for (int i = 0; i < 100; ++i)
+        m.tick();
+    // Only the first tick's heartbeat got through the limiter.
+    std::string out = sink.str();
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 1);
+    m.finish(); // finish always emits
+    std::string after = sink.str();
+    EXPECT_EQ(std::count(after.begin(), after.end(), '\n'), 2);
+    EXPECT_EQ(m.completed(), 100u);
+}
+
+TEST_F(ProgressTest, EnableResetsCount)
+{
+    std::ostringstream sink;
+    ProgressMeter &m = ProgressMeter::global();
+    m.enable(5, "a", &sink);
+    m.setMinIntervalNs(0);
+    m.tick(3);
+    m.enable(7, "b", &sink);
+    EXPECT_EQ(m.completed(), 0u);
+    m.tick();
+    EXPECT_EQ(m.completed(), 1u);
+}
+
+TEST_F(ProgressTest, DisableStopsEmission)
+{
+    std::ostringstream sink;
+    ProgressMeter &m = ProgressMeter::global();
+    m.enable(5, "gone", &sink);
+    m.setMinIntervalNs(0);
+    m.disable();
+    m.tick(5);
+    m.finish();
+    EXPECT_EQ(sink.str(), "");
+}

@@ -1,0 +1,166 @@
+/** @file Unit tests for the Chrome trace-event timeline log. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "report/json_reader.hh"
+#include "telemetry/trace_log.hh"
+
+using namespace ariadne;
+using telemetry::TraceLog;
+using telemetry::TraceSpan;
+
+namespace
+{
+
+class TraceLogTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        telemetry::setTraceEnabled(true);
+        TraceLog::global().clear();
+    }
+
+    void
+    TearDown() override
+    {
+        telemetry::setTraceEnabled(false);
+        TraceLog::global().clear();
+    }
+};
+
+std::string
+exported()
+{
+    std::ostringstream os;
+    TraceLog::global().writeChromeTrace(os);
+    return os.str();
+}
+
+} // namespace
+
+TEST_F(TraceLogTest, RecordsCompleteSpans)
+{
+    {
+        TraceSpan span("unit_span");
+    }
+    auto events = TraceLog::global().events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].name, "unit_span");
+    EXPECT_GT(events[0].tid, 0u);
+}
+
+TEST_F(TraceLogTest, DisabledSpanRecordsNothing)
+{
+    telemetry::setTraceEnabled(false);
+    {
+        TraceSpan span("invisible");
+    }
+    EXPECT_TRUE(TraceLog::global().events().empty());
+}
+
+TEST_F(TraceLogTest, SpanCapturesEnabledAtConstruction)
+{
+    telemetry::setTraceEnabled(false);
+    {
+        TraceSpan span("race");
+        telemetry::setTraceEnabled(true);
+    }
+    EXPECT_TRUE(TraceLog::global().events().empty());
+}
+
+TEST_F(TraceLogTest, EventsSortedByStartAcrossThreads)
+{
+    std::thread other([] {
+        TraceSpan span("thread_b");
+    });
+    other.join();
+    {
+        TraceSpan span("thread_a");
+    }
+    auto events = TraceLog::global().events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_LE(events[0].tsNs, events[1].tsNs);
+    // Two distinct threads get distinct tids.
+    EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST_F(TraceLogTest, ExportIsWellFormedChromeTraceJson)
+{
+    TraceLog::global().nameThisThread("main");
+    {
+        TraceSpan outer("outer", "index", 7);
+        TraceSpan inner("inner");
+    }
+    report::JsonValue doc = report::JsonValue::parseText(exported());
+    EXPECT_EQ(doc.at("displayTimeUnit").asString(), "ms");
+
+    const auto &events = doc.at("traceEvents").asArray();
+    // One thread_name metadata event + two spans.
+    ASSERT_EQ(events.size(), 3u);
+
+    const auto &meta = events[0];
+    EXPECT_EQ(meta.at("ph").asString(), "M");
+    EXPECT_EQ(meta.at("name").asString(), "thread_name");
+    EXPECT_EQ(meta.at("args").at("name").asString(), "main");
+
+    bool saw_outer = false, saw_inner = false;
+    for (std::size_t i = 1; i < events.size(); ++i) {
+        const auto &e = events[i];
+        EXPECT_EQ(e.at("ph").asString(), "X");
+        EXPECT_GE(e.at("dur").asDouble(), 0.0);
+        EXPECT_GE(e.at("ts").asDouble(), 0.0);
+        EXPECT_EQ(e.at("pid").asU64(), 1u);
+        if (e.at("name").asString() == "outer") {
+            saw_outer = true;
+            EXPECT_EQ(e.at("args").at("index").asU64(), 7u);
+        }
+        if (e.at("name").asString() == "inner")
+            saw_inner = true;
+    }
+    EXPECT_TRUE(saw_outer);
+    EXPECT_TRUE(saw_inner);
+}
+
+TEST_F(TraceLogTest, EmptyLogExportsValidDocument)
+{
+    report::JsonValue doc = report::JsonValue::parseText(exported());
+    EXPECT_TRUE(doc.at("traceEvents").asArray().empty());
+}
+
+TEST_F(TraceLogTest, ClearDropsEventsAndNames)
+{
+    TraceLog::global().nameThisThread("gone");
+    {
+        TraceSpan span("gone_too");
+    }
+    TraceLog::global().clear();
+    EXPECT_TRUE(TraceLog::global().events().empty());
+    EXPECT_TRUE(TraceLog::global().threadNames().empty());
+}
+
+TEST_F(TraceLogTest, NestedSpanContainedInOuterInterval)
+{
+    {
+        TraceSpan outer("contain_outer");
+        {
+            TraceSpan inner("contain_inner");
+            volatile unsigned sink = 0;
+            for (unsigned i = 0; i < 1000; ++i)
+                sink = sink + i;
+        }
+    }
+    auto events = TraceLog::global().events();
+    ASSERT_EQ(events.size(), 2u);
+    // events() sorts by start: outer starts first.
+    const auto &outer = events[0];
+    const auto &inner = events[1];
+    EXPECT_EQ(outer.name, "contain_outer");
+    EXPECT_EQ(inner.name, "contain_inner");
+    EXPECT_LE(outer.tsNs, inner.tsNs);
+    EXPECT_GE(outer.tsNs + outer.durNs, inner.tsNs + inner.durNs);
+}

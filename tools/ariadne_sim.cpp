@@ -46,8 +46,14 @@
 
 #include "analysis/report.hh"
 #include "driver/fleet_runner.hh"
+#include "report/partial_report.hh"
 #include "report/report_merger.hh"
+#include "sim/log.hh"
 #include "swap/scheme_registry.hh"
+#include "telemetry/bench_report.hh"
+#include "telemetry/progress.hh"
+#include "telemetry/telemetry.hh"
+#include "telemetry/trace_log.hh"
 #include "workload/trace.hh"
 
 using namespace ariadne;
@@ -117,7 +123,23 @@ usage(std::ostream &os)
           "  --list-events    document the event vocabulary and exit\n"
           "  --list-schemes   list every registered scheme with its "
           "knob schema\n"
-          "  --quiet          suppress the human-readable summary\n"
+          "  --metrics FILE   write the run's telemetry counters and "
+          "duration\n"
+          "                   accumulators as JSON (out-of-band: the "
+          "report is\n"
+          "                   byte-identical with or without it)\n"
+          "  --trace-events FILE\n"
+          "                   write a Chrome trace-event timeline of "
+          "the run\n"
+          "                   (load it in Perfetto or "
+          "chrome://tracing)\n"
+          "  --progress       live heartbeat lines on stderr "
+          "(sessions done,\n"
+          "                   sessions/sec, ETA)\n"
+          "  --quiet          suppress the human-readable summary and "
+          "all\n"
+          "                   log output\n"
+          "  -v, -vv          raise log verbosity (info / debug)\n"
           "  --help           this message\n";
 }
 
@@ -246,7 +268,24 @@ struct Options
     bool perSession = false;
     bool printConfig = false;
     bool quiet = false;
+    int verbosity = 0; // count of -v (1 = info, 2+ = debug)
+    std::string metricsPath;
+    std::string traceEventsPath;
+    bool progress = false;
 };
+
+/**
+ * Stream for human-readable status output. `--json -` / `--partial -`
+ * hand stdout to a JSON consumer, so every summary, status line and
+ * heartbeat must go to stderr to keep the stream pure JSON.
+ */
+std::ostream &
+statusStream(const Options &opt)
+{
+    if (opt.jsonPath == "-" || opt.partialPath == "-")
+        return std::cerr;
+    return std::cout;
+}
 
 /** Parse argv; returns false (after printing a message) on error. */
 bool
@@ -358,6 +397,20 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.printConfig = true;
         } else if (!std::strcmp(arg, "--quiet")) {
             opt.quiet = true;
+        } else if (!std::strcmp(arg, "-v")) {
+            opt.verbosity = std::max(opt.verbosity, 1);
+        } else if (!std::strcmp(arg, "-vv")) {
+            opt.verbosity = std::max(opt.verbosity, 2);
+        } else if (!std::strcmp(arg, "--metrics")) {
+            if (!need_value(i, arg))
+                return false;
+            opt.metricsPath = argv[++i];
+        } else if (!std::strcmp(arg, "--trace-events")) {
+            if (!need_value(i, arg))
+                return false;
+            opt.traceEventsPath = argv[++i];
+        } else if (!std::strcmp(arg, "--progress")) {
+            opt.progress = true;
         } else {
             std::cerr << "ariadne_sim: unknown option '" << arg
                       << "'\n";
@@ -535,8 +588,8 @@ emitJson(const Options &opt, const Result &result)
     }
     result.writeJson(out, opt.perSession);
     if (!opt.quiet)
-        std::cout << "\nJSON report written to " << opt.jsonPath
-                  << "\n";
+        statusStream(opt) << "\nJSON report written to " << opt.jsonPath
+                          << "\n";
     return 0;
 }
 
@@ -556,9 +609,72 @@ emitPartial(const Options &opt, const report::PartialReport &p)
     }
     p.writeJson(out);
     if (!opt.quiet)
-        std::cout << "partial report (shard " << p.shard.toString()
-                  << ") written to " << opt.partialPath << "\n";
+        statusStream(opt) << "partial report (shard "
+                          << p.shard.toString() << ") written to "
+                          << opt.partialPath << "\n";
     return 0;
+}
+
+/**
+ * Arm telemetry and the progress meter for a run of @p total sessions
+ * (0 = unknown) labeled @p label. Called after config parsing so a
+ * usage error never produces telemetry files.
+ */
+void
+startObservability(const Options &opt, std::uint64_t total,
+                   const std::string &label)
+{
+    if (!opt.metricsPath.empty())
+        telemetry::setEnabled(true);
+    if (!opt.traceEventsPath.empty()) {
+        telemetry::setEnabled(true);
+        telemetry::setTraceEnabled(true);
+    }
+    if (opt.progress)
+        telemetry::ProgressMeter::global().enable(total, label);
+}
+
+/**
+ * Emit the out-of-band artifacts (--metrics / --trace-events) and the
+ * final progress line. Never touches stdout unless the artifact path
+ * is explicitly stdout-free; returns 1 on an unwritable path.
+ */
+int
+finishObservability(const Options &opt, const std::string &scenario,
+                    const std::string &spec_text)
+{
+    if (opt.progress) {
+        telemetry::ProgressMeter::global().finish();
+        telemetry::ProgressMeter::global().disable();
+    }
+    int rc = 0;
+    if (!opt.metricsPath.empty()) {
+        telemetry::RunMeta meta = telemetry::RunMeta::current();
+        meta.threads = opt.threads;
+        meta.scenario = scenario;
+        meta.scenarioHash =
+            spec_text.empty() ? 0 : report::fnv1a64(spec_text);
+        std::ofstream out(opt.metricsPath);
+        if (!out) {
+            std::cerr << "ariadne_sim: cannot write " << opt.metricsPath
+                      << "\n";
+            rc = 1;
+        } else {
+            telemetry::writeMetricsJson(
+                out, meta, telemetry::Registry::global().snapshot());
+        }
+    }
+    if (!opt.traceEventsPath.empty()) {
+        std::ofstream out(opt.traceEventsPath);
+        if (!out) {
+            std::cerr << "ariadne_sim: cannot write "
+                      << opt.traceEventsPath << "\n";
+            rc = 1;
+        } else {
+            telemetry::TraceLog::global().writeChromeTrace(out);
+        }
+    }
+    return rc;
 }
 
 /** The spec a run executes: the --config file, or the --replay
@@ -585,19 +701,28 @@ runScenario(const Options &opt)
         return 0;
     }
     FleetRunner runner(std::move(spec));
+    // For trace replays spec().fleet is the recorded fleet, so the
+    // progress total is right in every mode.
+    std::size_t fleet =
+        opt.fleet ? opt.fleet : runner.spec().fleet;
     if (opt.sharded) {
+        auto [begin, end] = opt.shard.sessionRange(fleet);
+        startObservability(opt, end - begin,
+                           "shard " + opt.shard.toString());
         report::PartialReport part =
             runner.runShard(opt.shard, opt.fleet, opt.threads);
-        // `--partial -` owns stdout for the JSON (its one consumer is
-        // --merge); keep the status line out of the stream.
-        if (!opt.quiet && opt.partialPath != "-")
-            std::cout << "shard " << part.shard.toString()
-                      << ": ran sessions ["
-                      << part.fleet.sessionsBegin << ", "
-                      << part.fleet.sessionsEnd << ") of fleet "
-                      << part.fleet.fleet << "\n";
-        return emitPartial(opt, part);
+        if (!opt.quiet)
+            statusStream(opt)
+                << "shard " << part.shard.toString()
+                << ": ran sessions [" << part.fleet.sessionsBegin
+                << ", " << part.fleet.sessionsEnd << ") of fleet "
+                << part.fleet.fleet << "\n";
+        int rc = emitPartial(opt, part);
+        int obs = finishObservability(opt, runner.spec().name,
+                                      runner.spec().toString());
+        return rc ? rc : obs;
     }
+    startObservability(opt, fleet, runner.spec().name);
     // Sessions are only worth retaining when a JSON report will
     // actually carry them; otherwise streaming keeps memory bounded.
     bool keep = opt.perSession && !opt.jsonPath.empty();
@@ -607,12 +732,15 @@ runScenario(const Options &opt)
     } else {
         result = runner.runRecorded(opt.recordPath, opt.fleet, keep);
         if (!opt.quiet)
-            std::cout << "trace recorded to " << opt.recordPath
-                      << "\n";
+            statusStream(opt)
+                << "trace recorded to " << opt.recordPath << "\n";
     }
     if (!opt.quiet)
-        printSummary(std::cout, result);
-    return emitJson(opt, result);
+        printSummary(statusStream(opt), result);
+    int rc = emitJson(opt, result);
+    int obs = finishObservability(opt, runner.spec().name,
+                                  runner.spec().toString());
+    return rc ? rc : obs;
 }
 
 int
@@ -622,21 +750,30 @@ runSweep(const Options &opt, const SweepSpec &sweep)
         std::cout << sweep.toString();
         return 0;
     }
+    // Sweep session totals are not known up front (variants may carry
+    // their own fleet sizes); heartbeats omit percentage and ETA.
+    startObservability(opt, 0, sweep.name);
     if (opt.sharded) {
         report::PartialReport part = FleetRunner::runSweepShard(
             sweep, opt.shard, opt.fleet, opt.threads);
-        if (!opt.quiet && opt.partialPath != "-")
-            std::cout << "shard " << part.shard.toString() << ": ran "
-                      << part.variants.size() << " of "
-                      << part.variantCount << " variant(s)\n";
-        return emitPartial(opt, part);
+        if (!opt.quiet)
+            statusStream(opt)
+                << "shard " << part.shard.toString() << ": ran "
+                << part.variants.size() << " of " << part.variantCount
+                << " variant(s)\n";
+        int rc = emitPartial(opt, part);
+        int obs =
+            finishObservability(opt, sweep.name, sweep.toString());
+        return rc ? rc : obs;
     }
     bool keep = opt.perSession && !opt.jsonPath.empty();
     SweepResult result =
         FleetRunner::runSweep(sweep, opt.fleet, opt.threads, keep);
     if (!opt.quiet)
-        printSweepSummary(std::cout, result);
-    return emitJson(opt, result);
+        printSweepSummary(statusStream(opt), result);
+    int rc = emitJson(opt, result);
+    int obs = finishObservability(opt, sweep.name, sweep.toString());
+    return rc ? rc : obs;
 }
 
 /**
@@ -667,11 +804,11 @@ runMerge(const Options &opt)
         report::mergeReportFiles(opt.mergeInputs);
     if (merged.kind == report::PartialReport::Kind::Fleet) {
         if (!opt.quiet)
-            printSummary(std::cout, merged.fleet);
+            printSummary(statusStream(opt), merged.fleet);
         return emitJson(opt, merged.fleet);
     }
     if (!opt.quiet)
-        printSweepSummary(std::cout, merged.sweep);
+        printSweepSummary(statusStream(opt), merged.sweep);
     return emitJson(opt, merged.sweep);
 }
 
@@ -683,6 +820,15 @@ main(int argc, char **argv)
     Options opt;
     if (!parseArgs(argc, argv, opt))
         return 2;
+
+    // --quiet silences everything (including warnings) so scripted
+    // pipelines get pure streams; -v / -vv raise verbosity.
+    if (opt.quiet)
+        setLogLevel(LogLevel::Silent);
+    else if (opt.verbosity >= 2)
+        setLogLevel(LogLevel::Debug);
+    else if (opt.verbosity == 1)
+        setLogLevel(LogLevel::Inform);
 
     // A sweep config handed to --config runs as a sweep: the two
     // formats share their grammar, so the section lines identify it.
