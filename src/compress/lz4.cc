@@ -77,7 +77,8 @@ Lz4Codec::compress(ConstBytes src, MutableBytes dst) const
             t = static_cast<std::uint8_t>(lit_len << 4);
             *token = t;
         }
-        std::memcpy(op, anchor, lit_len);
+        if (lit_len != 0) // anchor may be null for empty input
+            std::memcpy(op, anchor, lit_len);
         op += lit_len;
 
         if (match_len == 0)
@@ -160,7 +161,8 @@ Lz4Codec::decompress(ConstBytes src, MutableBytes dst) const
             static_cast<std::size_t>(oend - op) < lit_len) {
             return 0;
         }
-        std::memcpy(op, ip, lit_len);
+        if (lit_len != 0) // op may be null for an empty dst
+            std::memcpy(op, ip, lit_len);
         ip += lit_len;
         op += lit_len;
 

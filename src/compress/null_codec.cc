@@ -10,7 +10,8 @@ NullCodec::compress(ConstBytes src, MutableBytes dst) const
 {
     if (dst.size() < src.size())
         return 0;
-    std::memcpy(dst.data(), src.data(), src.size());
+    if (!src.empty()) // data() may be null for empty spans
+        std::memcpy(dst.data(), src.data(), src.size());
     return src.size();
 }
 
@@ -19,7 +20,8 @@ NullCodec::decompress(ConstBytes src, MutableBytes dst) const
 {
     if (dst.size() < src.size())
         return 0;
-    std::memcpy(dst.data(), src.data(), src.size());
+    if (!src.empty())
+        std::memcpy(dst.data(), src.data(), src.size());
     return src.size();
 }
 

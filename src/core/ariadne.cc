@@ -137,8 +137,26 @@ AriadneScheme::onBackground(AppId uid)
     // is compressed too — at SmallSize, so the relaunch decompresses
     // it fast and PreDecomp chains hide most of the latency.
     Tick before = ctx.cpu.grandTotal();
+    // Drain the hot list first, then size the whole sweep in one
+    // batched materialize+compress pass before any unit is formed
+    // (sizes are pure functions of page content, so pre-computing
+    // them is behaviour-identical to sizing unit by unit).
+    std::vector<PageMeta *> victims;
     while (PageMeta *victim = hotOrg.popVictim(uid, Hotness::Hot))
-        compressUnit({victim}, Hotness::Hot, /*synchronous=*/false);
+        victims.push_back(victim);
+    if (!victims.empty()) {
+        std::size_t chunk = units.chunkFor(Hotness::Hot);
+        std::vector<PageRef> refs;
+        refs.reserve(victims.size());
+        for (PageMeta *p : victims)
+            refs.push_back(PageRef{p->key, p->version});
+        std::vector<std::size_t> sizes;
+        ctx.compressor.compressedSizeEach(refs, *codec, chunk, sizes);
+        for (std::size_t i = 0; i < victims.size(); ++i) {
+            compressUnitPresized({victims[i]}, Hotness::Hot,
+                                 /*synchronous=*/false, sizes[i]);
+        }
+    }
     bgReclaimNs += ctx.cpu.grandTotal() - before;
 }
 
@@ -211,9 +229,7 @@ AriadneScheme::compressUnit(std::vector<PageMeta *> batch, Hotness level,
                             bool synchronous)
 {
     panicIf(batch.empty(), "empty compression batch");
-    AppId uid = batch.front()->key.uid;
     std::size_t chunk = units.chunkFor(level);
-    std::size_t in_bytes = batch.size() * pageSize;
 
     std::size_t csize;
     if (batch.size() == 1) {
@@ -226,6 +242,18 @@ AriadneScheme::compressUnit(std::vector<PageMeta *> batch, Hotness level,
             refs.push_back(PageRef{p->key, p->version});
         csize = ctx.compressor.compressedSizeMany(refs, *codec, chunk);
     }
+    compressUnitPresized(std::move(batch), level, synchronous, csize);
+}
+
+void
+AriadneScheme::compressUnitPresized(std::vector<PageMeta *> batch,
+                                    Hotness level, bool synchronous,
+                                    std::size_t csize)
+{
+    panicIf(batch.empty(), "empty compression batch");
+    AppId uid = batch.front()->key.uid;
+    std::size_t chunk = units.chunkFor(level);
+    std::size_t in_bytes = batch.size() * pageSize;
 
     if (!ensureZpoolSpace(csize, synchronous)) {
         for (PageMeta *p : batch) {

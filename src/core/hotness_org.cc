@@ -1,5 +1,7 @@
 #include "core/hotness_org.hh"
 
+#include <algorithm>
+
 #include "sim/log.hh"
 
 namespace ariadne
@@ -8,22 +10,35 @@ namespace ariadne
 HotnessOrg::AppLists &
 HotnessOrg::listsFor(AppId uid)
 {
-    auto it = apps.find(uid);
-    if (it == apps.end()) {
-        it = apps.emplace(std::piecewise_construct,
-                          std::forward_as_tuple(uid),
-                          std::forward_as_tuple(ops))
-                 .first;
-        it->second.hotInitTarget = profileStore.hotInitPages(uid);
-    }
-    return it->second;
+    auto it = std::lower_bound(
+        apps.begin(), apps.end(), uid,
+        [](const std::unique_ptr<AppLists> &a, AppId u) {
+            return a->uid < u;
+        });
+    if (it != apps.end() && (*it)->uid == uid)
+        return **it;
+    auto app = std::make_unique<AppLists>(uid, ops);
+    app->hotInitTarget = profileStore.hotInitPages(uid);
+    return **apps.insert(it, std::move(app));
 }
 
 const HotnessOrg::AppLists *
 HotnessOrg::findLists(AppId uid) const
 {
-    auto it = apps.find(uid);
-    return it == apps.end() ? nullptr : &it->second;
+    auto it = std::lower_bound(
+        apps.begin(), apps.end(), uid,
+        [](const std::unique_ptr<AppLists> &a, AppId u) {
+            return a->uid < u;
+        });
+    return it != apps.end() && (*it)->uid == uid ? it->get()
+                                                 : nullptr;
+}
+
+HotnessOrg::AppLists *
+HotnessOrg::findLists(AppId uid)
+{
+    return const_cast<AppLists *>(
+        static_cast<const HotnessOrg *>(this)->findLists(uid));
 }
 
 LruList &
@@ -41,7 +56,7 @@ HotnessOrg::noteRelaunchTouch(AppLists &app, const PageMeta &page)
 {
     if (!app.relaunchActive)
         return;
-    if (app.relaunchSeen.insert(page.key.pfn).second)
+    if (app.relaunchSeen.set(page.key.pfn))
         app.relaunchTouched.push_back(page.key);
 }
 
@@ -62,7 +77,7 @@ HotnessOrg::admit(PageMeta &page, Tick now)
         if (app.hotAdmitted >= app.hotInitTarget)
             app.initialized = true;
         // Launch-window data counts as relaunch prediction seed.
-        if (app.relaunchSeen.insert(page.key.pfn).second)
+        if (app.relaunchSeen.set(page.key.pfn))
             app.relaunchTouched.push_back(page.key);
     } else if (app.relaunchActive) {
         // Fresh allocations during a relaunch are relaunch data.
@@ -175,12 +190,11 @@ PageMeta *
 HotnessOrg::popVictim(Hotness level)
 {
     AppLists *oldest = nullptr;
-    for (auto &[uid, app] : apps) {
-        LruList &list = listOf(app, level);
-        if (list.empty())
+    for (const auto &app : apps) {
+        if (listOf(*app, level).empty())
             continue;
-        if (!oldest || app.lastAccess < oldest->lastAccess)
-            oldest = &app;
+        if (!oldest || app->lastAccess < oldest->lastAccess)
+            oldest = app.get();
     }
     if (!oldest)
         return nullptr;
@@ -191,12 +205,11 @@ PageMeta *
 HotnessOrg::peekVictim(Hotness level)
 {
     AppLists *oldest = nullptr;
-    for (auto &[uid, app] : apps) {
-        LruList &list = listOf(app, level);
-        if (list.empty())
+    for (const auto &app : apps) {
+        if (listOf(*app, level).empty())
             continue;
-        if (!oldest || app.lastAccess < oldest->lastAccess)
-            oldest = &app;
+        if (!oldest || app->lastAccess < oldest->lastAccess)
+            oldest = app.get();
     }
     return oldest ? listOf(*oldest, level).back() : nullptr;
 }
@@ -204,10 +217,10 @@ HotnessOrg::peekVictim(Hotness level)
 PageMeta *
 HotnessOrg::popVictim(AppId uid, Hotness level)
 {
-    auto it = apps.find(uid);
-    if (it == apps.end())
+    AppLists *app = findLists(uid);
+    if (!app)
         return nullptr;
-    return listOf(it->second, level).popBack();
+    return listOf(*app, level).popBack();
 }
 
 std::size_t

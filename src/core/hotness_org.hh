@@ -23,12 +23,12 @@
 #ifndef ARIADNE_CORE_HOTNESS_ORG_HH
 #define ARIADNE_CORE_HOTNESS_ORG_HH
 
-#include <map>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
 #include "core/profile_store.hh"
 #include "mem/lru_list.hh"
+#include "mem/page_arena.hh"
 #include "sim/stats.hh"
 
 namespace ariadne
@@ -103,10 +103,11 @@ class HotnessOrg
   private:
     struct AppLists
     {
-        explicit AppLists(Counter *ops)
-            : hot(ops), warm(ops), cold(ops)
+        AppLists(AppId uid_, Counter *ops)
+            : uid(uid_), hot(ops), warm(ops), cold(ops)
         {}
 
+        AppId uid;
         LruList hot;
         LruList warm;
         LruList cold;
@@ -117,17 +118,21 @@ class HotnessOrg
         bool initialized = false;
         /** Pages touched during the last relaunch window. */
         std::vector<PageKey> relaunchTouched;
-        std::unordered_set<Pfn> relaunchSeen;
+        PfnBitmap relaunchSeen;
     };
 
     AppLists &listsFor(AppId uid);
     const AppLists *findLists(AppId uid) const;
+    AppLists *findLists(AppId uid);
     LruList &listOf(AppLists &app, Hotness level);
     void noteRelaunchTouch(AppLists &app, const PageMeta &page);
 
     Counter *ops;
     ProfileStore &profileStore;
-    std::map<AppId, AppLists> apps;
+    /** Sorted by uid. LruList is address-stable (intrusive heads), so
+     * entries live behind unique_ptr; victim scans walk the flat
+     * vector in uid order exactly as the old std::map iteration did. */
+    std::vector<std::unique_ptr<AppLists>> apps;
 };
 
 } // namespace ariadne

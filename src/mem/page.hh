@@ -53,14 +53,23 @@ struct PageKey
     bool operator==(const PageKey &o) const noexcept = default;
 };
 
-/** Hash functor so PageKey can key unordered containers. */
+/**
+ * Hash functor so PageKey can key unordered containers. The packed
+ * key is run through a splitmix64-style finalizer (same constants as
+ * PageCompressor::CacheKeyHash): a bare `(uid << 48) ^ pfn` leaves
+ * every app's pages on identical low bits, so power-of-two tables
+ * collide whole apps onto the same buckets.
+ */
 struct PageKeyHash
 {
     std::size_t
     operator()(const PageKey &k) const noexcept
     {
-        return std::hash<std::uint64_t>{}(
-            (std::uint64_t{k.uid} << 48) ^ k.pfn);
+        std::uint64_t x = (std::uint64_t{k.uid} << 48) ^ k.pfn;
+        x += 0x9e3779b97f4a7c15ULL;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+        return static_cast<std::size_t>(x ^ (x >> 31));
     }
 };
 
@@ -91,6 +100,11 @@ struct PageMeta
     PageMeta *lruPrev = nullptr;
     PageMeta *lruNext = nullptr;
     LruList *lruOwner = nullptr;
+
+    // Arena bookkeeping; only PageArena may touch these. The handle
+    // survives free()/alloc() recycling of the record.
+    std::uint32_t arenaHandle = UINT32_MAX;
+    bool arenaFree = false;
 };
 
 /**

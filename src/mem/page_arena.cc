@@ -1,0 +1,83 @@
+#include "mem/page_arena.hh"
+
+#include "sim/log.hh"
+
+namespace ariadne
+{
+
+void
+PageArena::growSlab()
+{
+    fatalIf(slabs.size() * slabPages + slabPages >
+                std::size_t{invalidPageHandle},
+            "PageArena exhausted its 32-bit handle space");
+    slabs.push_back(std::make_unique<PageMeta[]>(slabPages));
+    spareInLastSlab = slabPages;
+}
+
+PageMeta *
+PageArena::alloc()
+{
+    PageMeta *page;
+    if (freeHead) {
+        page = freeHead;
+        freeHead = page->lruNext;
+        std::uint32_t handle = page->arenaHandle;
+        *page = PageMeta{};
+        page->arenaHandle = handle;
+    } else {
+        if (spareInLastSlab == 0)
+            growSlab();
+        std::size_t idx = slabPages - spareInLastSlab;
+        --spareInLastSlab;
+        page = &slabs.back()[idx];
+        page->arenaHandle = static_cast<PageHandle>(
+            (slabs.size() - 1) * slabPages + idx);
+    }
+    ++liveRecords;
+    return page;
+}
+
+void
+PageArena::free(PageMeta &page)
+{
+    PageHandle handle = page.arenaHandle;
+    panicIf(handle >= totalRecords() ||
+                &slabs[handle >> slabShift][handle & slabMask] != &page,
+            "PageArena::free on a record not from this arena");
+    panicIf(page.arenaFree, "PageArena::free: double free");
+    panicIf(page.lruOwner != nullptr,
+            "PageArena::free: record still linked on an LruList");
+    page.arenaFree = true;
+    page.lruNext = freeHead;
+    freeHead = &page;
+    --liveRecords;
+}
+
+PageMeta &
+PageArena::fromHandle(PageHandle handle)
+{
+    panicIf(handle >= totalRecords(),
+            "PageArena::fromHandle: handle out of range");
+    PageMeta &page = slabs[handle >> slabShift][handle & slabMask];
+    panicIf(page.arenaFree, "PageArena::fromHandle: freed record");
+    return page;
+}
+
+std::vector<Pfn>
+PfnBitmap::toSortedVector() const
+{
+    std::vector<Pfn> out;
+    for (std::size_t w = 0; w < words.size(); ++w) {
+        std::uint64_t bits = words[w];
+        while (bits) {
+            unsigned bit =
+                static_cast<unsigned>(__builtin_ctzll(bits));
+            out.push_back(static_cast<Pfn>(w * 64 + bit));
+            bits &= bits - 1;
+        }
+    }
+    return out;
+}
+
+} // namespace ariadne

@@ -12,11 +12,30 @@ Zpool::Zpool(std::size_t capacity_bytes)
     std::size_t n_blocks = capacity_bytes / blockBytes;
     fatalIf(n_blocks == 0, "zpool smaller than one block");
     blocks.resize(n_blocks);
-    for (std::uint32_t i = 0; i < n_blocks; ++i)
-        freeBlocks.insert(i);
+    // All blocks start free; bits past n_blocks stay zero forever.
+    freeBits.assign((n_blocks + 63) / 64, ~std::uint64_t{0});
+    if (n_blocks % 64)
+        freeBits.back() = (std::uint64_t{1} << (n_blocks % 64)) - 1;
+    freeBlockCount = n_blocks;
     std::size_t n_classes = blockBytes / classStep;
     openBlock.assign(n_classes, UINT32_MAX);
     partialBlocks.resize(n_classes);
+}
+
+void
+Zpool::setBlockFree(std::uint32_t b) noexcept
+{
+    freeBits[b >> 6] |= std::uint64_t{1} << (b & 63);
+    ++freeBlockCount;
+    if ((b >> 6) < freeScanHint)
+        freeScanHint = b >> 6;
+}
+
+void
+Zpool::clearBlockFree(std::uint32_t b) noexcept
+{
+    freeBits[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+    --freeBlockCount;
 }
 
 std::size_t
@@ -48,10 +67,14 @@ Zpool::allocObjectRecord()
 std::uint32_t
 Zpool::takeFreeBlock()
 {
-    panicIf(freeBlocks.empty(), "takeFreeBlock on full pool");
-    auto it = freeBlocks.begin();
-    std::uint32_t idx = *it;
-    freeBlocks.erase(it);
+    panicIf(freeBlockCount == 0, "takeFreeBlock on full pool");
+    std::size_t w = freeScanHint;
+    while (freeBits[w] == 0)
+        ++w;
+    freeScanHint = w;
+    auto bit = static_cast<unsigned>(__builtin_ctzll(freeBits[w]));
+    auto idx = static_cast<std::uint32_t>(w * 64 + bit);
+    clearBlockFree(idx);
     ++usedBlocks;
     return idx;
 }
@@ -59,24 +82,40 @@ Zpool::takeFreeBlock()
 bool
 Zpool::findHugeRun(std::size_t span, std::uint32_t &start) const
 {
-    // Scan the ascending free set for `span` consecutive block ids.
+    // First (lowest-start) run of `span` consecutive free blocks,
+    // same answer the old ascending-set scan gave. Whole zero/one
+    // words are consumed 64 blocks at a time.
     std::uint32_t run_start = 0;
     std::size_t run_len = 0;
-    std::uint32_t prev = 0;
-    bool first = true;
-    for (std::uint32_t b : freeBlocks) {
-        if (first || b != prev + 1) {
-            run_start = b;
-            run_len = 1;
-        } else {
-            ++run_len;
+    for (std::size_t w = 0; w < freeBits.size(); ++w) {
+        std::uint64_t bits = freeBits[w];
+        if (bits == 0) {
+            run_len = 0;
+            continue;
         }
-        if (run_len >= span) {
-            start = run_start;
-            return true;
+        if (bits == ~std::uint64_t{0}) {
+            if (run_len == 0)
+                run_start = static_cast<std::uint32_t>(w * 64);
+            run_len += 64;
+            if (run_len >= span) {
+                start = run_start;
+                return true;
+            }
+            continue;
         }
-        prev = b;
-        first = false;
+        for (unsigned b = 0; b < 64; ++b) {
+            if ((bits >> b) & 1) {
+                if (run_len == 0)
+                    run_start =
+                        static_cast<std::uint32_t>(w * 64 + b);
+                if (++run_len >= span) {
+                    start = run_start;
+                    return true;
+                }
+            } else {
+                run_len = 0;
+            }
+        }
     }
     return false;
 }
@@ -94,7 +133,7 @@ Zpool::canFit(std::size_t csize) const
         return true;
     if (!partialBlocks[clazz].empty())
         return true;
-    return !freeBlocks.empty();
+    return freeBlockCount != 0;
 }
 
 ZObjectId
@@ -109,7 +148,7 @@ Zpool::insert(std::size_t csize, std::uint64_t cookie_value)
             return invalidObject;
         for (std::uint32_t b = start;
              b < start + static_cast<std::uint32_t>(span); ++b) {
-            freeBlocks.erase(b);
+            clearBlockFree(b);
             ++usedBlocks;
             blocks[b].clazz =
                 (b == start) ? hugeHeadClass : hugeContClass;
@@ -138,7 +177,7 @@ Zpool::insert(std::size_t csize, std::uint64_t cookie_value)
         block_idx = partialBlocks[clazz].back();
         partialBlocks[clazz].pop_back();
         openBlock[clazz] = block_idx;
-    } else if (!freeBlocks.empty()) {
+    } else if (freeBlockCount != 0) {
         block_idx = takeFreeBlock();
         Block &blk = blocks[block_idx];
         blk.clazz = static_cast<std::int16_t>(clazz);
@@ -187,7 +226,7 @@ Zpool::erase(ZObjectId id)
             blocks[b].usedSlots = 0;
             blocks[b].span = 0;
             blocks[b].slots.clear();
-            freeBlocks.insert(b);
+            setBlockFree(b);
             --usedBlocks;
         }
     } else {
@@ -205,7 +244,7 @@ Zpool::erase(ZObjectId id)
                           partial.end());
             blk.clazz = freeClass;
             blk.slots.clear();
-            freeBlocks.insert(obj.block);
+            setBlockFree(obj.block);
             --usedBlocks;
         } else if (blk.usedSlots + 1 ==
                        static_cast<std::uint16_t>(blk.slots.size()) &&

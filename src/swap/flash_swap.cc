@@ -1,5 +1,7 @@
 #include "swap/flash_swap.hh"
 
+#include <algorithm>
+
 #include "sim/log.hh"
 #include "telemetry/telemetry.hh"
 
@@ -51,26 +53,26 @@ flashSwapSchemeInfo()
 FlashSwapScheme::AppState &
 FlashSwapScheme::stateFor(AppId uid)
 {
-    auto it = appStates.find(uid);
-    if (it == appStates.end()) {
-        it = appStates
-                 .emplace(std::piecewise_construct,
-                          std::forward_as_tuple(uid),
-                          std::forward_as_tuple(&lruOpCounter))
-                 .first;
-    }
-    return it->second;
+    auto it = std::lower_bound(
+        appStates.begin(), appStates.end(), uid,
+        [](const std::unique_ptr<AppState> &a, AppId u) {
+            return a->uid < u;
+        });
+    if (it != appStates.end() && (*it)->uid == uid)
+        return **it;
+    return **appStates.insert(
+        it, std::make_unique<AppState>(uid, &lruOpCounter));
 }
 
 FlashSwapScheme::AppState *
 FlashSwapScheme::oldestAppWithPages()
 {
     AppState *oldest = nullptr;
-    for (auto &[uid, state] : appStates) {
-        if (state.resident.empty())
+    for (const auto &state : appStates) {
+        if (state->resident.empty())
             continue;
-        if (!oldest || state.lastAccess < oldest->lastAccess)
-            oldest = &state;
+        if (!oldest || state->lastAccess < oldest->lastAccess)
+            oldest = state.get();
     }
     return oldest;
 }

@@ -11,7 +11,8 @@
 #ifndef ARIADNE_SWAP_FLASH_SWAP_HH
 #define ARIADNE_SWAP_FLASH_SWAP_HH
 
-#include <map>
+#include <memory>
+#include <vector>
 
 #include "mem/lru_list.hh"
 #include "swap/scheme.hh"
@@ -48,7 +49,10 @@ class FlashSwapScheme : public SwapScheme
   private:
     struct AppState
     {
-        explicit AppState(Counter *ops) : resident(ops) {}
+        AppState(AppId uid_, Counter *ops)
+            : uid(uid_), resident(ops)
+        {}
+        AppId uid;
         LruList resident;
         Tick lastAccess = 0;
     };
@@ -58,7 +62,9 @@ class FlashSwapScheme : public SwapScheme
 
     FlashSwapConfig cfg;
     FlashDevice flashDev;
-    std::map<AppId, AppState> appStates;
+    /** Sorted by uid (intrusive list heads need stable addresses,
+     * hence unique_ptr; scans run in uid order like std::map did). */
+    std::vector<std::unique_ptr<AppState>> appStates;
 };
 
 /** Registry entry for `scheme = swap` (see scheme_registry.cc). */

@@ -29,33 +29,112 @@ compressProbe(CodecKind kind)
 
 } // namespace
 
+PageCompressor::Slot &
+PageCompressor::findSlot(std::uint64_t pfn_key, std::uint64_t app_key,
+                         std::uint64_t codec_key) noexcept
+{
+    std::size_t mask = slots.size() - 1;
+    std::size_t idx = static_cast<std::size_t>(
+                          mixSlotHash(pfn_key, app_key, codec_key)) &
+                      mask;
+    for (;;) {
+        Slot &slot = slots[idx];
+        if (slot.codecKey == emptyKey ||
+            (slot.pfnKey == pfn_key && slot.appKey == app_key &&
+             slot.codecKey == codec_key)) {
+            return slot;
+        }
+        idx = (idx + 1) & mask;
+    }
+}
+
+void
+PageCompressor::growTable()
+{
+    std::vector<Slot> old = std::move(slots);
+    slots.assign(old.size() * 2, Slot{});
+    for (const Slot &slot : old) {
+        if (slot.codecKey == emptyKey)
+            continue;
+        findSlot(slot.pfnKey, slot.appKey, slot.codecKey) = slot;
+    }
+}
+
+std::uint32_t
+PageCompressor::compressMiss(const PageRef &page, const Codec &codec,
+                             std::size_t chunk_bytes)
+{
+    telemetry::ScopedTimer timer(compressProbe(codec.kind()));
+    content.materialize(page.key, page.version,
+                        {scratch.data(), scratch.size()});
+    auto frame = ChunkedFrame::compress(
+        codec, {scratch.data(), scratch.size()}, chunk_bytes);
+    compressedVolume += pageSize;
+    return static_cast<std::uint32_t>(frame.size());
+}
+
 std::size_t
 PageCompressor::compressedSizeOne(const PageRef &page,
                                   const Codec &codec,
                                   std::size_t chunk_bytes)
 {
-    CacheKey key{page.key.uid, page.key.pfn, page.version,
-                 static_cast<std::uint8_t>(codec.kind()),
-                 static_cast<std::uint32_t>(chunk_bytes)};
-    auto it = cache.find(key);
-    if (it != cache.end()) {
+    std::uint64_t pfn_key = page.key.pfn;
+    std::uint64_t app_key =
+        (std::uint64_t{page.key.uid} << 32) | page.version;
+    std::uint64_t codec_key =
+        (std::uint64_t{static_cast<std::uint8_t>(codec.kind())}
+         << 32) |
+        static_cast<std::uint32_t>(chunk_bytes);
+
+    Slot &slot = findSlot(pfn_key, app_key, codec_key);
+    if (slot.codecKey != emptyKey) {
         c_cacheHit.add();
         ++hits;
-        return it->second;
+        return slot.csize;
     }
     c_cacheMiss.add();
     ++misses;
 
-    telemetry::ScopedTimer timer(compressProbe(codec.kind()));
-    std::vector<std::uint8_t> buf(pageSize);
-    content.materialize(page.key, page.version,
-                        {buf.data(), buf.size()});
-    auto frame = ChunkedFrame::compress(
-        codec, {buf.data(), buf.size()}, chunk_bytes);
-    compressedVolume += pageSize;
-    auto csize = static_cast<std::uint32_t>(frame.size());
-    cache.emplace(key, csize);
+    std::uint32_t csize = compressMiss(page, codec, chunk_bytes);
+    slot = Slot{pfn_key, app_key, codec_key, csize};
+    if (++liveSlots * 10 >= slots.size() * 7)
+        growTable();
     return csize;
+}
+
+void
+PageCompressor::compressedSizeEach(const std::vector<PageRef> &pages,
+                                   const Codec &codec,
+                                   std::size_t chunk_bytes,
+                                   std::vector<std::size_t> &sizes)
+{
+    sizes.resize(pages.size());
+    // One probe-and-compress loop for the whole batch: the codec key
+    // is loop-invariant and every miss shares the scratch buffer.
+    std::uint64_t codec_key =
+        (std::uint64_t{static_cast<std::uint8_t>(codec.kind())}
+         << 32) |
+        static_cast<std::uint32_t>(chunk_bytes);
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+        const PageRef &page = pages[i];
+        std::uint64_t pfn_key = page.key.pfn;
+        std::uint64_t app_key =
+            (std::uint64_t{page.key.uid} << 32) | page.version;
+        Slot &slot = findSlot(pfn_key, app_key, codec_key);
+        if (slot.codecKey != emptyKey) {
+            c_cacheHit.add();
+            ++hits;
+            sizes[i] = slot.csize;
+            continue;
+        }
+        c_cacheMiss.add();
+        ++misses;
+        std::uint32_t csize = compressMiss(page, codec, chunk_bytes);
+        slot = Slot{pfn_key, app_key, codec_key, csize};
+        sizes[i] = csize;
+        if (++liveSlots * 10 >= slots.size() * 7)
+            growTable();
+    }
 }
 
 std::size_t
@@ -66,15 +145,15 @@ PageCompressor::compressedSizeMany(const std::vector<PageRef> &pages,
     if (pages.empty())
         return 0;
     telemetry::ScopedTimer timer(compressProbe(codec.kind()));
-    std::vector<std::uint8_t> buf(pages.size() * pageSize);
+    manyScratch.resize(pages.size() * pageSize);
     for (std::size_t i = 0; i < pages.size(); ++i) {
         content.materialize(pages[i].key, pages[i].version,
-                            {buf.data() + i * pageSize, pageSize});
+                            {manyScratch.data() + i * pageSize,
+                             pageSize});
     }
-    auto frame = ChunkedFrame::compress(codec,
-                                        {buf.data(), buf.size()},
-                                        chunk_bytes);
-    compressedVolume += buf.size();
+    auto frame = ChunkedFrame::compress(
+        codec, {manyScratch.data(), manyScratch.size()}, chunk_bytes);
+    compressedVolume += manyScratch.size();
     return frame.size();
 }
 

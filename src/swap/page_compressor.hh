@@ -9,13 +9,19 @@
  * page results are memoized — schemes recompress the same hot pages
  * on every app switch, and the cache turns that into a lookup while
  * keeping the sizes exact.
+ *
+ * The memo table is a power-of-two open-addressing flat table
+ * (linear probing, splitmix64-mixed keys) rather than a node-based
+ * unordered_map: one cache line per probe, no per-entry allocation.
+ * Batch sizing (compressedSizeEach) reuses one content buffer across
+ * the whole batch so a reclaim sweep does a single materialize +
+ * codec loop instead of an allocation and dispatch per page.
  */
 
 #ifndef ARIADNE_SWAP_PAGE_COMPRESSOR_HH
 #define ARIADNE_SWAP_PAGE_COMPRESSOR_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "compress/chunked.hh"
@@ -38,8 +44,10 @@ class PageCompressor
 {
   public:
     explicit PageCompressor(const PageContentSource &source)
-        : content(source)
-    {}
+        : content(source), scratch(pageSize)
+    {
+        slots.resize(initialSlots);
+    }
 
     /**
      * Compressed size of one page framed with @p chunk_bytes chunks.
@@ -48,6 +56,17 @@ class PageCompressor
     std::size_t compressedSizeOne(const PageRef &page,
                                   const Codec &codec,
                                   std::size_t chunk_bytes);
+
+    /**
+     * Memoized compressed size of each page in @p pages,
+     * independently (the batch equivalent of compressedSizeOne):
+     * @p sizes[i] receives the size of pages[i]. Misses share one
+     * content buffer and run in one codec loop.
+     */
+    void compressedSizeEach(const std::vector<PageRef> &pages,
+                            const Codec &codec,
+                            std::size_t chunk_bytes,
+                            std::vector<std::size_t> &sizes);
 
     /**
      * Compressed size of a multi-page unit: pages are concatenated in
@@ -72,33 +91,48 @@ class PageCompressor
     }
 
   private:
-    struct CacheKey
+    /**
+     * One open-addressing slot. The (codec, chunk) word doubles as
+     * the occupancy marker: codec is 8 bits and chunk is far below
+     * 2^32, so a real entry never equals emptyKey.
+     */
+    struct Slot
     {
-        AppId uid;
-        Pfn pfn;
-        std::uint32_t version;
-        std::uint8_t codec;
-        std::uint32_t chunk;
-
-        bool operator==(const CacheKey &o) const noexcept = default;
+        std::uint64_t pfnKey = 0;      //!< pfn
+        std::uint64_t appKey = 0;      //!< (uid << 32) | version
+        std::uint64_t codecKey = emptyKey; //!< (codec << 32) | chunk
+        std::uint32_t csize = 0;
     };
 
-    struct CacheKeyHash
+    static constexpr std::uint64_t emptyKey = UINT64_MAX;
+    static constexpr std::size_t initialSlots = 1u << 16;
+
+    static std::uint64_t
+    mixSlotHash(std::uint64_t pfn_key, std::uint64_t app_key,
+                std::uint64_t codec_key) noexcept
     {
-        std::size_t
-        operator()(const CacheKey &k) const noexcept
-        {
-            std::uint64_t h = k.pfn * 0x9e3779b97f4a7c15ULL;
-            h ^= (std::uint64_t{k.uid} << 32) ^ k.version;
-            h = (h ^ (h >> 29)) * 0xbf58476d1ce4e5b9ULL;
-            h ^= (std::uint64_t{k.codec} << 56) ^
-                 (std::uint64_t{k.chunk} << 8);
-            return static_cast<std::size_t>(h ^ (h >> 31));
-        }
-    };
+        std::uint64_t h = pfn_key * 0x9e3779b97f4a7c15ULL;
+        h ^= app_key;
+        h = (h ^ (h >> 29)) * 0xbf58476d1ce4e5b9ULL;
+        h ^= codec_key;
+        return h ^ (h >> 31);
+    }
+
+    /** Probe for (keys); returns the matching or first empty slot. */
+    Slot &findSlot(std::uint64_t pfn_key, std::uint64_t app_key,
+                   std::uint64_t codec_key) noexcept;
+
+    void growTable();
+
+    /** Materialize+compress a page into the shared scratch buffer. */
+    std::uint32_t compressMiss(const PageRef &page, const Codec &codec,
+                               std::size_t chunk_bytes);
 
     const PageContentSource &content;
-    std::unordered_map<CacheKey, std::uint32_t, CacheKeyHash> cache;
+    std::vector<Slot> slots;
+    std::size_t liveSlots = 0;
+    std::vector<std::uint8_t> scratch;     //!< one page, reused
+    std::vector<std::uint8_t> manyScratch; //!< multi-page units
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t compressedVolume = 0;

@@ -1,5 +1,7 @@
 #include "swap/zram.hh"
 
+#include <algorithm>
+
 #include "sim/log.hh"
 #include "telemetry/telemetry.hh"
 
@@ -112,26 +114,26 @@ zswapSchemeInfo()
 ZramScheme::AppState &
 ZramScheme::stateFor(AppId uid)
 {
-    auto it = appStates.find(uid);
-    if (it == appStates.end()) {
-        it = appStates
-                 .emplace(std::piecewise_construct,
-                          std::forward_as_tuple(uid),
-                          std::forward_as_tuple(&lruOpCounter))
-                 .first;
-    }
-    return it->second;
+    auto it = std::lower_bound(
+        appStates.begin(), appStates.end(), uid,
+        [](const std::unique_ptr<AppState> &a, AppId u) {
+            return a->uid < u;
+        });
+    if (it != appStates.end() && (*it)->uid == uid)
+        return **it;
+    return **appStates.insert(
+        it, std::make_unique<AppState>(uid, &lruOpCounter));
 }
 
 ZramScheme::AppState *
 ZramScheme::oldestAppWithPages()
 {
     AppState *oldest = nullptr;
-    for (auto &[uid, state] : appStates) {
-        if (state.resident.empty())
+    for (const auto &state : appStates) {
+        if (state->resident.empty())
             continue;
-        if (!oldest || state.lastAccess < oldest->lastAccess)
-            oldest = &state;
+        if (!oldest || state->lastAccess < oldest->lastAccess)
+            oldest = state.get();
     }
     return oldest;
 }
@@ -203,11 +205,17 @@ ZramScheme::ensureZpoolSpace(std::size_t csize, bool synchronous)
 void
 ZramScheme::compressOut(PageMeta &victim, bool synchronous)
 {
-    c_compressOut.add();
     PageRef ref{victim.key, victim.version};
-    std::size_t csize = ctx.compressor.compressedSizeOne(
-        ref, *codec, cfg.chunkBytes);
+    compressOutPresized(victim, synchronous,
+                        ctx.compressor.compressedSizeOne(
+                            ref, *codec, cfg.chunkBytes));
+}
 
+void
+ZramScheme::compressOutPresized(PageMeta &victim, bool synchronous,
+                                std::size_t csize)
+{
+    c_compressOut.add();
     if (!ensureZpoolSpace(csize, synchronous)) {
         victim.location = PageLocation::Lost;
         ++lost;
@@ -230,6 +238,36 @@ ZramScheme::compressOut(PageMeta &victim, bool synchronous)
 }
 
 std::size_t
+ZramScheme::compressTail(AppState &app, std::size_t limit,
+                         bool synchronous)
+{
+    // Pop the whole batch, then one batched materialize+compress
+    // sizing pass before any page is inserted (sizes are pure
+    // functions of page content, so pre-computing them is
+    // behaviour-identical to sizing victim by victim).
+    std::vector<PageMeta *> victims;
+    victims.reserve(limit);
+    while (victims.size() < limit) {
+        PageMeta *victim = app.resident.popBack();
+        if (!victim)
+            break;
+        victims.push_back(victim);
+    }
+    if (victims.empty())
+        return 0;
+    std::vector<PageRef> refs;
+    refs.reserve(victims.size());
+    for (PageMeta *p : victims)
+        refs.push_back(PageRef{p->key, p->version});
+    std::vector<std::size_t> sizes;
+    ctx.compressor.compressedSizeEach(refs, *codec, cfg.chunkBytes,
+                                      sizes);
+    for (std::size_t i = 0; i < victims.size(); ++i)
+        compressOutPresized(*victims[i], synchronous, sizes[i]);
+    return victims.size();
+}
+
+std::size_t
 ZramScheme::reclaim(std::size_t pages, bool direct)
 {
     if (direct)
@@ -240,13 +278,10 @@ ZramScheme::reclaim(std::size_t pages, bool direct)
         if (!app)
             break;
         std::size_t batch = std::min(cfg.reclaimBatch, pages - freed);
-        for (std::size_t i = 0; i < batch; ++i) {
-            PageMeta *victim = app->resident.popBack();
-            if (!victim)
-                break;
-            compressOut(*victim, direct);
-            ++freed;
-        }
+        std::size_t done = compressTail(*app, batch, direct);
+        if (done == 0)
+            break;
+        freed += done;
     }
     chargeLruOps(direct);
     return freed;
@@ -265,12 +300,7 @@ ZramScheme::onBackground(AppId uid)
         cfg.proactiveFraction *
         static_cast<double>(app.resident.size()));
     Tick before = ctx.cpu.grandTotal();
-    for (std::size_t i = 0; i < target; ++i) {
-        PageMeta *victim = app.resident.popBack();
-        if (!victim)
-            break;
-        compressOut(*victim, /*synchronous=*/false);
-    }
+    compressTail(app, target, /*synchronous=*/false);
     chargeLruOps(false);
     bgReclaimNs += ctx.cpu.grandTotal() - before;
 }

@@ -15,8 +15,8 @@
 #define ARIADNE_SWAP_ZRAM_HH
 
 #include <deque>
-#include <map>
 #include <memory>
+#include <vector>
 
 #include "compress/registry.hh"
 #include "mem/lru_list.hh"
@@ -101,7 +101,10 @@ class ZramScheme : public SwapScheme
   private:
     struct AppState
     {
-        explicit AppState(Counter *ops) : resident(ops) {}
+        AppState(AppId uid_, Counter *ops)
+            : uid(uid_), resident(ops)
+        {}
+        AppId uid;
         LruList resident;
         Tick lastAccess = 0;
     };
@@ -119,11 +122,23 @@ class ZramScheme : public SwapScheme
     /** Compress one victim page into the pool (or spill/lose it). */
     void compressOut(PageMeta &victim, bool synchronous);
 
+    /** compressOut with the compressed size already known (batch
+     * sizing paths pre-compute it via compressedSizeEach). */
+    void compressOutPresized(PageMeta &victim, bool synchronous,
+                             std::size_t csize);
+
+    /** Pop up to @p limit LRU-tail victims of @p app, size them in
+     * one batched pass, and compress each out. */
+    std::size_t compressTail(AppState &app, std::size_t limit,
+                             bool synchronous);
+
     ZramConfig cfg;
     std::unique_ptr<Codec> codec;
     Zpool pool;
     std::unique_ptr<FlashDevice> flashDev;
-    std::map<AppId, AppState> appStates;
+    /** Sorted by uid (intrusive list heads need stable addresses,
+     * hence unique_ptr; scans run in uid order like std::map did). */
+    std::vector<std::unique_ptr<AppState>> appStates;
     /** Compressed objects in insertion order with owner cross-check. */
     std::deque<std::pair<ZObjectId, const PageMeta *>> compressedFifo;
 

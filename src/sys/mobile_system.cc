@@ -1,7 +1,6 @@
 #include "sys/mobile_system.hh"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "sim/log.hh"
 #include "telemetry/telemetry.hh"
@@ -114,12 +113,27 @@ MobileSystem::appIds() const
     return uids;
 }
 
+MobileSystem::AppDir &
+MobileSystem::dirFor(AppId uid)
+{
+    auto it = std::lower_bound(
+        appDirs.begin(), appDirs.end(), uid,
+        [](const std::unique_ptr<AppDir> &d, AppId u) {
+            return d->uid < u;
+        });
+    if (it != appDirs.end() && (*it)->uid == uid)
+        return **it;
+    auto dir = std::make_unique<AppDir>();
+    dir->uid = uid;
+    return **appDirs.insert(it, std::move(dir));
+}
+
 PageMeta &
 MobileSystem::metaFor(const PageKey &key)
 {
-    auto it = pageTable.find(key);
-    panicIf(it == pageTable.end(), "metaFor on unknown page");
-    return *it->second;
+    PageMeta *meta = dirFor(key.uid).page(key.pfn);
+    panicIf(!meta, "metaFor on unknown page");
+    return *meta;
 }
 
 void
@@ -145,28 +159,29 @@ MobileSystem::maybeKswapd()
 }
 
 void
-MobileSystem::processTouch(AppId uid, const TouchEvent &ev,
+MobileSystem::processTouch(AppDir &dir, const TouchEvent &ev,
                            RelaunchStats *stats)
 {
-    PageKey key{uid, ev.pfn};
-    auto it = pageTable.find(key);
-
     c_touch.add();
     if (stats)
         ++stats->pagesTouched;
-    auto capture = touchCaptures.find(uid);
-    if (capture != touchCaptures.end())
-        capture->second.insert(ev.pfn);
+    if (dir.capturing)
+        dir.capture.set(ev.pfn);
 
-    if (it == pageTable.end()) {
+    PageMeta *slot = dir.page(ev.pfn);
+    if (!slot) {
         // First allocation of this page.
-        auto meta = std::make_unique<PageMeta>();
-        meta->key = key;
-        meta->version = ev.version;
-        meta->truth = ev.truth;
-        meta->location = PageLocation::Resident;
-        PageMeta &ref = *meta;
-        pageTable.emplace(key, std::move(meta));
+        PageMeta &ref = *arena.alloc();
+        ref.key = PageKey{dir.uid, ev.pfn};
+        ref.version = ev.version;
+        ref.truth = ev.truth;
+        ref.location = PageLocation::Resident;
+        if (ev.pfn >= dir.pages.size())
+            dir.pages.resize(
+                std::max<std::size_t>(ev.pfn + 1,
+                                      dir.pages.size() * 2),
+                nullptr);
+        dir.pages[ev.pfn] = &ref;
 
         c_alloc.add();
         if (!dramModel->allocate(1)) {
@@ -184,7 +199,7 @@ MobileSystem::processTouch(AppId uid, const TouchEvent &ev,
         return;
     }
 
-    PageMeta &meta = *it->second;
+    PageMeta &meta = *slot;
     meta.truth = ev.truth;
 
     switch (meta.location) {
@@ -241,10 +256,11 @@ MobileSystem::runTouches(AppId uid,
                          const std::vector<TouchEvent> &events,
                          RelaunchStats *stats)
 {
+    AppDir &dir = dirFor(uid);
     for (const auto &ev : events) {
         if (observer)
             observer->onTouch(uid, ev, simClock.now());
-        processTouch(uid, ev, stats);
+        processTouch(dir, ev, stats);
     }
 }
 
@@ -346,23 +362,24 @@ MobileSystem::runRelaunch(AppId uid,
 
     // Coverage of the prediction against what the relaunch touched.
     if (!predicted.empty()) {
-        std::unordered_set<Pfn> predicted_set;
-        predicted_set.reserve(predicted.size());
+        PfnBitmap predicted_set;
         for (const auto &key : predicted)
-            predicted_set.insert(key.pfn);
+            predicted_set.set(key.pfn);
         std::size_t covered = 0;
-        std::unordered_set<Pfn> seen;
+        std::size_t distinct = 0;
+        PfnBitmap seen;
         for (const auto &ev : events) {
-            if (seen.insert(ev.pfn).second &&
-                predicted_set.contains(ev.pfn)) {
-                ++covered;
+            if (seen.set(ev.pfn)) {
+                ++distinct;
+                if (predicted_set.test(ev.pfn))
+                    ++covered;
             }
         }
         stats.predictedPages = predicted.size();
-        stats.coverage = seen.empty()
+        stats.coverage = distinct == 0
                              ? 0.0
                              : static_cast<double>(covered) /
-                                   static_cast<double>(seen.size());
+                                   static_cast<double>(distinct);
     }
     return stats;
 }
@@ -380,17 +397,20 @@ MobileSystem::idle(Tick dt)
 void
 MobileSystem::startTouchCapture(AppId uid)
 {
-    touchCaptures[uid].clear();
+    AppDir &dir = dirFor(uid);
+    dir.capture.clear();
+    dir.capturing = true;
 }
 
 std::vector<Pfn>
 MobileSystem::stopTouchCapture(AppId uid)
 {
-    auto it = touchCaptures.find(uid);
-    if (it == touchCaptures.end())
+    AppDir &dir = dirFor(uid);
+    if (!dir.capturing)
         return {};
-    std::vector<Pfn> result(it->second.begin(), it->second.end());
-    touchCaptures.erase(it);
+    std::vector<Pfn> result = dir.capture.toSortedVector();
+    dir.capture.clear();
+    dir.capturing = false;
     return result;
 }
 

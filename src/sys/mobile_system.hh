@@ -17,10 +17,9 @@
 
 #include <map>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "mem/dram.hh"
+#include "mem/page_arena.hh"
 #include "swap/kswapd.hh"
 #include "swap/scheme_registry.hh"
 #include "sys/system_config.hh"
@@ -177,9 +176,33 @@ class MobileSystem
     std::uint64_t lostRecreations() const noexcept { return lostPages; }
 
   private:
+    /**
+     * Per-app page directory. The workload generator hands out pfns
+     * densely from 0, so a flat vector indexed by pfn replaces the
+     * old hashed PageKey map: one bounds check plus one load per
+     * touch lookup. The touch-capture set is a pfn bitmap for the
+     * same reason. PageMeta records themselves live in the arena so
+     * their addresses stay stable for the intrusive LruList hooks.
+     */
+    struct AppDir
+    {
+        AppId uid = invalidApp;
+        std::vector<PageMeta *> pages;
+        PfnBitmap capture;
+        bool capturing = false;
+
+        PageMeta *
+        page(Pfn pfn) const noexcept
+        {
+            return pfn < pages.size() ? pages[pfn] : nullptr;
+        }
+    };
+
     void makeScheme();
+    /** Directory for @p uid, created on first use (sorted by uid). */
+    AppDir &dirFor(AppId uid);
     PageMeta &metaFor(const PageKey &key);
-    void processTouch(AppId uid, const TouchEvent &ev,
+    void processTouch(AppDir &dir, const TouchEvent &ev,
                       RelaunchStats *stats);
     void runTouches(AppId uid, const std::vector<TouchEvent> &events,
                     RelaunchStats *stats);
@@ -198,10 +221,11 @@ class MobileSystem
     std::unique_ptr<SwapScheme> swapScheme;
     std::unique_ptr<Kswapd> reclaimDaemon;
 
-    std::unordered_map<PageKey, std::unique_ptr<PageMeta>, PageKeyHash>
-        pageTable;
+    PageArena arena;
+    /** App directories sorted by uid (handful of apps; binary
+     * search, resolved once per touch batch). */
+    std::vector<std::unique_ptr<AppDir>> appDirs;
     std::map<AppId, AppInstance> instances;
-    std::unordered_map<AppId, std::unordered_set<Pfn>> touchCaptures;
 
     SystemObserver *observer = nullptr;
     bool inRelaunch = false;

@@ -23,6 +23,8 @@
 #ifndef ARIADNE_SYS_SESSION_HH
 #define ARIADNE_SYS_SESSION_HH
 
+#include <unordered_set>
+
 #include "sys/mobile_system.hh"
 
 namespace ariadne

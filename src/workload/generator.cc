@@ -20,7 +20,7 @@ TouchEvent
 AppInstance::allocatePage(Hotness truth)
 {
     Pfn pfn = nextPfn++;
-    pages.emplace(pfn, PageState{truth, 0});
+    pages.push_back(PageState{truth, 0});
     switch (truth) {
       case Hotness::Hot:
         hotList.push_back(pfn);
@@ -110,7 +110,7 @@ AppInstance::execute(Tick dt)
             run = std::min(run, warmList.size() - start);
             for (std::size_t j = 0; j < run; ++j) {
                 Pfn pfn = warmList[start + j];
-                PageState &st = pages.at(pfn);
+                PageState &st = pages[pfn];
                 bool write = rng.chance(prof.writeProb);
                 if (write)
                     ++st.version;
@@ -212,7 +212,7 @@ AppInstance::relaunch()
                 {8 + rng.below(28), want, warmList.size() - start});
             for (std::size_t j = 0; j < run; ++j) {
                 Pfn pfn = warmList[start + j];
-                pages.at(pfn).truth = Hotness::Hot;
+                pages[pfn].truth = Hotness::Hot;
                 new_hot.push_back(pfn);
             }
             warmList.erase(
@@ -230,15 +230,15 @@ AppInstance::relaunch()
 
     // Apply demotions.
     for (Pfn pfn : demoted_warm) {
-        pages.at(pfn).truth = Hotness::Warm;
+        pages[pfn].truth = Hotness::Warm;
         warmList.push_back(pfn);
     }
     for (Pfn pfn : demoted_cold) {
-        pages.at(pfn).truth = Hotness::Cold;
+        pages[pfn].truth = Hotness::Cold;
         coldList.push_back(pfn);
     }
     for (Pfn pfn : new_hot)
-        pages.at(pfn).truth = Hotness::Hot;
+        pages[pfn].truth = Hotness::Hot;
 
     prevHotList = std::move(hotList);
     hotList = std::move(new_hot);
@@ -254,7 +254,7 @@ AppInstance::relaunch()
 
     for (std::uint32_t idx : order) {
         Pfn pfn = hotList[idx];
-        PageState &st = pages.at(pfn);
+        PageState &st = pages[pfn];
         bool is_new = false;
         auto it = fresh.find(pfn);
         if (it != fresh.end() && it->second) {
@@ -273,17 +273,15 @@ AppInstance::relaunch()
 Hotness
 AppInstance::truthOf(Pfn pfn) const
 {
-    auto it = pages.find(pfn);
-    panicIf(it == pages.end(), "truthOf unknown page");
-    return it->second.truth;
+    panicIf(pfn >= pages.size(), "truthOf unknown page");
+    return pages[pfn].truth;
 }
 
 std::uint32_t
 AppInstance::versionOf(Pfn pfn) const
 {
-    auto it = pages.find(pfn);
-    panicIf(it == pages.end(), "versionOf unknown page");
-    return it->second.version;
+    panicIf(pfn >= pages.size(), "versionOf unknown page");
+    return pages[pfn].version;
 }
 
 } // namespace ariadne

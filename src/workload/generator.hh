@@ -126,7 +126,9 @@ class AppInstance
     double scale;
     Rng rng;
 
-    std::unordered_map<Pfn, PageState> pages;
+    /** Indexed by pfn: pfns are handed out densely from 0 and never
+     * freed, so page state is a flat array rather than a hash map. */
+    std::vector<PageState> pages;
     std::vector<Pfn> hotList;     //!< canonical relaunch order
     std::vector<Pfn> prevHotList;
     std::vector<Pfn> warmList;
