@@ -3,7 +3,7 @@
 
 Usage:
     compare_bench.py CURRENT BASELINE [--rate-tolerance 0.25]
-                     [--counter-tolerance 0.0]
+                     [--counter-tolerance 0.0] [--update]
 
 Rates (sessions/sec, pages/sec.*) may regress by at most
 --rate-tolerance relative to the baseline (improvements always pass).
@@ -13,12 +13,20 @@ exactly); a counter drift means the simulator does different *work*
 than it did at the baseline commit, which is a behavioural change
 that deserves a baseline refresh in the same PR.
 
+Every run prints a per-metric delta table — pass or fail — so a CI
+log always shows how far each rate and counter moved, not just which
+one crossed the line. --update copies CURRENT over BASELINE after the
+comparison (ignoring failures), which is how baselines are re-recorded
+after an intentional perf or behaviour change.
+
 Wall time, RSS, and duration accumulators are machine-dependent and
-reported for information only. Exit status: 0 pass, 1 fail, 2 usage.
+reported for information only. Exit status: 0 pass, 1 fail, 2 usage
+(--update always exits 0 once the baseline is written).
 """
 
 import argparse
 import json
+import shutil
 import sys
 
 
@@ -30,6 +38,23 @@ def load(path):
     return doc
 
 
+def fmt_delta(cur, base):
+    if base == 0:
+        return "n/a" if cur == 0 else "new"
+    return f"{(cur - base) / base:+.1%}"
+
+
+def print_table(rows):
+    """rows: (kind, name, current, baseline, delta, status)."""
+    if not rows:
+        return
+    widths = [max(len(str(r[i])) for r in rows) for i in range(6)]
+    for kind, name, cur, base, delta, status in rows:
+        print(f"  {kind:<{widths[0]}}  {name:<{widths[1]}}  "
+              f"{cur:>{widths[2]}}  {base:>{widths[3]}}  "
+              f"{delta:>{widths[4]}}  {status}")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("current")
@@ -38,6 +63,9 @@ def main():
                     help="max fractional rate regression (default 0.25)")
     ap.add_argument("--counter-tolerance", type=float, default=0.0,
                     help="max fractional counter drift (default exact)")
+    ap.add_argument("--update", action="store_true",
+                    help="re-record: copy CURRENT over BASELINE after "
+                         "comparing (always exits 0)")
     args = ap.parse_args()
 
     cur = load(args.current)
@@ -46,43 +74,70 @@ def main():
         sys.exit(f"bench mismatch: {cur['bench']} vs {base['bench']}")
 
     failures = []
+    rows = [("kind", "metric", "current", "baseline", "delta",
+             "status")]
 
+    cur_rates = cur.get("rates", {})
     for name, base_rate in base.get("rates", {}).items():
-        cur_rate = cur.get("rates", {}).get(name)
+        cur_rate = cur_rates.get(name)
         if cur_rate is None:
             failures.append(f"rate '{name}' missing from current run")
+            rows.append(("rate", name, "missing", f"{base_rate:.1f}",
+                         "n/a", "FAIL"))
             continue
         floor = base_rate * (1.0 - args.rate_tolerance)
-        status = "ok" if cur_rate >= floor else "FAIL"
-        print(f"rate {name}: {cur_rate:.1f} vs baseline "
-              f"{base_rate:.1f} (floor {floor:.1f}) {status}")
-        if cur_rate < floor:
+        ok = cur_rate >= floor
+        rows.append(("rate", name, f"{cur_rate:.1f}",
+                     f"{base_rate:.1f}", fmt_delta(cur_rate, base_rate),
+                     "ok" if ok else "FAIL"))
+        if not ok:
             failures.append(
                 f"rate '{name}' regressed: {cur_rate:.1f} < "
                 f"{floor:.1f} ({args.rate_tolerance:.0%} band below "
                 f"baseline {base_rate:.1f})")
+    for name, cur_rate in cur_rates.items():
+        if name not in base.get("rates", {}):
+            rows.append(("rate", name, f"{cur_rate:.1f}", "absent",
+                         "new", "note"))
 
+    cur_counters = cur.get("counters", {})
     for name, base_val in base.get("counters", {}).items():
-        cur_val = cur.get("counters", {}).get(name)
+        cur_val = cur_counters.get(name)
         if cur_val is None:
             failures.append(f"counter '{name}' missing from current run")
+            rows.append(("counter", name, "missing", str(base_val),
+                         "n/a", "FAIL"))
             continue
         limit = abs(base_val) * args.counter_tolerance
-        if abs(cur_val - base_val) > limit:
+        ok = abs(cur_val - base_val) <= limit
+        rows.append(("counter", name, str(cur_val), str(base_val),
+                     fmt_delta(cur_val, base_val),
+                     "ok" if ok else "FAIL"))
+        if not ok:
             failures.append(
                 f"counter '{name}' drifted: {cur_val} vs baseline "
                 f"{base_val} (tolerance {args.counter_tolerance:.0%})")
 
-    drift = sum(1 for n in cur.get("counters", {})
+    drift = sum(1 for n in cur_counters
                 if n not in base.get("counters", {}))
     if drift:
         print(f"note: {drift} counter(s) in current run absent from "
               f"baseline (new instrumentation; refresh the baseline)")
 
+    print(f"{cur['bench']}: current vs baseline")
+    print_table(rows)
     print(f"info: wall {cur.get('wallSeconds', 0):.2f}s vs baseline "
           f"{base.get('wallSeconds', 0):.2f}s, peak RSS "
           f"{cur.get('peakRssBytes', 0) // (1 << 20)} MiB "
           f"(informational)")
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"UPDATED: {args.baseline} re-recorded from "
+              f"{args.current}"
+              + (f" (overriding {len(failures)} failure(s))"
+                 if failures else ""))
+        return 0
 
     if failures:
         for f in failures:

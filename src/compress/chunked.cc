@@ -88,12 +88,33 @@ std::vector<std::uint8_t>
 ChunkedFrame::compress(const Codec &codec, ConstBytes src,
                        std::size_t chunk_bytes)
 {
+    return compress(codec, src, chunk_bytes, nullptr);
+}
+
+std::vector<std::uint8_t>
+ChunkedFrame::compress(const Codec &codec, ConstBytes src,
+                       std::size_t chunk_bytes,
+                       Codec::BatchState *state)
+{
+    std::vector<std::uint8_t> out;
+    std::vector<std::uint8_t> scratch;
+    compressInto(codec, src, chunk_bytes, state, out, scratch);
+    return out;
+}
+
+std::size_t
+ChunkedFrame::compressInto(const Codec &codec, ConstBytes src,
+                           std::size_t chunk_bytes,
+                           Codec::BatchState *state,
+                           std::vector<std::uint8_t> &out,
+                           std::vector<std::uint8_t> &scratch)
+{
     fatalIf(chunk_bytes == 0, "chunk size must be > 0");
 
     std::size_t chunks =
         src.empty() ? 0 : (src.size() + chunk_bytes - 1) / chunk_bytes;
 
-    std::vector<std::uint8_t> out;
+    out.clear();
     out.reserve(headerBytes + chunks * 4 + src.size() / 2 + 64);
     writeU32(out, magic);
     writeU32(out, static_cast<std::uint32_t>(chunk_bytes));
@@ -103,14 +124,16 @@ ChunkedFrame::compress(const Codec &codec, ConstBytes src,
     std::size_t table_off = out.size();
     out.resize(out.size() + chunks * 4);
 
-    std::vector<std::uint8_t> scratch(codec.compressBound(chunk_bytes));
+    std::size_t bound = codec.compressBound(chunk_bytes);
+    if (scratch.size() < bound)
+        scratch.resize(bound);
 
     for (std::size_t i = 0; i < chunks; ++i) {
         std::size_t off = i * chunk_bytes;
         std::size_t len = std::min(chunk_bytes, src.size() - off);
         ConstBytes in = src.subspan(off, len);
         std::size_t csize =
-            codec.compress(in, {scratch.data(), scratch.size()});
+            codec.compress(in, {scratch.data(), bound}, state);
 
         std::uint32_t record;
         if (csize == 0 || csize >= len) {
@@ -124,7 +147,7 @@ ChunkedFrame::compress(const Codec &codec, ConstBytes src,
         }
         std::memcpy(out.data() + table_off + i * 4, &record, 4);
     }
-    return out;
+    return out.size();
 }
 
 std::size_t

@@ -1,0 +1,37 @@
+#include "compress/codec.hh"
+
+#include "sim/log.hh"
+
+namespace ariadne
+{
+
+std::vector<std::size_t>
+Codec::compressBatch(std::span<const ConstBytes> srcs,
+                     std::span<const MutableBytes> dsts) const
+{
+    fatalIf(srcs.size() != dsts.size(),
+            "Codec::compressBatch: src/dst count mismatch");
+    std::unique_ptr<BatchState> state = makeBatchState();
+    std::vector<std::size_t> sizes(srcs.size());
+    for (std::size_t i = 0; i < srcs.size(); ++i)
+        sizes[i] = compress(srcs[i], dsts[i], state.get());
+    return sizes;
+}
+
+std::vector<std::size_t>
+Codec::sizeBatch(std::span<const ConstBytes> srcs) const
+{
+    std::unique_ptr<BatchState> state = makeBatchState();
+    std::vector<std::uint8_t> scratch;
+    std::vector<std::size_t> sizes(srcs.size());
+    for (std::size_t i = 0; i < srcs.size(); ++i) {
+        std::size_t bound = compressBound(srcs[i].size());
+        if (scratch.size() < bound)
+            scratch.resize(bound);
+        sizes[i] =
+            compress(srcs[i], {scratch.data(), bound}, state.get());
+    }
+    return sizes;
+}
+
+} // namespace ariadne

@@ -14,8 +14,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "sim/timing_model.hh"
 
@@ -71,6 +73,60 @@ class Codec
      */
     virtual std::size_t decompress(ConstBytes src,
                                    MutableBytes dst) const = 0;
+
+    /**
+     * Opaque reusable per-batch codec state (match tables, scratch).
+     * Obtained from makeBatchState() and fed back to the stateful
+     * compress(); reusing one state across a whole reclaim batch
+     * amortizes the per-call setup (for the LZ-family codecs, the
+     * 16-32 KB hash-table fill that otherwise dominates small pages).
+     */
+    class BatchState
+    {
+      public:
+        virtual ~BatchState() = default;
+    };
+
+    /**
+     * Create reusable batch state for the stateful compress().
+     * Codecs with no per-call setup return nullptr; passing a null
+     * state to the stateful compress() is always valid.
+     */
+    virtual std::unique_ptr<BatchState>
+    makeBatchState() const
+    {
+        return nullptr;
+    }
+
+    /**
+     * Compress @p src into @p dst, reusing @p state across calls.
+     * Output is byte-identical to the stateless compress() for every
+     * call, in any call order. @p state must have come from this
+     * codec's makeBatchState() (or be null, which falls back to the
+     * stateless path).
+     */
+    virtual std::size_t
+    compress(ConstBytes src, MutableBytes dst, BatchState *state) const
+    {
+        (void)state;
+        return compress(src, dst);
+    }
+
+    /**
+     * Compress srcs[i] into dsts[i] under one shared batch state.
+     * @return each compressed size (0 where a dst is under bound).
+     * Requires srcs.size() == dsts.size().
+     */
+    std::vector<std::size_t>
+    compressBatch(std::span<const ConstBytes> srcs,
+                  std::span<const MutableBytes> dsts) const;
+
+    /**
+     * Compressed size of each of @p srcs under one shared batch
+     * state, without keeping the compressed bytes.
+     */
+    std::vector<std::size_t>
+    sizeBatch(std::span<const ConstBytes> srcs) const;
 };
 
 } // namespace ariadne

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <vector>
 
+#include "compress/batch_table.hh"
+
 namespace ariadne
 {
 
@@ -13,12 +15,19 @@ constexpr std::size_t minMatch = 4;
 constexpr std::size_t maxOffset = 65535;
 constexpr unsigned hashBits = 13;
 constexpr std::size_t hashSize = std::size_t{1} << hashBits;
-constexpr std::uint32_t noPos = 0xffffffffu;
 
 std::uint32_t
 read32(const std::uint8_t *p) noexcept
 {
     std::uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+std::uint64_t
+read64(const std::uint8_t *p) noexcept
+{
+    std::uint64_t v;
     std::memcpy(&v, p, sizeof(v));
     return v;
 }
@@ -29,21 +38,31 @@ hash32(std::uint32_t v) noexcept
     return (v * 2654435761u) >> (32 - hashBits);
 }
 
-} // namespace
-
 std::size_t
-Lz4Codec::compressBound(std::size_t n) const noexcept
+boundFor(std::size_t n) noexcept
 {
     // Worst case: one big literal run — token + n/255 continuation
     // bytes + literals, plus slack for the final sequence.
     return n + n / 255 + 16;
 }
 
+/**
+ * The match loop, parameterized on a biased position table (see
+ * batch_table.hh): @p table entries are position + @p bias, and only
+ * entries >= bias reference this buffer. A zero-filled table with
+ * bias 1 behaves exactly like a fresh sentinel-filled table.
+ *
+ * @tparam checkOffset false only when src.size() <= maxOffset + 1,
+ * where every in-buffer distance fits the window and the range check
+ * is vacuously true (the common page/chunk-sized call).
+ */
+template <bool checkOffset>
 std::size_t
-Lz4Codec::compress(ConstBytes src, MutableBytes dst) const
+compressWith(ConstBytes src, MutableBytes dst, std::uint32_t *table,
+             std::uint32_t bias)
 {
     const std::size_t n = src.size();
-    if (dst.size() < compressBound(n))
+    if (dst.size() < boundFor(n))
         return 0;
 
     const std::uint8_t *ip = src.data();
@@ -55,8 +74,6 @@ Lz4Codec::compress(ConstBytes src, MutableBytes dst) const
     // search loop early enough that read32 stays in bounds.
     const std::uint8_t *const mflimit =
         (n >= minMatch + 1) ? iend - minMatch : ip;
-
-    std::vector<std::uint32_t> table(hashSize, noPos);
 
     auto emit_sequence = [&](const std::uint8_t *lit_end,
                              std::size_t match_len, std::size_t offset) {
@@ -103,19 +120,38 @@ Lz4Codec::compress(ConstBytes src, MutableBytes dst) const
 
     while (ip < mflimit) {
         std::uint32_t h = hash32(read32(ip));
-        std::uint32_t ref_pos = table[h];
+        std::uint32_t entry = table[h];
         auto cur_pos = static_cast<std::uint32_t>(ip - src.data());
-        table[h] = cur_pos;
+        table[h] = cur_pos + bias;
 
-        if (ref_pos != noPos && cur_pos - ref_pos <= maxOffset &&
+        // Entries below the bias were written by earlier buffers of
+        // the batch (or never) — the fresh-table sentinel test.
+        std::uint32_t ref_pos = entry - bias;
+        if (entry >= bias &&
+            (!checkOffset || cur_pos - ref_pos <= maxOffset) &&
             read32(src.data() + ref_pos) == read32(ip)) {
-            // Extend the match forward.
+            // Extend the match forward, eight bytes per compare (the
+            // first differing byte falls out of a ctz), then byte-wise
+            // over the tail — the same length a byte loop finds.
             const std::uint8_t *ref = src.data() + ref_pos;
             const std::uint8_t *mip = ip + minMatch;
             const std::uint8_t *mref = ref + minMatch;
-            while (mip < iend && *mip == *mref) {
-                ++mip;
-                ++mref;
+            bool diff_found = false;
+            while (mip + 8 <= iend) {
+                std::uint64_t diff = read64(mip) ^ read64(mref);
+                if (diff) {
+                    mip += __builtin_ctzll(diff) >> 3;
+                    diff_found = true;
+                    break;
+                }
+                mip += 8;
+                mref += 8;
+            }
+            if (!diff_found) {
+                while (mip < iend && *mip == *mref) {
+                    ++mip;
+                    ++mref;
+                }
             }
             std::size_t match_len =
                 static_cast<std::size_t>(mip - ip);
@@ -131,6 +167,48 @@ Lz4Codec::compress(ConstBytes src, MutableBytes dst) const
     // Final literals.
     emit_sequence(iend, 0, 0);
     return static_cast<std::size_t>(op - dst.data());
+}
+
+/** Dispatch to the offset-check-free loop for window-sized buffers. */
+std::size_t
+compressDispatch(ConstBytes src, MutableBytes dst, std::uint32_t *table,
+                 std::uint32_t bias)
+{
+    if (src.size() <= maxOffset + 1)
+        return compressWith<false>(src, dst, table, bias);
+    return compressWith<true>(src, dst, table, bias);
+}
+
+} // namespace
+
+std::size_t
+Lz4Codec::compressBound(std::size_t n) const noexcept
+{
+    return boundFor(n);
+}
+
+std::size_t
+Lz4Codec::compress(ConstBytes src, MutableBytes dst) const
+{
+    std::vector<std::uint32_t> table(hashSize, 0);
+    return compressDispatch(src, dst, table.data(), 1);
+}
+
+std::unique_ptr<Codec::BatchState>
+Lz4Codec::makeBatchState() const
+{
+    return std::make_unique<compress_detail::PosTableState>(hashSize);
+}
+
+std::size_t
+Lz4Codec::compress(ConstBytes src, MutableBytes dst,
+                   BatchState *state) const
+{
+    if (!state)
+        return compress(src, dst);
+    auto &pos = static_cast<compress_detail::PosTableState &>(*state);
+    return compressDispatch(src, dst, pos.data(),
+                            pos.claim(src.size()));
 }
 
 std::size_t

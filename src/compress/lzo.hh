@@ -38,6 +38,11 @@ class LzoCodec : public Codec
     std::size_t decompress(ConstBytes src,
                            MutableBytes dst) const override;
 
+    /** Reusable biased position table (see batch_table.hh). */
+    std::unique_ptr<BatchState> makeBatchState() const override;
+    std::size_t compress(ConstBytes src, MutableBytes dst,
+                         BatchState *state) const override;
+
   private:
     static constexpr CodecCost costs = lzoCost;
 };

@@ -8,10 +8,10 @@ namespace ariadne
 AriadneScheme::AriadneScheme(SwapContext context, AriadneConfig config)
     : SwapScheme(context), cfg(config), codec(makeCodec(cfg.codec)),
       pool(cfg.zpoolBytes), flashDev(cfg.flashBytes),
-      profiles(cfg.defaultHotInitPages), hotOrg(&lruOpCounter, profiles),
-      units(cfg), stagingBuf(cfg.preDecompEnabled
-                                 ? cfg.preDecompBufferPages
-                                 : 0)
+      profiles(cfg.defaultHotInitPages),
+      hotOrg(&lruOpCounter, profiles, context.arena), units(cfg),
+      stagingBuf(cfg.preDecompEnabled ? cfg.preDecompBufferPages : 0,
+                 context.arena)
 {
 }
 
@@ -142,6 +142,7 @@ AriadneScheme::onBackground(AppId uid)
     // (sizes are pure functions of page content, so pre-computing
     // them is behaviour-identical to sizing unit by unit).
     std::vector<PageMeta *> victims;
+    victims.reserve(hotOrg.listSize(uid, Hotness::Hot));
     while (PageMeta *victim = hotOrg.popVictim(uid, Hotness::Hot))
         victims.push_back(victim);
     if (!victims.empty()) {
@@ -171,7 +172,7 @@ AriadneScheme::writebackUnit(UnitId id, bool synchronous)
         // Swap space exhausted: drop the unit (data loss).
         for (PageMeta *p : u.pages) {
             stagingBuf.invalidate(*p);
-            p->location = PageLocation::Lost;
+            ctx.arena.setLocation(*p, PageLocation::Lost);
             p->objectId = invalidObject;
             ++lost;
         }
@@ -188,7 +189,7 @@ AriadneScheme::writebackUnit(UnitId id, bool synchronous)
 
     for (PageMeta *p : u.pages) {
         stagingBuf.invalidate(*p);
-        p->location = PageLocation::Flash;
+        ctx.arena.setLocation(*p, PageLocation::Flash);
         p->flashSlot = slot;
     }
     pool.erase(u.object);
@@ -257,7 +258,7 @@ AriadneScheme::compressUnitPresized(std::vector<PageMeta *> batch,
 
     if (!ensureZpoolSpace(csize, synchronous)) {
         for (PageMeta *p : batch) {
-            p->location = PageLocation::Lost;
+            ctx.arena.setLocation(*p, PageLocation::Lost);
             ++lost;
             ctx.dram.release(1);
         }
@@ -275,7 +276,7 @@ AriadneScheme::compressUnitPresized(std::vector<PageMeta *> batch,
     u.object = obj;
 
     for (PageMeta *p : u.pages)
-        p->location = PageLocation::Zpool;
+        ctx.arena.setLocation(*p, PageLocation::Zpool);
 
     (level == Hotness::Cold ? coldUnitFifo : pageUnitFifo).push_back(id);
 
@@ -341,7 +342,7 @@ AriadneScheme::residentizeUnit(CompUnit &unit, PageMeta *hit)
     Tick now = ctx.clock.now();
     for (PageMeta *p : unit.pages) {
         allocateResident();
-        p->location = PageLocation::Resident;
+        ctx.arena.setLocation(*p, PageLocation::Resident);
         p->objectId = invalidObject;
         p->flashSlot = invalidFlashSlot;
         if (p == hit)
@@ -386,7 +387,7 @@ AriadneScheme::tryStage(ZObjectId obj)
         // Single page: decompress into the staging buffer ("we
         // pre-decompress only one compressed page at a time", §4.4).
         PageMeta *p = u.pages.front();
-        if (p->location != PageLocation::Zpool)
+        if (ctx.arena.location(*p) != PageLocation::Zpool)
             return;
         if (stagingBuf.stage(*p)) {
             // Speculative decompression runs off the critical path:
@@ -407,7 +408,7 @@ AriadneScheme::tryStage(ZObjectId obj)
         return;
     }
     for (PageMeta *p : u.pages) {
-        if (p->location != PageLocation::Zpool)
+        if (ctx.arena.location(*p) != PageLocation::Zpool)
             return;
     }
     AppId uid = u.pages.front()->key.uid;
@@ -431,7 +432,7 @@ AriadneScheme::swapIn(PageMeta &page)
     Stopwatch sw(ctx.clock);
     AppId uid = page.key.uid;
 
-    if (page.location == PageLocation::Staged) {
+    if (ctx.arena.location(page) == PageLocation::Staged) {
         // PreDecomp hit: only a page copy plus bookkeeping remains.
         stagingBuf.consume(page);
         UnitId id = page.objectId;
@@ -448,7 +449,7 @@ AriadneScheme::swapIn(PageMeta &page)
         ctx.clock.advance(t);
 
         allocateResident();
-        page.location = PageLocation::Resident;
+        ctx.arena.setLocation(page, PageLocation::Resident);
         page.objectId = invalidObject;
         hotOrg.placeAfterSwapIn(page, ctx.clock.now());
         ctx.activity.dramBytes += pageSize;
@@ -463,7 +464,7 @@ AriadneScheme::swapIn(PageMeta &page)
     ctx.cpu.charge(CpuRole::FaultPath, fault);
     ctx.clock.advance(fault);
 
-    if (page.location == PageLocation::Zpool) {
+    if (ctx.arena.location(page) == PageLocation::Zpool) {
         UnitId id = page.objectId;
         CompUnit &u = units.unit(id);
         faultsPerLevel[static_cast<std::size_t>(
@@ -482,7 +483,7 @@ AriadneScheme::swapIn(PageMeta &page)
 
         if (cfg.preDecompEnabled)
             tryStage(next);
-    } else if (page.location == PageLocation::Flash) {
+    } else if (ctx.arena.location(page) == PageLocation::Flash) {
         UnitId id = page.objectId;
         CompUnit &u = units.unit(id);
         flashDev.read(u.flashSlot);
@@ -512,7 +513,7 @@ void
 AriadneScheme::onFree(PageMeta &page)
 {
     pendingPredictions.erase(&page);
-    switch (page.location) {
+    switch (ctx.arena.location(page)) {
       case PageLocation::Resident:
         hotOrg.unlink(page);
         ctx.dram.release(1);
@@ -542,7 +543,7 @@ AriadneScheme::onFree(PageMeta &page)
       default:
         break;
     }
-    page.location = PageLocation::Lost;
+    ctx.arena.setLocation(page, PageLocation::Lost);
     page.objectId = invalidObject;
     page.flashSlot = invalidFlashSlot;
 }

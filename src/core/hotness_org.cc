@@ -3,9 +3,21 @@
 #include <algorithm>
 
 #include "sim/log.hh"
+#include "telemetry/telemetry.hh"
 
 namespace ariadne
 {
+
+namespace
+{
+
+// The relaunch hot->warm demotion is the hotness-decay walk; the SoA
+// level array plus walking the hot list (the only pages whose level
+// changes) is what keeps it cheap.
+telemetry::Counter c_decayPages("hotness.decay_pages");
+telemetry::DurationProbe d_decay("hotness.decay");
+
+} // namespace
 
 HotnessOrg::AppLists &
 HotnessOrg::listsFor(AppId uid)
@@ -65,13 +77,13 @@ HotnessOrg::admit(PageMeta &page, Tick now)
 {
     AppLists &app = listsFor(page.key.uid);
     app.lastAccess = now;
-    page.lastAccess = now;
+    arena.setLastAccess(page, now);
 
     // Hotness initialization: the first hotInitTarget pages admitted
     // for this app (its launch data) seed the hot list; everything
     // afterwards starts cold (§4.2).
     if (!app.initialized && app.hotAdmitted < app.hotInitTarget) {
-        page.level = Hotness::Hot;
+        arena.setLevel(page, Hotness::Hot);
         app.hot.pushFront(page);
         ++app.hotAdmitted;
         if (app.hotAdmitted >= app.hotInitTarget)
@@ -81,11 +93,11 @@ HotnessOrg::admit(PageMeta &page, Tick now)
             app.relaunchTouched.push_back(page.key);
     } else if (app.relaunchActive) {
         // Fresh allocations during a relaunch are relaunch data.
-        page.level = Hotness::Hot;
+        arena.setLevel(page, Hotness::Hot);
         app.hot.pushFront(page);
         noteRelaunchTouch(app, page);
     } else {
-        page.level = Hotness::Cold;
+        arena.setLevel(page, Hotness::Cold);
         app.cold.pushFront(page);
     }
 }
@@ -95,18 +107,19 @@ HotnessOrg::touchResident(PageMeta &page, Tick now)
 {
     AppLists &app = listsFor(page.key.uid);
     app.lastAccess = now;
-    page.lastAccess = now;
+    arena.setLastAccess(page, now);
     noteRelaunchTouch(app, page);
 
-    if (app.relaunchActive && page.level != Hotness::Hot) {
+    Hotness level = arena.level(page);
+    if (app.relaunchActive && level != Hotness::Hot) {
         // Data used during relaunch belongs on the hot list.
-        listOf(app, page.level).remove(page);
-        page.level = Hotness::Hot;
+        listOf(app, level).remove(page);
+        arena.setLevel(page, Hotness::Hot);
         app.hot.pushFront(page);
         return;
     }
 
-    switch (page.level) {
+    switch (level) {
       case Hotness::Hot:
         app.hot.touch(page);
         break;
@@ -117,7 +130,7 @@ HotnessOrg::touchResident(PageMeta &page, Tick now)
         // Cold data accessed during execution moves to warm, like the
         // kernel's inactive -> active promotion (§4.2).
         app.cold.remove(page);
-        page.level = Hotness::Warm;
+        arena.setLevel(page, Hotness::Warm);
         app.warm.pushFront(page);
         break;
     }
@@ -128,19 +141,20 @@ HotnessOrg::placeAfterSwapIn(PageMeta &page, Tick now)
 {
     AppLists &app = listsFor(page.key.uid);
     app.lastAccess = now;
-    page.lastAccess = now;
+    arena.setLastAccess(page, now);
     noteRelaunchTouch(app, page);
 
-    page.level = app.relaunchActive ? Hotness::Hot : Hotness::Warm;
-    listOf(app, page.level).pushFront(page);
+    Hotness level = app.relaunchActive ? Hotness::Hot : Hotness::Warm;
+    arena.setLevel(page, level);
+    listOf(app, level).pushFront(page);
 }
 
 void
 HotnessOrg::placeColdSibling(PageMeta &page, Tick now)
 {
     AppLists &app = listsFor(page.key.uid);
-    page.lastAccess = now;
-    page.level = Hotness::Cold;
+    arena.setLastAccess(page, now);
+    arena.setLevel(page, Hotness::Cold);
     app.cold.pushFront(page);
 }
 
@@ -164,9 +178,18 @@ HotnessOrg::beginRelaunch(AppId uid, Tick now)
 
     // "The system moves all old data in the hot list to the warm
     // list and adds the data from this relaunch to the hot list."
+    // Pages already on warm keep their Warm level, so demoting the
+    // hot list *before* the splice touches exactly the pages whose
+    // level changes — a dense SoA write per page instead of a walk
+    // over the whole combined warm list.
+    telemetry::ScopedTimer timer(d_decay);
+    std::uint64_t walked = 0;
+    for (PageMeta *p = app.hot.front(); p; p = p->lruNext) {
+        arena.setLevel(*p, Hotness::Warm);
+        ++walked;
+    }
+    c_decayPages.add(walked);
     app.hot.drainTo(app.warm);
-    for (PageMeta *p = app.warm.front(); p; p = p->lruNext)
-        p->level = Hotness::Warm;
 }
 
 void

@@ -18,7 +18,7 @@ PreDecomp::evictOldest()
             continue; // stale entry (already consumed/invalidated)
         present.erase(it);
         // Unused staging: revert to the compressed copy.
-        oldest->location = PageLocation::Zpool;
+        arena.setLocation(*oldest, PageLocation::Zpool);
         ++wasteCount;
         return;
     }
@@ -29,11 +29,11 @@ PreDecomp::stage(PageMeta &page)
 {
     if (capacity == 0 || present.contains(&page))
         return false;
-    panicIf(page.location != PageLocation::Zpool,
+    panicIf(arena.location(page) != PageLocation::Zpool,
             "PreDecomp::stage expects a zpool-resident page");
     while (present.size() >= capacity)
         evictOldest();
-    page.location = PageLocation::Staged;
+    arena.setLocation(page, PageLocation::Staged);
     order.push_back(&page);
     present.emplace(&page, true);
     ++stageCount;

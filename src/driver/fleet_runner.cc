@@ -7,6 +7,7 @@
 
 #include "driver/json_writer.hh"
 #include "driver/workload_source.hh"
+#include "mem/page_arena.hh"
 #include "report/report_merger.hh"
 #include "sim/log.hh"
 #include "swap/scheme_registry.hh"
@@ -136,12 +137,12 @@ FleetRunner::FleetRunner(ScenarioSpec spec,
 SessionResult
 FleetRunner::runSession(std::size_t index) const
 {
-    return runSession(index, nullptr);
+    return runSession(index, nullptr, nullptr);
 }
 
 SessionResult
-FleetRunner::runSession(std::size_t index,
-                        TraceRecorder *recorder) const
+FleetRunner::runSession(std::size_t index, TraceRecorder *recorder,
+                        PageArena *arena) const
 {
     c_sessions.add();
     telemetry::ScopedTimer timer(d_session);
@@ -151,7 +152,7 @@ FleetRunner::runSession(std::size_t index,
     result.seed = scenario.sessionSeed(index);
 
     MobileSystem sys(scenario.systemConfig(index),
-                     source->sessionProfiles(index));
+                     source->sessionProfiles(index), arena);
     SessionDriver driver(sys);
 
     if (recorder) {
@@ -294,6 +295,12 @@ FleetRunner::runPartialInto(report::FleetPartial &partial,
     std::size_t high_water = 0;
 
     auto worker = [&]() {
+        // One arena per worker thread, recycled across every session
+        // this worker runs: slabs and SoA arrays reach steady-state
+        // capacity after the first session and later sessions allocate
+        // nothing. Sessions only read/write their own arena, so the
+        // aggregate stays bit-identical to private-arena runs.
+        PageArena workerArena;
         for (;;) {
             std::size_t i = next.fetch_add(1);
             if (i >= end)
@@ -303,7 +310,7 @@ FleetRunner::runPartialInto(report::FleetPartial &partial,
                 room.wait(lk,
                           [&] { return i < fold_frontier + window; });
             }
-            SessionResult s = runSession(i, recorder);
+            SessionResult s = runSession(i, recorder, &workerArena);
             std::size_t folded = 0;
             {
                 std::unique_lock<std::mutex> lk(mu);

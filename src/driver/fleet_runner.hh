@@ -40,6 +40,11 @@
 #include "driver/sweep_spec.hh"
 #include "report/partial_report.hh"
 
+namespace ariadne
+{
+class PageArena;
+}
+
 namespace ariadne::driver
 {
 
@@ -208,8 +213,13 @@ class FleetRunner
     const WorkloadSource &workload() const noexcept { return *source; }
 
   private:
-    SessionResult runSession(std::size_t index,
-                             TraceRecorder *recorder) const;
+    /** @p arena Optional slab arena to build the session's
+     * MobileSystem on. Fleet workers pass their thread's arena so
+     * page-metadata slabs (and the SoA scan arrays) are allocated
+     * once per worker and recycled across every session it runs;
+     * nullptr makes the session own a private arena. */
+    SessionResult runSession(std::size_t index, TraceRecorder *recorder,
+                             PageArena *arena) const;
     FleetResult runFleet(std::size_t fleet, unsigned threads,
                          bool keep_sessions,
                          TraceRecorder *recorder) const;

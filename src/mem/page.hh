@@ -13,7 +13,6 @@
 #define ARIADNE_MEM_PAGE_HH
 
 #include <cstdint>
-#include <functional>
 
 #include "compress/codec.hh"
 #include "sim/types.hh"
@@ -54,37 +53,21 @@ struct PageKey
 };
 
 /**
- * Hash functor so PageKey can key unordered containers. The packed
- * key is run through a splitmix64-style finalizer (same constants as
- * PageCompressor::CacheKeyHash): a bare `(uid << 48) ^ pfn` leaves
- * every app's pages on identical low bits, so power-of-two tables
- * collide whole apps onto the same buckets.
- */
-struct PageKeyHash
-{
-    std::size_t
-    operator()(const PageKey &k) const noexcept
-    {
-        std::uint64_t x = (std::uint64_t{k.uid} << 48) ^ k.pfn;
-        x += 0x9e3779b97f4a7c15ULL;
-        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-        x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-        return static_cast<std::size_t>(x ^ (x >> 31));
-    }
-};
-
-/**
  * Metadata record for one anonymous page. Contains intrusive LRU
  * hooks managed exclusively by LruList.
+ *
+ * The fields the reclaim scan and the hotness-decay walk read —
+ * hotness level, location, last access time — do NOT live here: they
+ * sit in dense per-field arrays owned by PageArena, indexed by the
+ * record's handle, so those walks touch a few contiguous cache lines
+ * instead of one cold record per page. Access them through the
+ * arena's level()/location()/lastAccess() accessors.
  */
 struct PageMeta
 {
     PageKey key;
     /** Content version; bumps when the app overwrites the page. */
     std::uint32_t version = 0;
-    PageLocation location = PageLocation::Resident;
-    /** Which hotness list the scheme currently keeps this page on. */
-    Hotness level = Hotness::Cold;
     /** Ground-truth hotness assigned by the workload generator. */
     Hotness truth = Hotness::Cold;
     /** zpool object holding this page (invalid when not in zpool). */
@@ -93,8 +76,6 @@ struct PageMeta
     std::uint32_t objectSlot = 0;
     /** Flash slot holding this page (invalid when not in flash). */
     std::uint64_t flashSlot = UINT64_MAX;
-    /** Last simulated access time. */
-    Tick lastAccess = 0;
 
     // Intrusive LRU hooks; only LruList may touch these.
     PageMeta *lruPrev = nullptr;

@@ -12,28 +12,36 @@ PageArena::growSlab()
                 std::size_t{invalidPageHandle},
             "PageArena exhausted its 32-bit handle space");
     slabs.push_back(std::make_unique<PageMeta[]>(slabPages));
-    spareInLastSlab = slabPages;
+    std::size_t records = slabs.size() * slabPages;
+    soaLevel.resize(records, Hotness::Cold);
+    soaLocation.resize(records, PageLocation::Resident);
+    soaLastAccess.resize(records, 0);
 }
 
 PageMeta *
 PageArena::alloc()
 {
     PageMeta *page;
+    PageHandle handle;
     if (freeHead) {
         page = freeHead;
         freeHead = page->lruNext;
-        std::uint32_t handle = page->arenaHandle;
-        *page = PageMeta{};
-        page->arenaHandle = handle;
+        handle = page->arenaHandle;
     } else {
-        if (spareInLastSlab == 0)
+        // After a reset() the fresh path re-walks slabs that were
+        // handed out before, so records are re-initialized here, not
+        // just on free-list recycling.
+        if (freshUsed == slabs.size() * slabPages)
             growSlab();
-        std::size_t idx = slabPages - spareInLastSlab;
-        --spareInLastSlab;
-        page = &slabs.back()[idx];
-        page->arenaHandle = static_cast<PageHandle>(
-            (slabs.size() - 1) * slabPages + idx);
+        handle = static_cast<PageHandle>(freshUsed);
+        ++freshUsed;
+        page = &slabs[handle >> slabShift][handle & slabMask];
     }
+    *page = PageMeta{};
+    page->arenaHandle = handle;
+    soaLevel[handle] = Hotness::Cold;
+    soaLocation[handle] = PageLocation::Resident;
+    soaLastAccess[handle] = 0;
     ++liveRecords;
     return page;
 }
@@ -52,6 +60,16 @@ PageArena::free(PageMeta &page)
     page.lruNext = freeHead;
     freeHead = &page;
     --liveRecords;
+}
+
+void
+PageArena::reset() noexcept
+{
+    // Records do not need scrubbing here: alloc() fully re-initializes
+    // a record (and its SoA slots) whichever path hands it out.
+    freeHead = nullptr;
+    freshUsed = 0;
+    liveRecords = 0;
 }
 
 PageMeta &

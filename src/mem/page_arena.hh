@@ -16,7 +16,17 @@
  *    pool;
  *  - every record carries a compact 32-bit handle with O(1)
  *    handle -> pointer and pointer -> handle mapping, so dense
- *    side-tables can be keyed by handle instead of pointer.
+ *    side-tables can be keyed by handle instead of pointer;
+ *  - the scan metadata every reclaim pass and hotness-decay walk
+ *    reads (hotness level, location, last access time) lives in
+ *    dense per-field arrays indexed by handle (structure-of-arrays),
+ *    not in the PageMeta records, so those walks stream through a
+ *    few contiguous bytes per page instead of pulling in whole cold
+ *    records;
+ *  - reset() recycles the whole arena (slabs, SoA arrays and all)
+ *    for the next simulated session, so a fleet worker thread reuses
+ *    one warmed-up arena instead of re-faulting fresh slabs per
+ *    session.
  *
  * Freeing a record that is still linked on an LRU list, or freeing it
  * twice, is a lifetime bug the arena detects immediately (panic)
@@ -69,6 +79,56 @@ class PageArena
     /** Record for @p handle; panics on a stale or invalid handle. */
     PageMeta &fromHandle(PageHandle handle);
 
+    /**
+     * Recycle the arena for a fresh session: every record returns to
+     * the not-yet-handed-out pool while the slabs and SoA arrays keep
+     * their memory. All outstanding PageMeta pointers and handles
+     * become invalid; the caller must have dropped every structure
+     * that stored them (LRU lists, page directories, zpool cookies).
+     */
+    void reset() noexcept;
+
+    // --- Scan metadata (SoA; see the file comment) -----------------
+
+    /** Which hotness list the scheme currently keeps the page on. */
+    Hotness
+    level(const PageMeta &page) const noexcept
+    {
+        return soaLevel[page.arenaHandle];
+    }
+
+    void
+    setLevel(const PageMeta &page, Hotness h) noexcept
+    {
+        soaLevel[page.arenaHandle] = h;
+    }
+
+    /** Where the page's data currently lives. */
+    PageLocation
+    location(const PageMeta &page) const noexcept
+    {
+        return soaLocation[page.arenaHandle];
+    }
+
+    void
+    setLocation(const PageMeta &page, PageLocation loc) noexcept
+    {
+        soaLocation[page.arenaHandle] = loc;
+    }
+
+    /** Last simulated access time of the page. */
+    Tick
+    lastAccess(const PageMeta &page) const noexcept
+    {
+        return soaLastAccess[page.arenaHandle];
+    }
+
+    void
+    setLastAccess(const PageMeta &page, Tick now) noexcept
+    {
+        soaLastAccess[page.arenaHandle] = now;
+    }
+
     /** Handle of a record obtained from alloc(). */
     static PageHandle
     handleOf(const PageMeta &page) noexcept
@@ -88,11 +148,7 @@ class PageArena
     std::size_t liveCount() const noexcept { return liveRecords; }
 
     /** Records ever created (live + free-listed). */
-    std::size_t
-    totalRecords() const noexcept
-    {
-        return slabs.size() * slabPages - spareInLastSlab;
-    }
+    std::size_t totalRecords() const noexcept { return freshUsed; }
 
     /** Slabs allocated so far. */
     std::size_t slabCount() const noexcept { return slabs.size(); }
@@ -104,10 +160,17 @@ class PageArena
     void growSlab();
 
     std::vector<std::unique_ptr<PageMeta[]>> slabs;
+    /** Per-field scan metadata, indexed by handle (one element per
+     * slab record; grown alongside the slabs, kept across reset()). */
+    std::vector<Hotness> soaLevel;
+    std::vector<PageLocation> soaLocation;
+    std::vector<Tick> soaLastAccess;
     /** Free-list head, chained through PageMeta::lruNext. */
     PageMeta *freeHead = nullptr;
-    /** Records in the newest slab not yet handed out. */
-    std::size_t spareInLastSlab = 0;
+    /** Records handed out fresh so far (monotonic within a session;
+     * rewound to zero by reset()). Handles [0, freshUsed) are the
+     * records that exist. */
+    std::size_t freshUsed = 0;
     std::size_t liveRecords = 0;
 };
 

@@ -28,13 +28,13 @@ class DramOnlyScheme : public SwapScheme
     void
     onAdmit(PageMeta &page) override
     {
-        page.lastAccess = ctx.clock.now();
+        ctx.arena.setLastAccess(page, ctx.clock.now());
     }
 
     void
     onAccess(PageMeta &page) override
     {
-        page.lastAccess = ctx.clock.now();
+        ctx.arena.setLastAccess(page, ctx.clock.now());
     }
 
     SwapInResult
@@ -46,9 +46,9 @@ class DramOnlyScheme : public SwapScheme
     void
     onFree(PageMeta &page) override
     {
-        if (page.location == PageLocation::Resident)
+        if (ctx.arena.location(page) == PageLocation::Resident)
             ctx.dram.release(1);
-        page.location = PageLocation::Lost;
+        ctx.arena.setLocation(page, PageLocation::Lost);
     }
 
     std::size_t

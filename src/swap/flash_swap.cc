@@ -112,7 +112,7 @@ FlashSwapScheme::reclaim(std::size_t pages, bool direct)
             if (slot == invalidFlashSlot) {
                 // Swap space exhausted: data dropped.
                 c_swapoutDropped.add();
-                victim->location = PageLocation::Lost;
+                ctx.arena.setLocation(*victim, PageLocation::Lost);
                 ++lost;
             } else {
                 c_swapout.add();
@@ -123,7 +123,7 @@ FlashSwapScheme::reclaim(std::size_t pages, bool direct)
                 if (direct)
                     ctx.clock.advance(submit);
                 ctx.activity.flashWriteBytes += pageSize;
-                victim->location = PageLocation::Flash;
+                ctx.arena.setLocation(*victim, PageLocation::Flash);
                 victim->flashSlot = slot;
             }
             ctx.dram.release(1);
@@ -137,7 +137,7 @@ FlashSwapScheme::reclaim(std::size_t pages, bool direct)
 SwapInResult
 FlashSwapScheme::swapIn(PageMeta &page)
 {
-    panicIf(page.location != PageLocation::Flash,
+    panicIf(ctx.arena.location(page) != PageLocation::Flash,
             "FlashSwapScheme::swapIn on non-flash page");
     c_swapin.add();
     telemetry::ScopedTimer timer(d_swapin);
@@ -169,7 +169,7 @@ FlashSwapScheme::swapIn(PageMeta &page)
         panicIf(!ctx.dram.allocate(1),
                 "direct reclaim failed to free memory");
     }
-    page.location = PageLocation::Resident;
+    ctx.arena.setLocation(page, PageLocation::Resident);
     AppState &app = stateFor(page.key.uid);
     app.resident.pushFront(page);
     app.lastAccess = ctx.clock.now();
@@ -182,7 +182,7 @@ FlashSwapScheme::swapIn(PageMeta &page)
 void
 FlashSwapScheme::onFree(PageMeta &page)
 {
-    switch (page.location) {
+    switch (ctx.arena.location(page)) {
       case PageLocation::Resident: {
         AppState &app = stateFor(page.key.uid);
         if (app.resident.contains(page))
@@ -197,7 +197,7 @@ FlashSwapScheme::onFree(PageMeta &page)
       default:
         break;
     }
-    page.location = PageLocation::Lost;
+    ctx.arena.setLocation(page, PageLocation::Lost);
 }
 
 } // namespace ariadne

@@ -60,6 +60,18 @@ PageCompressor::growTable()
     }
 }
 
+Codec::BatchState *
+PageCompressor::batchStateFor(const Codec &codec)
+{
+    auto i = static_cast<std::size_t>(codec.kind());
+    BatchSlot &slot = batchStates[i < 4 ? i : 3];
+    if (!slot.made) {
+        slot.state = codec.makeBatchState();
+        slot.made = true;
+    }
+    return slot.state.get();
+}
+
 std::uint32_t
 PageCompressor::compressMiss(const PageRef &page, const Codec &codec,
                              std::size_t chunk_bytes)
@@ -67,10 +79,11 @@ PageCompressor::compressMiss(const PageRef &page, const Codec &codec,
     telemetry::ScopedTimer timer(compressProbe(codec.kind()));
     content.materialize(page.key, page.version,
                         {scratch.data(), scratch.size()});
-    auto frame = ChunkedFrame::compress(
-        codec, {scratch.data(), scratch.size()}, chunk_bytes);
+    std::size_t frame_size = ChunkedFrame::compressInto(
+        codec, {scratch.data(), scratch.size()}, chunk_bytes,
+        batchStateFor(codec), frameScratch, chunkScratch);
     compressedVolume += pageSize;
-    return static_cast<std::uint32_t>(frame.size());
+    return static_cast<std::uint32_t>(frame_size);
 }
 
 std::size_t
@@ -151,10 +164,11 @@ PageCompressor::compressedSizeMany(const std::vector<PageRef> &pages,
                             {manyScratch.data() + i * pageSize,
                              pageSize});
     }
-    auto frame = ChunkedFrame::compress(
-        codec, {manyScratch.data(), manyScratch.size()}, chunk_bytes);
+    std::size_t frame_size = ChunkedFrame::compressInto(
+        codec, {manyScratch.data(), manyScratch.size()}, chunk_bytes,
+        batchStateFor(codec), frameScratch, chunkScratch);
     compressedVolume += manyScratch.size();
-    return frame.size();
+    return frame_size;
 }
 
 } // namespace ariadne

@@ -15,7 +15,10 @@
  * unordered_map: one cache line per probe, no per-entry allocation.
  * Batch sizing (compressedSizeEach) reuses one content buffer across
  * the whole batch so a reclaim sweep does a single materialize +
- * codec loop instead of an allocation and dispatch per page.
+ * codec loop instead of an allocation and dispatch per page. Every
+ * codec call goes through a cached per-codec Codec::BatchState and
+ * reused frame/chunk buffers, so a cache miss costs zero heap
+ * allocations and no per-page hash-table refill in the LZ codecs.
  */
 
 #ifndef ARIADNE_SWAP_PAGE_COMPRESSOR_HH
@@ -105,7 +108,9 @@ class PageCompressor
     };
 
     static constexpr std::uint64_t emptyKey = UINT64_MAX;
-    static constexpr std::size_t initialSlots = 1u << 16;
+    /** Small enough that a fresh per-session table is a cheap zero
+     * fill; the 70%-load doubling grows it on demand. */
+    static constexpr std::size_t initialSlots = 1u << 12;
 
     static std::uint64_t
     mixSlotHash(std::uint64_t pfn_key, std::uint64_t app_key,
@@ -128,11 +133,24 @@ class PageCompressor
     std::uint32_t compressMiss(const PageRef &page, const Codec &codec,
                                std::size_t chunk_bytes);
 
+    /** Cached batch state for @p codec (created on first use). */
+    Codec::BatchState *batchStateFor(const Codec &codec);
+
+    /** Lazily created per-codec batch state, indexed by CodecKind. */
+    struct BatchSlot
+    {
+        std::unique_ptr<Codec::BatchState> state;
+        bool made = false;
+    };
+
     const PageContentSource &content;
     std::vector<Slot> slots;
     std::size_t liveSlots = 0;
-    std::vector<std::uint8_t> scratch;     //!< one page, reused
-    std::vector<std::uint8_t> manyScratch; //!< multi-page units
+    std::vector<std::uint8_t> scratch;      //!< one page, reused
+    std::vector<std::uint8_t> manyScratch;  //!< multi-page units
+    std::vector<std::uint8_t> frameScratch; //!< reused frame output
+    std::vector<std::uint8_t> chunkScratch; //!< reused codec dst
+    BatchSlot batchStates[4];
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t compressedVolume = 0;

@@ -184,7 +184,7 @@ ZramScheme::ensureZpoolSpace(std::size_t csize, bool synchronous)
                 if (synchronous)
                     ctx.clock.advance(submit);
                 c_writeback.add();
-                victim->location = PageLocation::Flash;
+                ctx.arena.setLocation(*victim, PageLocation::Flash);
                 victim->flashSlot = slot;
                 victim->objectId = invalidObject;
                 pool.erase(obj);
@@ -194,7 +194,7 @@ ZramScheme::ensureZpoolSpace(std::size_t csize, bool synchronous)
         // No writeback possible: data is dropped (§2.2 — the system
         // deletes inactive compressed data, risking app termination).
         c_dropped.add();
-        victim->location = PageLocation::Lost;
+        ctx.arena.setLocation(*victim, PageLocation::Lost);
         victim->objectId = invalidObject;
         ++lost;
         pool.erase(obj);
@@ -217,7 +217,7 @@ ZramScheme::compressOutPresized(PageMeta &victim, bool synchronous,
 {
     c_compressOut.add();
     if (!ensureZpoolSpace(csize, synchronous)) {
-        victim.location = PageLocation::Lost;
+        ctx.arena.setLocation(victim, PageLocation::Lost);
         ++lost;
         ctx.dram.release(1);
         return;
@@ -227,7 +227,7 @@ ZramScheme::compressOutPresized(PageMeta &victim, bool synchronous,
     panicIf(obj == invalidObject,
             "zpool insert failed after ensureZpoolSpace");
 
-    victim.location = PageLocation::Zpool;
+    ctx.arena.setLocation(victim, PageLocation::Zpool);
     victim.objectId = obj;
     compressedFifo.emplace_back(obj, &victim);
     compLog.push_back(CompressionEvent{victim.key, victim.truth});
@@ -316,7 +316,7 @@ ZramScheme::swapIn(PageMeta &page)
     ctx.cpu.charge(CpuRole::FaultPath, fault);
     ctx.clock.advance(fault);
 
-    if (page.location == PageLocation::Zpool) {
+    if (ctx.arena.location(page) == PageLocation::Zpool) {
         c_swapinZpool.add();
         sectorLog.push_back(pool.sectorOf(page.objectId));
         std::size_t csize = pool.objectSize(page.objectId);
@@ -324,7 +324,7 @@ ZramScheme::swapIn(PageMeta &page)
         page.objectId = invalidObject;
         chargeDecompression(page.key.uid, codec->cost(), cfg.chunkBytes,
                             pageSize, csize, true);
-    } else if (page.location == PageLocation::Flash) {
+    } else if (ctx.arena.location(page) == PageLocation::Flash) {
         c_swapinFlash.add();
         panicIf(!flashDev, "flash swap-in without writeback device");
         std::size_t csize = flashDev->read(page.flashSlot);
@@ -348,7 +348,7 @@ ZramScheme::swapIn(PageMeta &page)
         panicIf(!ctx.dram.allocate(1),
                 "direct reclaim failed to free memory");
     }
-    page.location = PageLocation::Resident;
+    ctx.arena.setLocation(page, PageLocation::Resident);
     AppState &app = stateFor(page.key.uid);
     app.resident.pushFront(page);
     app.lastAccess = ctx.clock.now();
@@ -361,7 +361,7 @@ ZramScheme::swapIn(PageMeta &page)
 void
 ZramScheme::onFree(PageMeta &page)
 {
-    switch (page.location) {
+    switch (ctx.arena.location(page)) {
       case PageLocation::Resident: {
         AppState &app = stateFor(page.key.uid);
         if (app.resident.contains(page))
@@ -380,7 +380,7 @@ ZramScheme::onFree(PageMeta &page)
       default:
         break;
     }
-    page.location = PageLocation::Lost;
+    ctx.arena.setLocation(page, PageLocation::Lost);
 }
 
 std::size_t

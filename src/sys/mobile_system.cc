@@ -30,10 +30,17 @@ telemetry::DurationProbe d_relaunch("sys.relaunch");
 } // namespace
 
 MobileSystem::MobileSystem(const SystemConfig &config,
-                           const std::vector<AppProfile> &profiles)
-    : cfg(config), timing(cfg.timing), appProfiles(profiles)
+                           const std::vector<AppProfile> &profiles,
+                           PageArena *shared_arena)
+    : cfg(config), timing(cfg.timing), appProfiles(profiles),
+      ownedArena(shared_arena ? nullptr
+                              : std::make_unique<PageArena>()),
+      arena(shared_arena ? *shared_arena : *ownedArena)
 {
     fatalIf(appProfiles.empty(), "MobileSystem needs at least one app");
+    // A shared arena carries the previous session's records; recycle
+    // them (an owned arena is empty, so this is free).
+    arena.reset();
 
     // Size the anonymous-page budget. Ideal-DRAM-style schemes get
     // enough memory to never reclaim (the paper's optimistic bound).
@@ -56,7 +63,7 @@ MobileSystem::MobileSystem(const SystemConfig &config,
     makeScheme();
     reclaimDaemon = std::make_unique<Kswapd>(
         SwapContext{simClock, timing, cpuAccount, activity, *dramModel,
-                    *pageCompressor},
+                    *pageCompressor, arena},
         *swapScheme);
 
     for (const auto &p : appProfiles) {
@@ -70,8 +77,8 @@ MobileSystem::MobileSystem(const SystemConfig &config,
 void
 MobileSystem::makeScheme()
 {
-    SwapContext ctx{simClock, timing,     cpuAccount,
-                    activity, *dramModel, *pageCompressor};
+    SwapContext ctx{simClock, timing,     cpuAccount,     activity,
+                    *dramModel, *pageCompressor, arena};
 
     swapScheme = SchemeRegistry::instance().build(
         cfg.scheme, ctx, cfg.schemeParams, cfg.scale);
@@ -174,8 +181,7 @@ MobileSystem::processTouch(AppDir &dir, const TouchEvent &ev,
         PageMeta &ref = *arena.alloc();
         ref.key = PageKey{dir.uid, ev.pfn};
         ref.version = ev.version;
-        ref.truth = ev.truth;
-        ref.location = PageLocation::Resident;
+        ref.truth = ev.truth; // alloc() defaults location to Resident
         if (ev.pfn >= dir.pages.size())
             dir.pages.resize(
                 std::max<std::size_t>(ev.pfn + 1,
@@ -202,7 +208,7 @@ MobileSystem::processTouch(AppDir &dir, const TouchEvent &ev,
     PageMeta &meta = *slot;
     meta.truth = ev.truth;
 
-    switch (meta.location) {
+    switch (arena.location(meta)) {
       case PageLocation::Resident:
         cpuAccount.charge(CpuRole::AppExecution, cfg.pageTouchNs);
         simClock.advance(cfg.pageTouchNs);
@@ -221,7 +227,7 @@ MobileSystem::processTouch(AppDir &dir, const TouchEvent &ev,
             panicIf(!dramModel->allocate(1),
                     "allocation failed after direct reclaim");
         }
-        meta.location = PageLocation::Resident;
+        arena.setLocation(meta, PageLocation::Resident);
         swapScheme->onAdmit(meta);
         Tick rebuild = cfg.pageTouchNs + timing.params().dramPageCopyNs;
         cpuAccount.charge(CpuRole::AppExecution, rebuild);
@@ -246,7 +252,7 @@ MobileSystem::processTouch(AppDir &dir, const TouchEvent &ev,
       }
     }
     meta.version = ev.version;
-    meta.lastAccess = simClock.now();
+    arena.setLastAccess(meta, simClock.now());
     if (!inRelaunch)
         maybeKswapd();
 }

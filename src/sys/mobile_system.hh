@@ -82,9 +82,15 @@ class MobileSystem
     /**
      * @param config Device and scheme configuration.
      * @param profiles Applications available to this system.
+     * @param shared_arena Optional externally owned page arena; it is
+     *        reset() and then used in place of an internally owned
+     *        one. A fleet worker thread passes the same arena to every
+     *        session it runs, so warmed-up slabs are reused instead of
+     *        re-faulted per session. Must outlive this system.
      */
     MobileSystem(const SystemConfig &config,
-                 const std::vector<AppProfile> &profiles);
+                 const std::vector<AppProfile> &profiles,
+                 PageArena *shared_arena = nullptr);
 
     /** Cold-launch an app (process creation plus first working set). */
     void appColdLaunch(AppId uid);
@@ -221,7 +227,10 @@ class MobileSystem
     std::unique_ptr<SwapScheme> swapScheme;
     std::unique_ptr<Kswapd> reclaimDaemon;
 
-    PageArena arena;
+    /** Backing arena when the caller did not share one. */
+    std::unique_ptr<PageArena> ownedArena;
+    /** The arena in use (owned or shared); reset by the ctor. */
+    PageArena &arena;
     /** App directories sorted by uid (handful of apps; binary
      * search, resolved once per touch batch). */
     std::vector<std::unique_ptr<AppDir>> appDirs;

@@ -3,11 +3,12 @@
 #ifndef ARIADNE_TESTS_SCHEME_TEST_UTIL_HH
 #define ARIADNE_TESTS_SCHEME_TEST_UTIL_HH
 
-#include <memory>
-#include <unordered_map>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "mem/dram.hh"
+#include "mem/page_arena.hh"
 #include "swap/page_compressor.hh"
 #include "swap/scheme.hh"
 #include "workload/apps.hh"
@@ -18,7 +19,7 @@ namespace ariadne::testutil
 
 /**
  * Owns everything a SwapScheme needs: clock, accounts, DRAM budget,
- * synthesizer-backed compressor, and a page table.
+ * synthesizer-backed compressor, and an arena-backed page table.
  */
 struct SchemeHarness
 {
@@ -30,21 +31,20 @@ struct SchemeHarness
     SwapContext
     context()
     {
-        return SwapContext{clock,    timing, cpu,
-                           activity, dram,   compressor};
+        return SwapContext{clock, timing,     cpu,  activity,
+                           dram,  compressor, arena};
     }
 
     /** Create (or fetch) a page owned by @p uid. */
     PageMeta &
     page(AppId uid, Pfn pfn, Hotness truth = Hotness::Cold)
     {
-        PageKey key{uid, pfn};
-        auto it = pages.find(key);
+        auto it = pages.find({uid, pfn});
         if (it == pages.end()) {
-            auto meta = std::make_unique<PageMeta>();
-            meta->key = key;
+            PageMeta *meta = arena.alloc();
+            meta->key = PageKey{uid, pfn};
             meta->truth = truth;
-            it = pages.emplace(key, std::move(meta)).first;
+            it = pages.emplace(std::make_pair(uid, pfn), meta).first;
         }
         return *it->second;
     }
@@ -55,13 +55,14 @@ struct SchemeHarness
                Hotness truth = Hotness::Cold, Pfn first_pfn = 0)
     {
         std::vector<PageMeta *> result;
+        result.reserve(n);
         for (std::size_t i = 0; i < n; ++i) {
             PageMeta &p = page(uid, first_pfn + i, truth);
             if (!dram.allocate(1)) {
                 scheme.reclaim(32, true);
                 EXPECT_TRUE(dram.allocate(1));
             }
-            p.location = PageLocation::Resident;
+            arena.setLocation(p, PageLocation::Resident);
             scheme.onAdmit(p);
             result.push_back(&p);
         }
@@ -75,8 +76,9 @@ struct SchemeHarness
     Dram dram;
     PageSynthesizer synth;
     PageCompressor compressor;
-    std::unordered_map<PageKey, std::unique_ptr<PageMeta>, PageKeyHash>
-        pages;
+    PageArena arena;
+    /** (uid, pfn) -> arena record; keeps page() idempotent. */
+    std::map<std::pair<AppId, Pfn>, PageMeta *> pages;
 };
 
 } // namespace ariadne::testutil

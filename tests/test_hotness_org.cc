@@ -5,27 +5,32 @@
 #include <vector>
 
 #include "core/hotness_org.hh"
+#include "mem/page_arena.hh"
 
 using namespace ariadne;
 
 class HotnessOrgTest : public ::testing::Test
 {
   protected:
-    HotnessOrgTest() : org(&ops, profiles) { profiles.seed(1, 4); }
+    HotnessOrgTest() : org(&ops, profiles, arena)
+    {
+        profiles.seed(1, 4);
+    }
 
     PageMeta &
     page(AppId uid, Pfn pfn)
     {
-        pages.push_back(std::make_unique<PageMeta>());
-        pages.back()->key = PageKey{uid, pfn};
-        pages.back()->location = PageLocation::Resident;
-        return *pages.back();
+        PageMeta *p = arena.alloc(); // alloc() defaults to Resident
+        p->key = PageKey{uid, pfn};
+        pages.push_back(p);
+        return *p;
     }
 
     Counter ops;
     ProfileStore profiles{4};
+    PageArena arena;
     HotnessOrg org;
-    std::vector<std::unique_ptr<PageMeta>> pages;
+    std::vector<PageMeta *> pages;
 };
 
 TEST_F(HotnessOrgTest, LaunchSeedsHotListToProfileSize)
@@ -43,9 +48,9 @@ TEST_F(HotnessOrgTest, ColdTouchPromotesToWarm)
     for (Pfn i = 0; i < 8; ++i)
         org.admit(page(1, i), i);
     PageMeta &cold_page = *pages[6]; // beyond the hot seed
-    ASSERT_EQ(cold_page.level, Hotness::Cold);
+    ASSERT_EQ(arena.level(cold_page), Hotness::Cold);
     org.touchResident(cold_page, 100);
-    EXPECT_EQ(cold_page.level, Hotness::Warm);
+    EXPECT_EQ(arena.level(cold_page), Hotness::Warm);
     EXPECT_EQ(org.listSize(1, Hotness::Warm), 1u);
     EXPECT_EQ(org.listSize(1, Hotness::Cold), 3u);
 }
@@ -122,15 +127,13 @@ TEST_F(HotnessOrgTest, PlaceAfterSwapInDependsOnWindow)
     for (Pfn i = 0; i < 5; ++i)
         org.admit(page(1, i), i);
     PageMeta &p = page(1, 100);
-    p.location = PageLocation::Resident;
     org.placeAfterSwapIn(p, 200); // outside a relaunch -> warm
-    EXPECT_EQ(p.level, Hotness::Warm);
+    EXPECT_EQ(arena.level(p), Hotness::Warm);
 
     PageMeta &q = page(1, 101);
-    q.location = PageLocation::Resident;
     org.beginRelaunch(1, 300);
     org.placeAfterSwapIn(q, 301); // inside a relaunch -> hot
-    EXPECT_EQ(q.level, Hotness::Hot);
+    EXPECT_EQ(arena.level(q), Hotness::Hot);
     org.endRelaunch(1);
 }
 
@@ -138,9 +141,8 @@ TEST_F(HotnessOrgTest, ColdSiblingsStayCold)
 {
     org.admit(page(1, 0), 0);
     PageMeta &sibling = page(1, 50);
-    sibling.location = PageLocation::Resident;
     org.placeColdSibling(sibling, 10);
-    EXPECT_EQ(sibling.level, Hotness::Cold);
+    EXPECT_EQ(arena.level(sibling), Hotness::Cold);
 }
 
 TEST_F(HotnessOrgTest, UnlinkIsIdempotent)

@@ -20,8 +20,74 @@ TEST(PageArena, AllocGivesFreshRecordsWithStableHandles)
     EXPECT_NE(PageArena::handleOf(*a), PageArena::handleOf(*b));
     EXPECT_EQ(&arena.fromHandle(PageArena::handleOf(*a)), a);
     EXPECT_EQ(&arena.fromHandle(PageArena::handleOf(*b)), b);
-    EXPECT_EQ(a->location, PageLocation::Resident);
+    EXPECT_EQ(arena.location(*a), PageLocation::Resident);
     EXPECT_EQ(a->lruOwner, nullptr);
+}
+
+TEST(PageArena, SoaMetadataDefaultsAndRoundTrips)
+{
+    PageArena arena;
+    PageMeta *a = arena.alloc();
+    // Fresh records start Cold / Resident / never-accessed.
+    EXPECT_EQ(arena.level(*a), Hotness::Cold);
+    EXPECT_EQ(arena.location(*a), PageLocation::Resident);
+    EXPECT_EQ(arena.lastAccess(*a), 0u);
+    arena.setLevel(*a, Hotness::Hot);
+    arena.setLocation(*a, PageLocation::Zpool);
+    arena.setLastAccess(*a, 12345);
+    EXPECT_EQ(arena.level(*a), Hotness::Hot);
+    EXPECT_EQ(arena.location(*a), PageLocation::Zpool);
+    EXPECT_EQ(arena.lastAccess(*a), 12345u);
+    // Neighbouring records are unaffected (distinct SoA slots).
+    PageMeta *b = arena.alloc();
+    EXPECT_EQ(arena.level(*b), Hotness::Cold);
+    EXPECT_EQ(arena.location(*b), PageLocation::Resident);
+}
+
+TEST(PageArena, ResetRecyclesSlabsAndReinitializesRecords)
+{
+    PageArena arena;
+    const std::size_t count = PageArena::slabPages + 5;
+    std::vector<PageMeta *> first;
+    for (std::size_t i = 0; i < count; ++i) {
+        PageMeta *page = arena.alloc();
+        page->key = PageKey{9, static_cast<Pfn>(i)};
+        arena.setLevel(*page, Hotness::Hot);
+        arena.setLocation(*page, PageLocation::Flash);
+        arena.setLastAccess(*page, 777);
+        first.push_back(page);
+    }
+    const std::size_t slabs_before = arena.slabCount();
+    arena.reset();
+    EXPECT_EQ(arena.liveCount(), 0u);
+    // Slabs (and SoA arrays) are retained for reuse...
+    EXPECT_EQ(arena.slabCount(), slabs_before);
+    // ...and re-allocation hands back the same records, fully reset
+    // to fresh defaults despite the dirt left by the first life.
+    for (std::size_t i = 0; i < count; ++i) {
+        PageMeta *page = arena.alloc();
+        EXPECT_EQ(page, first[i]);
+        EXPECT_EQ(page->key.pfn, PageKey{}.pfn);
+        EXPECT_EQ(arena.level(*page), Hotness::Cold);
+        EXPECT_EQ(arena.location(*page), PageLocation::Resident);
+        EXPECT_EQ(arena.lastAccess(*page), 0u);
+    }
+    EXPECT_EQ(arena.slabCount(), slabs_before);
+    EXPECT_EQ(arena.liveCount(), count);
+}
+
+TEST(PageArena, ResetAfterFreeDiscardsFreeList)
+{
+    // A free-list survivor from before reset() must not leak into the
+    // fresh allocation order (reset rewinds to slab start instead).
+    PageArena arena;
+    PageMeta *a = arena.alloc();
+    PageMeta *b = arena.alloc();
+    arena.free(*b);
+    arena.reset();
+    PageMeta *first = arena.alloc();
+    EXPECT_EQ(first, a); // slab slot 0, not the stale free-list head b
+    EXPECT_EQ(arena.liveCount(), 1u);
 }
 
 TEST(PageArena, PointersStayValidAcrossSlabGrowth)

@@ -5,20 +5,23 @@
 #include <vector>
 
 #include "core/predecomp.hh"
+#include "mem/page_arena.hh"
 
 using namespace ariadne;
 
 namespace
 {
 
-std::vector<std::unique_ptr<PageMeta>>
-makeZpoolPages(std::size_t n)
+std::vector<PageMeta *>
+makeZpoolPages(PageArena &arena, std::size_t n)
 {
-    std::vector<std::unique_ptr<PageMeta>> pages;
+    std::vector<PageMeta *> pages;
+    pages.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-        pages.push_back(std::make_unique<PageMeta>());
-        pages.back()->key = PageKey{1, i};
-        pages.back()->location = PageLocation::Zpool;
+        PageMeta *p = arena.alloc();
+        p->key = PageKey{1, i};
+        arena.setLocation(*p, PageLocation::Zpool);
+        pages.push_back(p);
     }
     return pages;
 }
@@ -27,10 +30,11 @@ makeZpoolPages(std::size_t n)
 
 TEST(PreDecomp, StageMarksPageStaged)
 {
-    PreDecomp buf(4);
-    auto pages = makeZpoolPages(1);
+    PageArena arena;
+    PreDecomp buf(4, arena);
+    auto pages = makeZpoolPages(arena, 1);
     EXPECT_TRUE(buf.stage(*pages[0]));
-    EXPECT_EQ(pages[0]->location, PageLocation::Staged);
+    EXPECT_EQ(arena.location(*pages[0]), PageLocation::Staged);
     EXPECT_TRUE(buf.contains(*pages[0]));
     EXPECT_EQ(buf.size(), 1u);
     EXPECT_EQ(buf.staged(), 1u);
@@ -38,16 +42,18 @@ TEST(PreDecomp, StageMarksPageStaged)
 
 TEST(PreDecomp, ZeroCapacityStagesNothing)
 {
-    PreDecomp buf(0);
-    auto pages = makeZpoolPages(1);
+    PageArena arena;
+    PreDecomp buf(0, arena);
+    auto pages = makeZpoolPages(arena, 1);
     EXPECT_FALSE(buf.stage(*pages[0]));
-    EXPECT_EQ(pages[0]->location, PageLocation::Zpool);
+    EXPECT_EQ(arena.location(*pages[0]), PageLocation::Zpool);
 }
 
 TEST(PreDecomp, DoubleStageRejected)
 {
-    PreDecomp buf(4);
-    auto pages = makeZpoolPages(1);
+    PageArena arena;
+    PreDecomp buf(4, arena);
+    auto pages = makeZpoolPages(arena, 1);
     EXPECT_TRUE(buf.stage(*pages[0]));
     EXPECT_FALSE(buf.stage(*pages[0]));
     EXPECT_EQ(buf.staged(), 1u);
@@ -55,8 +61,9 @@ TEST(PreDecomp, DoubleStageRejected)
 
 TEST(PreDecomp, ConsumeCountsHit)
 {
-    PreDecomp buf(4);
-    auto pages = makeZpoolPages(1);
+    PageArena arena;
+    PreDecomp buf(4, arena);
+    auto pages = makeZpoolPages(arena, 1);
     buf.stage(*pages[0]);
     EXPECT_TRUE(buf.consume(*pages[0]));
     EXPECT_FALSE(buf.contains(*pages[0]));
@@ -67,22 +74,24 @@ TEST(PreDecomp, ConsumeCountsHit)
 
 TEST(PreDecomp, FifoEvictionRevertsOldest)
 {
-    PreDecomp buf(2);
-    auto pages = makeZpoolPages(3);
+    PageArena arena;
+    PreDecomp buf(2, arena);
+    auto pages = makeZpoolPages(arena, 3);
     buf.stage(*pages[0]);
     buf.stage(*pages[1]);
     buf.stage(*pages[2]); // evicts pages[0]
-    EXPECT_EQ(pages[0]->location, PageLocation::Zpool);
-    EXPECT_EQ(pages[1]->location, PageLocation::Staged);
-    EXPECT_EQ(pages[2]->location, PageLocation::Staged);
+    EXPECT_EQ(arena.location(*pages[0]), PageLocation::Zpool);
+    EXPECT_EQ(arena.location(*pages[1]), PageLocation::Staged);
+    EXPECT_EQ(arena.location(*pages[2]), PageLocation::Staged);
     EXPECT_EQ(buf.wasted(), 1u);
     EXPECT_EQ(buf.size(), 2u);
 }
 
 TEST(PreDecomp, InvalidateDropsWithoutHitOrWaste)
 {
-    PreDecomp buf(4);
-    auto pages = makeZpoolPages(2);
+    PageArena arena;
+    PreDecomp buf(4, arena);
+    auto pages = makeZpoolPages(arena, 2);
     buf.stage(*pages[0]);
     buf.stage(*pages[1]);
     buf.invalidate(*pages[0]);
@@ -94,8 +103,9 @@ TEST(PreDecomp, InvalidateDropsWithoutHitOrWaste)
 
 TEST(PreDecomp, StaleDequeEntriesSkippedOnEviction)
 {
-    PreDecomp buf(2);
-    auto pages = makeZpoolPages(3);
+    PageArena arena;
+    PreDecomp buf(2, arena);
+    auto pages = makeZpoolPages(arena, 3);
     buf.stage(*pages[0]);
     buf.stage(*pages[1]);
     buf.consume(*pages[0]); // leaves a stale deque entry
@@ -107,9 +117,10 @@ TEST(PreDecomp, StaleDequeEntriesSkippedOnEviction)
 
 TEST(PreDecomp, HitRateOverStaged)
 {
-    PreDecomp buf(8);
-    auto pages = makeZpoolPages(4);
-    for (auto &p : pages)
+    PageArena arena;
+    PreDecomp buf(8, arena);
+    auto pages = makeZpoolPages(arena, 4);
+    for (auto *p : pages)
         buf.stage(*p);
     buf.consume(*pages[0]);
     buf.consume(*pages[1]);
@@ -118,8 +129,8 @@ TEST(PreDecomp, HitRateOverStaged)
 
 TEST(PreDecompDeath, StagingResidentPagePanics)
 {
-    PreDecomp buf(4);
-    PageMeta p;
-    p.location = PageLocation::Resident;
-    EXPECT_DEATH(buf.stage(p), "zpool-resident");
+    PageArena arena;
+    PreDecomp buf(4, arena);
+    PageMeta *p = arena.alloc(); // alloc() defaults to Resident
+    EXPECT_DEATH(buf.stage(*p), "zpool-resident");
 }
