@@ -19,6 +19,13 @@ one crossed the line. --update copies CURRENT over BASELINE after the
 comparison (ignoring failures), which is how baselines are re-recorded
 after an intentional perf or behaviour change.
 
+Metrics the current run emits that the baseline lacks cannot gate —
+they print as WARN so a new rate or counter is never silently
+untracked; refreshing the baseline (--update) starts gating them.
+Counters matching VOLATILE_COUNTER_PREFIXES (per-worker scheduling
+artifacts like the compression memo's hit/miss split) are
+informational only.
+
 Wall time, RSS, and duration accumulators are machine-dependent and
 reported for information only. Exit status: 0 pass, 1 fail, 2 usage
 (--update always exits 0 once the baseline is written).
@@ -28,6 +35,17 @@ import argparse
 import json
 import shutil
 import sys
+
+# Counters whose values depend on host-side scheduling rather than on
+# simulated work: the compression memo is per worker thread, and which
+# worker claims which session is a race, so cross-session hit/miss
+# totals legitimately vary run to run (report bytes do not). They are
+# reported for information and never gate.
+VOLATILE_COUNTER_PREFIXES = ("compressor.memo.",)
+
+
+def is_volatile(name):
+    return name.startswith(VOLATILE_COUNTER_PREFIXES)
 
 
 def load(path):
@@ -95,14 +113,23 @@ def main():
                 f"rate '{name}' regressed: {cur_rate:.1f} < "
                 f"{floor:.1f} ({args.rate_tolerance:.0%} band below "
                 f"baseline {base_rate:.1f})")
+    warnings = []
     for name, cur_rate in cur_rates.items():
         if name not in base.get("rates", {}):
             rows.append(("rate", name, f"{cur_rate:.1f}", "absent",
-                         "new", "note"))
+                         "new", "WARN"))
+            warnings.append(
+                f"rate '{name}' absent from baseline — it is not "
+                f"gated; refresh the baseline to start tracking it")
 
     cur_counters = cur.get("counters", {})
     for name, base_val in base.get("counters", {}).items():
         cur_val = cur_counters.get(name)
+        if is_volatile(name):
+            rows.append(("counter", name,
+                         "missing" if cur_val is None else str(cur_val),
+                         str(base_val), "n/a", "volatile"))
+            continue
         if cur_val is None:
             failures.append(f"counter '{name}' missing from current run")
             rows.append(("counter", name, "missing", str(base_val),
@@ -118,14 +145,21 @@ def main():
                 f"counter '{name}' drifted: {cur_val} vs baseline "
                 f"{base_val} (tolerance {args.counter_tolerance:.0%})")
 
-    drift = sum(1 for n in cur_counters
-                if n not in base.get("counters", {}))
-    if drift:
-        print(f"note: {drift} counter(s) in current run absent from "
-              f"baseline (new instrumentation; refresh the baseline)")
+    for name in cur_counters:
+        if name not in base.get("counters", {}):
+            status = "volatile" if is_volatile(name) else "WARN"
+            rows.append(("counter", name, str(cur_counters[name]),
+                         "absent", "new", status))
+            if not is_volatile(name):
+                warnings.append(
+                    f"counter '{name}' absent from baseline — new "
+                    f"instrumentation is not gated; refresh the "
+                    f"baseline to start tracking it")
 
     print(f"{cur['bench']}: current vs baseline")
     print_table(rows)
+    for w in warnings:
+        print(f"WARN: {w}")
     print(f"info: wall {cur.get('wallSeconds', 0):.2f}s vs baseline "
           f"{base.get('wallSeconds', 0):.2f}s, peak RSS "
           f"{cur.get('peakRssBytes', 0) // (1 << 20)} MiB "

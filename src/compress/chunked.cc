@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "sim/log.hh"
+#include "telemetry/telemetry.hh"
 
 namespace ariadne
 {
@@ -11,6 +12,22 @@ namespace
 {
 
 constexpr std::uint32_t storedFlag = 0x80000000u;
+
+// Host-time cost of real decompression work (the swap-in critical
+// path), indexed by CodecKind — the decompress mirror of
+// compressor.compress.<codec>.
+telemetry::DurationProbe &
+decompressProbe(CodecKind kind)
+{
+    static telemetry::DurationProbe probes[] = {
+        telemetry::DurationProbe("codec.decompress.lz4"),
+        telemetry::DurationProbe("codec.decompress.lzo"),
+        telemetry::DurationProbe("codec.decompress.bdi"),
+        telemetry::DurationProbe("codec.decompress.null"),
+    };
+    auto i = static_cast<std::size_t>(kind);
+    return probes[i < 4 ? i : 3];
+}
 
 std::uint32_t
 readU32(const std::uint8_t *p) noexcept
@@ -154,6 +171,7 @@ std::size_t
 ChunkedFrame::decompress(const Codec &codec, ConstBytes frame,
                          MutableBytes dst)
 {
+    telemetry::ScopedTimer timer(decompressProbe(codec.kind()));
     Header h;
     if (!parse(frame, h))
         return 0;
@@ -194,6 +212,7 @@ std::size_t
 ChunkedFrame::decompressChunk(const Codec &codec, ConstBytes frame,
                               std::size_t index, MutableBytes dst)
 {
+    telemetry::ScopedTimer timer(decompressProbe(codec.kind()));
     Header h;
     if (!parse(frame, h))
         return 0;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "compress/batch_table.hh"
+#include "compress/wide_copy.hh"
 
 namespace ariadne
 {
@@ -75,8 +76,12 @@ compressWith(ConstBytes src, MutableBytes dst, std::uint32_t *table,
     const std::uint8_t *const mflimit =
         (n >= minMatch + 1) ? iend - minMatch : ip;
 
+    // Kept out of line: the probe loop below touches it once per
+    // emitted sequence, and keeping its spill pressure away from the
+    // per-byte path is worth the call.
     auto emit_sequence = [&](const std::uint8_t *lit_end,
-                             std::size_t match_len, std::size_t offset) {
+                             std::size_t match_len,
+                             std::size_t offset) __attribute__((noinline)) {
         std::size_t lit_len =
             static_cast<std::size_t>(lit_end - anchor);
         std::uint8_t *token = op++;
@@ -118,8 +123,48 @@ compressWith(ConstBytes src, MutableBytes dst, std::uint32_t *table,
         }
     };
 
-    while (ip < mflimit) {
-        std::uint32_t h = hash32(read32(ip));
+    // Sequence production for a confirmed match: extend forward,
+    // eight bytes per compare (the first differing byte falls out of
+    // a ctz), then byte-wise over the tail — the same length a byte
+    // loop finds. Out of line for the same reason as emit_sequence:
+    // it runs once per sequence, not once per byte.
+    auto on_match = [&](std::uint32_t ref_pos, std::uint32_t cur_pos)
+        __attribute__((noinline)) {
+        const std::uint8_t *ref = src.data() + ref_pos;
+        const std::uint8_t *mip = ip + minMatch;
+        const std::uint8_t *mref = ref + minMatch;
+        bool diff_found = false;
+        while (mip + 8 <= iend) {
+            std::uint64_t diff = read64(mip) ^ read64(mref);
+            if (diff) {
+                mip += __builtin_ctzll(diff) >> 3;
+                diff_found = true;
+                break;
+            }
+            mip += 8;
+            mref += 8;
+        }
+        if (!diff_found) {
+            while (mip < iend && *mip == *mref) {
+                ++mip;
+                ++mref;
+            }
+        }
+        std::size_t match_len = static_cast<std::size_t>(mip - ip);
+        emit_sequence(ip, match_len,
+                      static_cast<std::size_t>(cur_pos - ref_pos));
+        ip += match_len;
+        anchor = ip;
+    };
+
+    // Probe one position: hash the four bytes at ip (passed in as
+    // @p val so literal runs can slice several probes out of one
+    // 64-bit load), store, and on a hit emit the sequence. Advances
+    // ip by 1 (literal) or by the match length; returns whether it
+    // matched. The probe/store order — and so the output — is the
+    // same as the one-position-per-load loop this replaces.
+    auto try_match = [&](std::uint32_t val) -> bool {
+        std::uint32_t h = hash32(val);
         std::uint32_t entry = table[h];
         auto cur_pos = static_cast<std::uint32_t>(ip - src.data());
         table[h] = cur_pos + bias;
@@ -129,38 +174,41 @@ compressWith(ConstBytes src, MutableBytes dst, std::uint32_t *table,
         std::uint32_t ref_pos = entry - bias;
         if (entry >= bias &&
             (!checkOffset || cur_pos - ref_pos <= maxOffset) &&
-            read32(src.data() + ref_pos) == read32(ip)) {
-            // Extend the match forward, eight bytes per compare (the
-            // first differing byte falls out of a ctz), then byte-wise
-            // over the tail — the same length a byte loop finds.
-            const std::uint8_t *ref = src.data() + ref_pos;
-            const std::uint8_t *mip = ip + minMatch;
-            const std::uint8_t *mref = ref + minMatch;
-            bool diff_found = false;
-            while (mip + 8 <= iend) {
-                std::uint64_t diff = read64(mip) ^ read64(mref);
-                if (diff) {
-                    mip += __builtin_ctzll(diff) >> 3;
-                    diff_found = true;
+            read32(src.data() + ref_pos) == val) {
+            on_match(ref_pos, cur_pos);
+            return true;
+        }
+        ++ip;
+        return false;
+    };
+
+    while (ip < mflimit) {
+        if (ip + 8 <= iend && ip + 5 <= mflimit) {
+            // One 64-bit load covers the probe values of five
+            // consecutive positions; literal runs (the common case on
+            // poorly-compressible pages) burn through them with no
+            // further loads and — since the whole window is in
+            // bounds — no per-probe limit checks. A match invalidates
+            // the window: fall out and reload.
+            std::uint64_t w = read64(ip);
+            if (try_match(static_cast<std::uint32_t>(w)))
+                continue;
+            if (try_match(static_cast<std::uint32_t>(w >> 8)))
+                continue;
+            if (try_match(static_cast<std::uint32_t>(w >> 16)))
+                continue;
+            if (try_match(static_cast<std::uint32_t>(w >> 24)))
+                continue;
+            try_match(static_cast<std::uint32_t>(w >> 32));
+        } else if (ip + 8 <= iend) {
+            std::uint64_t w = read64(ip);
+            for (unsigned k = 0; k < 5; ++k) {
+                if (try_match(static_cast<std::uint32_t>(w >> (8 * k))) ||
+                    ip >= mflimit)
                     break;
-                }
-                mip += 8;
-                mref += 8;
             }
-            if (!diff_found) {
-                while (mip < iend && *mip == *mref) {
-                    ++mip;
-                    ++mref;
-                }
-            }
-            std::size_t match_len =
-                static_cast<std::size_t>(mip - ip);
-            emit_sequence(ip, match_len,
-                          static_cast<std::size_t>(cur_pos - ref_pos));
-            ip += match_len;
-            anchor = ip;
         } else {
-            ++ip;
+            try_match(read32(ip));
         }
     }
 
@@ -268,10 +316,7 @@ Lz4Codec::decompress(ConstBytes src, MutableBytes dst) const
         }
         if (static_cast<std::size_t>(oend - op) < match_len)
             return 0;
-        // Byte-wise copy: overlapping matches (offset < len) replicate.
-        const std::uint8_t *mp = op - offset;
-        for (std::size_t i = 0; i < match_len; ++i)
-            *op++ = *mp++;
+        op = compress_detail::copyMatch(op, offset, match_len, oend);
     }
     return static_cast<std::size_t>(op - dst.data());
 }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "compress/batch_table.hh"
+#include "compress/wide_copy.hh"
 
 namespace ariadne
 {
@@ -90,8 +91,22 @@ compressWith(ConstBytes src, MutableBytes dst, std::uint32_t *table,
         std::uint8_t *flags = op++;
         std::uint8_t flag_byte = 0;
         if (static_cast<std::size_t>(iend - ip) >= fastGroupBytes) {
+            // One 64-bit load holds the 3-byte probe windows of six
+            // consecutive positions; literal items slide through it
+            // instead of reloading. Reload after a match (ip jumped)
+            // or once the window is spent. Always in bounds: even the
+            // group's last item has >= fastGroupBytes - 7 * maxMatch
+            // = 22 input bytes left.
+            std::uint64_t w = 0;
+            unsigned wpos = 6; // spent — forces a load on entry
             for (unsigned bit = 0; bit < 8; ++bit) {
-                std::uint32_t v24 = read32(ip) & 0xffffffu;
+                if (wpos >= 6) {
+                    w = read64(ip);
+                    wpos = 0;
+                }
+                std::uint32_t v24 =
+                    static_cast<std::uint32_t>(w >> (8 * wpos)) &
+                    0xffffffu;
                 std::uint32_t h = hashOf24(v24);
                 std::uint32_t entry = table[h];
                 auto cur_pos =
@@ -132,8 +147,10 @@ compressWith(ConstBytes src, MutableBytes dst, std::uint32_t *table,
                         ((offset >> 8) & 0x0f));
                     *op++ = static_cast<std::uint8_t>(offset & 0xff);
                     ip += len;
+                    wpos = 6; // window no longer covers ip
                 } else {
                     *op++ = *ip++;
+                    ++wpos;
                 }
             }
             *flags = flag_byte;
@@ -243,6 +260,16 @@ LzoCodec::decompress(ConstBytes src, MutableBytes dst) const
 
     while (ip < iend) {
         std::uint8_t flags = *ip++;
+        // All-literal group with room on both sides: one 8-byte copy
+        // replaces eight flag tests (incompressible pages hit this on
+        // nearly every group).
+        if (flags == 0 && static_cast<std::size_t>(iend - ip) >= 8 &&
+            static_cast<std::size_t>(oend - op) >= 8) {
+            std::memcpy(op, ip, 8);
+            ip += 8;
+            op += 8;
+            continue;
+        }
         for (unsigned bit = 0; bit < 8 && ip < iend; ++bit) {
             if (flags & (1u << bit)) {
                 if (iend - ip < 2)
@@ -258,9 +285,7 @@ LzoCodec::decompress(ConstBytes src, MutableBytes dst) const
                 }
                 if (static_cast<std::size_t>(oend - op) < len)
                     return 0;
-                const std::uint8_t *mp = op - offset;
-                for (std::size_t i = 0; i < len; ++i)
-                    *op++ = *mp++;
+                op = compress_detail::copyMatch(op, offset, len, oend);
             } else {
                 if (op >= oend)
                     return 0;

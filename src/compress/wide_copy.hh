@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Wide-copy primitives shared by the LZ-family decompressors.
+ *
+ * Decoded matches used to be copied one byte at a time — the only
+ * copy that is trivially correct for overlapping matches (offset <
+ * length), where the source must observe bytes the copy itself just
+ * produced. This header keeps that contract while moving whole words:
+ *
+ *  - offset == 1 is a run of one byte: memset.
+ *  - offset >= 8 never overlaps an 8-byte step: straight wildcopy.
+ *  - offsets 2..7 first replicate one period-preserving stride of
+ *    >= 8 bytes byte-wise, then wildcopy at that stride (a buffer
+ *    that is periodic in `offset` is also periodic in any multiple).
+ *
+ * Wildcopies overshoot by up to a word; the slack is legal because
+ * every overshot byte lies before the output end and is rewritten by
+ * a later sequence (a successful decompression fills the buffer
+ * exactly). Near the output end — where no later sequence exists to
+ * repair the slack — the copy falls back to exact byte-wise moves, so
+ * no store ever lands outside the destination span.
+ */
+
+#ifndef ARIADNE_COMPRESS_WIDE_COPY_HH
+#define ARIADNE_COMPRESS_WIDE_COPY_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace ariadne::compress_detail
+{
+
+inline std::uint64_t
+loadWord(const std::uint8_t *p) noexcept
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+inline void
+storeWord(std::uint8_t *p, std::uint64_t v) noexcept
+{
+    std::memcpy(p, &v, sizeof(v));
+}
+
+/** Bytes of headroom a wildcopy may scribble past the logical end. */
+constexpr std::size_t wildCopySlack = 16;
+
+/**
+ * Copy a decoded LZ match: @p len bytes from @p offset bytes behind
+ * @p op, replicating overlapping patterns exactly as a byte-wise loop
+ * would. The caller has already validated the match (offset >= 1,
+ * offset <= op - start of output, len <= oend - op).
+ * @return op + len.
+ */
+inline std::uint8_t *
+copyMatch(std::uint8_t *op, std::size_t offset, std::size_t len,
+          std::uint8_t *const oend) noexcept
+{
+    std::uint8_t *const end = op + len;
+    if (offset == 1) {
+        std::memset(op, op[-1], len);
+        return end;
+    }
+    if (static_cast<std::size_t>(oend - op) >= len + wildCopySlack) {
+        if (offset >= 8) {
+            const std::uint8_t *src = op - offset;
+            do {
+                storeWord(op, loadWord(src));
+                op += 8;
+                src += 8;
+            } while (op < end);
+            return end;
+        }
+        // Overlap fallback: seed ceil(8/offset) periods byte-wise
+        // (stride <= 14 bytes, covered by the slack even when the
+        // match itself is shorter), then copy words at that stride —
+        // far enough back that loads never touch unwritten bytes.
+        std::size_t stride = offset;
+        while (stride < 8)
+            stride += offset;
+        const std::uint8_t *pattern = op - offset;
+        for (std::size_t i = 0; i < stride; ++i)
+            op[i] = pattern[i];
+        op += stride;
+        const std::uint8_t *src = op - stride;
+        while (op < end) {
+            storeWord(op, loadWord(src));
+            op += 8;
+            src += 8;
+        }
+        return end;
+    }
+    // Tail of the output: exact byte-wise copy, no overshoot.
+    const std::uint8_t *src = op - offset;
+    while (op < end)
+        *op++ = *src++;
+    return end;
+}
+
+} // namespace ariadne::compress_detail
+
+#endif // ARIADNE_COMPRESS_WIDE_COPY_HH

@@ -364,6 +364,11 @@ AriadneScheme::armPrediction(PageMeta &page, ZObjectId next)
 void
 AriadneScheme::firePrediction(const PageMeta &page)
 {
+    // Runs on every resident touch; armed predictions are rare, so
+    // the empty check keeps the common path to one branch instead of
+    // a hash lookup.
+    if (pendingPredictions.empty())
+        return;
     auto it = pendingPredictions.find(&page);
     if (it == pendingPredictions.end())
         return;

@@ -22,16 +22,19 @@ telemetry::DurationProbe d_decay("hotness.decay");
 HotnessOrg::AppLists &
 HotnessOrg::listsFor(AppId uid)
 {
+    if (lastLists && lastLists->uid == uid)
+        return *lastLists;
     auto it = std::lower_bound(
         apps.begin(), apps.end(), uid,
         [](const std::unique_ptr<AppLists> &a, AppId u) {
             return a->uid < u;
         });
     if (it != apps.end() && (*it)->uid == uid)
-        return **it;
+        return *(lastLists = it->get());
     auto app = std::make_unique<AppLists>(uid, ops);
     app->hotInitTarget = profileStore.hotInitPages(uid);
-    return **apps.insert(it, std::move(app));
+    return *(lastLists =
+                 apps.insert(it, std::move(app))->get());
 }
 
 const HotnessOrg::AppLists *

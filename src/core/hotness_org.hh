@@ -137,6 +137,10 @@ class HotnessOrg
      * entries live behind unique_ptr; victim scans walk the flat
      * vector in uid order exactly as the old std::map iteration did. */
     std::vector<std::unique_ptr<AppLists>> apps;
+    /** Touches arrive in long single-app runs; remembering the last
+     * resolved entry turns almost every listsFor into one compare
+     * (AppLists addresses are stable, so the cache never dangles). */
+    AppLists *lastLists = nullptr;
 };
 
 } // namespace ariadne

@@ -10,6 +10,7 @@
 #include "mem/page_arena.hh"
 #include "report/report_merger.hh"
 #include "sim/log.hh"
+#include "swap/compress_memo.hh"
 #include "swap/scheme_registry.hh"
 #include "telemetry/progress.hh"
 #include "telemetry/telemetry.hh"
@@ -142,7 +143,7 @@ FleetRunner::runSession(std::size_t index) const
 
 SessionResult
 FleetRunner::runSession(std::size_t index, TraceRecorder *recorder,
-                        PageArena *arena) const
+                        PageArena *arena, CompressionMemo *memo) const
 {
     c_sessions.add();
     telemetry::ScopedTimer timer(d_session);
@@ -152,7 +153,7 @@ FleetRunner::runSession(std::size_t index, TraceRecorder *recorder,
     result.seed = scenario.sessionSeed(index);
 
     MobileSystem sys(scenario.systemConfig(index),
-                     source->sessionProfiles(index), arena);
+                     source->sessionProfiles(index), arena, memo);
     SessionDriver driver(sys);
 
     if (recorder) {
@@ -301,6 +302,13 @@ FleetRunner::runPartialInto(report::FleetPartial &partial,
         // nothing. Sessions only read/write their own arena, so the
         // aggregate stays bit-identical to private-arena runs.
         PageArena workerArena;
+        // The cross-session compression memo rides along with the
+        // arena: same worker-lifetime scope, same bit-identity
+        // guarantee (memoized sizes equal fresh compressions), gated
+        // by the spec's compress_memo knob.
+        std::unique_ptr<CompressionMemo> workerMemo;
+        if (scenario.compressMemo)
+            workerMemo = std::make_unique<CompressionMemo>();
         for (;;) {
             std::size_t i = next.fetch_add(1);
             if (i >= end)
@@ -310,7 +318,8 @@ FleetRunner::runPartialInto(report::FleetPartial &partial,
                 room.wait(lk,
                           [&] { return i < fold_frontier + window; });
             }
-            SessionResult s = runSession(i, recorder, &workerArena);
+            SessionResult s = runSession(i, recorder, &workerArena,
+                                         workerMemo.get());
             std::size_t folded = 0;
             {
                 std::unique_lock<std::mutex> lk(mu);

@@ -465,6 +465,8 @@ ScenarioSpec::toString() const
            << "\n";
         os << "sketch_k = " << sketchK << "\n";
     }
+    if (!compressMemo)
+        os << "compress_memo = off\n";
     if (!apps.empty()) {
         os << "apps = ";
         for (std::size_t i = 0; i < apps.size(); ++i)
@@ -816,6 +818,15 @@ SpecParser::Impl::feed(const std::string &raw, std::size_t lineno)
                                 std::to_string(PercentileSketch::minK) +
                                 ", got '" + value + "'");
             spec.sketchK = v;
+        } else if (key == "compress_memo") {
+            std::string v = lower(value);
+            if (v == "on")
+                spec.compressMemo = true;
+            else if (v == "off")
+                spec.compressMemo = false;
+            else
+                bad(lineno, "compress_memo must be on|off, got '" +
+                                value + "'");
         } else if (key == "apps") {
             // Like every other key, a later `apps` line overrides an
             // earlier one (sweep variants rely on this to replace the
@@ -1013,7 +1024,8 @@ ScenarioSpec::operator==(const ScenarioSpec &o) const
     return name == o.name && scheme == o.scheme &&
            params == o.params && scale == o.scale && seed == o.seed &&
            fleet == o.fleet && percentiles == o.percentiles &&
-           sketchK == o.sketchK && apps == o.apps &&
+           sketchK == o.sketchK && compressMemo == o.compressMemo &&
+           apps == o.apps &&
            program == o.program && workload == o.workload &&
            tracePath == o.tracePath &&
            replayScheme == o.replayScheme &&

@@ -206,6 +206,15 @@ struct ScenarioSpec
     PercentileMode percentiles = PercentileMode::Exact;
     /** Sketch buffer size (`sketch_k = N`, sketch mode only). */
     std::size_t sketchK = PercentileSketch::defaultK;
+    /**
+     * Cross-session compression memoization (`compress_memo =
+     * on|off`, default on): fleet workers reuse compressed sizes of
+     * recurring page contents across the sessions they run. Purely a
+     * speed knob — compression is deterministic in the page bytes, so
+     * reports are byte-identical either way; `off` exists to measure
+     * the win and to bound worker memory on tiny machines.
+     */
+    bool compressMemo = true;
 
     /** App names; empty = all ten standard apps. For synthetic
      * workloads this is the pool users draw their subsets from. */

@@ -1,92 +1,7 @@
 #include "mem/lru_list.hh"
 
-#include "sim/log.hh"
-
 namespace ariadne
 {
-
-void
-LruList::pushFront(PageMeta &page)
-{
-    panicIf(page.lruOwner != nullptr,
-            "pushFront: page already on a list");
-    page.lruPrev = nullptr;
-    page.lruNext = head;
-    if (head)
-        head->lruPrev = &page;
-    head = &page;
-    if (!tail)
-        tail = &page;
-    page.lruOwner = this;
-    ++count;
-    countOp();
-}
-
-void
-LruList::pushBack(PageMeta &page)
-{
-    panicIf(page.lruOwner != nullptr, "pushBack: page already on a list");
-    page.lruNext = nullptr;
-    page.lruPrev = tail;
-    if (tail)
-        tail->lruNext = &page;
-    tail = &page;
-    if (!head)
-        head = &page;
-    page.lruOwner = this;
-    ++count;
-    countOp();
-}
-
-void
-LruList::remove(PageMeta &page)
-{
-    panicIf(page.lruOwner != this, "remove: page not on this list");
-    if (page.lruPrev)
-        page.lruPrev->lruNext = page.lruNext;
-    else
-        head = page.lruNext;
-    if (page.lruNext)
-        page.lruNext->lruPrev = page.lruPrev;
-    else
-        tail = page.lruPrev;
-    page.lruPrev = page.lruNext = nullptr;
-    page.lruOwner = nullptr;
-    --count;
-    countOp();
-}
-
-void
-LruList::touch(PageMeta &page)
-{
-    panicIf(page.lruOwner != this, "touch: page not on this list");
-    if (head == &page) {
-        countOp();
-        return;
-    }
-    remove(page);
-    pushFront(page);
-}
-
-PageMeta *
-LruList::popBack()
-{
-    if (!tail)
-        return nullptr;
-    PageMeta *victim = tail;
-    remove(*victim);
-    return victim;
-}
-
-PageMeta *
-LruList::popFront()
-{
-    if (!head)
-        return nullptr;
-    PageMeta *first = head;
-    remove(*first);
-    return first;
-}
 
 void
 LruList::drainTo(LruList &dst)

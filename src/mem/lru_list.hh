@@ -13,6 +13,7 @@
 #include <cstddef>
 
 #include "mem/page.hh"
+#include "sim/log.hh"
 #include "sim/stats.hh"
 
 namespace ariadne
@@ -37,23 +38,97 @@ class LruList
     LruList(const LruList &) = delete;
     LruList &operator=(const LruList &) = delete;
 
-    /** Insert @p page at the MRU end; page must not be on any list. */
-    void pushFront(PageMeta &page);
+    /** Insert @p page at the MRU end; page must not be on any list.
+     * Inline: list surgery runs once or twice per simulated page
+     * touch, so these are the fleet driver's hottest leaf calls. */
+    void
+    pushFront(PageMeta &page)
+    {
+        panicIf(page.lruOwner != nullptr,
+                "pushFront: page already on a list");
+        page.lruPrev = nullptr;
+        page.lruNext = head;
+        if (head)
+            head->lruPrev = &page;
+        head = &page;
+        if (!tail)
+            tail = &page;
+        page.lruOwner = this;
+        ++count;
+        countOp();
+    }
 
     /** Insert @p page at the LRU end; page must not be on any list. */
-    void pushBack(PageMeta &page);
+    void
+    pushBack(PageMeta &page)
+    {
+        panicIf(page.lruOwner != nullptr,
+                "pushBack: page already on a list");
+        page.lruNext = nullptr;
+        page.lruPrev = tail;
+        if (tail)
+            tail->lruNext = &page;
+        tail = &page;
+        if (!head)
+            head = &page;
+        page.lruOwner = this;
+        ++count;
+        countOp();
+    }
 
     /** Unlink @p page; it must be on this list. */
-    void remove(PageMeta &page);
+    void
+    remove(PageMeta &page)
+    {
+        panicIf(page.lruOwner != this, "remove: page not on this list");
+        if (page.lruPrev)
+            page.lruPrev->lruNext = page.lruNext;
+        else
+            head = page.lruNext;
+        if (page.lruNext)
+            page.lruNext->lruPrev = page.lruPrev;
+        else
+            tail = page.lruPrev;
+        page.lruPrev = page.lruNext = nullptr;
+        page.lruOwner = nullptr;
+        --count;
+        countOp();
+    }
 
     /** Move @p page (already on this list) to the MRU end. */
-    void touch(PageMeta &page);
+    void
+    touch(PageMeta &page)
+    {
+        panicIf(page.lruOwner != this, "touch: page not on this list");
+        if (head == &page) {
+            countOp();
+            return;
+        }
+        remove(page);
+        pushFront(page);
+    }
 
     /** Remove and return the LRU victim; nullptr when empty. */
-    PageMeta *popBack();
+    PageMeta *
+    popBack()
+    {
+        if (!tail)
+            return nullptr;
+        PageMeta *victim = tail;
+        remove(*victim);
+        return victim;
+    }
 
     /** Remove and return the MRU page; nullptr when empty. */
-    PageMeta *popFront();
+    PageMeta *
+    popFront()
+    {
+        if (!head)
+            return nullptr;
+        PageMeta *first = head;
+        remove(*first);
+        return first;
+    }
 
     /** MRU page without removal; nullptr when empty. */
     PageMeta *front() const noexcept { return head; }

@@ -57,9 +57,26 @@ panicIf(bool cond, const std::string &msg)
         panic(msg);
 }
 
+/** Literal-message overload: hot-path callers pass string literals,
+ * and this keeps the std::string construction (a heap allocation for
+ * messages past the SSO limit) inside the failure branch. */
+inline void
+panicIf(bool cond, const char *msg)
+{
+    if (cond)
+        panic(msg);
+}
+
 /** Exit via fatal() if @p cond is true. */
 inline void
 fatalIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        fatal(msg);
+}
+
+inline void
+fatalIf(bool cond, const char *msg)
 {
     if (cond)
         fatal(msg);

@@ -1,0 +1,85 @@
+#include "swap/compress_memo.hh"
+
+#include <cassert>
+#include <cstring>
+
+#include "sim/types.hh"
+
+namespace ariadne
+{
+
+namespace
+{
+
+/** splitmix64 finalizer — full avalanche over the folded state. */
+std::uint64_t
+avalanche(std::uint64_t h) noexcept
+{
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    return h ^ (h >> 31);
+}
+
+} // namespace
+
+CompressionMemo::CompressionMemo(std::size_t slot_count)
+    : entries(slot_count), mask(slot_count - 1)
+{
+    assert(slot_count != 0 && (slot_count & mask) == 0 &&
+           "slot_count must be a power of two");
+    // The content store (~slot_count * 4 KB) is allocated on first
+    // insert: a worker that never compresses pays nothing.
+}
+
+std::uint64_t
+CompressionMemo::fingerprint(ConstBytes page, CodecKind codec,
+                             std::size_t chunk_bytes) const noexcept
+{
+    assert(page.size() == pageSize);
+    // Multiply-xor fold, one 64-bit word at a time (pages are
+    // word-multiple), seeded so the same bytes under a different
+    // codec or chunking land in a different slot.
+    std::uint64_t h =
+        (std::uint64_t{static_cast<std::uint8_t>(codec)} << 32) ^
+        chunk_bytes ^ 0x9e3779b97f4a7c15ULL;
+    const std::uint8_t *p = page.data();
+    for (std::size_t i = 0; i + 8 <= page.size(); i += 8) {
+        std::uint64_t w;
+        std::memcpy(&w, p + i, sizeof(w));
+        h = (h ^ w) * 0x9e3779b97f4a7c15ULL;
+    }
+    return avalanche(h);
+}
+
+std::uint32_t
+CompressionMemo::lookup(std::uint64_t fp, ConstBytes page) noexcept
+{
+    assert(page.size() == pageSize);
+    std::size_t idx = static_cast<std::size_t>(fp) & mask;
+    const Entry &e = entries[idx];
+    if (e.used && e.fp == fp &&
+        std::memcmp(contentAt(idx), page.data(), pageSize) == 0) {
+        ++hitCount;
+        return e.csize;
+    }
+    ++missCount;
+    return notFound;
+}
+
+void
+CompressionMemo::insert(std::uint64_t fp, ConstBytes page,
+                        std::uint32_t csize)
+{
+    assert(page.size() == pageSize);
+    std::size_t idx = static_cast<std::size_t>(fp) & mask;
+    if (contents.empty())
+        contents.resize(entries.size() * pageSize);
+    Entry &e = entries[idx];
+    if (!e.used)
+        ++live;
+    e = Entry{fp, csize, true};
+    std::memcpy(contents.data() + idx * pageSize, page.data(),
+                pageSize);
+}
+
+} // namespace ariadne

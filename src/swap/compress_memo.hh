@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Cross-session compressed-size memo keyed by page content.
+ *
+ * PageCompressor's own cache is keyed by page *identity* —
+ * (uid, pfn, version, codec, chunk) — and dies with its session. A
+ * fleet worker, however, runs many sessions back to back over the
+ * same app profiles, and the population model makes apps re-touch
+ * similar pages across relaunches: the same bytes come back under
+ * fresh identities session after session. This memo closes that gap
+ * by keying on the bytes themselves, so a worker compresses each
+ * distinct page content once and every later session that produces
+ * the same bytes reuses the size.
+ *
+ * The table is direct-mapped: a splitmix-folded 64-bit fingerprint of
+ * the content (seeded with the codec and chunk size, which change the
+ * compressed size) picks one slot, and a full byte compare of the
+ * stored content confirms the hit — a fingerprint collision can cost
+ * a miss, never a wrong size. Replacement is overwrite-on-insert.
+ * Correctness does not depend on hit rate: compression is a pure
+ * function of (content, codec, chunk), so a memoized size is exactly
+ * the size a fresh compression would produce, and reports are
+ * byte-identical with the memo on or off.
+ *
+ * One memo belongs to one fleet worker thread (it sits beside the
+ * worker's PageArena) — no internal locking.
+ */
+
+#ifndef ARIADNE_SWAP_COMPRESS_MEMO_HH
+#define ARIADNE_SWAP_COMPRESS_MEMO_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/codec.hh"
+#include "mem/page.hh"
+
+namespace ariadne
+{
+
+/** Content-keyed compressed-size memo shared across sessions. */
+class CompressionMemo
+{
+  public:
+    /** Sentinel lookup() result: no entry with these bytes. */
+    static constexpr std::uint32_t notFound = UINT32_MAX;
+
+    /** @p slot_count must be a power of two (~4 KB content each). */
+    explicit CompressionMemo(std::size_t slot_count = defaultSlots);
+
+    /**
+     * Fingerprint of one page's bytes under (codec, chunk_bytes).
+     * @p page must be exactly pageSize bytes. Compute once, pass to
+     * both lookup() and insert().
+     */
+    std::uint64_t fingerprint(ConstBytes page, CodecKind codec,
+                              std::size_t chunk_bytes) const noexcept;
+
+    /** Memoized size of @p page, or notFound. Counts hit/miss. */
+    std::uint32_t lookup(std::uint64_t fp, ConstBytes page) noexcept;
+
+    /** Record @p csize for @p page, evicting the slot's occupant. */
+    void insert(std::uint64_t fp, ConstBytes page,
+                std::uint32_t csize);
+
+    /** Lookups whose stored bytes matched. */
+    std::uint64_t hits() const noexcept { return hitCount; }
+
+    /** Lookups that found nothing (or only a colliding entry). */
+    std::uint64_t misses() const noexcept { return missCount; }
+
+    /** Slots currently holding an entry. */
+    std::size_t liveEntries() const noexcept { return live; }
+
+  private:
+    /** 4096 slots * 4 KB stored content = ~16 MB per worker. */
+    static constexpr std::size_t defaultSlots = std::size_t{1} << 12;
+
+    struct Entry
+    {
+        std::uint64_t fp = 0;
+        std::uint32_t csize = 0;
+        bool used = false;
+    };
+
+    const std::uint8_t *
+    contentAt(std::size_t idx) const noexcept
+    {
+        return contents.data() + idx * pageSize;
+    }
+
+    std::vector<Entry> entries;
+    std::vector<std::uint8_t> contents; //!< slot_count stored pages
+    std::size_t mask;
+    std::size_t live = 0;
+    std::uint64_t hitCount = 0;
+    std::uint64_t missCount = 0;
+};
+
+} // namespace ariadne
+
+#endif // ARIADNE_SWAP_COMPRESS_MEMO_HH

@@ -20,11 +20,8 @@ telemetry::DurationProbe d_scan("kswapd.scan");
 } // namespace
 
 std::size_t
-Kswapd::maybeRun()
+Kswapd::runReclaim()
 {
-    if (!ctx.dram.belowLowWatermark())
-        return 0;
-
     c_wakeup.add();
     telemetry::ScopedTimer timer(d_run);
     ++runs;

@@ -32,10 +32,18 @@ class Kswapd
 
     /**
      * Run one reclaim cycle if the low watermark was breached; frees
-     * up to the high watermark.
+     * up to the high watermark. Called on every page touch, so the
+     * watermark check is the inline fast path and the reclaim cycle
+     * stays out of line.
      * @return pages reclaimed.
      */
-    std::size_t maybeRun();
+    std::size_t
+    maybeRun()
+    {
+        if (!ctx.dram.belowLowWatermark())
+            return 0;
+        return runReclaim();
+    }
 
     /**
      * CPU nanoseconds consumed on the kswapd thread: wakeup and scan
@@ -52,6 +60,9 @@ class Kswapd
     std::uint64_t reclaimedPages() const noexcept { return reclaimed; }
 
   private:
+    /** One full reclaim cycle (watermark already known breached). */
+    std::size_t runReclaim();
+
     SwapContext ctx;
     SwapScheme &target;
     Tick totalCpuNs = 0;

@@ -31,6 +31,7 @@
 #include "compress/codec.hh"
 #include "mem/page.hh"
 #include "sim/stats.hh"
+#include "swap/compress_memo.hh"
 
 namespace ariadne
 {
@@ -79,6 +80,16 @@ class PageCompressor
     std::size_t compressedSizeMany(const std::vector<PageRef> &pages,
                                    const Codec &codec,
                                    std::size_t chunk_bytes);
+
+    /**
+     * Attach a content-keyed cross-session memo (see
+     * compress_memo.hh). Consulted only after the identity-keyed
+     * cache misses, so hit/miss accounting here is unchanged; a memo
+     * hit skips the codec entirely. The memo outlives this compressor
+     * (a fleet worker shares one across all its sessions). nullptr
+     * detaches.
+     */
+    void attachMemo(CompressionMemo *m) noexcept { memo = m; }
 
     /** Cache hits observed (for tests and reports). */
     std::uint64_t cacheHits() const noexcept { return hits; }
@@ -144,6 +155,7 @@ class PageCompressor
     };
 
     const PageContentSource &content;
+    CompressionMemo *memo = nullptr; //!< optional, externally owned
     std::vector<Slot> slots;
     std::size_t liveSlots = 0;
     std::vector<std::uint8_t> scratch;      //!< one page, reused

@@ -31,7 +31,8 @@ telemetry::DurationProbe d_relaunch("sys.relaunch");
 
 MobileSystem::MobileSystem(const SystemConfig &config,
                            const std::vector<AppProfile> &profiles,
-                           PageArena *shared_arena)
+                           PageArena *shared_arena,
+                           CompressionMemo *memo)
     : cfg(config), timing(cfg.timing), appProfiles(profiles),
       ownedArena(shared_arena ? nullptr
                               : std::make_unique<PageArena>()),
@@ -60,6 +61,7 @@ MobileSystem::MobileSystem(const SystemConfig &config,
 
     synth = std::make_unique<PageSynthesizer>(appProfiles);
     pageCompressor = std::make_unique<PageCompressor>(*synth);
+    pageCompressor->attachMemo(memo);
     makeScheme();
     reclaimDaemon = std::make_unique<Kswapd>(
         SwapContext{simClock, timing, cpuAccount, activity, *dramModel,

@@ -19,13 +19,6 @@ setEnabled(bool on) noexcept
     detail::g_enabled.store(on, std::memory_order_relaxed);
 }
 
-Registry &
-Registry::global()
-{
-    static Registry instance;
-    return instance;
-}
-
 Registry::Shard &
 Registry::attachShard()
 {

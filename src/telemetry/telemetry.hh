@@ -80,8 +80,14 @@ class Registry
     /** Total slots across counters (1 each) and durations (2 each). */
     static constexpr std::size_t maxSlots = 512;
 
-    /** The process-wide registry every probe records into. */
-    static Registry &global();
+    /** The process-wide registry every probe records into. Inline so
+     * per-touch counter hits pay a guard load, not a cross-TU call. */
+    static Registry &
+    global()
+    {
+        static Registry instance;
+        return instance;
+    }
 
     /** Intern a counter name; returns its slot. Idempotent. */
     std::size_t counterSlot(const std::string &name);

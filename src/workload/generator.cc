@@ -123,17 +123,20 @@ AppInstance::execute(Tick dt)
     return events;
 }
 
-std::vector<std::uint32_t>
+const std::vector<std::uint32_t> &
 AppInstance::localityOrder(std::size_t n)
 {
-    std::vector<std::uint32_t> result;
+    std::vector<std::uint32_t> &result = orderScratch;
+    result.clear();
     result.reserve(n);
     if (n == 0)
         return result;
 
     // Unvisited index pool with O(1) removal via position map.
-    std::vector<std::uint32_t> unvisited(n);
-    std::vector<std::uint32_t> position(n);
+    std::vector<std::uint32_t> &unvisited = unvisitedScratch;
+    std::vector<std::uint32_t> &position = positionScratch;
+    unvisited.resize(n);
+    position.resize(n);
     for (std::uint32_t i = 0; i < n; ++i) {
         unvisited[i] = i;
         position[i] = i;
@@ -202,8 +205,10 @@ AppInstance::relaunch()
     // Refill to the (stable) hot-set size: promote warm pages in
     // sequential runs (new relaunch activity loads related data
     // together, preserving zpool sector locality) or allocate fresh
-    // activity data.
-    std::vector<TouchEvent> alloc_events;
+    // activity data. Pages allocated below get pfns >= first_new_pfn
+    // (pfns are handed out densely), which is how the emit loop tells
+    // a first-touch allocation from a re-touch without a hash map.
+    const Pfn first_new_pfn = nextPfn;
     while (new_hot.size() < hotTargetPages) {
         if (!warmList.empty() && rng.chance(0.7)) {
             std::size_t want = hotTargetPages - new_hot.size();
@@ -224,7 +229,6 @@ AppInstance::relaunch()
             // rebuilt below from new_hot.
             hotList.pop_back();
             new_hot.push_back(ev.pfn);
-            alloc_events.push_back(ev);
         }
     }
 
@@ -246,21 +250,16 @@ AppInstance::relaunch()
     // --- Emit the access sequence with run-based locality. ---
     std::vector<TouchEvent> events;
     events.reserve(hotList.size());
-    auto order = localityOrder(hotList.size());
-    // Newly allocated pages must fault as allocations on first touch.
-    std::unordered_map<Pfn, bool> fresh;
-    for (const auto &ev : alloc_events)
-        fresh.emplace(ev.pfn, true);
+    const auto &order = localityOrder(hotList.size());
 
     for (std::uint32_t idx : order) {
         Pfn pfn = hotList[idx];
         PageState &st = pages[pfn];
-        bool is_new = false;
-        auto it = fresh.find(pfn);
-        if (it != fresh.end() && it->second) {
-            is_new = true;
-            it->second = false;
-        }
+        // This relaunch's fresh allocations occupy the dense pfn range
+        // [first_new_pfn, nextPfn); the order is a permutation, so
+        // each appears exactly once — its first touch faults as an
+        // allocation.
+        bool is_new = pfn >= first_new_pfn;
         bool write = !is_new && rng.chance(prof.writeProb / 3.0);
         if (write)
             ++st.version;

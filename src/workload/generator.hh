@@ -20,7 +20,6 @@
 #define ARIADNE_WORKLOAD_GENERATOR_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/page.hh"
@@ -118,9 +117,13 @@ class AppInstance
     void appendGrowth(std::vector<TouchEvent> &events,
                       std::size_t target_pages);
 
-    /** Emit @p order indices with run-based locality. */
-    std::vector<std::uint32_t>
-    localityOrder(std::size_t n);
+    /**
+     * Emit @p order indices with run-based locality. Returns a
+     * reference to a member scratch vector, valid until the next
+     * call — relaunch() runs this for every hot set, so the three
+     * working vectors are reused instead of reallocated per call.
+     */
+    const std::vector<std::uint32_t> &localityOrder(std::size_t n);
 
     AppProfile prof;
     double scale;
@@ -133,6 +136,11 @@ class AppInstance
     std::vector<Pfn> prevHotList;
     std::vector<Pfn> warmList;
     std::vector<Pfn> coldList;
+
+    // localityOrder working memory, reused across calls.
+    std::vector<std::uint32_t> orderScratch;
+    std::vector<std::uint32_t> unvisitedScratch;
+    std::vector<std::uint32_t> positionScratch;
 
     Pfn nextPfn = 0;
     Tick ageNs = 0;

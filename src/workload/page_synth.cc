@@ -1,5 +1,6 @@
 #include "workload/page_synth.hh"
 
+#include <cassert>
 #include <cstring>
 
 #include "sim/rng.hh"
@@ -41,6 +42,9 @@ fillRegion(RegionType type, std::uint8_t *p, std::size_t region,
            const std::vector<std::array<std::uint8_t, 64>> &tiles,
            Rng &rng)
 {
+    assert(phrases.size() == numPhrases &&
+           ptr_bases.size() == numPtrBases &&
+           tiles.size() == numTiles);
     switch (type) {
       case RegionType::Zero:
         std::memset(p, 0, region);
@@ -49,9 +53,12 @@ fillRegion(RegionType type, std::uint8_t *p, std::size_t region,
       case RegionType::Text: {
         // Real heaps repeat the same few strings: pick one or two
         // phrases and tile them through the region, so even a 128 B
-        // window sees repetition.
-        const std::string &a = phrases[rng.below(phrases.size())];
-        const std::string &b = phrases[rng.below(phrases.size())];
+        // window sees repetition. Pool sizes are the compile-time
+        // constants (same bound values, so the draw sequence is
+        // unchanged) — below() with a constant power-of-two bound
+        // folds its two divisions into masks.
+        const std::string &a = phrases[rng.below(numPhrases)];
+        const std::string &b = phrases[rng.below(numPhrases)];
         std::size_t pos = 0;
         bool use_a = true;
         while (pos < region) {
@@ -65,7 +72,7 @@ fillRegion(RegionType type, std::uint8_t *p, std::size_t region,
       }
 
       case RegionType::Pointer: {
-        std::uint64_t base = ptr_bases[rng.below(ptr_bases.size())];
+        std::uint64_t base = ptr_bases[rng.below(numPtrBases)];
         for (std::size_t pos = 0; pos + 8 <= region; pos += 8) {
             std::uint64_t v = base + (rng.below(1 << 16) & ~7ULL);
             std::memcpy(p + pos, &v, 8);
@@ -112,11 +119,11 @@ fillRegion(RegionType type, std::uint8_t *p, std::size_t region,
         // Half of media regions tile a single block (gradients, flat
         // fills); the rest mix tiles.
         bool single = rng.chance(0.5);
-        const auto &fixed = tiles[rng.below(tiles.size())];
+        const auto &fixed = tiles[rng.below(numTiles)];
         std::size_t pos = 0;
         while (pos < region) {
             const auto &tile =
-                single ? fixed : tiles[rng.below(tiles.size())];
+                single ? fixed : tiles[rng.below(numTiles)];
             std::size_t len = std::min(tile.size(), region - pos);
             std::memcpy(p + pos, tile.data(), len);
             pos += len;

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the cross-session compression memo: fingerprint
+ * sensitivity, hit/miss bookkeeping, collision safety (a colliding
+ * slot must miss, never return a wrong size), and the property the
+ * whole design rests on — fleet reports are byte-identical with the
+ * memo on or off, for every codec and thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "codec_test_util.hh"
+#include "driver/fleet_runner.hh"
+#include "swap/compress_memo.hh"
+
+using namespace ariadne;
+using namespace ariadne::driver;
+using namespace ariadne::testutil;
+
+namespace
+{
+
+std::vector<std::uint8_t>
+page(std::uint64_t seed)
+{
+    return mixedBuffer(pageSize, seed);
+}
+
+ConstBytes
+bytes(const std::vector<std::uint8_t> &v)
+{
+    return {v.data(), v.size()};
+}
+
+} // namespace
+
+TEST(CompressMemo, FingerprintSensitivity)
+{
+    CompressionMemo memo;
+    auto p = page(1);
+    std::uint64_t fp = memo.fingerprint(bytes(p), CodecKind::Lzo, 4096);
+
+    // Same inputs, same fingerprint.
+    EXPECT_EQ(memo.fingerprint(bytes(p), CodecKind::Lzo, 4096), fp);
+
+    // Codec and chunk size change the compressed size, so they must
+    // change the key.
+    EXPECT_NE(memo.fingerprint(bytes(p), CodecKind::Lz4, 4096), fp);
+    EXPECT_NE(memo.fingerprint(bytes(p), CodecKind::Lzo, 1024), fp);
+
+    // Any content change re-keys.
+    auto q = p;
+    q[2049] ^= 1;
+    EXPECT_NE(memo.fingerprint(bytes(q), CodecKind::Lzo, 4096), fp);
+}
+
+TEST(CompressMemo, MissInsertHit)
+{
+    CompressionMemo memo;
+    auto p = page(2);
+    std::uint64_t fp = memo.fingerprint(bytes(p), CodecKind::Lzo, 4096);
+
+    EXPECT_EQ(memo.lookup(fp, bytes(p)), CompressionMemo::notFound);
+    EXPECT_EQ(memo.misses(), 1u);
+    EXPECT_EQ(memo.liveEntries(), 0u);
+
+    memo.insert(fp, bytes(p), 1234);
+    EXPECT_EQ(memo.liveEntries(), 1u);
+    EXPECT_EQ(memo.lookup(fp, bytes(p)), 1234u);
+    EXPECT_EQ(memo.hits(), 1u);
+    EXPECT_EQ(memo.misses(), 1u);
+}
+
+TEST(CompressMemo, CollidingSlotMissesInsteadOfLying)
+{
+    // Tiny table so distinct contents land on the same slot quickly.
+    CompressionMemo memo(/*slot_count=*/2);
+    auto a = page(3);
+    std::uint64_t fa = memo.fingerprint(bytes(a), CodecKind::Lzo, 4096);
+    memo.insert(fa, bytes(a), 100);
+
+    // Find another page whose fingerprint maps to the same slot.
+    for (std::uint64_t seed = 100;; ++seed) {
+        auto b = page(seed);
+        std::uint64_t fb =
+            memo.fingerprint(bytes(b), CodecKind::Lzo, 4096);
+        if (fb == fa || (fb & 1) != (fa & 1))
+            continue;
+
+        // Occupied slot, different bytes: must miss, never return
+        // a's size for b.
+        EXPECT_EQ(memo.lookup(fb, bytes(b)),
+                  CompressionMemo::notFound);
+
+        // Overwrite-on-insert: b evicts a.
+        memo.insert(fb, bytes(b), 200);
+        EXPECT_EQ(memo.liveEntries(), 1u);
+        EXPECT_EQ(memo.lookup(fb, bytes(b)), 200u);
+        EXPECT_EQ(memo.lookup(fa, bytes(a)),
+                  CompressionMemo::notFound);
+        break;
+    }
+}
+
+namespace
+{
+
+ScenarioSpec
+memoSpec(const std::string &codec, bool memo_on)
+{
+    std::string cfg = R"(
+name = test-memo
+scheme = ariadne
+scheme.config = EHL-1K-2K-16K
+scheme.codec = )" + codec +
+                      R"(
+scale = 0.0625
+seed = 11
+fleet = 4
+event = warmup
+event = repeat 6
+event =   switch_next 200ms 100ms
+event = end
+)";
+    if (!memo_on)
+        cfg += "compress_memo = off\n";
+    return ScenarioSpec::parseString(cfg);
+}
+
+std::string
+reportJson(const ScenarioSpec &spec, unsigned threads)
+{
+    FleetRunner runner(spec);
+    FleetResult r = runner.run(0, threads, /*keep_sessions=*/true);
+    std::ostringstream os;
+    r.writeJson(os, /*per_session=*/true);
+    return os.str();
+}
+
+} // namespace
+
+TEST(CompressMemo, FleetReportByteIdenticalMemoOnOrOff)
+{
+    // The acceptance property: memoization must be invisible in every
+    // report byte, whatever codec produces the sizes and however the
+    // sessions are spread over workers.
+    for (const std::string codec : {"lzo", "lz4", "bdi"}) {
+        for (unsigned threads : {1u, 2u}) {
+            std::string on =
+                reportJson(memoSpec(codec, true), threads);
+            std::string off =
+                reportJson(memoSpec(codec, false), threads);
+            EXPECT_EQ(on, off)
+                << "codec=" << codec << " threads=" << threads;
+        }
+    }
+}
+
+TEST(CompressMemo, SpecKnobRoundtrips)
+{
+    ScenarioSpec on = memoSpec("lzo", true);
+    ScenarioSpec off = memoSpec("lzo", false);
+    EXPECT_TRUE(on.compressMemo);
+    EXPECT_FALSE(off.compressMemo);
+    EXPECT_FALSE(on == off);
+    // toString()/parse round-trip preserves the knob.
+    std::istringstream is(off.toString());
+    EXPECT_FALSE(ScenarioSpec::parse(is).compressMemo);
+}
