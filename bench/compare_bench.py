@@ -48,11 +48,26 @@ def is_volatile(name):
     return name.startswith(VOLATILE_COUNTER_PREFIXES)
 
 
+def fail_usage(msg):
+    """Input problems (missing/corrupt/mismatched files) are usage
+    errors: one line on stderr, exit 2, never a traceback."""
+    print(f"compare_bench: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
 def load(path):
-    with open(path) as f:
-        doc = json.load(f)
-    if doc.get("ariadneBench") != 1:
-        sys.exit(f"{path}: not an ariadneBench v1 document")
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail_usage(f"cannot read {path}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        fail_usage(f"{path} is not valid JSON (truncated or corrupt "
+                   f"benchmark output?): {e}")
+    if not isinstance(doc, dict) or doc.get("ariadneBench") != 1:
+        fail_usage(f"{path}: not an ariadneBench v1 document")
+    if "bench" not in doc:
+        fail_usage(f"{path}: missing the 'bench' name field")
     return doc
 
 
@@ -89,7 +104,8 @@ def main():
     cur = load(args.current)
     base = load(args.baseline)
     if cur["bench"] != base["bench"]:
-        sys.exit(f"bench mismatch: {cur['bench']} vs {base['bench']}")
+        fail_usage(f"bench mismatch: {cur['bench']} vs "
+                   f"{base['bench']}")
 
     failures = []
     rows = [("kind", "metric", "current", "baseline", "delta",

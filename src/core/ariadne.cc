@@ -1,6 +1,7 @@
 #include "core/ariadne.hh"
 
 #include "sim/log.hh"
+#include "telemetry/journey.hh"
 
 namespace ariadne
 {
@@ -172,6 +173,9 @@ AriadneScheme::writebackUnit(UnitId id, bool synchronous)
         // Swap space exhausted: drop the unit (data loss).
         for (PageMeta *p : u.pages) {
             stagingBuf.invalidate(*p);
+            telemetry::journeyMark(p->key.uid, p->key.pfn,
+                                   telemetry::JourneyStep::Lost,
+                                   ctx.clock.now());
             ctx.arena.setLocation(*p, PageLocation::Lost);
             p->objectId = invalidObject;
             ++lost;
@@ -189,6 +193,9 @@ AriadneScheme::writebackUnit(UnitId id, bool synchronous)
 
     for (PageMeta *p : u.pages) {
         stagingBuf.invalidate(*p);
+        telemetry::journeyMark(p->key.uid, p->key.pfn,
+                               telemetry::JourneyStep::Writeback,
+                               ctx.clock.now(), u.csize);
         ctx.arena.setLocation(*p, PageLocation::Flash);
         p->flashSlot = slot;
     }
@@ -258,6 +265,9 @@ AriadneScheme::compressUnitPresized(std::vector<PageMeta *> batch,
 
     if (!ensureZpoolSpace(csize, synchronous)) {
         for (PageMeta *p : batch) {
+            telemetry::journeyMark(p->key.uid, p->key.pfn,
+                                   telemetry::JourneyStep::Lost,
+                                   ctx.clock.now());
             ctx.arena.setLocation(*p, PageLocation::Lost);
             ++lost;
             ctx.dram.release(1);
@@ -275,8 +285,12 @@ AriadneScheme::compressUnitPresized(std::vector<PageMeta *> batch,
             "zpool insert failed after ensureZpoolSpace");
     u.object = obj;
 
-    for (PageMeta *p : u.pages)
+    for (PageMeta *p : u.pages) {
+        telemetry::journeyMark(p->key.uid, p->key.pfn,
+                               telemetry::JourneyStep::Zram,
+                               ctx.clock.now(), csize);
         ctx.arena.setLocation(*p, PageLocation::Zpool);
+    }
 
     (level == Hotness::Cold ? coldUnitFifo : pageUnitFifo).push_back(id);
 
@@ -345,10 +359,14 @@ AriadneScheme::residentizeUnit(CompUnit &unit, PageMeta *hit)
         ctx.arena.setLocation(*p, PageLocation::Resident);
         p->objectId = invalidObject;
         p->flashSlot = invalidFlashSlot;
-        if (p == hit)
+        if (p == hit) {
             hotOrg.placeAfterSwapIn(*p, now);
-        else
+        } else {
+            telemetry::journeyMark(p->key.uid, p->key.pfn,
+                                   telemetry::JourneyStep::Resident,
+                                   now);
             hotOrg.placeColdSibling(*p, now);
+        }
         ctx.activity.dramBytes += pageSize;
     }
 }
@@ -395,6 +413,9 @@ AriadneScheme::tryStage(ZObjectId obj)
         if (ctx.arena.location(*p) != PageLocation::Zpool)
             return;
         if (stagingBuf.stage(*p)) {
+            telemetry::journeyMark(p->key.uid, p->key.pfn,
+                                   telemetry::JourneyStep::Staged,
+                                   ctx.clock.now());
             // Speculative decompression runs off the critical path:
             // CPU is charged, the faulting task's clock is not.
             chargeDecompression(p->key.uid, codec->cost(),
@@ -548,6 +569,9 @@ AriadneScheme::onFree(PageMeta &page)
       default:
         break;
     }
+    telemetry::journeyMark(page.key.uid, page.key.pfn,
+                           telemetry::JourneyStep::Free,
+                           ctx.clock.now());
     ctx.arena.setLocation(page, PageLocation::Lost);
     page.objectId = invalidObject;
     page.flashSlot = invalidFlashSlot;

@@ -62,6 +62,16 @@ class AriadneScheme : public SwapScheme, public HotnessAware
     /** Hotness capability (profile seeding, Fig. 14 scoring). */
     HotnessAware *hotness() noexcept override { return this; }
 
+    bool
+    levelPopulations(std::size_t &hot, std::size_t &warm,
+                     std::size_t &cold) const override
+    {
+        hot = hotOrg.population(Hotness::Hot);
+        warm = hotOrg.population(Hotness::Warm);
+        cold = hotOrg.population(Hotness::Cold);
+        return true;
+    }
+
     /** Seed the per-app hot-set size profile (offline profiling). */
     void seedProfile(AppId uid, std::size_t hot_pages) override;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.hh"
+#include "telemetry/journey.hh"
 #include "telemetry/telemetry.hh"
 
 namespace ariadne
@@ -16,6 +17,16 @@ namespace
 // changes) is what keeps it cheap.
 telemetry::Counter c_decayPages("hotness.decay_pages");
 telemetry::DurationProbe d_decay("hotness.decay");
+
+telemetry::JourneyStep
+journeyLevel(Hotness level) noexcept
+{
+    switch (level) {
+      case Hotness::Hot: return telemetry::JourneyStep::Hot;
+      case Hotness::Warm: return telemetry::JourneyStep::Warm;
+      default: return telemetry::JourneyStep::Cold;
+    }
+}
 
 } // namespace
 
@@ -86,6 +97,8 @@ HotnessOrg::admit(PageMeta &page, Tick now)
     // for this app (its launch data) seed the hot list; everything
     // afterwards starts cold (§4.2).
     if (!app.initialized && app.hotAdmitted < app.hotInitTarget) {
+        telemetry::journeyMark(page.key.uid, page.key.pfn,
+                               telemetry::JourneyStep::Hot, now);
         arena.setLevel(page, Hotness::Hot);
         app.hot.pushFront(page);
         ++app.hotAdmitted;
@@ -96,10 +109,14 @@ HotnessOrg::admit(PageMeta &page, Tick now)
             app.relaunchTouched.push_back(page.key);
     } else if (app.relaunchActive) {
         // Fresh allocations during a relaunch are relaunch data.
+        telemetry::journeyMark(page.key.uid, page.key.pfn,
+                               telemetry::JourneyStep::Hot, now);
         arena.setLevel(page, Hotness::Hot);
         app.hot.pushFront(page);
         noteRelaunchTouch(app, page);
     } else {
+        telemetry::journeyMark(page.key.uid, page.key.pfn,
+                               telemetry::JourneyStep::Cold, now);
         arena.setLevel(page, Hotness::Cold);
         app.cold.pushFront(page);
     }
@@ -117,6 +134,8 @@ HotnessOrg::touchResident(PageMeta &page, Tick now)
     if (app.relaunchActive && level != Hotness::Hot) {
         // Data used during relaunch belongs on the hot list.
         listOf(app, level).remove(page);
+        telemetry::journeyMark(page.key.uid, page.key.pfn,
+                               telemetry::JourneyStep::Hot, now);
         arena.setLevel(page, Hotness::Hot);
         app.hot.pushFront(page);
         return;
@@ -133,6 +152,8 @@ HotnessOrg::touchResident(PageMeta &page, Tick now)
         // Cold data accessed during execution moves to warm, like the
         // kernel's inactive -> active promotion (§4.2).
         app.cold.remove(page);
+        telemetry::journeyMark(page.key.uid, page.key.pfn,
+                               telemetry::JourneyStep::Warm, now);
         arena.setLevel(page, Hotness::Warm);
         app.warm.pushFront(page);
         break;
@@ -148,6 +169,8 @@ HotnessOrg::placeAfterSwapIn(PageMeta &page, Tick now)
     noteRelaunchTouch(app, page);
 
     Hotness level = app.relaunchActive ? Hotness::Hot : Hotness::Warm;
+    telemetry::journeyMark(page.key.uid, page.key.pfn,
+                           journeyLevel(level), now);
     arena.setLevel(page, level);
     listOf(app, level).pushFront(page);
 }
@@ -157,6 +180,8 @@ HotnessOrg::placeColdSibling(PageMeta &page, Tick now)
 {
     AppLists &app = listsFor(page.key.uid);
     arena.setLastAccess(page, now);
+    telemetry::journeyMark(page.key.uid, page.key.pfn,
+                           telemetry::JourneyStep::Cold, now);
     arena.setLevel(page, Hotness::Cold);
     app.cold.pushFront(page);
 }
@@ -188,6 +213,8 @@ HotnessOrg::beginRelaunch(AppId uid, Tick now)
     telemetry::ScopedTimer timer(d_decay);
     std::uint64_t walked = 0;
     for (PageMeta *p = app.hot.front(); p; p = p->lruNext) {
+        telemetry::journeyMark(p->key.uid, p->key.pfn,
+                               telemetry::JourneyStep::Warm, now);
         arena.setLevel(*p, Hotness::Warm);
         ++walked;
     }
@@ -260,6 +287,20 @@ HotnessOrg::listSize(AppId uid, Hotness level) const
       case Hotness::Warm: return app->warm.size();
       default: return app->cold.size();
     }
+}
+
+std::size_t
+HotnessOrg::population(Hotness level) const
+{
+    std::size_t total = 0;
+    for (const auto &app : apps) {
+        switch (level) {
+          case Hotness::Hot: total += app->hot.size(); break;
+          case Hotness::Warm: total += app->warm.size(); break;
+          default: total += app->cold.size(); break;
+        }
+    }
+    return total;
 }
 
 std::vector<PageKey>

@@ -93,6 +93,10 @@ class HotnessOrg
     /** Resident pages on @p uid's list of @p level. */
     std::size_t listSize(AppId uid, Hotness level) const;
 
+    /** Resident pages at @p level summed across every app (gauge
+     * sampling; a handful of apps, so a cheap read-only walk). */
+    std::size_t population(Hotness level) const;
+
     /**
      * The scheme's current relaunch prediction for @p uid: pages
      * touched during the most recent relaunch window (falls back to

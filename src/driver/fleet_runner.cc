@@ -14,6 +14,7 @@
 #include "swap/scheme_registry.hh"
 #include "telemetry/progress.hh"
 #include "telemetry/telemetry.hh"
+#include "telemetry/timeline.hh"
 #include "telemetry/trace_log.hh"
 #include "workload/apps.hh"
 
@@ -148,6 +149,7 @@ FleetRunner::runSession(std::size_t index, TraceRecorder *recorder,
     c_sessions.add();
     telemetry::ScopedTimer timer(d_session);
     telemetry::TraceSpan span("session", "index", index);
+    telemetry::beginSession(static_cast<std::uint32_t>(index));
     SessionResult result;
     result.index = index;
     result.seed = scenario.sessionSeed(index);

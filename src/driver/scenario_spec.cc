@@ -421,6 +421,7 @@ ScenarioSpec::systemConfig(std::size_t session_index) const
     cfg.scheme = scheme;
     cfg.schemeParams = params;
     cfg.seed = sessionSeed(session_index);
+    cfg.timelineIntervalMs = timelineIntervalMs;
     return cfg;
 }
 
@@ -467,6 +468,10 @@ ScenarioSpec::toString() const
     }
     if (!compressMemo)
         os << "compress_memo = off\n";
+    if (timelineIntervalMs != defaultTimelineIntervalMs)
+        os << "timeline_interval_ms = " << timelineIntervalMs << "\n";
+    if (journeySample != defaultJourneySample)
+        os << "journey_sample = " << journeySample << "\n";
     if (!apps.empty()) {
         os << "apps = ";
         for (std::size_t i = 0; i < apps.size(); ++i)
@@ -827,6 +832,17 @@ SpecParser::Impl::feed(const std::string &raw, std::size_t lineno)
             else
                 bad(lineno, "compress_memo must be on|off, got '" +
                                 value + "'");
+        } else if (key == "timeline_interval_ms") {
+            spec.timelineIntervalMs =
+                parseU64(value, lineno, "timeline_interval_ms");
+        } else if (key == "journey_sample") {
+            std::uint64_t v =
+                parseU64(value, lineno, "journey_sample");
+            if (v < 1)
+                bad(lineno,
+                    "journey_sample must be >= 1, got '" + value +
+                        "'");
+            spec.journeySample = v;
         } else if (key == "apps") {
             // Like every other key, a later `apps` line overrides an
             // earlier one (sweep variants rely on this to replace the
@@ -1025,7 +1041,8 @@ ScenarioSpec::operator==(const ScenarioSpec &o) const
            params == o.params && scale == o.scale && seed == o.seed &&
            fleet == o.fleet && percentiles == o.percentiles &&
            sketchK == o.sketchK && compressMemo == o.compressMemo &&
-           apps == o.apps &&
+           timelineIntervalMs == o.timelineIntervalMs &&
+           journeySample == o.journeySample && apps == o.apps &&
            program == o.program && workload == o.workload &&
            tracePath == o.tracePath &&
            replayScheme == o.replayScheme &&

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.hh"
+#include "telemetry/journey.hh"
 #include "telemetry/telemetry.hh"
 
 namespace ariadne
@@ -112,6 +113,10 @@ FlashSwapScheme::reclaim(std::size_t pages, bool direct)
             if (slot == invalidFlashSlot) {
                 // Swap space exhausted: data dropped.
                 c_swapoutDropped.add();
+                telemetry::journeyMark(victim->key.uid,
+                                       victim->key.pfn,
+                                       telemetry::JourneyStep::Lost,
+                                       ctx.clock.now());
                 ctx.arena.setLocation(*victim, PageLocation::Lost);
                 ++lost;
             } else {
@@ -123,6 +128,10 @@ FlashSwapScheme::reclaim(std::size_t pages, bool direct)
                 if (direct)
                     ctx.clock.advance(submit);
                 ctx.activity.flashWriteBytes += pageSize;
+                telemetry::journeyMark(victim->key.uid,
+                                       victim->key.pfn,
+                                       telemetry::JourneyStep::Flash,
+                                       ctx.clock.now());
                 ctx.arena.setLocation(*victim, PageLocation::Flash);
                 victim->flashSlot = slot;
             }
@@ -197,6 +206,9 @@ FlashSwapScheme::onFree(PageMeta &page)
       default:
         break;
     }
+    telemetry::journeyMark(page.key.uid, page.key.pfn,
+                           telemetry::JourneyStep::Free,
+                           ctx.clock.now());
     ctx.arena.setLocation(page, PageLocation::Lost);
 }
 

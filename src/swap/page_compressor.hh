@@ -91,6 +91,13 @@ class PageCompressor
      */
     void attachMemo(CompressionMemo *m) noexcept { memo = m; }
 
+    /** The attached cross-session memo, if any (gauge sampling). */
+    const CompressionMemo *
+    attachedMemo() const noexcept
+    {
+        return memo;
+    }
+
     /** Cache hits observed (for tests and reports). */
     std::uint64_t cacheHits() const noexcept { return hits; }
 

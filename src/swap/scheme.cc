@@ -1,7 +1,22 @@
 #include "swap/scheme.hh"
 
+#include "telemetry/telemetry.hh"
+
 namespace ariadne
 {
+
+namespace
+{
+
+// Distributions of *modeled* compression work — simulated ns and
+// compressed output bytes — recorded where every scheme charges its
+// codec costs, so the histograms cover zram, zswap and ariadne
+// uniformly, with per-app breakdowns for the leading uids.
+telemetry::AppHistogram h_compressNs("swap.compress_ns");
+telemetry::AppHistogram h_decompressNs("swap.decompress_ns");
+telemetry::AppHistogram h_compressedSize("swap.compressed_size");
+
+} // namespace
 
 void
 CompStats::add(const CompStats &o) noexcept
@@ -49,6 +64,8 @@ SwapScheme::chargeCompression(AppId uid, const CodecCost &cost,
     stats.inBytes += in_bytes;
     stats.outBytes += out_bytes;
     ++stats.compOps;
+    h_compressNs.record(uid, t);
+    h_compressedSize.record(uid, out_bytes);
     return t;
 }
 
@@ -69,6 +86,7 @@ SwapScheme::chargeDecompression(AppId uid, const CodecCost &cost,
     stats.decompNs += t;
     stats.decompBytes += out_bytes;
     ++stats.decompOps;
+    h_decompressNs.record(uid, t);
     return t;
 }
 

@@ -148,6 +148,15 @@ class SwapScheme
     /** Underlying flash swap device, when the scheme has one. */
     virtual const FlashDevice *flash() const { return nullptr; }
 
+    /** Resident page counts per hotness level, when the scheme
+     * organizes pages that way (gauge sampling only). Returns false
+     * — outputs untouched — otherwise. */
+    virtual bool
+    levelPopulations(std::size_t &, std::size_t &, std::size_t &) const
+    {
+        return false;
+    }
+
     /** Hotness-prediction capability, when the scheme has one. */
     virtual HotnessAware *hotness() noexcept { return nullptr; }
     const HotnessAware *

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.hh"
+#include "telemetry/journey.hh"
 #include "telemetry/telemetry.hh"
 
 namespace ariadne
@@ -184,6 +185,10 @@ ZramScheme::ensureZpoolSpace(std::size_t csize, bool synchronous)
                 if (synchronous)
                     ctx.clock.advance(submit);
                 c_writeback.add();
+                telemetry::journeyMark(
+                    victim->key.uid, victim->key.pfn,
+                    telemetry::JourneyStep::Writeback,
+                    ctx.clock.now());
                 ctx.arena.setLocation(*victim, PageLocation::Flash);
                 victim->flashSlot = slot;
                 victim->objectId = invalidObject;
@@ -194,6 +199,9 @@ ZramScheme::ensureZpoolSpace(std::size_t csize, bool synchronous)
         // No writeback possible: data is dropped (§2.2 — the system
         // deletes inactive compressed data, risking app termination).
         c_dropped.add();
+        telemetry::journeyMark(victim->key.uid, victim->key.pfn,
+                               telemetry::JourneyStep::Lost,
+                               ctx.clock.now());
         ctx.arena.setLocation(*victim, PageLocation::Lost);
         victim->objectId = invalidObject;
         ++lost;
@@ -217,6 +225,9 @@ ZramScheme::compressOutPresized(PageMeta &victim, bool synchronous,
 {
     c_compressOut.add();
     if (!ensureZpoolSpace(csize, synchronous)) {
+        telemetry::journeyMark(victim.key.uid, victim.key.pfn,
+                               telemetry::JourneyStep::Lost,
+                               ctx.clock.now());
         ctx.arena.setLocation(victim, PageLocation::Lost);
         ++lost;
         ctx.dram.release(1);
@@ -227,6 +238,9 @@ ZramScheme::compressOutPresized(PageMeta &victim, bool synchronous,
     panicIf(obj == invalidObject,
             "zpool insert failed after ensureZpoolSpace");
 
+    telemetry::journeyMark(victim.key.uid, victim.key.pfn,
+                           telemetry::JourneyStep::Zram,
+                           ctx.clock.now(), csize);
     ctx.arena.setLocation(victim, PageLocation::Zpool);
     victim.objectId = obj;
     compressedFifo.emplace_back(obj, &victim);
@@ -380,6 +394,9 @@ ZramScheme::onFree(PageMeta &page)
       default:
         break;
     }
+    telemetry::journeyMark(page.key.uid, page.key.pfn,
+                           telemetry::JourneyStep::Free,
+                           ctx.clock.now());
     ctx.arena.setLocation(page, PageLocation::Lost);
 }
 

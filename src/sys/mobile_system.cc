@@ -2,8 +2,12 @@
 
 #include <algorithm>
 
+#include "mem/flash.hh"
+#include "mem/zpool.hh"
 #include "sim/log.hh"
+#include "telemetry/journey.hh"
 #include "telemetry/telemetry.hh"
+#include "telemetry/timeline.hh"
 #include "telemetry/trace_log.hh"
 
 namespace ariadne
@@ -26,6 +30,31 @@ telemetry::Counter c_idle("sys.idle");
 telemetry::DurationProbe d_launch("sys.launch");
 telemetry::DurationProbe d_execute("sys.execute");
 telemetry::DurationProbe d_relaunch("sys.relaunch");
+
+// Flight-recorder gauges, sampled on the timeline_interval_ms
+// cadence (sampleGauges). Values are simulated state at simulated
+// times, so summaries are thread- and shard-invariant — except the
+// compressor.memo.* rate, whose backing memo is shared across the
+// sessions one worker happens to run (volatile, like the memo
+// counters).
+telemetry::TimelineGauge g_freePages("mem.free_pages");
+telemetry::TimelineGauge g_watermarkHeadroom("mem.watermark_headroom");
+telemetry::TimelineGauge g_zpoolBytes("swap.zpool_bytes");
+telemetry::TimelineGauge g_flashBytes("swap.flash_bytes");
+telemetry::TimelineGauge g_compressedBytes("swap.compressed_bytes");
+telemetry::TimelineGauge g_hotPages("hotness.hot_pages");
+telemetry::TimelineGauge g_warmPages("hotness.warm_pages");
+telemetry::TimelineGauge g_coldPages("hotness.cold_pages");
+telemetry::TimelineGauge
+    g_cacheHitPermille("compressor.cache_hit_permille");
+telemetry::TimelineGauge
+    g_memoHitPermille("compressor.memo.hit_permille");
+telemetry::TimelineGauge g_cpuBusyPermille("cpu.busy_permille");
+
+// Latency distributions of *simulated* nanoseconds, with per-app
+// breakdowns for the leading uids.
+telemetry::AppHistogram h_faultNs("sys.major_fault_ns");
+telemetry::AppHistogram h_relaunchNs("sys.relaunch_ns");
 
 } // namespace
 
@@ -73,6 +102,14 @@ MobileSystem::MobileSystem(const SystemConfig &config,
             std::piecewise_construct, std::forward_as_tuple(p.uid),
             std::forward_as_tuple(p, cfg.scale,
                                   mix64(cfg.seed ^ p.uid)));
+    }
+
+    // Arm the flight recorder's sampling cadence. Only when telemetry
+    // is on: disarmed, maybeSample() is one load and a branch.
+    if (telemetry::enabled() && cfg.timelineIntervalMs > 0) {
+        sampleIntervalNs =
+            static_cast<Tick>(cfg.timelineIntervalMs) * 1'000'000;
+        nextSampleNs = sampleIntervalNs;
     }
 }
 
@@ -168,6 +205,51 @@ MobileSystem::maybeKswapd()
 }
 
 void
+MobileSystem::sampleGauges()
+{
+    Tick now = simClock.now();
+    // One sample per crossing: after a long idle jump, one point
+    // lands at `now` and the cadence realigns to the next boundary.
+    nextSampleNs = now - now % sampleIntervalNs + sampleIntervalNs;
+
+    std::size_t free = dramModel->freePages();
+    std::size_t low = dramModel->lowWatermarkPages();
+    g_freePages.sample(now, free);
+    g_watermarkHeadroom.sample(now, free > low ? free - low : 0);
+
+    if (const Zpool *pool = swapScheme->zpool())
+        g_zpoolBytes.sample(now, pool->storedBytes());
+    if (const FlashDevice *fl = swapScheme->flash())
+        g_flashBytes.sample(now, fl->liveBytes());
+    g_compressedBytes.sample(now,
+                             swapScheme->compressedStoredBytes());
+
+    std::size_t hot = 0, warm = 0, cold = 0;
+    if (swapScheme->levelPopulations(hot, warm, cold)) {
+        g_hotPages.sample(now, hot);
+        g_warmPages.sample(now, warm);
+        g_coldPages.sample(now, cold);
+    }
+
+    auto permille = [](std::uint64_t part, std::uint64_t whole) {
+        return whole ? part * 1000 / whole : 0;
+    };
+    std::uint64_t ch = pageCompressor->cacheHits();
+    std::uint64_t cm = pageCompressor->cacheMisses();
+    if (ch + cm)
+        g_cacheHitPermille.sample(now, permille(ch, ch + cm));
+    if (const CompressionMemo *memo = pageCompressor->attachedMemo()) {
+        std::uint64_t mh = memo->hits();
+        std::uint64_t mm = memo->misses();
+        if (mh + mm)
+            g_memoHitPermille.sample(now, permille(mh, mh + mm));
+    }
+    if (now)
+        g_cpuBusyPermille.sample(
+            now, permille(cpuAccount.grandTotal(), now));
+}
+
+void
 MobileSystem::processTouch(AppDir &dir, const TouchEvent &ev,
                            RelaunchStats *stats)
 {
@@ -197,6 +279,9 @@ MobileSystem::processTouch(AppDir &dir, const TouchEvent &ev,
             panicIf(!dramModel->allocate(1),
                     "allocation failed after direct reclaim");
         }
+        telemetry::journeyMark(dir.uid, ev.pfn,
+                               telemetry::JourneyStep::Alloc,
+                               simClock.now());
         swapScheme->onAdmit(ref);
         cpuAccount.charge(CpuRole::AppExecution, cfg.pageTouchNs);
         simClock.advance(cfg.pageTouchNs);
@@ -204,6 +289,7 @@ MobileSystem::processTouch(AppDir &dir, const TouchEvent &ev,
         chargeFileWriteback(1);
         if (!inRelaunch)
             maybeKswapd();
+        maybeSample();
         return;
     }
 
@@ -235,6 +321,9 @@ MobileSystem::processTouch(AppDir &dir, const TouchEvent &ev,
         cpuAccount.charge(CpuRole::AppExecution, rebuild);
         simClock.advance(rebuild);
         activity.dramBytes += pageSize;
+        telemetry::journeyMark(dir.uid, ev.pfn,
+                               telemetry::JourneyStep::Recreate,
+                               simClock.now());
         break;
       }
 
@@ -248,6 +337,10 @@ MobileSystem::processTouch(AppDir &dir, const TouchEvent &ev,
             if (res.fromFlash)
                 ++stats->flashFaults;
         }
+        h_faultNs.record(dir.uid, res.latencyNs);
+        telemetry::journeyMark(dir.uid, ev.pfn,
+                               telemetry::JourneyStep::SwapIn,
+                               simClock.now(), res.latencyNs);
         cpuAccount.charge(CpuRole::AppExecution, cfg.pageTouchNs);
         simClock.advance(cfg.pageTouchNs);
         break;
@@ -257,6 +350,7 @@ MobileSystem::processTouch(AppDir &dir, const TouchEvent &ev,
     arena.setLastAccess(meta, simClock.now());
     if (!inRelaunch)
         maybeKswapd();
+    maybeSample();
 }
 
 void
@@ -313,6 +407,7 @@ MobileSystem::runExecute(AppId uid, Tick dt,
     runTouches(uid, events, nullptr);
     simClock.advanceTo(start + dt);
     maybeKswapd();
+    maybeSample();
 }
 
 void
@@ -361,6 +456,7 @@ MobileSystem::runRelaunch(AppId uid,
     stats.totalNs = sw.elapsed();
     stats.baseNs = base;
     stats.pagingNs = stats.totalNs - base;
+    h_relaunchNs.record(uid, stats.totalNs);
 
     inRelaunch = false;
     swapScheme->onRelaunchEnd(uid);
@@ -400,6 +496,7 @@ MobileSystem::idle(Tick dt)
         observer->onOp(TraceOp::Idle, invalidApp, dt, simClock.now());
     simClock.advance(dt);
     maybeKswapd();
+    maybeSample();
 }
 
 void

@@ -222,6 +222,20 @@ class MobileSystem
     void maybeKswapd();
     void chargeFileWriteback(std::size_t new_pages);
 
+    /** Flight-recorder cadence check: sample the gauges when the
+     * simulated clock crossed the next boundary. Disabled (interval
+     * 0 at construction) this is one member load and a branch. */
+    void
+    maybeSample()
+    {
+        if (nextSampleNs != 0 && simClock.now() >= nextSampleNs)
+            sampleGauges();
+    }
+
+    /** Read every gauge from live state and advance the cadence.
+     * Strictly out-of-band: reads only, never mutates. */
+    void sampleGauges();
+
     SystemConfig cfg;
     Clock simClock;
     TimingModel timing;
@@ -247,6 +261,12 @@ class MobileSystem
     bool inRelaunch = false;
     double filePageDebt = 0.0;
     std::uint64_t lostPages = 0;
+
+    /** Gauge-sampling cadence in simulated ns (0 = disarmed; set at
+     * construction from cfg.timelineIntervalMs iff telemetry is on). */
+    Tick sampleIntervalNs = 0;
+    /** Next simulated-time sampling boundary (0 = disarmed). */
+    Tick nextSampleNs = 0;
 };
 
 } // namespace ariadne

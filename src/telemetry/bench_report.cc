@@ -4,6 +4,8 @@
 
 #include "driver/json_writer.hh"
 #include "telemetry/build_info.hh"
+#include "telemetry/journey.hh"
+#include "telemetry/timeline.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
@@ -46,6 +48,42 @@ writeSnapshot(driver::JsonWriter &w,
         w.field("count", d.count);
         w.field("totalNs", d.totalNs);
         w.field("meanNs", d.meanNs());
+        w.endObject();
+    }
+    w.endObject();
+
+    w.key("gauges");
+    w.beginObject();
+    for (const auto &g : snapshot.gauges) {
+        w.key(g.name);
+        w.beginObject();
+        w.field("count", g.count);
+        w.field("sum", g.sum);
+        w.field("min", g.min);
+        w.field("max", g.max);
+        w.field("mean", g.mean());
+        w.endObject();
+    }
+    w.endObject();
+
+    w.key("histograms");
+    w.beginObject();
+    for (const auto &h : snapshot.histograms) {
+        w.key(h.name);
+        w.beginObject();
+        w.field("count", h.count());
+        w.field("sum", h.sum);
+        w.field("mean", h.mean());
+        // Log2 buckets, zero tail trimmed: buckets[b] counts values
+        // of bit width b (0, 1, 2-3, 4-7, ...).
+        std::size_t used = h.buckets.size();
+        while (used > 0 && h.buckets[used - 1] == 0)
+            --used;
+        w.key("buckets");
+        w.beginArray();
+        for (std::size_t b = 0; b < used; ++b)
+            w.value(h.buckets[b]);
+        w.endArray();
         w.endObject();
     }
     w.endObject();
@@ -99,6 +137,86 @@ writeMetricsJson(std::ostream &os, const RunMeta &meta,
     w.field("ariadneMetrics", std::uint64_t{1});
     writeMeta(w, meta);
     writeSnapshot(w, snapshot);
+    w.endObject();
+    os << "\n";
+}
+
+void
+writeTimelineJson(std::ostream &os, const RunMeta &meta,
+                  std::uint64_t interval_ms)
+{
+    const TimelineRecorder &rec = TimelineRecorder::global();
+    std::vector<std::string> names = rec.seriesNames();
+    std::vector<TimelineRecorder::Point> pts = rec.points();
+
+    driver::JsonWriter w(os);
+    w.beginObject();
+    w.field("ariadneTimeline", std::uint64_t{1});
+    writeMeta(w, meta);
+    w.field("intervalMs", interval_ms);
+    w.field("droppedPoints", rec.droppedPoints());
+    w.key("series");
+    w.beginObject();
+    std::size_t i = 0;
+    while (i < pts.size()) {
+        std::uint32_t series = pts[i].series;
+        w.key(names[series]);
+        w.beginArray();
+        for (; i < pts.size() && pts[i].series == series; ++i) {
+            w.beginObject();
+            w.field("session",
+                    static_cast<std::uint64_t>(pts[i].session));
+            w.field("tMs",
+                    static_cast<double>(pts[i].tNs) / 1'000'000.0);
+            w.field("v", pts[i].value);
+            w.endObject();
+        }
+        w.endArray();
+    }
+    w.endObject();
+    w.endObject();
+    os << "\n";
+}
+
+void
+writeJourneysJson(std::ostream &os, const RunMeta &meta,
+                  std::uint64_t sample_every)
+{
+    const JourneyLog &log = JourneyLog::global();
+    std::vector<JourneyLog::Event> evs = log.events();
+
+    driver::JsonWriter w(os);
+    w.beginObject();
+    w.field("ariadneJourneys", std::uint64_t{1});
+    writeMeta(w, meta);
+    w.field("sampleEvery", sample_every);
+    w.field("droppedEvents", log.droppedEvents());
+    w.key("pages");
+    w.beginArray();
+    std::size_t i = 0;
+    while (i < evs.size()) {
+        const JourneyLog::Event &head = evs[i];
+        w.beginObject();
+        w.field("session", static_cast<std::uint64_t>(head.session));
+        w.field("uid", static_cast<std::uint64_t>(head.uid));
+        w.field("pfn", head.pfn);
+        w.key("steps");
+        w.beginArray();
+        for (; i < evs.size() && evs[i].session == head.session &&
+               evs[i].uid == head.uid && evs[i].pfn == head.pfn;
+             ++i) {
+            w.beginObject();
+            w.field("tMs",
+                    static_cast<double>(evs[i].tNs) / 1'000'000.0);
+            w.field("step", journeyStepName(evs[i].step));
+            if (evs[i].detail != 0)
+                w.field("detail", evs[i].detail);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
     w.endObject();
     os << "\n";
 }

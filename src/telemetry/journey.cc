@@ -1,0 +1,136 @@
+#include "telemetry/journey.hh"
+
+#include <algorithm>
+#include <tuple>
+
+#include "telemetry/timeline.hh"
+
+namespace ariadne::telemetry
+{
+
+namespace detail
+{
+std::atomic<bool> g_journeyEnabled{false};
+std::atomic<std::uint64_t> g_journeySampleEvery{64};
+} // namespace detail
+
+void
+setJourneyEnabled(bool on, std::uint64_t sample_every) noexcept
+{
+    detail::g_journeySampleEvery.store(sample_every < 1 ? 1
+                                                        : sample_every,
+                                       std::memory_order_relaxed);
+    detail::g_journeyEnabled.store(on, std::memory_order_relaxed);
+}
+
+const char *
+journeyStepName(JourneyStep s) noexcept
+{
+    switch (s) {
+    case JourneyStep::Alloc:
+        return "alloc";
+    case JourneyStep::Hot:
+        return "hot";
+    case JourneyStep::Warm:
+        return "warm";
+    case JourneyStep::Cold:
+        return "cold";
+    case JourneyStep::Zram:
+        return "zram";
+    case JourneyStep::Writeback:
+        return "writeback";
+    case JourneyStep::Flash:
+        return "flash";
+    case JourneyStep::Staged:
+        return "staged";
+    case JourneyStep::SwapIn:
+        return "swapin";
+    case JourneyStep::Resident:
+        return "resident";
+    case JourneyStep::Recreate:
+        return "recreate";
+    case JourneyStep::Lost:
+        return "lost";
+    case JourneyStep::Free:
+        return "free";
+    }
+    return "?";
+}
+
+JourneyLog &
+JourneyLog::global()
+{
+    static JourneyLog instance;
+    return instance;
+}
+
+JourneyLog::Buffer &
+JourneyLog::attachBuffer()
+{
+    std::lock_guard<std::mutex> lk(mu);
+    buffers.push_back(std::make_unique<Buffer>());
+    return *buffers.back();
+}
+
+JourneyLog::Buffer &
+JourneyLog::bufferForThisThread()
+{
+    thread_local Buffer *t_buffer = nullptr;
+    if (!t_buffer)
+        t_buffer = &attachBuffer();
+    return *t_buffer;
+}
+
+void
+JourneyLog::record(std::uint32_t uid, std::uint64_t pfn,
+                   JourneyStep step, std::uint64_t t_ns,
+                   std::uint64_t detail) noexcept
+{
+    Buffer &b = bufferForThisThread();
+    if (b.events.size() >= eventCap) {
+        ++b.dropped;
+        return;
+    }
+    b.events.push_back(Event{uid, pfn, currentSession(), step, t_ns,
+                             detail, b.seq++});
+}
+
+std::vector<JourneyLog::Event>
+JourneyLog::events() const
+{
+    std::vector<Event> all;
+    std::lock_guard<std::mutex> lk(mu);
+    for (const auto &b : buffers)
+        all.insert(all.end(), b->events.begin(), b->events.end());
+    std::sort(all.begin(), all.end(),
+              [](const Event &a, const Event &b) {
+                  return std::tie(a.session, a.uid, a.pfn, a.tNs,
+                                  a.seq) < std::tie(b.session, b.uid,
+                                                    b.pfn, b.tNs,
+                                                    b.seq);
+              });
+    return all;
+}
+
+std::uint64_t
+JourneyLog::droppedEvents() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    std::uint64_t total = 0;
+    for (const auto &b : buffers)
+        total += b->dropped;
+    return total;
+}
+
+void
+JourneyLog::clear()
+{
+    std::lock_guard<std::mutex> lk(mu);
+    for (const auto &b : buffers) {
+        b->events.clear();
+        b->dropped = 0;
+        b->seq = 0;
+    }
+}
+
+} // namespace ariadne::telemetry

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Sampled page-lifecycle journey tracing.
+ *
+ * Every K-th allocated page — chosen deterministically from a
+ * splitmix64 hash of its (uid, pfn) key, so the sample set is a
+ * function of the workload and not of thread scheduling — records
+ * its state transitions with simulated timestamps: alloc, hotness
+ * moves (hot/warm/cold), compression into zram, writeback to flash,
+ * staging, swap-in, loss, recreation and free. The result is the
+ * paper's story per page: you can watch a cold page ride the
+ * FIFO into flash and pay the flash fault on relaunch.
+ *
+ * Same contract as the rest of src/telemetry/: strictly out-of-band
+ * (sites read state, never mutate it), one relaxed load + branch
+ * when disabled, per-thread bounded buffers when enabled, canonical
+ * sort on export. Events feed two sinks: the `--journeys FILE` JSON
+ * summary (grouped per page) and, when `--trace-events` is also on,
+ * instant events injected into the Chrome trace.
+ */
+
+#ifndef ARIADNE_TELEMETRY_JOURNEY_HH
+#define ARIADNE_TELEMETRY_JOURNEY_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ariadne::telemetry
+{
+
+namespace detail
+{
+/** Whether journey events are recorded; read relaxed per site. */
+extern std::atomic<bool> g_journeyEnabled;
+/** Sample every K-th page (1 = every page). */
+extern std::atomic<std::uint64_t> g_journeySampleEvery;
+} // namespace detail
+
+/** Whether journey sites record anything. */
+inline bool
+journeyEnabled() noexcept
+{
+    return detail::g_journeyEnabled.load(std::memory_order_relaxed);
+}
+
+/** Turn journey recording on or off and set the sampling stride. */
+void setJourneyEnabled(bool on,
+                       std::uint64_t sample_every = 64) noexcept;
+
+/** A page's lifecycle steps, in rough forward order. */
+enum class JourneyStep : std::uint8_t
+{
+    Alloc,     ///< first materialization in DRAM
+    Hot,       ///< classified / promoted to the hot list
+    Warm,      ///< moved to the warm list
+    Cold,      ///< moved to the cold list
+    Zram,      ///< compressed into the zpool
+    Writeback, ///< compressed block written back toward flash
+    Flash,     ///< now resident on flash swap
+    Staged,    ///< pre-decompressed into the staging buffer
+    SwapIn,    ///< major fault brought it back (detail = latency ns)
+    Resident,  ///< residentized as a sibling of a faulted unit
+    Recreate,  ///< lost content rebuilt on access
+    Lost,      ///< dropped (incompressible or out of space)
+    Free       ///< released by its owning app
+};
+
+/** Stable lowercase name of @p s (JSON event vocabulary). */
+const char *journeyStepName(JourneyStep s) noexcept;
+
+namespace detail
+{
+/** splitmix64 finalizer over the page key. */
+inline std::uint64_t
+journeyMix(std::uint64_t x) noexcept
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+} // namespace detail
+
+/** Deterministic predicate: is page (uid, pfn) in the sample? */
+inline bool
+journeySampled(std::uint32_t uid, std::uint64_t pfn) noexcept
+{
+    std::uint64_t k =
+        detail::g_journeySampleEvery.load(std::memory_order_relaxed);
+    if (k <= 1)
+        return true;
+    return detail::journeyMix(
+               (static_cast<std::uint64_t>(uid) << 40) ^ pfn) %
+               k ==
+           0;
+}
+
+/**
+ * Process-wide journey event log, buffered per thread. record() is
+ * only reached for sampled pages, so its cost is off the common
+ * path by construction.
+ */
+class JourneyLog
+{
+  public:
+    /** Max events buffered per thread before drops begin. */
+    static constexpr std::size_t eventCap = std::size_t{1} << 16;
+
+    static JourneyLog &global();
+
+    struct Event
+    {
+        std::uint32_t uid = 0;
+        std::uint64_t pfn = 0;
+        std::uint32_t session = 0;
+        JourneyStep step = JourneyStep::Alloc;
+        std::uint64_t tNs = 0;
+        /** Step-specific payload (e.g. swap-in latency ns). */
+        std::uint64_t detail = 0;
+        /** Per-thread issue order; breaks same-timestamp ties. */
+        std::uint32_t seq = 0;
+    };
+
+    /** Record one step for a sampled page at simulated @p t_ns,
+     * attributed to the calling thread's current session. */
+    void record(std::uint32_t uid, std::uint64_t pfn, JourneyStep step,
+                std::uint64_t t_ns, std::uint64_t detail = 0) noexcept;
+
+    /** Every buffered event, merged and sorted by (session, uid,
+     * pfn, time, seq) — one page's journey is contiguous and in
+     * order. */
+    std::vector<Event> events() const;
+
+    /** Events lost to per-thread buffer overflow. */
+    std::uint64_t droppedEvents() const;
+
+    /** Discard all events. */
+    void clear();
+
+  private:
+    struct Buffer
+    {
+        std::vector<Event> events;
+        std::uint64_t dropped = 0;
+        std::uint32_t seq = 0;
+    };
+
+    JourneyLog() = default;
+
+    Buffer &bufferForThisThread();
+    Buffer &attachBuffer();
+
+    mutable std::mutex mu;
+    std::vector<std::unique_ptr<Buffer>> buffers;
+};
+
+/** Site helper: record @p step for page (uid, pfn) iff journey
+ * tracing is on and the page is in the deterministic sample. Cost
+ * when disabled: one relaxed load and a branch. */
+inline void
+journeyMark(std::uint32_t uid, std::uint64_t pfn, JourneyStep step,
+            std::uint64_t t_ns, std::uint64_t detail = 0) noexcept
+{
+    if (journeyEnabled() && journeySampled(uid, pfn))
+        JourneyLog::global().record(uid, pfn, step, t_ns, detail);
+}
+
+} // namespace ariadne::telemetry
+
+#endif // ARIADNE_TELEMETRY_JOURNEY_HH

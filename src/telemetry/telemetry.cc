@@ -27,34 +27,77 @@ Registry::attachShard()
     return *shards.back();
 }
 
+namespace
+{
+
 std::size_t
-Registry::intern(const std::string &name, bool duration)
+slotWidth(Registry::Kind kind)
+{
+    switch (kind) {
+    case Registry::Kind::Counter:
+        return 1;
+    case Registry::Kind::Duration:
+        return 2;
+    case Registry::Kind::Gauge:
+        return 4;
+    case Registry::Kind::Histogram:
+        return Registry::histogramBuckets + 1;
+    }
+    return 1;
+}
+
+} // namespace
+
+std::size_t
+Registry::intern(const std::string &name, Kind kind)
 {
     std::lock_guard<std::mutex> lk(mu);
     for (const Entry &e : entries) {
-        if (e.name == name && e.isDuration == duration)
+        if (e.name == name && e.kind == kind)
             return e.slot;
     }
-    std::size_t width = duration ? 2 : 1;
+    std::size_t width = slotWidth(kind);
     panicIf(nextSlot + width > maxSlots,
             "telemetry registry slot space exhausted (raise "
             "Registry::maxSlots)");
     std::size_t slot = nextSlot;
     nextSlot += width;
-    entries.push_back(Entry{name, slot, duration});
+    entries.push_back(Entry{name, slot, kind});
     return slot;
 }
 
 std::size_t
 Registry::counterSlot(const std::string &name)
 {
-    return intern(name, /*duration=*/false);
+    return intern(name, Kind::Counter);
 }
 
 std::size_t
 Registry::durationSlot(const std::string &name)
 {
-    return intern(name, /*duration=*/true);
+    return intern(name, Kind::Duration);
+}
+
+std::size_t
+Registry::gaugeSlot(const std::string &name)
+{
+    return intern(name, Kind::Gauge);
+}
+
+std::size_t
+Registry::histogramSlot(const std::string &name)
+{
+    return intern(name, Kind::Histogram);
+}
+
+std::size_t
+AppHistogram::internApp(std::uint32_t uid)
+{
+    std::size_t b = Registry::global().histogramSlot(
+                        prefix + ".app" + std::to_string(uid)) +
+                    1;
+    perApp[uid].store(b, std::memory_order_release);
+    return b;
 }
 
 Registry::Snapshot
@@ -70,12 +113,52 @@ Registry::snapshot() const
         return total;
     };
     for (const Entry &e : entries) {
-        if (e.isDuration) {
-            snap.durations.push_back(DurationValue{
-                e.name, slot_total(e.slot + 1), slot_total(e.slot)});
-        } else {
+        switch (e.kind) {
+        case Kind::Counter:
             snap.counters.push_back(
                 CounterValue{e.name, slot_total(e.slot)});
+            break;
+        case Kind::Duration:
+            snap.durations.push_back(DurationValue{
+                e.name, slot_total(e.slot + 1), slot_total(e.slot)});
+            break;
+        case Kind::Gauge: {
+            // min/max are only meaningful in shards whose thread
+            // actually recorded (count > 0), so widen per shard.
+            GaugeValue g;
+            g.name = e.name;
+            for (const auto &shard : shards) {
+                std::uint64_t n = shard->slots[e.slot].load(
+                    std::memory_order_relaxed);
+                if (n == 0)
+                    continue;
+                std::uint64_t lo = shard->slots[e.slot + 2].load(
+                    std::memory_order_relaxed);
+                std::uint64_t hi = shard->slots[e.slot + 3].load(
+                    std::memory_order_relaxed);
+                if (g.count == 0) {
+                    g.min = lo;
+                    g.max = hi;
+                } else {
+                    g.min = std::min(g.min, lo);
+                    g.max = std::max(g.max, hi);
+                }
+                g.count += n;
+                g.sum += shard->slots[e.slot + 1].load(
+                    std::memory_order_relaxed);
+            }
+            snap.gauges.push_back(std::move(g));
+            break;
+        }
+        case Kind::Histogram: {
+            HistogramValue h;
+            h.name = e.name;
+            for (std::size_t b = 0; b < histogramBuckets; ++b)
+                h.buckets[b] = slot_total(e.slot + b);
+            h.sum = slot_total(e.slot + histogramBuckets);
+            snap.histograms.push_back(std::move(h));
+            break;
+        }
         }
     }
     auto by_name = [](const auto &a, const auto &b) {
@@ -83,6 +166,9 @@ Registry::snapshot() const
     };
     std::sort(snap.counters.begin(), snap.counters.end(), by_name);
     std::sort(snap.durations.begin(), snap.durations.end(), by_name);
+    std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+    std::sort(snap.histograms.begin(), snap.histograms.end(),
+              by_name);
     return snap;
 }
 
@@ -113,6 +199,28 @@ Registry::Snapshot::duration(const std::string &name) const noexcept
     return DurationValue{name, 0, 0};
 }
 
+Registry::GaugeValue
+Registry::Snapshot::gauge(const std::string &name) const noexcept
+{
+    for (const GaugeValue &g : gauges)
+        if (g.name == name)
+            return g;
+    GaugeValue g;
+    g.name = name;
+    return g;
+}
+
+Registry::HistogramValue
+Registry::Snapshot::histogram(const std::string &name) const noexcept
+{
+    for (const HistogramValue &h : histograms)
+        if (h.name == name)
+            return h;
+    HistogramValue h;
+    h.name = name;
+    return h;
+}
+
 void
 Registry::Snapshot::merge(const Snapshot &o)
 {
@@ -141,6 +249,43 @@ Registry::Snapshot::merge(const Snapshot &o)
     durations.clear();
     for (auto &[name, d] : ds)
         durations.push_back(std::move(d));
+
+    std::map<std::string, GaugeValue> gs;
+    for (const GaugeValue &g : gauges)
+        gs[g.name] = g;
+    for (const GaugeValue &g : o.gauges) {
+        auto [it, inserted] = gs.emplace(g.name, g);
+        if (inserted || g.count == 0)
+            continue;
+        GaugeValue &m = it->second;
+        if (m.count == 0) {
+            m.min = g.min;
+            m.max = g.max;
+        } else {
+            m.min = std::min(m.min, g.min);
+            m.max = std::max(m.max, g.max);
+        }
+        m.count += g.count;
+        m.sum += g.sum;
+    }
+    gauges.clear();
+    for (auto &[name, g] : gs)
+        gauges.push_back(std::move(g));
+
+    std::map<std::string, HistogramValue> hs;
+    for (const HistogramValue &h : histograms)
+        hs[h.name] = h;
+    for (const HistogramValue &h : o.histograms) {
+        auto [it, inserted] = hs.emplace(h.name, h);
+        if (inserted)
+            continue;
+        for (std::size_t b = 0; b < histogramBuckets; ++b)
+            it->second.buckets[b] += h.buckets[b];
+        it->second.sum += h.sum;
+    }
+    histograms.clear();
+    for (auto &[name, h] : hs)
+        histograms.push_back(std::move(h));
 }
 
 } // namespace ariadne::telemetry

@@ -20,14 +20,25 @@
  * future fleet launcher fold workers' metrics files together.
  *
  * Naming convention: `subsystem.verb` (e.g. `sys.touch`,
- * `kswapd.wakeup`, `compressor.compress.lzo`). Counters and duration
- * accumulators live in separate namespaces keyed by these names.
+ * `kswapd.wakeup`, `compressor.compress.lzo`). Counters, durations,
+ * gauges and histograms live in separate namespaces keyed by these
+ * names.
+ *
+ * Beyond counters and durations, the registry carries two sampled
+ * kinds: gauges (point-in-time readings of simulator state — zram
+ * occupancy, free pages — summarized as count/sum/min/max) and
+ * fixed-bucket log2 histograms (distributions of simulated latencies
+ * and sizes). Both are fed *simulated* values at simulated times, so
+ * their merged totals are invariant across thread counts and shard
+ * splits, exactly like counters.
  */
 
 #ifndef ARIADNE_TELEMETRY_TELEMETRY_HH
 #define ARIADNE_TELEMETRY_TELEMETRY_HH
 
+#include <array>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -77,8 +88,22 @@ hostNowNs() noexcept
 class Registry
 {
   public:
-    /** Total slots across counters (1 each) and durations (2 each). */
-    static constexpr std::size_t maxSlots = 512;
+    /** Total slots across counters (1 each), durations (2 each),
+     * gauges (4 each) and histograms (histogramBuckets + 1 each). */
+    static constexpr std::size_t maxSlots = 4096;
+
+    /** Log2 buckets per histogram: bucket b counts values whose
+     * bit width is b (0, 1, 2–3, 4–7, …), saturating at the top. */
+    static constexpr std::size_t histogramBuckets = 32;
+
+    /** The four metric kinds the slot space is partitioned into. */
+    enum class Kind
+    {
+        Counter,
+        Duration,
+        Gauge,
+        Histogram
+    };
 
     /** The process-wide registry every probe records into. Inline so
      * per-touch counter hits pay a guard load, not a cross-TU call. */
@@ -96,6 +121,15 @@ class Registry
      * count) slot pair. Idempotent. */
     std::size_t durationSlot(const std::string &name);
 
+    /** Intern a gauge name; returns the base of its (count, sum,
+     * min, max) slot quad. Idempotent. */
+    std::size_t gaugeSlot(const std::string &name);
+
+    /** Intern a histogram name; returns the base of its
+     * histogramBuckets bucket slots followed by a sum slot.
+     * Idempotent. */
+    std::size_t histogramSlot(const std::string &name);
+
     /** Add @p delta to @p slot in this thread's shard. */
     void
     add(std::size_t slot, std::uint64_t delta) noexcept
@@ -111,6 +145,48 @@ class Registry
         Shard &s = shardForThisThread();
         s.slots[base].fetch_add(ns, std::memory_order_relaxed);
         s.slots[base + 1].fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Record one gauge sample against a gaugeSlot() base. Each shard
+     * has exactly one writer (its thread), so min/max can be plain
+     * relaxed load/store — no CAS loop. */
+    void
+    recordGauge(std::size_t base, std::uint64_t v) noexcept
+    {
+        Shard &s = shardForThisThread();
+        std::uint64_t n =
+            s.slots[base].fetch_add(1, std::memory_order_relaxed);
+        s.slots[base + 1].fetch_add(v, std::memory_order_relaxed);
+        if (n == 0) {
+            s.slots[base + 2].store(v, std::memory_order_relaxed);
+            s.slots[base + 3].store(v, std::memory_order_relaxed);
+        } else {
+            if (v < s.slots[base + 2].load(std::memory_order_relaxed))
+                s.slots[base + 2].store(v, std::memory_order_relaxed);
+            if (v > s.slots[base + 3].load(std::memory_order_relaxed))
+                s.slots[base + 3].store(v, std::memory_order_relaxed);
+        }
+    }
+
+    /** Bucket index of @p v: its bit width, saturated to the top
+     * bucket. Bucket b spans [2^(b-1), 2^b) for b >= 1; bucket 0 is
+     * exactly zero. */
+    static std::size_t
+    histogramBucket(std::uint64_t v) noexcept
+    {
+        std::size_t b = static_cast<std::size_t>(std::bit_width(v));
+        return b < histogramBuckets ? b : histogramBuckets - 1;
+    }
+
+    /** Record one value against a histogramSlot() base. */
+    void
+    recordHistogram(std::size_t base, std::uint64_t v) noexcept
+    {
+        Shard &s = shardForThisThread();
+        s.slots[base + histogramBucket(v)].fetch_add(
+            1, std::memory_order_relaxed);
+        s.slots[base + histogramBuckets].fetch_add(
+            v, std::memory_order_relaxed);
     }
 
     struct CounterValue
@@ -135,11 +211,59 @@ class Registry
         }
     };
 
+    struct GaugeValue
+    {
+        std::string name;
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        /** Valid only when count > 0. */
+        std::uint64_t min = 0;
+        std::uint64_t max = 0;
+
+        /** Mean sampled value (0 when empty). */
+        double
+        mean() const noexcept
+        {
+            return count ? static_cast<double>(sum) /
+                               static_cast<double>(count)
+                         : 0.0;
+        }
+    };
+
+    struct HistogramValue
+    {
+        std::string name;
+        std::array<std::uint64_t, histogramBuckets> buckets = {};
+        std::uint64_t sum = 0;
+
+        /** Total recorded values (sum of buckets). */
+        std::uint64_t
+        count() const noexcept
+        {
+            std::uint64_t n = 0;
+            for (std::uint64_t b : buckets)
+                n += b;
+            return n;
+        }
+
+        /** Mean recorded value (0 when empty). */
+        double
+        mean() const noexcept
+        {
+            std::uint64_t n = count();
+            return n ? static_cast<double>(sum) /
+                           static_cast<double>(n)
+                     : 0.0;
+        }
+    };
+
     /** Merged view of every shard, sorted by name. */
     struct Snapshot
     {
         std::vector<CounterValue> counters;
         std::vector<DurationValue> durations;
+        std::vector<GaugeValue> gauges;
+        std::vector<HistogramValue> histograms;
 
         /** Value of counter @p name (0 when absent). */
         std::uint64_t counter(const std::string &name) const noexcept;
@@ -147,8 +271,16 @@ class Registry
         /** Duration record for @p name (zeros when absent). */
         DurationValue duration(const std::string &name) const noexcept;
 
-        /** Fold @p o into this by name (values add) — the cross-shard
-         * merge a distributed launcher performs on workers' metrics. */
+        /** Gauge record for @p name (zeros when absent). */
+        GaugeValue gauge(const std::string &name) const noexcept;
+
+        /** Histogram record for @p name (zeros when absent). */
+        HistogramValue
+        histogram(const std::string &name) const noexcept;
+
+        /** Fold @p o into this by name (counters/durations/histogram
+         * buckets add; gauge min/max widen) — the cross-shard merge a
+         * distributed launcher performs on workers' metrics. */
         void merge(const Snapshot &o);
     };
 
@@ -180,13 +312,14 @@ class Registry
     }
 
     Shard &attachShard();
-    std::size_t intern(const std::string &name, bool duration);
+
+    std::size_t intern(const std::string &name, Kind kind);
 
     struct Entry
     {
         std::string name;
         std::size_t slot = 0;
-        bool isDuration = false;
+        Kind kind = Kind::Counter;
     };
 
     mutable std::mutex mu;
@@ -217,6 +350,94 @@ class Counter
 
   private:
     std::size_t slot;
+};
+
+/**
+ * A named sampled gauge. sample() records one point-in-time reading
+ * of simulator state; the registry keeps count/sum/min/max so the
+ * metrics report can summarize without storing every point. The raw
+ * series goes to the TimelineRecorder (timeline.hh) separately.
+ */
+class Gauge
+{
+  public:
+    explicit Gauge(const char *name)
+        : base(Registry::global().gaugeSlot(name))
+    {
+    }
+
+    void
+    sample(std::uint64_t v) noexcept
+    {
+        if (enabled())
+            Registry::global().recordGauge(base, v);
+    }
+
+  private:
+    std::size_t base;
+};
+
+/** A named fixed-bucket log2 histogram of simulated values. */
+class Histogram
+{
+  public:
+    explicit Histogram(const char *name)
+        : base(Registry::global().histogramSlot(name))
+    {
+    }
+
+    void
+    record(std::uint64_t v) noexcept
+    {
+        if (enabled())
+            Registry::global().recordHistogram(base, v);
+    }
+
+  private:
+    std::size_t base;
+};
+
+/**
+ * A histogram with per-app label breakdowns: every record() feeds the
+ * aggregate histogram, and values for the first maxLabeledApps uids
+ * (the paper's Table-1 roster leads the standard app list) also feed
+ * a `NAME.appU` histogram, interned lazily on first sight. Interning
+ * is idempotent under the registry lock, so racing first-records are
+ * safe.
+ */
+class AppHistogram
+{
+  public:
+    static constexpr std::size_t maxLabeledApps = 8;
+
+    explicit AppHistogram(const char *name)
+        : base(Registry::global().histogramSlot(name)), prefix(name)
+    {
+    }
+
+    void
+    record(std::uint32_t uid, std::uint64_t v) noexcept
+    {
+        if (!enabled())
+            return;
+        Registry &r = Registry::global();
+        r.recordHistogram(base, v);
+        if (uid < maxLabeledApps) {
+            std::size_t b =
+                perApp[uid].load(std::memory_order_acquire);
+            if (b == 0)
+                b = internApp(uid);
+            r.recordHistogram(b - 1, v);
+        }
+    }
+
+  private:
+    /** Intern `prefix.appU`; returns slot base + 1 (0 = unset). */
+    std::size_t internApp(std::uint32_t uid);
+
+    std::size_t base;
+    std::string prefix;
+    std::atomic<std::size_t> perApp[maxLabeledApps] = {};
 };
 
 /** A named duration accumulator; pair with ScopedTimer. */

@@ -75,6 +75,37 @@ TraceLog::complete(const char *name, std::uint64_t start_ns,
 }
 
 void
+TraceLog::instant(std::string name, std::uint64_t ts_ns,
+                  std::uint32_t tid, const char *arg_key,
+                  std::uint64_t arg_value)
+{
+    Buffer &buf = bufferForThisThread();
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.tsNs = ts_ns;
+    ev.tid = tid;
+    ev.phase = 'i';
+    if (arg_key) {
+        ev.argKey = arg_key;
+        ev.argValue = arg_value;
+    }
+    buf.events.push_back(std::move(ev));
+}
+
+void
+TraceLog::nameSyntheticThread(std::uint32_t tid,
+                              const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(mu);
+    for (auto &[t, n] : syntheticNames)
+        if (t == tid) {
+            n = name;
+            return;
+        }
+    syntheticNames.emplace_back(tid, name);
+}
+
+void
 TraceLog::nameThisThread(const std::string &name)
 {
     if (!traceEnabled())
@@ -107,6 +138,8 @@ TraceLog::threadNames() const
     for (const auto &buf : buffers)
         if (!buf->threadName.empty())
             names.emplace_back(buf->tid, buf->threadName);
+    names.insert(names.end(), syntheticNames.begin(),
+                 syntheticNames.end());
     return names;
 }
 
@@ -132,14 +165,17 @@ TraceLog::writeChromeTrace(std::ostream &os) const
     }
     for (const TraceEvent &ev : events()) {
         w.beginObject();
-        w.field("ph", "X");
+        w.field("ph", ev.phase == 'i' ? "i" : "X");
         w.field("name", ev.name);
         w.field("pid", 1);
         w.field("tid", static_cast<std::uint64_t>(ev.tid));
         // Trace-event timestamps are microseconds; keep sub-us
         // precision as a decimal fraction.
         w.field("ts", static_cast<double>(ev.tsNs) / 1000.0);
-        w.field("dur", static_cast<double>(ev.durNs) / 1000.0);
+        if (ev.phase == 'i')
+            w.field("s", "t"); // thread-scoped instant mark
+        else
+            w.field("dur", static_cast<double>(ev.durNs) / 1000.0);
         if (!ev.argKey.empty()) {
             w.key("args");
             w.beginObject();
@@ -161,6 +197,7 @@ TraceLog::clear()
         buf->events.clear();
         buf->threadName.clear();
     }
+    syntheticNames.clear();
 }
 
 } // namespace ariadne::telemetry

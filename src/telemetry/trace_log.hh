@@ -10,10 +10,15 @@
  * log is strictly out-of-band — recording never touches simulator
  * state, so traced runs produce byte-identical reports.
  *
- * Only "complete" events (ph = "X": name, ts, dur) plus thread-name
- * metadata events are emitted; that is the subset every trace viewer
- * renders as nested span timelines. Timestamps are microseconds since
- * the log's origin (its construction, reset by clear()).
+ * Two phases are emitted alongside thread-name metadata events:
+ * "complete" spans (ph = "X": name, ts, dur) — the subset every
+ * trace viewer renders as nested span timelines — and thread-scoped
+ * "instant" marks (ph = "i"), used by the journey tracer to inject
+ * page-lifecycle steps onto synthetic per-session tracks (those
+ * carry *simulated* timestamps; host spans carry host time — the
+ * shared axis is documented, not reconciled). Timestamps are
+ * microseconds since the log's origin (its construction, reset by
+ * clear()).
  */
 
 #ifndef ARIADNE_TELEMETRY_TRACE_LOG_HH
@@ -58,6 +63,7 @@ struct TraceEvent
     /** Optional single argument rendered into "args". */
     std::string argKey;
     std::uint64_t argValue = 0;
+    char phase = 'X'; //!< 'X' complete span, 'i' instant mark
 };
 
 /** Process-wide span log with per-thread buffers. */
@@ -74,9 +80,21 @@ class TraceLog
                   std::uint64_t end_ns, const char *arg_key = nullptr,
                   std::uint64_t arg_value = 0);
 
+    /** Record one instant mark (ph = "i") on an explicit track @p tid
+     * — used at export time to inject events whose timeline identity
+     * is synthetic (journey tracks per session) rather than the
+     * recording thread. */
+    void instant(std::string name, std::uint64_t ts_ns,
+                 std::uint32_t tid, const char *arg_key = nullptr,
+                 std::uint64_t arg_value = 0);
+
     /** Name the calling thread in the exported timeline (emitted as a
      * thread_name metadata event). No-op while tracing is disabled. */
     void nameThisThread(const std::string &name);
+
+    /** Name a synthetic track @p tid (pair with instant()). */
+    void nameSyntheticThread(std::uint32_t tid,
+                             const std::string &name);
 
     /** All recorded spans merged across threads, by start time. */
     std::vector<TraceEvent> events() const;
@@ -113,6 +131,8 @@ class TraceLog
     mutable std::mutex mu;
     std::vector<std::unique_ptr<Buffer>> buffers;
     std::uint32_t nextTid = 1;
+    /** (tid, name) for synthetic tracks (not backed by a thread). */
+    std::vector<std::pair<std::uint32_t, std::string>> syntheticNames;
 };
 
 /**

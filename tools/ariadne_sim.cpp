@@ -51,8 +51,10 @@
 #include "sim/log.hh"
 #include "swap/scheme_registry.hh"
 #include "telemetry/bench_report.hh"
+#include "telemetry/journey.hh"
 #include "telemetry/progress.hh"
 #include "telemetry/telemetry.hh"
+#include "telemetry/timeline.hh"
 #include "telemetry/trace_log.hh"
 #include "workload/trace.hh"
 
@@ -123,11 +125,28 @@ usage(std::ostream &os)
           "  --list-events    document the event vocabulary and exit\n"
           "  --list-schemes   list every registered scheme with its "
           "knob schema\n"
-          "  --metrics FILE   write the run's telemetry counters and "
-          "duration\n"
-          "                   accumulators as JSON (out-of-band: the "
-          "report is\n"
-          "                   byte-identical with or without it)\n"
+          "  --metrics FILE   write the run's telemetry counters, "
+          "durations,\n"
+          "                   gauges and histograms as JSON ('-' = "
+          "stdout;\n"
+          "                   out-of-band: the report is "
+          "byte-identical with\n"
+          "                   or without it)\n"
+          "  --timeline FILE  write sampled gauge time-series as JSON "
+          "('-' =\n"
+          "                   stdout; one point per "
+          "timeline_interval_ms of\n"
+          "                   simulated time per session)\n"
+          "  --journeys FILE  write sampled page-lifecycle journeys "
+          "as JSON\n"
+          "                   ('-' = stdout; every journey_sample-th "
+          "page,\n"
+          "                   chosen deterministically by page key). "
+          "With\n"
+          "                   --trace-events the journeys also appear "
+          "as\n"
+          "                   instant events on synthetic trace "
+          "threads\n"
           "  --trace-events FILE\n"
           "                   write a Chrome trace-event timeline of "
           "the run\n"
@@ -271,18 +290,23 @@ struct Options
     int verbosity = 0; // count of -v (1 = info, 2+ = debug)
     std::string metricsPath;
     std::string traceEventsPath;
+    std::string timelinePath;
+    std::string journeysPath;
     bool progress = false;
 };
 
 /**
- * Stream for human-readable status output. `--json -` / `--partial -`
- * hand stdout to a JSON consumer, so every summary, status line and
+ * Stream for human-readable status output. A '-' path (`--json -`,
+ * `--partial -`, `--metrics -`, `--timeline -`, `--journeys -`) hands
+ * stdout to a JSON consumer, so every summary, status line and
  * heartbeat must go to stderr to keep the stream pure JSON.
  */
 std::ostream &
 statusStream(const Options &opt)
 {
-    if (opt.jsonPath == "-" || opt.partialPath == "-")
+    if (opt.jsonPath == "-" || opt.partialPath == "-" ||
+        opt.metricsPath == "-" || opt.timelinePath == "-" ||
+        opt.journeysPath == "-")
         return std::cerr;
     return std::cout;
 }
@@ -409,6 +433,14 @@ parseArgs(int argc, char **argv, Options &opt)
             if (!need_value(i, arg))
                 return false;
             opt.traceEventsPath = argv[++i];
+        } else if (!std::strcmp(arg, "--timeline")) {
+            if (!need_value(i, arg))
+                return false;
+            opt.timelinePath = argv[++i];
+        } else if (!std::strcmp(arg, "--journeys")) {
+            if (!need_value(i, arg))
+                return false;
+            opt.journeysPath = argv[++i];
         } else if (!std::strcmp(arg, "--progress")) {
             opt.progress = true;
         } else {
@@ -496,6 +528,17 @@ parseArgs(int argc, char **argv, Options &opt)
         std::cerr << "ariadne_sim: --record forces --threads 1 (the "
                      "trace serializes sessions in index order)\n";
         opt.threads = 1;
+    }
+    int stdout_claims = (opt.jsonPath == "-" ? 1 : 0) +
+                        (opt.partialPath == "-" ? 1 : 0) +
+                        (opt.metricsPath == "-" ? 1 : 0) +
+                        (opt.timelinePath == "-" ? 1 : 0) +
+                        (opt.journeysPath == "-" ? 1 : 0) +
+                        (opt.traceEventsPath == "-" ? 1 : 0);
+    if (stdout_claims > 1) {
+        std::cerr << "ariadne_sim: only one artifact can stream to "
+                     "stdout ('-'); give the others real paths\n";
+        return false;
     }
     return true;
 }
@@ -618,11 +661,13 @@ emitPartial(const Options &opt, const report::PartialReport &p)
 /**
  * Arm telemetry and the progress meter for a run of @p total sessions
  * (0 = unknown) labeled @p label. Called after config parsing so a
- * usage error never produces telemetry files.
+ * usage error never produces telemetry files. @p journey_sample is
+ * the scenario's journey_sample knob (sample every K-th page).
  */
 void
 startObservability(const Options &opt, std::uint64_t total,
-                   const std::string &label)
+                   const std::string &label,
+                   std::uint64_t journey_sample)
 {
     if (!opt.metricsPath.empty())
         telemetry::setEnabled(true);
@@ -630,41 +675,105 @@ startObservability(const Options &opt, std::uint64_t total,
         telemetry::setEnabled(true);
         telemetry::setTraceEnabled(true);
     }
+    if (!opt.timelinePath.empty()) {
+        // Gauge sampling rides the telemetry master switch; the
+        // timeline switch additionally records each sample as a
+        // time-series point.
+        telemetry::setEnabled(true);
+        telemetry::setTimelineEnabled(true);
+    }
+    if (!opt.journeysPath.empty())
+        telemetry::setJourneyEnabled(true, journey_sample);
     if (opt.progress)
         telemetry::ProgressMeter::global().enable(total, label);
 }
 
+/** Write one out-of-band JSON artifact to @p path ('-' = stdout);
+ * returns 1 on an unwritable path, else 0. */
+template <typename WriteFn>
+int
+emitArtifact(const std::string &path, WriteFn &&write)
+{
+    if (path == "-") {
+        write(std::cout);
+        return 0;
+    }
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "ariadne_sim: cannot write " << path << "\n";
+        return 1;
+    }
+    write(out);
+    return 0;
+}
+
 /**
- * Emit the out-of-band artifacts (--metrics / --trace-events) and the
- * final progress line. Never touches stdout unless the artifact path
- * is explicitly stdout-free; returns 1 on an unwritable path.
+ * Inject the recorded page journeys into the Chrome trace as instant
+ * events, one synthetic thread per session so each session's journeys
+ * form their own named track. Journey timestamps are *simulated* ns
+ * (host-time spans and sim-time instants share the timeline; the
+ * track name flags the difference).
+ */
+void
+injectJourneysIntoTrace()
+{
+    telemetry::TraceLog &log = telemetry::TraceLog::global();
+    for (const telemetry::JourneyLog::Event &e :
+         telemetry::JourneyLog::global().events()) {
+        std::uint32_t tid = 1000 + e.session;
+        log.nameSyntheticThread(
+            tid, "journeys session " + std::to_string(e.session));
+        std::string name = "u" + std::to_string(e.uid) + ".p" +
+                           std::to_string(e.pfn) + " " +
+                           telemetry::journeyStepName(e.step);
+        log.instant(std::move(name), e.tNs, tid,
+                    e.detail ? "detail" : nullptr, e.detail);
+    }
+}
+
+/**
+ * Emit the out-of-band artifacts (--metrics / --timeline / --journeys
+ * / --trace-events) and the final progress line. Never touches stdout
+ * unless an artifact path is explicitly '-'; returns 1 on an
+ * unwritable path. @p interval_ms is the run's sampling cadence for
+ * the timeline header (0 = mixed/unknown, e.g. across sweep
+ * variants); @p journey_sample its sampling stride.
  */
 int
 finishObservability(const Options &opt, const std::string &scenario,
-                    const std::string &spec_text)
+                    const std::string &spec_text,
+                    std::uint64_t interval_ms,
+                    std::uint64_t journey_sample)
 {
     if (opt.progress) {
         telemetry::ProgressMeter::global().finish();
         telemetry::ProgressMeter::global().disable();
     }
+    telemetry::RunMeta meta = telemetry::RunMeta::current();
+    meta.threads = opt.threads;
+    meta.scenario = scenario;
+    meta.scenarioHash =
+        spec_text.empty() ? 0 : report::fnv1a64(spec_text);
     int rc = 0;
     if (!opt.metricsPath.empty()) {
-        telemetry::RunMeta meta = telemetry::RunMeta::current();
-        meta.threads = opt.threads;
-        meta.scenario = scenario;
-        meta.scenarioHash =
-            spec_text.empty() ? 0 : report::fnv1a64(spec_text);
-        std::ofstream out(opt.metricsPath);
-        if (!out) {
-            std::cerr << "ariadne_sim: cannot write " << opt.metricsPath
-                      << "\n";
-            rc = 1;
-        } else {
+        rc |= emitArtifact(opt.metricsPath, [&](std::ostream &os) {
             telemetry::writeMetricsJson(
-                out, meta, telemetry::Registry::global().snapshot());
-        }
+                os, meta, telemetry::Registry::global().snapshot());
+        });
+    }
+    if (!opt.timelinePath.empty()) {
+        rc |= emitArtifact(opt.timelinePath, [&](std::ostream &os) {
+            telemetry::writeTimelineJson(os, meta, interval_ms);
+        });
+    }
+    if (!opt.journeysPath.empty()) {
+        rc |= emitArtifact(opt.journeysPath, [&](std::ostream &os) {
+            telemetry::writeJourneysJson(os, meta, journey_sample);
+        });
     }
     if (!opt.traceEventsPath.empty()) {
+        if (telemetry::journeyEnabled())
+            injectJourneysIntoTrace();
         std::ofstream out(opt.traceEventsPath);
         if (!out) {
             std::cerr << "ariadne_sim: cannot write "
@@ -708,7 +817,8 @@ runScenario(const Options &opt)
     if (opt.sharded) {
         auto [begin, end] = opt.shard.sessionRange(fleet);
         startObservability(opt, end - begin,
-                           "shard " + opt.shard.toString());
+                           "shard " + opt.shard.toString(),
+                           runner.spec().journeySample);
         report::PartialReport part =
             runner.runShard(opt.shard, opt.fleet, opt.threads);
         if (!opt.quiet)
@@ -719,10 +829,13 @@ runScenario(const Options &opt)
                 << part.fleet.fleet << "\n";
         int rc = emitPartial(opt, part);
         int obs = finishObservability(opt, runner.spec().name,
-                                      runner.spec().toString());
+                                      runner.spec().toString(),
+                                      runner.spec().timelineIntervalMs,
+                                      runner.spec().journeySample);
         return rc ? rc : obs;
     }
-    startObservability(opt, fleet, runner.spec().name);
+    startObservability(opt, fleet, runner.spec().name,
+                       runner.spec().journeySample);
     // Sessions are only worth retaining when a JSON report will
     // actually carry them; otherwise streaming keeps memory bounded.
     bool keep = opt.perSession && !opt.jsonPath.empty();
@@ -739,7 +852,9 @@ runScenario(const Options &opt)
         printSummary(statusStream(opt), result);
     int rc = emitJson(opt, result);
     int obs = finishObservability(opt, runner.spec().name,
-                                  runner.spec().toString());
+                                  runner.spec().toString(),
+                                  runner.spec().timelineIntervalMs,
+                                  runner.spec().journeySample);
     return rc ? rc : obs;
 }
 
@@ -752,7 +867,11 @@ runSweep(const Options &opt, const SweepSpec &sweep)
     }
     // Sweep session totals are not known up front (variants may carry
     // their own fleet sizes); heartbeats omit percentage and ETA.
-    startObservability(opt, 0, sweep.name);
+    // Variants may disagree on the sampling knobs, so the timeline
+    // header reports a mixed cadence (0) and journeys use the default
+    // stride.
+    startObservability(opt, 0, sweep.name,
+                       ScenarioSpec::defaultJourneySample);
     if (opt.sharded) {
         report::PartialReport part = FleetRunner::runSweepShard(
             sweep, opt.shard, opt.fleet, opt.threads);
@@ -762,8 +881,9 @@ runSweep(const Options &opt, const SweepSpec &sweep)
                 << part.variants.size() << " of " << part.variantCount
                 << " variant(s)\n";
         int rc = emitPartial(opt, part);
-        int obs =
-            finishObservability(opt, sweep.name, sweep.toString());
+        int obs = finishObservability(
+            opt, sweep.name, sweep.toString(), 0,
+            ScenarioSpec::defaultJourneySample);
         return rc ? rc : obs;
     }
     bool keep = opt.perSession && !opt.jsonPath.empty();
@@ -772,7 +892,8 @@ runSweep(const Options &opt, const SweepSpec &sweep)
     if (!opt.quiet)
         printSweepSummary(statusStream(opt), result);
     int rc = emitJson(opt, result);
-    int obs = finishObservability(opt, sweep.name, sweep.toString());
+    int obs = finishObservability(opt, sweep.name, sweep.toString(), 0,
+                                  ScenarioSpec::defaultJourneySample);
     return rc ? rc : obs;
 }
 
